@@ -1,0 +1,378 @@
+//! Dense (fully-connected) layers.
+
+use desim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+
+/// A dense layer: `y = f(x · Wᵀ + b)`.
+///
+/// Weights have shape `(out, in)`; batches are row-major (one sample per
+/// row), so a batch of `n` inputs is an `n × in` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f64>,
+    activation: Activation,
+}
+
+/// Momentum state for one layer (SGD with momentum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Velocity {
+    /// Velocity of the weights.
+    pub weights: Matrix,
+    /// Velocity of the biases.
+    pub bias: Vec<f64>,
+}
+
+/// Gradients produced by one backward pass.
+#[derive(Debug, Clone)]
+pub struct DenseGradients {
+    /// `∂L/∂W`, same shape as the weights.
+    pub weights: Matrix,
+    /// `∂L/∂b`.
+    pub bias: Vec<f64>,
+    /// `∂L/∂x` — passed to the previous layer.
+    pub input: Matrix,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier/He-initialised weights and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut SimRng) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "dimensions must be positive");
+        let std = (activation.init_gain() / input_dim as f64).sqrt();
+        let mut weights = Matrix::zeros(output_dim, input_dim);
+        for r in 0..output_dim {
+            for c in 0..input_dim {
+                weights.set(r, c, rng.normal(0.0, std));
+            }
+        }
+        Dense {
+            weights,
+            bias: vec![0.0; output_dim],
+            activation,
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimension (number of neurons).
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The layer's activation.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Forward pass over a batch (`n × in` → `n × out`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width differs from the layer's input dimension.
+    #[must_use]
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.input_dim(), "input width mismatch");
+        let mut out = input.matmul(&self.weights.transpose());
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (o, b) in row.iter_mut().zip(&self.bias) {
+                *o = self.activation.apply(*o + b);
+            }
+        }
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// * `input` — the batch fed to [`Dense::forward`];
+    /// * `output` — what forward returned (post-activation);
+    /// * `grad_output` — `∂L/∂output`.
+    #[must_use]
+    pub fn backward(&self, input: &Matrix, output: &Matrix, grad_output: &Matrix) -> DenseGradients {
+        // δ = grad_output ⊙ f'(output)
+        let mut delta = grad_output.clone();
+        for r in 0..delta.rows() {
+            for c in 0..delta.cols() {
+                let d = self.activation.derivative_from_output(output.get(r, c));
+                delta.set(r, c, delta.get(r, c) * d);
+            }
+        }
+        let grad_weights = delta.transpose().matmul(input);
+        let mut grad_bias = vec![0.0; self.output_dim()];
+        for r in 0..delta.rows() {
+            for (gb, &d) in grad_bias.iter_mut().zip(delta.row(r)) {
+                *gb += d;
+            }
+        }
+        let grad_input = delta.matmul(&self.weights);
+        DenseGradients {
+            weights: grad_weights,
+            bias: grad_bias,
+            input: grad_input,
+        }
+    }
+
+    /// Applies one SGD step: `W ← W − lr · ∂L/∂W`, `b ← b − lr · ∂L/∂b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on gradient shape mismatch.
+    pub fn apply_gradients(&mut self, grads: &DenseGradients, learning_rate: f64) {
+        let mut scaled = grads.weights.clone();
+        scaled.scale(learning_rate);
+        self.weights.sub_assign(&scaled);
+        for (b, g) in self.bias.iter_mut().zip(&grads.bias) {
+            *b -= learning_rate * g;
+        }
+    }
+
+    /// Applies one SGD-with-momentum step, updating `velocity` in place:
+    /// `v ← β·v + ∂L/∂θ`, `θ ← θ − lr·v`.
+    ///
+    /// With `momentum = 0` this is exactly [`Dense::apply_gradients`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch between gradients, velocity, and the layer.
+    pub fn apply_gradients_with_momentum(
+        &mut self,
+        grads: &DenseGradients,
+        learning_rate: f64,
+        momentum: f64,
+        velocity: &mut Velocity,
+    ) {
+        velocity.weights.scale(momentum);
+        velocity.weights.add_assign(&grads.weights);
+        for (v, g) in velocity.bias.iter_mut().zip(&grads.bias) {
+            *v = momentum * *v + g;
+        }
+        let mut scaled = velocity.weights.clone();
+        scaled.scale(learning_rate);
+        self.weights.sub_assign(&scaled);
+        for (b, v) in self.bias.iter_mut().zip(&velocity.bias) {
+            *b -= learning_rate * v;
+        }
+    }
+
+    /// A zeroed velocity buffer matching this layer's shape.
+    #[must_use]
+    pub fn zero_velocity(&self) -> Velocity {
+        Velocity {
+            weights: Matrix::zeros(self.output_dim(), self.input_dim()),
+            bias: vec![0.0; self.output_dim()],
+        }
+    }
+
+    /// Read access to the weights (tests, inspection).
+    #[must_use]
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(rng_seed: u64) -> Dense {
+        let mut rng = SimRng::seed_from_u64(rng_seed);
+        Dense::new(3, 2, Activation::Tanh, &mut rng)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let l = layer(1);
+        assert_eq!(l.input_dim(), 3);
+        assert_eq!(l.output_dim(), 2);
+        assert_eq!(l.parameter_count(), 3 * 2 + 2);
+        let x = Matrix::zeros(5, 3);
+        let y = l.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 2));
+    }
+
+    #[test]
+    fn forward_applies_activation() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let l = Dense::new(1, 1, Activation::Sigmoid, &mut rng);
+        let y = l.forward(&Matrix::from_rows(&[&[0.0]]));
+        // Zero input and zero bias → sigmoid(0) = 0.5.
+        assert!((y.get(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    /// Numerical gradient check: the backbone correctness test for the
+    /// whole training stack.
+    #[test]
+    fn backward_matches_numerical_gradients() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut l = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.3, -0.7, 0.5], &[-0.2, 0.9, 0.1]]);
+        let target = Matrix::from_rows(&[&[0.5, -0.5], &[0.1, 0.2]]);
+
+        let loss = |l: &Dense| -> f64 {
+            let y = l.forward(&x);
+            let mut s = 0.0;
+            for r in 0..y.rows() {
+                for c in 0..y.cols() {
+                    let d = y.get(r, c) - target.get(r, c);
+                    s += 0.5 * d * d;
+                }
+            }
+            s
+        };
+
+        let y = l.forward(&x);
+        let mut grad_out = y.clone();
+        grad_out.sub_assign(&target);
+        let grads = l.backward(&x, &y, &grad_out);
+
+        let h = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let orig = l.weights.get(r, c);
+                l.weights.set(r, c, orig + h);
+                let up = loss(&l);
+                l.weights.set(r, c, orig - h);
+                let down = loss(&l);
+                l.weights.set(r, c, orig);
+                let numeric = (up - down) / (2.0 * h);
+                let analytic = grads.weights.get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "dW[{r},{c}]: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+        for i in 0..2 {
+            let orig = l.bias[i];
+            l.bias[i] = orig + h;
+            let up = loss(&l);
+            l.bias[i] = orig - h;
+            let down = loss(&l);
+            l.bias[i] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            assert!(
+                (numeric - grads.bias[i]).abs() < 1e-5,
+                "db[{i}]: {} vs {numeric}",
+                grads.bias[i]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_numerical() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let l = Dense::new(2, 2, Activation::Sigmoid, &mut rng);
+        let target = Matrix::from_rows(&[&[0.3, 0.6]]);
+        let loss_at = |x: &Matrix| -> f64 {
+            let y = l.forward(x);
+            let mut s = 0.0;
+            for c in 0..2 {
+                let d = y.get(0, c) - target.get(0, c);
+                s += 0.5 * d * d;
+            }
+            s
+        };
+        let mut x = Matrix::from_rows(&[&[0.4, -0.8]]);
+        let y = l.forward(&x);
+        let mut grad_out = y.clone();
+        grad_out.sub_assign(&target);
+        let grads = l.backward(&x, &y, &grad_out);
+        let h = 1e-6;
+        for c in 0..2 {
+            let orig = x.get(0, c);
+            x.set(0, c, orig + h);
+            let up = loss_at(&x);
+            x.set(0, c, orig - h);
+            let down = loss_at(&x);
+            x.set(0, c, orig);
+            let numeric = (up - down) / (2.0 * h);
+            assert!(
+                (numeric - grads.input.get(0, c)).abs() < 1e-5,
+                "dX[0,{c}]"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut l = Dense::new(2, 1, Activation::Linear, &mut rng);
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let target = Matrix::from_rows(&[&[3.0]]);
+        let loss = |l: &Dense| {
+            let y = l.forward(&x);
+            let d = y.get(0, 0) - target.get(0, 0);
+            0.5 * d * d
+        };
+        let before = loss(&l);
+        let y = l.forward(&x);
+        let mut grad_out = y.clone();
+        grad_out.sub_assign(&target);
+        let grads = l.backward(&x, &y, &grad_out);
+        l.apply_gradients(&grads, 0.05);
+        assert!(loss(&l) < before);
+    }
+
+    #[test]
+    fn momentum_zero_matches_plain_sgd() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let l0 = Dense::new(2, 2, Activation::Tanh, &mut rng);
+        let mut plain = l0.clone();
+        let mut with_momentum = l0.clone();
+        let x = Matrix::from_rows(&[&[0.5, -0.2]]);
+        let y = l0.forward(&x);
+        let grad_out = Matrix::from_rows(&[&[0.1, -0.3]]);
+        let grads = l0.backward(&x, &y, &grad_out);
+        plain.apply_gradients(&grads, 0.1);
+        let mut v = with_momentum.zero_velocity();
+        with_momentum.apply_gradients_with_momentum(&grads, 0.1, 0.0, &mut v);
+        assert_eq!(plain, with_momentum);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut l = Dense::new(1, 1, Activation::Linear, &mut rng);
+        let mut v = l.zero_velocity();
+        let grads = DenseGradients {
+            weights: Matrix::from_rows(&[&[1.0]]),
+            bias: vec![1.0],
+            input: Matrix::zeros(1, 1),
+        };
+        let w0 = l.weights().get(0, 0);
+        l.apply_gradients_with_momentum(&grads, 0.1, 0.9, &mut v);
+        let step1 = w0 - l.weights().get(0, 0);
+        let w1 = l.weights().get(0, 0);
+        l.apply_gradients_with_momentum(&grads, 0.1, 0.9, &mut v);
+        let step2 = w1 - l.weights().get(0, 0);
+        assert!((step1 - 0.1).abs() < 1e-12);
+        // Second step: v = 0.9·1 + 1 = 1.9 → step 0.19.
+        assert!((step2 - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initialisation_is_seed_deterministic() {
+        assert_eq!(layer(9), layer(9));
+        assert_ne!(layer(9), layer(10));
+    }
+}

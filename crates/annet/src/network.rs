@@ -1,0 +1,478 @@
+//! The sequential network: construction, mini-batch SGD training, and
+//! prediction.
+//!
+//! The paper's topology — four hidden layers of 200/200/200/64 neurons, SGD
+//! with learning rate 0.5 and 1000 epochs — is available as
+//! [`NetworkBuilder::paper_topology`].
+
+use desim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::dataset::Dataset;
+use crate::layer::Dense;
+use crate::matrix::Matrix;
+
+/// Builder for a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    input_dim: usize,
+    layers: Vec<(usize, Activation)>,
+}
+
+impl NetworkBuilder {
+    /// Starts a network taking `input_dim` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim` is zero.
+    #[must_use]
+    pub fn new(input_dim: usize) -> Self {
+        assert!(input_dim > 0, "input dimension must be positive");
+        NetworkBuilder {
+            input_dim,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a dense layer of `neurons` with the given activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neurons` is zero.
+    #[must_use]
+    pub fn dense(mut self, neurons: usize, activation: Activation) -> Self {
+        assert!(neurons > 0, "layer must have at least one neuron");
+        self.layers.push((neurons, activation));
+        self
+    }
+
+    /// The paper's topology: hidden layers 200/200/200/64 (tanh) and a
+    /// sigmoid output of `outputs` neurons (1 for at-most-once, where only
+    /// `P_l` exists; 2 for at-least-once, predicting `P_l` and `P_d`).
+    #[must_use]
+    pub fn paper_topology(input_dim: usize, outputs: usize) -> Self {
+        NetworkBuilder::new(input_dim)
+            .dense(200, Activation::Tanh)
+            .dense(200, Activation::Tanh)
+            .dense(200, Activation::Tanh)
+            .dense(64, Activation::Tanh)
+            .dense(outputs, Activation::Sigmoid)
+    }
+
+    /// Initialises the network with seeded random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were added.
+    #[must_use]
+    pub fn build(self, rng: &mut SimRng) -> Network {
+        assert!(!self.layers.is_empty(), "network needs at least one layer");
+        let mut layers = Vec::with_capacity(self.layers.len());
+        let mut dim = self.input_dim;
+        for (neurons, activation) in self.layers {
+            layers.push(Dense::new(dim, neurons, activation, rng));
+            dim = neurons;
+        }
+        Network { layers }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Full passes over the training data.
+    pub epochs: usize,
+    /// SGD learning rate (the paper uses 0.5 on min–max-scaled data).
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle sample order each epoch.
+    pub shuffle: bool,
+    /// Momentum coefficient β (0 = the paper's plain SGD).
+    pub momentum: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 1000,
+            learning_rate: 0.5,
+            batch_size: 32,
+            shuffle: true,
+            momentum: 0.0,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean-squared-error loss after each epoch.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl TrainReport {
+    /// The final epoch's loss.
+    #[must_use]
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// A feed-forward network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Dense>,
+}
+
+impl Network {
+    /// Input dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").input_dim()
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").output_dim()
+    }
+
+    /// Total trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(Dense::parameter_count).sum()
+    }
+
+    /// Predicts the output for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the input dimension.
+    #[must_use]
+    pub fn predict(&self, input: &[f64]) -> Vec<f64> {
+        let x = Matrix::from_rows(&[input]);
+        self.predict_batch(&x).row(0).to_vec()
+    }
+
+    /// Predicts outputs for a batch (`n × in` → `n × out`).
+    #[must_use]
+    pub fn predict_batch(&self, inputs: &Matrix) -> Matrix {
+        let mut a = inputs.clone();
+        for layer in &self.layers {
+            a = layer.forward(&a);
+        }
+        a
+    }
+
+    /// Mean-squared-error loss over a dataset.
+    #[must_use]
+    pub fn mse(&self, data: &Dataset) -> f64 {
+        let pred = self.predict_batch(data.x());
+        let mut diff = pred;
+        diff.sub_assign(data.y());
+        let n = diff.as_slice().len() as f64;
+        diff.as_slice().iter().map(|d| d * d).sum::<f64>() / n
+    }
+
+    /// Trains with mini-batch SGD, returning the per-epoch loss trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset's dimensions do not match the network, when
+    /// `epochs` or `batch_size` is zero, or when the learning rate is not
+    /// strictly positive.
+    pub fn train(&mut self, data: &Dataset, config: &TrainConfig, rng: &mut SimRng) -> TrainReport {
+        assert_eq!(data.feature_dim(), self.input_dim(), "feature dim mismatch");
+        assert_eq!(data.target_dim(), self.output_dim(), "target dim mismatch");
+        assert!(config.epochs > 0, "epochs must be positive");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        assert!(config.learning_rate > 0.0, "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.momentum),
+            "momentum must be in [0, 1)"
+        );
+
+        let n = data.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut epoch_losses = Vec::with_capacity(config.epochs);
+        let mut velocities: Vec<crate::layer::Velocity> =
+            self.layers.iter().map(Dense::zero_velocity).collect();
+        for _ in 0..config.epochs {
+            if config.shuffle {
+                rng.shuffle(&mut order);
+            }
+            for chunk in order.chunks(config.batch_size) {
+                let batch = data.subset(chunk);
+                self.train_batch(&batch, config, &mut velocities);
+            }
+            epoch_losses.push(self.mse(data));
+        }
+        TrainReport { epoch_losses }
+    }
+
+    fn train_batch(
+        &mut self,
+        batch: &Dataset,
+        config: &TrainConfig,
+        velocities: &mut [crate::layer::Velocity],
+    ) {
+        // Forward, keeping every layer's output.
+        let mut activations: Vec<Matrix> = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(batch.x().clone());
+        for layer in &self.layers {
+            let next = layer.forward(activations.last().expect("non-empty"));
+            activations.push(next);
+        }
+        // d(MSE)/d(output) = 2/(n·k) · (pred − target); fold constants into
+        // the per-batch normalisation.
+        let n = batch.len() as f64;
+        let mut grad = activations.last().expect("non-empty").clone();
+        grad.sub_assign(batch.y());
+        grad.scale(2.0 / (n * batch.target_dim() as f64));
+        // Backward through the layers.
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let grads = layer.backward(&activations[i], &activations[i + 1], &grad);
+            grad = grads.input.clone();
+            if config.momentum > 0.0 {
+                layer.apply_gradients_with_momentum(
+                    &grads,
+                    config.learning_rate,
+                    config.momentum,
+                    &mut velocities[i],
+                );
+            } else {
+                layer.apply_gradients(&grads, config.learning_rate);
+            }
+        }
+    }
+
+    /// Serialises the network (weights and topology) to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serialiser's error (effectively unreachable for this
+    /// data).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a network serialised with [`Network::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mae;
+
+    fn xor_dataset() -> Dataset {
+        Dataset::from_rows(
+            vec![
+                vec![0.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![1.0, 1.0],
+            ],
+            vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_shapes() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let net = NetworkBuilder::new(3)
+            .dense(5, Activation::Tanh)
+            .dense(2, Activation::Sigmoid)
+            .build(&mut rng);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.parameter_count(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn paper_topology_matches_description() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let net = NetworkBuilder::paper_topology(8, 2).build(&mut rng);
+        assert_eq!(net.input_dim(), 8);
+        assert_eq!(net.output_dim(), 2);
+        // 8→200→200→200→64→2
+        let expected = 8 * 200 + 200 + 200 * 200 + 200 + 200 * 200 + 200 + 200 * 64 + 64 + 64 * 2 + 2;
+        assert_eq!(net.parameter_count(), expected);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let data = xor_dataset();
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut net = NetworkBuilder::new(2)
+            .dense(8, Activation::Tanh)
+            .dense(1, Activation::Sigmoid)
+            .build(&mut rng);
+        let config = TrainConfig {
+            epochs: 2000,
+            learning_rate: 0.5,
+            batch_size: 4,
+            shuffle: true,
+            momentum: 0.0,
+        };
+        let report = net.train(&data, &config, &mut rng);
+        assert!(
+            report.final_loss() < 0.05,
+            "XOR should be learnable: loss {}",
+            report.final_loss()
+        );
+        assert!(net.predict(&[0.0, 1.0])[0] > 0.8);
+        assert!(net.predict(&[1.0, 1.0])[0] < 0.2);
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let data = xor_dataset();
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut net = NetworkBuilder::new(2)
+            .dense(6, Activation::Tanh)
+            .dense(1, Activation::Sigmoid)
+            .build(&mut rng);
+        let report = net.train(
+            &data,
+            &TrainConfig {
+                epochs: 300,
+                learning_rate: 0.5,
+                batch_size: 4,
+                shuffle: false,
+                momentum: 0.0,
+            },
+            &mut rng,
+        );
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(last < first, "loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    fn regression_on_smooth_function() {
+        // y = 0.5·(sin(3x) + 1)/2 + 0.25 — a smooth target in [0,1].
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 60.0]).collect();
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![0.25 + 0.25 * ((3.0 * x[0]).sin() + 1.0)])
+            .collect();
+        let data = Dataset::from_rows(xs, ys).unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut net = NetworkBuilder::new(1)
+            .dense(16, Activation::Tanh)
+            .dense(16, Activation::Tanh)
+            .dense(1, Activation::Sigmoid)
+            .build(&mut rng);
+        net.train(
+            &data,
+            &TrainConfig {
+                epochs: 800,
+                learning_rate: 0.3,
+                batch_size: 16,
+                shuffle: true,
+                momentum: 0.0,
+            },
+            &mut rng,
+        );
+        let pred = net.predict_batch(data.x());
+        let err = mae(&pred, data.y());
+        assert!(err < 0.02, "MAE {err} should beat the paper's 0.02 bar");
+    }
+
+    #[test]
+    fn sigmoid_output_stays_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let net = NetworkBuilder::new(4)
+            .dense(10, Activation::Relu)
+            .dense(2, Activation::Sigmoid)
+            .build(&mut rng);
+        for i in 0..50 {
+            let x = [i as f64 * 10.0, -5.0, 3.0, 0.5];
+            for p in net.predict(&x) {
+                assert!((0.0..=1.0).contains(&p), "prediction {p} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn momentum_also_learns_xor() {
+        let data = xor_dataset();
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut net = NetworkBuilder::new(2)
+            .dense(8, Activation::Tanh)
+            .dense(1, Activation::Sigmoid)
+            .build(&mut rng);
+        let report = net.train(
+            &data,
+            &TrainConfig {
+                epochs: 1200,
+                learning_rate: 0.3,
+                batch_size: 4,
+                shuffle: true,
+                momentum: 0.9,
+            },
+            &mut rng,
+        );
+        assert!(
+            report.final_loss() < 0.05,
+            "momentum SGD learns XOR: loss {}",
+            report.final_loss()
+        );
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let data = xor_dataset();
+        let train = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut net = NetworkBuilder::new(2)
+                .dense(4, Activation::Tanh)
+                .dense(1, Activation::Sigmoid)
+                .build(&mut rng);
+            net.train(
+                &data,
+                &TrainConfig {
+                    epochs: 50,
+                    ..TrainConfig::default()
+                },
+                &mut rng,
+            );
+            net
+        };
+        assert_eq!(train(7), train(7));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let net = NetworkBuilder::new(2)
+            .dense(4, Activation::Tanh)
+            .dense(1, Activation::Sigmoid)
+            .build(&mut rng);
+        let json = net.to_json().unwrap();
+        let back = Network::from_json(&json).unwrap();
+        let x = [0.3, 0.7];
+        assert_eq!(net.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dim mismatch")]
+    fn train_rejects_wrong_dims() {
+        let data = xor_dataset();
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut net = NetworkBuilder::new(3)
+            .dense(1, Activation::Sigmoid)
+            .build(&mut rng);
+        net.train(&data, &TrainConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,65 @@
+//! §III-G bench: ANN training throughput (epochs of SGD on the paper
+//! topology and the compact topology) and prediction latency.
+//!
+//! Report the accuracy numbers with `cargo run --release -p bench --bin
+//! repro ann`.
+
+use annet::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::SimRng;
+use std::hint::black_box;
+
+fn synthetic_dataset(n: usize, rng: &mut SimRng) -> Dataset {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..7).map(|_| rng.next_f64()).collect();
+        let target = ((row[3] * 3.0 - row[4]).max(0.0)).min(1.0);
+        x.push(row);
+        y.push(vec![target]);
+    }
+    Dataset::from_rows(x, y).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(1);
+    let data = synthetic_dataset(256, &mut rng);
+    let mut group = c.benchmark_group("ann_training");
+    group.sample_size(10);
+
+    group.bench_function("compact_epoch", |b| {
+        let mut net = NetworkBuilder::new(7)
+            .dense(32, Activation::Tanh)
+            .dense(16, Activation::Tanh)
+            .dense(1, Activation::Sigmoid)
+            .build(&mut rng);
+        let cfg = TrainConfig { epochs: 1, learning_rate: 0.5, batch_size: 32, shuffle: true, momentum: 0.0 };
+        b.iter(|| black_box(net.train(&data, &cfg, &mut rng).final_loss()));
+    });
+
+    group.bench_function("paper_topology_epoch", |b| {
+        let mut net = NetworkBuilder::paper_topology(7, 2).build(&mut rng);
+        let wide = {
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for i in 0..data.len() {
+                let (xs, ys) = data.sample(i);
+                x.push(xs.to_vec());
+                y.push(vec![ys[0], 1.0 - ys[0]]);
+            }
+            Dataset::from_rows(x, y).unwrap()
+        };
+        let cfg = TrainConfig { epochs: 1, learning_rate: 0.5, batch_size: 32, shuffle: true, momentum: 0.0 };
+        b.iter(|| black_box(net.train(&wide, &cfg, &mut rng).final_loss()));
+    });
+
+    group.bench_function("paper_topology_predict", |b| {
+        let net = NetworkBuilder::paper_topology(7, 2).build(&mut rng);
+        let input = [0.1, 0.9, 0.3, 0.2, 0.5, 0.7, 0.4];
+        b.iter(|| black_box(net.predict(&input)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

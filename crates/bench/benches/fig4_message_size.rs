@@ -1,0 +1,47 @@
+//! Fig. 4 bench: one `P_l(M)` data point of the message-size experiment
+//! (D = 100 ms, L = 19 %, full load), timed per semantics at small and
+//! large sizes.
+//!
+//! Regenerate the full figure with `cargo run --release -p bench --bin
+//! repro fig4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::SimDuration;
+use kafkasim::config::DeliverySemantics;
+use std::hint::black_box;
+use testbed::experiment::ExperimentPoint;
+use testbed::Calibration;
+
+fn point(m: u64, semantics: DeliverySemantics) -> ExperimentPoint {
+    ExperimentPoint {
+        message_size: m,
+        timeliness: None,
+        delay: SimDuration::from_millis(100),
+        loss_rate: 0.19,
+        semantics,
+        batch_size: 1,
+        poll_interval: SimDuration::ZERO,
+        message_timeout: SimDuration::from_millis(2_000),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let mut group = c.benchmark_group("fig4_message_size");
+    group.sample_size(10);
+    for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+        for m in [100u64, 1000] {
+            group.bench_with_input(
+                BenchmarkId::new(semantics.to_string(), m),
+                &m,
+                |b, &m| {
+                    b.iter(|| black_box(point(m, semantics).run(&cal, 500, 42)).p_loss);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 5 bench: one `P_l(T_o)` point of the message-timeout experiment
+//! (near-saturated load, no faults).
+//!
+//! Regenerate the full figure with `cargo run --release -p bench --bin
+//! repro fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::SimDuration;
+use kafkasim::config::DeliverySemantics;
+use std::hint::black_box;
+use testbed::experiment::ExperimentPoint;
+use testbed::Calibration;
+
+fn point(timeout_ms: u64) -> ExperimentPoint {
+    ExperimentPoint {
+        message_size: 900,
+        timeliness: None,
+        delay: SimDuration::from_millis(1),
+        loss_rate: 0.0,
+        semantics: DeliverySemantics::AtLeastOnce,
+        batch_size: 1,
+        poll_interval: SimDuration::ZERO,
+        message_timeout: SimDuration::from_millis(timeout_ms),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let mut group = c.benchmark_group("fig5_message_timeout");
+    group.sample_size(10);
+    for t in [200u64, 1_500, 3_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| black_box(point(t).run(&cal, 500, 42)).p_loss);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

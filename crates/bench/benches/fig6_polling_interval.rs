@@ -1,0 +1,40 @@
+//! Fig. 6 bench: one `P_l(δ)` point of the polling-interval experiment
+//! (T_o = 500 ms, no faults).
+//!
+//! Regenerate the full figure with `cargo run --release -p bench --bin
+//! repro fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::SimDuration;
+use kafkasim::config::DeliverySemantics;
+use std::hint::black_box;
+use testbed::experiment::ExperimentPoint;
+use testbed::Calibration;
+
+fn point(delta_ms: u64) -> ExperimentPoint {
+    ExperimentPoint {
+        message_size: 100,
+        timeliness: None,
+        delay: SimDuration::from_millis(1),
+        loss_rate: 0.0,
+        semantics: DeliverySemantics::AtLeastOnce,
+        batch_size: 1,
+        poll_interval: SimDuration::from_millis(delta_ms),
+        message_timeout: SimDuration::from_millis(500),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let mut group = c.benchmark_group("fig6_polling_interval");
+    group.sample_size(10);
+    for delta in [0u64, 30, 90] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &d| {
+            b.iter(|| black_box(point(d).run(&cal, 500, 42)).p_loss);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

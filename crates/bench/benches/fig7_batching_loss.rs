@@ -1,0 +1,42 @@
+//! Fig. 7 bench: one `P_l(L, B)` cell of the batching-under-loss grid.
+//!
+//! Regenerate the full figure with `cargo run --release -p bench --bin
+//! repro fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::SimDuration;
+use kafkasim::config::DeliverySemantics;
+use std::hint::black_box;
+use testbed::experiment::ExperimentPoint;
+use testbed::Calibration;
+
+fn point(loss: f64, batch: usize, semantics: DeliverySemantics) -> ExperimentPoint {
+    ExperimentPoint {
+        message_size: 200,
+        timeliness: None,
+        delay: SimDuration::from_millis(100),
+        loss_rate: loss,
+        semantics,
+        batch_size: batch,
+        poll_interval: SimDuration::from_millis(70),
+        message_timeout: SimDuration::from_millis(2_000),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let mut group = c.benchmark_group("fig7_batching_loss");
+    group.sample_size(10);
+    for (loss, batch) in [(0.13, 1usize), (0.13, 4), (0.30, 4)] {
+        for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+            let id = format!("L{:.0}%_B{batch}_{semantics}", loss * 100.0);
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, ()| {
+                b.iter(|| black_box(point(loss, batch, semantics).run(&cal, 500, 42)).p_loss);
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 8 bench: one `P_d(B)` cell of the duplicate experiment
+//! (at-least-once, injected loss).
+//!
+//! Regenerate the full figure with `cargo run --release -p bench --bin
+//! repro fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::SimDuration;
+use kafkasim::config::DeliverySemantics;
+use std::hint::black_box;
+use testbed::experiment::ExperimentPoint;
+use testbed::Calibration;
+
+fn point(batch: usize) -> ExperimentPoint {
+    ExperimentPoint {
+        message_size: 200,
+        timeliness: None,
+        delay: SimDuration::from_millis(100),
+        loss_rate: 0.15,
+        semantics: DeliverySemantics::AtLeastOnce,
+        batch_size: batch,
+        poll_interval: SimDuration::from_millis(70),
+        message_timeout: SimDuration::from_millis(2_000),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let mut group = c.benchmark_group("fig8_batch_duplicates");
+    group.sample_size(10);
+    for batch in [1usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &n| {
+            b.iter(|| black_box(point(n).run(&cal, 500, 42)).p_dup);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

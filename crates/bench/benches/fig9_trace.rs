@@ -1,0 +1,25 @@
+//! Fig. 9 bench: generating the unstable-network trace (Pareto delay +
+//! Gilbert–Elliott loss).
+//!
+//! Print the trace with `cargo run --release -p bench --bin repro fig9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::SimRng;
+use netsim::trace::{generate_trace, TraceConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_trace");
+    group.bench_function("generate_600s_trace", |b| {
+        let cfg = TraceConfig::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(generate_trace(&cfg, &mut SimRng::seed_from_u64(seed)).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

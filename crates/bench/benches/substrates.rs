@@ -1,0 +1,72 @@
+//! Substrate microbenchmarks: the discrete-event engine, the TCP channel,
+//! and the matrix kernel — the building blocks every experiment rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::{SimDuration, SimRng, SimTime, Simulation};
+use netsim::channel::{ChannelConfig, DuplexChannel, Endpoint};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+
+    group.bench_function("desim_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0u64);
+            fn tick(w: &mut u64, ctx: &mut desim::Context<u64>) {
+                *w += 1;
+                if *w < 100_000 {
+                    ctx.schedule_in(SimDuration::from_micros(10), tick);
+                }
+            }
+            sim.schedule_at(SimTime::ZERO, tick);
+            sim.run_until_idle();
+            black_box(*sim.world())
+        });
+    });
+
+    group.bench_function("tcp_channel_1000_records", |b| {
+        b.iter(|| {
+            let mut ch = DuplexChannel::new(ChannelConfig::default(), SimRng::seed_from_u64(1));
+            let mut sent = 0u64;
+            let mut delivered = 0u64;
+            let mut now = SimTime::ZERO;
+            loop {
+                while sent < 1_000 && ch.writable(Endpoint::A) >= 1_000 {
+                    ch.send_record(Endpoint::A, sent, 1_000, now).unwrap();
+                    sent += 1;
+                }
+                let Some(t) = ch.next_wakeup() else { break };
+                now = t;
+                delivered += ch
+                    .advance(t)
+                    .iter()
+                    .filter(|ev| matches!(ev, netsim::ChannelEvent::RecordDelivered { .. }))
+                    .count() as u64;
+                if delivered >= 1_000 {
+                    break;
+                }
+            }
+            black_box(delivered)
+        });
+    });
+
+    group.bench_function("matrix_matmul_128", |b| {
+        let mut rng = SimRng::seed_from_u64(2);
+        let a = annet::Matrix::from_vec(
+            128,
+            128,
+            (0..128 * 128).map(|_| rng.next_f64()).collect(),
+        );
+        let m = annet::Matrix::from_vec(
+            128,
+            128,
+            (0..128 * 128).map(|_| rng.next_f64()).collect(),
+        );
+        b.iter(|| black_box(a.matmul(&m)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table I bench: classifying delivery outcomes through the Fig. 2 state
+//! machine (the per-message bookkeeping cost of the audit).
+//!
+//! Print the verified table with `cargo run --release -p bench --bin
+//! repro table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kafkasim::state::{DeliveryCase, StateMachine, Transition};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_state_machine");
+    group.bench_function("classify_outcomes", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for attempts in 0..6u32 {
+                for copies in 0..3u64 {
+                    total += black_box(DeliveryCase::classify(attempts, copies)).index();
+                }
+            }
+            total
+        });
+    });
+    group.bench_function("replay_case5_history", |b| {
+        b.iter(|| {
+            let mut sm = StateMachine::new();
+            for t in [
+                Transition::II,
+                Transition::III,
+                Transition::IV,
+                Transition::V,
+                Transition::VI,
+            ] {
+                sm.apply(t).unwrap();
+            }
+            black_box(sm.case())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

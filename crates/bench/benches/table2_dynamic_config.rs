@@ -1,0 +1,54 @@
+//! Table II bench: one scenario replay of the dynamic-configuration
+//! experiment (scaled down).
+//!
+//! Regenerate the full table with `cargo run --release -p bench --bin
+//! repro table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::{SimDuration, SimRng};
+use netsim::trace::{generate_trace, TraceConfig};
+use std::hint::black_box;
+use testbed::dynamic::{default_static_config, run_scenario, StaticPlanner};
+use testbed::scenarios::ApplicationScenario;
+use testbed::Calibration;
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let trace = generate_trace(
+        &TraceConfig {
+            duration: SimDuration::from_secs(120),
+            interval: SimDuration::from_secs(10),
+            ..TraceConfig::default()
+        },
+        &mut SimRng::seed_from_u64(1),
+    )
+    .unwrap()
+    .timeline;
+    let planner = StaticPlanner(default_static_config(&cal));
+    let mut group = c.benchmark_group("table2_dynamic_config");
+    group.sample_size(10);
+    for scenario in ApplicationScenario::table2() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario.name.replace(' ', "_")),
+            &scenario,
+            |b, s| {
+                b.iter(|| {
+                    black_box(run_scenario(
+                        s,
+                        &trace,
+                        &planner,
+                        &cal,
+                        600,
+                        SimDuration::from_secs(60),
+                        42,
+                    ))
+                    .r_loss
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

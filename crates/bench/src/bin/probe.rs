@@ -1,0 +1,72 @@
+//! `probe` — inspect a single experiment point in detail (loss reasons,
+//! TCP statistics, producer counters). A debugging/calibration aid.
+//!
+//! ```text
+//! probe <M> <L%> <D_ms> <amo|alo> [batch] [poll_ms] [timeout_ms] [messages]
+//! ```
+
+use desim::SimDuration;
+use kafkasim::config::DeliverySemantics;
+use testbed::experiment::ExperimentPoint;
+use testbed::Calibration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 4 {
+        eprintln!("usage: probe <M> <L%> <D_ms> <amo|alo> [batch] [poll_ms] [timeout_ms] [messages]");
+        std::process::exit(2);
+    }
+    let m: u64 = args[0].parse().expect("M");
+    let l: f64 = args[1].parse::<f64>().expect("L") / 100.0;
+    let d: u64 = args[2].parse().expect("D");
+    let semantics = match args[3].as_str() {
+        "amo" => DeliverySemantics::AtMostOnce,
+        _ => DeliverySemantics::AtLeastOnce,
+    };
+    let batch: usize = args.get(4).map_or(1, |s| s.parse().expect("batch"));
+    let poll: u64 = args.get(5).map_or(0, |s| s.parse().expect("poll"));
+    let timeout: u64 = args.get(6).map_or(2_000, |s| s.parse().expect("timeout"));
+    let messages: u64 = args.get(7).map_or(4_000, |s| s.parse().expect("messages"));
+
+    let point = ExperimentPoint {
+        message_size: m,
+        timeliness: None,
+        delay: SimDuration::from_millis(d),
+        loss_rate: l,
+        semantics,
+        batch_size: batch,
+        poll_interval: SimDuration::from_millis(poll),
+        message_timeout: SimDuration::from_millis(timeout),
+    };
+    let cal = Calibration::paper();
+    let spec = point.to_run_spec(&cal, messages);
+    let outcome = kafkasim::runtime::KafkaRun::new(spec, 42).execute();
+    let r = &outcome.report;
+    println!("P_l = {:.2}%  P_d = {:.2}%", r.p_loss() * 100.0, r.p_dup() * 100.0);
+    println!(
+        "delivered {} lost {} dup {} (of {}), duration {:.1}s, throughput {:.1}/s",
+        r.delivered_once,
+        r.lost,
+        r.duplicated,
+        r.n_source,
+        r.duration.as_secs_f64(),
+        r.throughput()
+    );
+    println!("loss reasons: {:?}", r.loss_reasons);
+    println!("cases: {:?}", r.case_counts);
+    println!("producer: {:?}", outcome.producer);
+    for (i, (tcp, link)) in outcome.tcp.iter().zip(&outcome.links).enumerate() {
+        println!(
+            "conn{i}: sent {} retx {} timeouts {} fastretx {} acked {}B | link delivered {} lost {} dropped {}",
+            tcp.segments_sent,
+            tcp.retransmits,
+            tcp.timeouts,
+            tcp.fast_retransmits,
+            tcp.bytes_acked,
+            link.delivered,
+            link.lost,
+            link.dropped
+        );
+    }
+    println!("latency: mean {:.0}ms max {:.0}ms", r.latency.mean_s * 1e3, r.latency.max_s * 1e3);
+}

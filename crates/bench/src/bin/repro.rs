@@ -1,0 +1,380 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <target> [--messages N] [--quick] [--paper-ann] [--seed S] [--json]
+//!
+//! targets:
+//!   fig4 fig5 fig6 fig7 fig8 fig9 collection ann kpi table1 table2 all
+//! ```
+//!
+//! Every target prints the same rows/series the paper reports; `--json`
+//! dumps machine-readable output instead.
+
+use bench::figures::{self, Effort};
+use bench::render;
+
+struct Args {
+    target: String,
+    effort: Effort,
+    paper_ann: bool,
+    json: bool,
+    data: Option<String>,
+    save_data: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let target = args.next().ok_or_else(usage)?;
+    let mut effort = Effort::full();
+    let mut paper_ann = false;
+    let mut json = false;
+    let mut data = None;
+    let mut save_data = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => effort = Effort::quick(),
+            "--paper-ann" => paper_ann = true,
+            "--json" => json = true,
+            "--messages" => {
+                let v = args.next().ok_or("--messages needs a value")?;
+                effort.messages = v.parse().map_err(|_| format!("bad message count {v}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                effort.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                effort.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+            }
+            "--data" => data = Some(args.next().ok_or("--data needs a path")?),
+            "--save-data" => save_data = Some(args.next().ok_or("--save-data needs a path")?),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        target,
+        effort,
+        paper_ann,
+        json,
+        data,
+        save_data,
+    })
+}
+
+fn usage() -> String {
+    "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|ablation-transport|ablation-jitter|all> \
+     [--messages N] [--quick] [--paper-ann] [--seed S] [--threads T] [--json] [--data FILE] [--save-data FILE]"
+        .to_string()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let all = args.target == "all";
+    let mut matched = false;
+    let mut run = |name: &str, f: &mut dyn FnMut()| {
+        if all || args.target == name {
+            matched = true;
+            f();
+        }
+    };
+
+    run("table1", &mut || table1(args.json));
+    run("collection", &mut || collection(args.json));
+    run("fig4", &mut || {
+        series("Fig. 4: P_l vs message size M (D=100ms, L=19%, full load)",
+            "M (bytes)", "P_l", &figures::fig4(args.effort), args.json);
+    });
+    run("fig5", &mut || {
+        series("Fig. 5: P_l vs message timeout T_o (no faults, near-saturated load)",
+            "T_o (ms)", "P_l", &figures::fig5(args.effort), args.json);
+    });
+    run("fig6", &mut || {
+        series("Fig. 6: P_l vs polling interval delta (T_o=500ms, no faults)",
+            "delta (ms)", "P_l", &figures::fig6(args.effort), args.json);
+    });
+    run("fig7", &mut || {
+        series("Fig. 7: P_l vs packet loss L, batch sizes x semantics",
+            "L", "P_l", &figures::fig7(args.effort), args.json);
+    });
+    run("fig8", &mut || {
+        series("Fig. 8: P_d vs batch size B (at-least-once)",
+            "B", "P_d", &figures::fig8(args.effort), args.json);
+    });
+    run("fig9", &mut || fig9(args.effort.seed, args.json));
+    run("ann", &mut || {
+        ann(args.effort, args.paper_ann, args.json, args.data.as_deref(), args.save_data.as_deref())
+    });
+    run("kpi", &mut || kpi(args.json));
+    run("table2", &mut || table2(args.effort, args.paper_ann, args.json));
+    run("overlay", &mut || {
+        let (series_data, mae) = figures::prediction_overlay(args.effort, args.paper_ann);
+        series("Figs. 4-6 overlay: measured vs ANN-predicted P_l on the Fig. 4 sweep",
+            "M (bytes)", "P_l", &series_data, args.json);
+        if !args.json {
+            println!("overlay MAE vs fresh measurements: {mae:.4}\n");
+        }
+    });
+    run("sensitivity", &mut || sensitivity(args.effort, args.json));
+    run("ext-outage", &mut || {
+        series("EXT-1: P_l vs broker outage duration (1 of 3 brokers down)",
+            "outage (s)", "P_l", &figures::ext_broker_outage(args.effort), args.json);
+    });
+    run("ext-online", &mut || ext_online(args.effort, args.json));
+    run("ext-retries", &mut || {
+        series("EXT-2: P_l vs retry budget tau_r (L=25%, D=100ms)",
+            "tau_r", "P_l", &figures::ext_retry_strategy(args.effort), args.json);
+    });
+    run("ablation-transport", &mut || {
+        series("ABL-1: early retransmit vs classic Reno (fire-and-forget, full load)",
+            "L", "P_l", &figures::ablation_early_retransmit(args.effort), args.json);
+    });
+    run("ablation-jitter", &mut || {
+        series("ABL-2: service-time jitter and the T_o loss tail",
+            "T_o (ms)", "P_l", &figures::ablation_service_jitter(args.effort), args.json);
+    });
+
+    if !matched {
+        eprintln!("unknown target {}\n{}", args.target, usage());
+        std::process::exit(2);
+    }
+}
+
+fn series(title: &str, x: &str, metric: &str, data: &[figures::Series], json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(data).expect("serialisable"));
+    } else {
+        println!("{}", render::render_series(title, x, metric, data));
+    }
+}
+
+fn table1(json: bool) {
+    let rows = figures::table1();
+    if json {
+        let rows: Vec<_> = rows
+            .iter()
+            .map(|(case, path, ok)| {
+                serde_json::json!({"case": case.to_string(), "path": path, "verified": ok})
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+        return;
+    }
+    println!("== Table I: message delivery cases (verified against the state machine) ==");
+    for (case, path, ok) in rows {
+        println!(
+            "{case}: {path:<42} {}",
+            if ok { "verified" } else { "MISMATCH" }
+        );
+    }
+    println!();
+}
+
+fn collection(json: bool) {
+    let (normal, abnormal) = figures::collection_summary();
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({"normal_points": normal, "abnormal_points": abnormal})
+        );
+        return;
+    }
+    println!("== Fig. 3: training-data collection design ==");
+    println!("normal cases   (D < 200ms, L = 0): {normal} experiment points");
+    println!("abnormal cases (faults injected):  {abnormal} experiment points");
+    println!();
+}
+
+fn fig9(seed: u64, json: bool) {
+    let trace = figures::fig9(seed);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&trace).expect("serialisable"));
+        return;
+    }
+    println!("== Fig. 9: network connection in the dynamic-configuration experiment ==");
+    println!("{:>8} {:>10} {:>8} {:>6}", "t (s)", "delay(ms)", "loss", "state");
+    for ((t, cond), state) in trace.timeline.breakpoints().iter().zip(&trace.states) {
+        println!(
+            "{:>8} {:>10.1} {:>7.1}% {:>6?}",
+            t.as_millis() / 1000,
+            cond.delay.as_secs_f64() * 1e3,
+            cond.loss_rate * 100.0,
+            state
+        );
+    }
+    println!(
+        "mean loss {:.1}%, bad-state fraction {:.0}%\n",
+        trace.mean_loss() * 100.0,
+        trace.bad_fraction() * 100.0
+    );
+}
+
+fn training_results(
+    effort: Effort,
+    data: Option<&str>,
+    save_data: Option<&str>,
+) -> Vec<testbed::ExperimentResult> {
+    use testbed::dataset::ResultSet;
+    use testbed::Calibration;
+    if let Some(path) = data {
+        let set = ResultSet::load_for(std::path::Path::new(path), &Calibration::paper())
+            .unwrap_or_else(|e| {
+                eprintln!("failed to load {path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("loaded {} cached results from {path}", set.results.len());
+        return set.results;
+    }
+    let results = figures::collect_training_results(effort);
+    if let Some(path) = save_data {
+        let set = ResultSet::new(
+            Calibration::paper(),
+            effort.messages,
+            effort.seed,
+            results.clone(),
+        );
+        if let Err(e) = set.save(std::path::Path::new(path)) {
+            eprintln!("failed to save {path}: {e}");
+        } else {
+            eprintln!("saved {} results to {path}", results.len());
+        }
+    }
+    results
+}
+
+fn ann(effort: Effort, paper_scale: bool, json: bool, data: Option<&str>, save_data: Option<&str>) {
+    let results = training_results(effort, data, save_data);
+    let trained = figures::train_on(&results, paper_scale, effort.seed);
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "amo": trained.amo, "alo": trained.alo, "worst_mae": trained.worst_mae()
+            })
+        );
+        return;
+    }
+    println!("== ANN prediction accuracy (paper: MAE < 0.02) ==");
+    for (name, head) in [("at-most-once", trained.amo), ("at-least-once", trained.alo)] {
+        println!(
+            "{name:>14} head: {} train / {} test samples, held-out MAE = {:.4}",
+            head.train_samples, head.test_samples, head.test_mae
+        );
+    }
+    println!("worst-head MAE: {:.4}\n", trained.worst_mae());
+}
+
+fn kpi(json: bool) {
+    let predictor = figures::heuristic_predictor();
+    let rows = figures::kpi_sweep(&predictor);
+    if json {
+        let rows: Vec<_> = rows
+            .iter()
+            .map(|(label, g)| serde_json::json!({"config": label, "gamma": g}))
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+        return;
+    }
+    println!("== Eq. 2: weighted KPI gamma (D=100ms, L=13%, default weights) ==");
+    for (label, gamma) in rows {
+        println!("{label:>24}: gamma = {gamma:.3}");
+    }
+    println!();
+}
+
+fn sensitivity(effort: Effort, json: bool) {
+    use desim::SimDuration;
+    use kafkasim::config::DeliverySemantics;
+    use testbed::experiment::ExperimentPoint;
+    use testbed::sensitivity::analyze;
+    use testbed::Calibration;
+    let base = ExperimentPoint {
+        message_size: 200,
+        timeliness: None,
+        delay: SimDuration::from_millis(100),
+        loss_rate: 0.20,
+        semantics: DeliverySemantics::AtLeastOnce,
+        batch_size: 2,
+        poll_interval: SimDuration::from_millis(70),
+        message_timeout: SimDuration::from_millis(1_000),
+    };
+    let cal = Calibration::paper();
+    let rows = analyze(&base, &cal, effort.messages, effort.seed, effort.threads);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+        return;
+    }
+    println!("== Sec. III-D sensitivity analysis: +/-50% perturbations around a lossy baseline ==");
+    println!(
+        "{:<24} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "feature", "P_l -50%", "P_l base", "P_l +50%", "impact", "selected?"
+    );
+    for r in &rows {
+        println!(
+            "{:<24} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}% {:>10}",
+            r.feature.name(),
+            r.down_p_loss * 100.0,
+            r.base_p_loss * 100.0,
+            r.up_p_loss * 100.0,
+            r.impact() * 100.0,
+            if r.is_selected(0.01) { "yes" } else { "no" }
+        );
+    }
+    println!();
+}
+
+fn ext_online(effort: Effort, json: bool) {
+    eprintln!("ext-online: training the prediction model first...");
+    let results = figures::collect_training_results(effort);
+    let trained = figures::train_on(&results, false, effort.seed);
+    eprintln!(
+        "ext-online: model trained (worst-head MAE {:.4}); running control modes...",
+        trained.worst_mae()
+    );
+    let rows = figures::ext_online(trained.model.clone(), effort);
+    if json {
+        let rows: Vec<_> = rows
+            .iter()
+            .map(|(label, r)| serde_json::json!({"mode": label, "report": r}))
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+        return;
+    }
+    println!("== EXT-3: online vs offline dynamic configuration (web access records) ==");
+    println!(
+        "{:<36} {:>8} {:>8} {:>10} {:>9}",
+        "mode", "R_l", "R_d", "switches", "stale"
+    );
+    for (label, r) in rows {
+        println!(
+            "{:<36} {:>7.2}% {:>7.2}% {:>10} {:>8.2}%",
+            label,
+            r.r_loss * 100.0,
+            r.r_dup * 100.0,
+            r.config_switches,
+            r.stale_fraction * 100.0
+        );
+    }
+    println!();
+}
+
+fn table2(effort: Effort, paper_ann: bool, json: bool) {
+    eprintln!("table2: training the prediction model first...");
+    let trained = figures::ann_accuracy(effort, paper_ann);
+    eprintln!(
+        "table2: model trained (worst-head MAE {:.4}); running scenarios...",
+        trained.worst_mae()
+    );
+    let rows = figures::table2(&trained.model, effort);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+        return;
+    }
+    println!("{}", render::render_table2(&rows));
+}

@@ -1,0 +1,214 @@
+//! The weighted KPI of Eq. 2.
+//!
+//! `γ = ω₁·φ + ω₂·μ + ω₃·(1 − P_l) + ω₄·(1 − P_d)` with `Σωᵢ = 1`.
+//! The performance metrics come from the queueing model (`perfmodel`,
+//! standing in for the authors' ref. \[6\]); the reliability metrics come
+//! from a [`Predictor`]. The paper's empirical default weights are
+//! `(0.3, 0.3, 0.3, 0.1)` "since duplicated messages can be tolerated by
+//! most applications due to idempotent mechanism".
+
+use perfmodel::bandwidth::{utilisation, wire_bytes_per_message};
+use perfmodel::ServiceModel;
+use serde::{Deserialize, Serialize};
+use testbed::scenarios::KpiWeights;
+use testbed::Calibration;
+
+use crate::features::Features;
+use crate::model::Predictor;
+
+/// The four KPI ingredients for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KpiInputs {
+    /// Bandwidth utilisation `φ ∈ [0, 1]`.
+    pub phi: f64,
+    /// Normalised service rate `μ ∈ [0, 1]`.
+    pub mu: f64,
+    /// Predicted `P_l`.
+    pub p_loss: f64,
+    /// Predicted `P_d`.
+    pub p_dup: f64,
+}
+
+/// Computes Eq. 2 from calibration constants and a reliability predictor.
+#[derive(Debug, Clone)]
+pub struct KpiModel {
+    service: ServiceModel,
+    link_capacity: f64,
+    request_overhead: f64,
+    record_overhead: f64,
+    packet_header: f64,
+    mss: f64,
+}
+
+impl KpiModel {
+    /// Builds the KPI model from the testbed calibration.
+    #[must_use]
+    pub fn from_calibration(cal: &Calibration) -> Self {
+        KpiModel {
+            service: ServiceModel {
+                per_request_s: cal.host.cpu_per_request.as_secs_f64(),
+                per_message_s: cal.host.cpu_per_message.as_secs_f64(),
+                per_byte_s: cal.host.cpu_per_byte_ns * 1e-9,
+            },
+            link_capacity: cal.channel.link.rate_bytes_per_sec,
+            request_overhead: cal.wire.request_overhead as f64,
+            record_overhead: cal.wire.record_overhead as f64,
+            packet_header: cal.channel.tcp.header_bytes as f64,
+            mss: cal.channel.tcp.mss as f64,
+        }
+    }
+
+    /// The message arrival rate a configuration implies (from `δ`, bounded
+    /// by the service rate under full load).
+    fn arrival_rate(&self, features: &Features) -> f64 {
+        let mu = self
+            .service
+            .service_rate(features.message_size, features.batch_size);
+        if features.poll_interval_ms <= 0.0 {
+            mu // full load: the producer saturates its own service rate
+        } else {
+            (1e3 / features.poll_interval_ms).min(mu)
+        }
+    }
+
+    /// Computes the four ingredients for `features`, asking `predictor` for
+    /// the reliability pair.
+    #[must_use]
+    pub fn inputs(&self, predictor: &dyn Predictor, features: &Features) -> KpiInputs {
+        let prediction = predictor.predict(features);
+        let rate = self.arrival_rate(features);
+        let wire = wire_bytes_per_message(
+            features.message_size as f64,
+            features.batch_size,
+            self.request_overhead,
+            self.record_overhead,
+            self.packet_header,
+            self.mss,
+        );
+        KpiInputs {
+            phi: utilisation(rate, wire, self.link_capacity),
+            mu: self
+                .service
+                .normalized_rate(features.message_size, features.batch_size),
+            p_loss: prediction.p_loss,
+            p_dup: prediction.p_dup,
+        }
+    }
+
+    /// Evaluates `γ` for `features` under `weights`.
+    #[must_use]
+    pub fn gamma(
+        &self,
+        predictor: &dyn Predictor,
+        features: &Features,
+        weights: &KpiWeights,
+    ) -> f64 {
+        let i = self.inputs(predictor, features);
+        weights.gamma(i.phi, i.mu, i.p_loss, i.p_dup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FnPredictor, Prediction};
+
+    fn oracle() -> FnPredictor<impl Fn(&Features) -> Prediction> {
+        FnPredictor(|f: &Features| Prediction {
+            p_loss: f.loss_rate,
+            p_dup: 0.01,
+        })
+    }
+
+    #[test]
+    fn gamma_is_unit_bounded() {
+        let kpi = KpiModel::from_calibration(&Calibration::paper());
+        let weights = KpiWeights::paper_default();
+        for loss in [0.0, 0.2, 0.5] {
+            let f = Features {
+                loss_rate: loss,
+                ..Features::default()
+            };
+            let g = kpi.gamma(&oracle(), &f, &weights);
+            assert!((0.0..=1.0).contains(&g), "γ = {g}");
+        }
+    }
+
+    #[test]
+    fn worse_reliability_lowers_gamma() {
+        let kpi = KpiModel::from_calibration(&Calibration::paper());
+        let weights = KpiWeights::paper_default();
+        let clean = kpi.gamma(
+            &oracle(),
+            &Features {
+                loss_rate: 0.0,
+                ..Features::default()
+            },
+            &weights,
+        );
+        let lossy = kpi.gamma(
+            &oracle(),
+            &Features {
+                loss_rate: 0.4,
+                ..Features::default()
+            },
+            &weights,
+        );
+        assert!(lossy < clean);
+    }
+
+    #[test]
+    fn batching_trades_mu_for_phi() {
+        let kpi = KpiModel::from_calibration(&Calibration::paper());
+        let single = kpi.inputs(&oracle(), &Features::default());
+        let batched = kpi.inputs(
+            &oracle(),
+            &Features {
+                batch_size: 10,
+                ..Features::default()
+            },
+        );
+        // Batching amortises per-request CPU → higher normalised μ, and
+        // fewer wire bytes per message → lower φ at the same rate.
+        assert!(batched.mu > single.mu);
+        assert!(batched.phi <= single.phi);
+    }
+
+    #[test]
+    fn full_load_caps_rate_at_service_rate() {
+        let kpi = KpiModel::from_calibration(&Calibration::paper());
+        let full = Features {
+            poll_interval_ms: 0.0,
+            ..Features::default()
+        };
+        let throttled = Features {
+            poll_interval_ms: 1_000.0,
+            ..Features::default()
+        };
+        let phi_full = kpi.inputs(&oracle(), &full).phi;
+        let phi_throttled = kpi.inputs(&oracle(), &throttled).phi;
+        assert!(phi_full >= phi_throttled);
+    }
+
+    #[test]
+    fn weights_shift_the_tradeoff() {
+        let kpi = KpiModel::from_calibration(&Calibration::paper());
+        let f = Features {
+            loss_rate: 0.3,
+            ..Features::default()
+        };
+        let loss_averse = KpiWeights::new(0.05, 0.05, 0.85, 0.05).unwrap();
+        let perf_hungry = KpiWeights::new(0.45, 0.45, 0.05, 0.05).unwrap();
+        let g_averse = kpi.gamma(&oracle(), &f, &loss_averse);
+        let g_hungry = kpi.gamma(&oracle(), &f, &perf_hungry);
+        // With 30% predicted loss, the loss-averse γ suffers more relative
+        // to its clean-network value.
+        let clean = Features {
+            loss_rate: 0.0,
+            ..Features::default()
+        };
+        let drop_averse = kpi.gamma(&oracle(), &clean, &loss_averse) - g_averse;
+        let drop_hungry = kpi.gamma(&oracle(), &clean, &perf_hungry) - g_hungry;
+        assert!(drop_averse > drop_hungry);
+    }
+}

@@ -1,0 +1,234 @@
+//! The reliability prediction model: one ANN head per delivery semantics.
+//!
+//! §III-G: "for at-most-once delivery semantics we only have to predict
+//! `P_l` since we know there will be no duplicated messages. Thus the
+//! output layer contains just one neuron and the input layer can be
+//! reduced as well." The [`ReliabilityModel`] therefore holds two networks:
+//! an at-most-once head with a single output (`P̂_l`) and an at-least-once
+//! head with two (`P̂_l`, `P̂_d`). Both take the seven scaled numeric
+//! features; the semantics feature selects the head.
+
+use annet::{Network, NetworkBuilder};
+use desim::SimRng;
+use kafkasim::config::DeliverySemantics;
+use serde::{Deserialize, Serialize};
+
+use crate::features::Features;
+
+/// A predicted pair `(P̂_l, P̂_d)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted probability of message loss.
+    pub p_loss: f64,
+    /// Predicted probability of message duplication (0 under
+    /// at-most-once, by construction).
+    pub p_dup: f64,
+}
+
+/// Anything that can predict reliability from features.
+///
+/// The trained [`ReliabilityModel`] is the primary implementor; tests and
+/// the recommender accept any implementor (e.g. closures wrapped in
+/// [`FnPredictor`]).
+pub trait Predictor {
+    /// Predicts `(P̂_l, P̂_d)` for the given features.
+    fn predict(&self, features: &Features) -> Prediction;
+}
+
+/// Wraps a plain function as a [`Predictor`] (handy in tests and for
+/// oracle comparisons).
+pub struct FnPredictor<F: Fn(&Features) -> Prediction>(pub F);
+
+impl<F: Fn(&Features) -> Prediction> Predictor for FnPredictor<F> {
+    fn predict(&self, features: &Features) -> Prediction {
+        (self.0)(features)
+    }
+}
+
+/// Topology choice for the model's heads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// The paper's 200/200/200/64 hidden layers.
+    Paper,
+    /// A small network for fast tests and examples.
+    Compact,
+}
+
+impl Topology {
+    fn builder(self, inputs: usize, outputs: usize) -> NetworkBuilder {
+        match self {
+            Topology::Paper => NetworkBuilder::paper_topology(inputs, outputs),
+            Topology::Compact => NetworkBuilder::new(inputs)
+                .dense(32, annet::Activation::Tanh)
+                .dense(16, annet::Activation::Tanh)
+                .dense(outputs, annet::Activation::Sigmoid),
+        }
+    }
+}
+
+/// The two-headed reliability model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityModel {
+    amo_head: Network,
+    alo_head: Network,
+    topology: Topology,
+}
+
+impl ReliabilityModel {
+    /// Creates an untrained model with seeded random weights.
+    #[must_use]
+    pub fn new(topology: Topology, rng: &mut SimRng) -> Self {
+        ReliabilityModel {
+            amo_head: topology.builder(Features::HEAD_INPUTS, 1).build(rng),
+            alo_head: topology.builder(Features::HEAD_INPUTS, 2).build(rng),
+            topology,
+        }
+    }
+
+    /// The topology both heads use.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Exclusive access to one head's network (training).
+    pub fn head_mut(&mut self, semantics: DeliverySemantics) -> &mut Network {
+        match semantics {
+            DeliverySemantics::AtMostOnce => &mut self.amo_head,
+            DeliverySemantics::AtLeastOnce => &mut self.alo_head,
+        }
+    }
+
+    /// Read access to one head's network.
+    #[must_use]
+    pub fn head(&self, semantics: DeliverySemantics) -> &Network {
+        match semantics {
+            DeliverySemantics::AtMostOnce => &self.amo_head,
+            DeliverySemantics::AtLeastOnce => &self.alo_head,
+        }
+    }
+
+    /// Total trainable parameters across both heads.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.amo_head.parameter_count() + self.alo_head.parameter_count()
+    }
+
+    /// Serialises the model to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (effectively unreachable).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a model serialised with [`ReliabilityModel::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl Predictor for ReliabilityModel {
+    fn predict(&self, features: &Features) -> Prediction {
+        let x = features.scaled_head_vector();
+        match features.semantics {
+            DeliverySemantics::AtMostOnce => {
+                let out = self.amo_head.predict(&x);
+                Prediction {
+                    p_loss: out[0],
+                    p_dup: 0.0,
+                }
+            }
+            DeliverySemantics::AtLeastOnce => {
+                let out = self.alo_head.predict(&x);
+                Prediction {
+                    p_loss: out[0],
+                    p_dup: out[1],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heads_have_paper_prescribed_outputs() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let m = ReliabilityModel::new(Topology::Compact, &mut rng);
+        assert_eq!(m.head(DeliverySemantics::AtMostOnce).output_dim(), 1);
+        assert_eq!(m.head(DeliverySemantics::AtLeastOnce).output_dim(), 2);
+        assert_eq!(
+            m.head(DeliverySemantics::AtMostOnce).input_dim(),
+            Features::HEAD_INPUTS
+        );
+    }
+
+    #[test]
+    fn amo_predictions_have_zero_duplicates() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let m = ReliabilityModel::new(Topology::Compact, &mut rng);
+        let f = Features {
+            semantics: DeliverySemantics::AtMostOnce,
+            ..Features::default()
+        };
+        let p = m.predict(&f);
+        assert_eq!(p.p_dup, 0.0);
+        assert!((0.0..=1.0).contains(&p.p_loss));
+    }
+
+    #[test]
+    fn predictions_stay_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let m = ReliabilityModel::new(Topology::Compact, &mut rng);
+        for loss in [0.0, 0.19, 0.5] {
+            for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+                let p = m.predict(&Features {
+                    loss_rate: loss,
+                    semantics,
+                    ..Features::default()
+                });
+                assert!((0.0..=1.0).contains(&p.p_loss));
+                assert!((0.0..=1.0).contains(&p.p_dup));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_topology_parameter_count() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let m = ReliabilityModel::new(Topology::Paper, &mut rng);
+        // Two heads of ≈ 95k parameters each.
+        assert!(m.parameter_count() > 180_000);
+        assert_eq!(m.topology(), Topology::Paper);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let m = ReliabilityModel::new(Topology::Compact, &mut rng);
+        let back = ReliabilityModel::from_json(&m.to_json().unwrap()).unwrap();
+        let f = Features::default();
+        assert_eq!(m.predict(&f), back.predict(&f));
+    }
+
+    #[test]
+    fn fn_predictor_wraps_closures() {
+        let p = FnPredictor(|f: &Features| Prediction {
+            p_loss: f.loss_rate,
+            p_dup: 0.0,
+        });
+        let f = Features {
+            loss_rate: 0.3,
+            ..Features::default()
+        };
+        assert_eq!(p.predict(&f).p_loss, 0.3);
+    }
+}

@@ -1,0 +1,262 @@
+//! EXT-3 — *online* dynamic configuration.
+//!
+//! The paper's §V scheme assumes "the network status to be known" and
+//! generates configurations offline, explicitly deferring the online
+//! algorithm ("running an online algorithm for dynamic configuration is
+//! beyond the scope of this paper"). This module implements that deferred
+//! piece: a feedback controller that *estimates* the network condition from
+//! the producer's own observable statistics (retry fraction, transport RTT)
+//! and re-runs the stepwise KPI search on the estimate at every window.
+
+use std::sync::Mutex;
+
+use kafkasim::config::ProducerConfig;
+use kafkasim::runtime::{OnlineController, WindowStats};
+use serde::{Deserialize, Serialize};
+use testbed::scenarios::KpiWeights;
+use testbed::Calibration;
+
+use crate::features::Features;
+use crate::kpi::KpiModel;
+use crate::model::Predictor;
+use crate::recommend::{Recommender, SearchSpace};
+
+/// Exponentially-weighted estimator of the network condition from
+/// producer-observable signals.
+///
+/// * **Loss**: under `acks=1`, every Kafka-level retry is a request whose
+///   first attempt failed; the per-request failure fraction is (for the
+///   roughly one-segment requests used here) a direct estimate of the
+///   packet-loss rate. Connection resets without retries (fire-and-forget)
+///   contribute through the reset count.
+/// * **Delay**: the transport's smoothed RTT halves to a one-way estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkEstimator {
+    /// Smoothing factor in `(0, 1]`; higher reacts faster.
+    pub alpha: f64,
+    /// Current loss estimate `L̂`.
+    pub loss: f64,
+    /// Current one-way delay estimate in milliseconds.
+    pub delay_ms: f64,
+}
+
+impl NetworkEstimator {
+    /// A fresh estimator assuming a healthy network.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        NetworkEstimator {
+            alpha,
+            loss: 0.0,
+            delay_ms: 1.0,
+        }
+    }
+
+    /// Folds one window of statistics into the estimate.
+    pub fn observe(&mut self, stats: &WindowStats) {
+        if stats.requests_sent > 0 {
+            let failures = stats.retries + stats.connection_resets;
+            let raw = (failures as f64 / stats.requests_sent as f64).clamp(0.0, 0.6);
+            self.loss = (1.0 - self.alpha) * self.loss + self.alpha * raw;
+        }
+        if let Some(srtt) = stats.srtt_ms {
+            let one_way = (srtt / 2.0).max(0.1);
+            self.delay_ms = (1.0 - self.alpha) * self.delay_ms + self.alpha * one_way;
+        }
+    }
+}
+
+/// The online controller: estimator + predictor + stepwise KPI search.
+///
+/// Owns its predictor (the runtime shares controllers across threads), so
+/// hand it the trained [`crate::ReliabilityModel`] by value or any other
+/// `Predictor + Send + Sync`.
+pub struct OnlineModelController<P> {
+    predictor: P,
+    cal: Calibration,
+    kpi: KpiModel,
+    space: SearchSpace,
+    weights: KpiWeights,
+    gamma_requirement: f64,
+    message_size: u64,
+    timeliness_ms: f64,
+    estimator: Mutex<NetworkEstimator>,
+}
+
+impl<P: Predictor + Send + Sync> OnlineModelController<P> {
+    /// Creates a controller for a stream of `message_size`-byte messages
+    /// with the given KPI weights and requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `space` fails validation.
+    #[must_use]
+    pub fn new(
+        predictor: P,
+        cal: &Calibration,
+        space: SearchSpace,
+        weights: KpiWeights,
+        gamma_requirement: f64,
+        message_size: u64,
+        timeliness_ms: f64,
+    ) -> Self {
+        space.validate().expect("invalid search space");
+        OnlineModelController {
+            predictor,
+            kpi: KpiModel::from_calibration(cal),
+            cal: cal.clone(),
+            space,
+            weights,
+            gamma_requirement,
+            message_size,
+            timeliness_ms,
+            estimator: Mutex::new(NetworkEstimator::new(0.5)),
+        }
+    }
+
+    /// The current network estimate (for inspection and tests).
+    #[must_use]
+    pub fn estimate(&self) -> NetworkEstimator {
+        *self.estimator.lock().expect("estimator lock")
+    }
+}
+
+impl<P: Predictor + Send + Sync> OnlineController for OnlineModelController<P> {
+    fn decide(&self, stats: &WindowStats, current: &ProducerConfig) -> Option<ProducerConfig> {
+        let estimate = {
+            let mut est = self.estimator.lock().expect("estimator lock");
+            est.observe(stats);
+            *est
+        };
+        let start = Features {
+            message_size: self.message_size,
+            timeliness_ms: self.timeliness_ms,
+            delay_ms: estimate.delay_ms,
+            loss_rate: estimate.loss,
+            semantics: current.semantics,
+            batch_size: current.batch_size,
+            poll_interval_ms: current.poll_interval.as_secs_f64() * 1e3,
+            message_timeout_ms: current.message_timeout.as_secs_f64() * 1e3,
+        };
+        let recommender = Recommender::new(&self.kpi, &self.predictor, self.space.clone());
+        let rec = recommender.recommend(&start, &self.weights, self.gamma_requirement);
+        let mut cfg = rec.features.to_experiment_point().producer_config(&self.cal);
+        // Keep the current retry budget: the search space does not tune it.
+        cfg.max_retries = current.max_retries.max(self.cal.max_retries);
+        Some(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FnPredictor, Prediction};
+    use desim::{SimDuration, SimTime};
+    use kafkasim::config::DeliverySemantics;
+
+    fn window(requests: u64, retries: u64, srtt_ms: Option<f64>) -> WindowStats {
+        WindowStats {
+            at: SimTime::from_secs(60),
+            window: SimDuration::from_secs(60),
+            requests_sent: requests,
+            acks_received: requests.saturating_sub(retries),
+            retries,
+            connection_resets: 0,
+            expired: 0,
+            backlog: 0,
+            srtt_ms,
+        }
+    }
+
+    #[test]
+    fn estimator_converges_to_observed_failure_fraction() {
+        let mut est = NetworkEstimator::new(0.5);
+        for _ in 0..12 {
+            est.observe(&window(100, 20, Some(200.0)));
+        }
+        assert!((est.loss - 0.20).abs() < 0.01, "L̂ = {}", est.loss);
+        assert!((est.delay_ms - 100.0).abs() < 1.0, "D̂ = {}", est.delay_ms);
+    }
+
+    #[test]
+    fn estimator_recovers_when_network_heals() {
+        let mut est = NetworkEstimator::new(0.5);
+        for _ in 0..8 {
+            est.observe(&window(100, 30, Some(300.0)));
+        }
+        let sick = est.loss;
+        for _ in 0..8 {
+            est.observe(&window(100, 0, Some(4.0)));
+        }
+        assert!(est.loss < sick / 10.0, "estimate must decay: {}", est.loss);
+        assert!(est.delay_ms < 5.0);
+    }
+
+    #[test]
+    fn empty_windows_leave_the_estimate_alone() {
+        let mut est = NetworkEstimator::new(0.5);
+        est.observe(&window(100, 40, None));
+        let loss = est.loss;
+        let delay = est.delay_ms;
+        est.observe(&window(0, 0, None));
+        assert_eq!(est.loss, loss);
+        assert_eq!(est.delay_ms, delay);
+    }
+
+    fn controller() -> OnlineModelController<FnPredictor<impl Fn(&Features) -> Prediction>> {
+        let predictor = FnPredictor(|f: &Features| Prediction {
+            p_loss: (f.loss_rate * 4.0 / (1.0 + (f.batch_size as f64 - 1.0))).min(1.0),
+            p_dup: 0.0,
+        });
+        // Loss-dominated weights: a healthy network already satisfies the
+        // requirement unbatched, so only genuine failure feedback should
+        // move the configuration.
+        OnlineModelController::new(
+            predictor,
+            &Calibration::paper(),
+            SearchSpace::default(),
+            KpiWeights::new(0.05, 0.05, 0.85, 0.05).expect("valid"),
+            0.9,
+            200,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn lossy_windows_trigger_batching() {
+        let c = controller();
+        let base = ProducerConfig {
+            semantics: DeliverySemantics::AtLeastOnce,
+            ..ProducerConfig::default()
+        };
+        // Healthy windows first: the plan stays light.
+        let healthy = c
+            .decide(&window(100, 0, Some(4.0)), &base)
+            .expect("always plans");
+        // Now heavy failure windows: the plan batches up.
+        let mut sick = healthy.clone();
+        for _ in 0..10 {
+            sick = c
+                .decide(&window(100, 35, Some(250.0)), &sick)
+                .expect("always plans");
+        }
+        assert!(
+            sick.batch_size > healthy.batch_size,
+            "failure feedback must increase batching: {} vs {}",
+            sick.batch_size,
+            healthy.batch_size
+        );
+        sick.validate().expect("planned configs are valid");
+    }
+
+    #[test]
+    fn estimate_accessor_reflects_observations() {
+        let c = controller();
+        let base = ProducerConfig::default();
+        let _ = c.decide(&window(100, 50, Some(100.0)), &base);
+        assert!(c.estimate().loss > 0.1);
+    }
+}

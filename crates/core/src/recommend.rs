@@ -1,0 +1,358 @@
+//! The §V stepwise configuration search.
+//!
+//! "For each parameter, we move its current value stepwise forward or
+//! backward and substitute the value into our prediction model to obtain
+//! the predicted results. We repeat this until the predicted γ meets the
+//! requirement." The purpose is *not* to find the maximum of γ but the
+//! first configuration satisfying the user; we implement exactly that —
+//! greedy coordinate steps, accepting the first configuration whose
+//! predicted γ reaches the requirement (and keeping the best seen as a
+//! fallback when nothing reaches it).
+
+use kafkasim::config::DeliverySemantics;
+use serde::{Deserialize, Serialize};
+use testbed::scenarios::KpiWeights;
+
+use crate::features::Features;
+use crate::kpi::KpiModel;
+use crate::model::Predictor;
+
+/// The tunable-parameter ranges the search may move within.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Batch-size bounds (inclusive).
+    pub batch: (usize, usize),
+    /// Batch-size step.
+    pub batch_step: usize,
+    /// Message-timeout bounds in ms (inclusive).
+    pub timeout_ms: (f64, f64),
+    /// Message-timeout step in ms.
+    pub timeout_step_ms: f64,
+    /// Polling-interval bounds in ms (inclusive).
+    pub poll_ms: (f64, f64),
+    /// Polling-interval step in ms.
+    pub poll_step_ms: f64,
+    /// Whether the search may flip delivery semantics.
+    pub allow_semantics_switch: bool,
+    /// Maximum stepwise moves before giving up.
+    pub max_steps: usize,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace {
+            batch: (1, 10),
+            batch_step: 1,
+            timeout_ms: (200.0, 5_000.0),
+            timeout_step_ms: 400.0,
+            poll_ms: (0.0, 200.0),
+            poll_step_ms: 20.0,
+            allow_semantics_switch: true,
+            max_steps: 64,
+        }
+    }
+}
+
+impl SearchSpace {
+    /// Validates the space.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch.0 == 0 || self.batch.0 > self.batch.1 {
+            return Err("batch bounds must be ordered and positive".into());
+        }
+        if self.batch_step == 0 {
+            return Err("batch step must be positive".into());
+        }
+        if self.timeout_ms.0 <= 0.0 || self.timeout_ms.0 > self.timeout_ms.1 {
+            return Err("timeout bounds must be ordered and positive".into());
+        }
+        if self.poll_ms.0 < 0.0 || self.poll_ms.0 > self.poll_ms.1 {
+            return Err("poll bounds must be ordered and non-negative".into());
+        }
+        if self.timeout_step_ms <= 0.0 || self.poll_step_ms <= 0.0 {
+            return Err("steps must be positive".into());
+        }
+        if self.max_steps == 0 {
+            return Err("max_steps must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The selected feature/configuration combination.
+    pub features: Features,
+    /// Its predicted γ.
+    pub gamma: f64,
+    /// Whether γ met the requirement (otherwise `features` is the best
+    /// configuration found).
+    pub meets_requirement: bool,
+    /// Stepwise moves taken.
+    pub steps: usize,
+}
+
+/// The stepwise configuration recommender.
+pub struct Recommender<'a> {
+    kpi: &'a KpiModel,
+    predictor: &'a dyn Predictor,
+    space: SearchSpace,
+}
+
+impl<'a> Recommender<'a> {
+    /// Creates a recommender over the given KPI model and predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `space` fails validation.
+    #[must_use]
+    pub fn new(kpi: &'a KpiModel, predictor: &'a dyn Predictor, space: SearchSpace) -> Self {
+        space.validate().expect("invalid search space");
+        Recommender {
+            kpi,
+            predictor,
+            space,
+        }
+    }
+
+    fn gamma(&self, features: &Features, weights: &KpiWeights) -> f64 {
+        self.kpi.gamma(self.predictor, features, weights)
+    }
+
+    /// Every single-step neighbour of `f` within the space.
+    fn neighbours(&self, f: &Features) -> Vec<Features> {
+        let s = &self.space;
+        let mut out = Vec::with_capacity(7);
+        if f.batch_size + s.batch_step <= s.batch.1 {
+            out.push(Features {
+                batch_size: f.batch_size + s.batch_step,
+                ..*f
+            });
+        }
+        if f.batch_size >= s.batch.0 + s.batch_step {
+            out.push(Features {
+                batch_size: f.batch_size - s.batch_step,
+                ..*f
+            });
+        }
+        let t_up = f.message_timeout_ms + s.timeout_step_ms;
+        if t_up <= s.timeout_ms.1 {
+            out.push(Features {
+                message_timeout_ms: t_up,
+                ..*f
+            });
+        }
+        let t_down = f.message_timeout_ms - s.timeout_step_ms;
+        if t_down >= s.timeout_ms.0 {
+            out.push(Features {
+                message_timeout_ms: t_down,
+                ..*f
+            });
+        }
+        let p_up = f.poll_interval_ms + s.poll_step_ms;
+        if p_up <= s.poll_ms.1 {
+            out.push(Features {
+                poll_interval_ms: p_up,
+                ..*f
+            });
+        }
+        let p_down = f.poll_interval_ms - s.poll_step_ms;
+        if p_down >= s.poll_ms.0 {
+            out.push(Features {
+                poll_interval_ms: p_down,
+                ..*f
+            });
+        }
+        if s.allow_semantics_switch {
+            let other = match f.semantics {
+                DeliverySemantics::AtMostOnce => DeliverySemantics::AtLeastOnce,
+                DeliverySemantics::AtLeastOnce => DeliverySemantics::AtMostOnce,
+            };
+            out.push(Features {
+                semantics: other,
+                ..*f
+            });
+        }
+        out
+    }
+
+    /// Runs the stepwise search from `start` until γ meets `requirement`
+    /// or no neighbour improves γ any further.
+    #[must_use]
+    pub fn recommend(
+        &self,
+        start: &Features,
+        weights: &KpiWeights,
+        requirement: f64,
+    ) -> Recommendation {
+        let mut current = *start;
+        let mut current_gamma = self.gamma(&current, weights);
+        let mut steps = 0;
+        if current_gamma >= requirement {
+            return Recommendation {
+                features: current,
+                gamma: current_gamma,
+                meets_requirement: true,
+                steps,
+            };
+        }
+        while steps < self.space.max_steps {
+            // Greedy: take the best single-parameter move.
+            let mut best: Option<(Features, f64)> = None;
+            for candidate in self.neighbours(&current) {
+                let g = self.gamma(&candidate, weights);
+                if best.as_ref().is_none_or(|(_, bg)| g > *bg) {
+                    best = Some((candidate, g));
+                }
+            }
+            let Some((next, next_gamma)) = best else { break };
+            if next_gamma <= current_gamma {
+                break; // local optimum: nothing improves γ
+            }
+            current = next;
+            current_gamma = next_gamma;
+            steps += 1;
+            if current_gamma >= requirement {
+                return Recommendation {
+                    features: current,
+                    gamma: current_gamma,
+                    meets_requirement: true,
+                    steps,
+                };
+            }
+        }
+        Recommendation {
+            features: current,
+            gamma: current_gamma,
+            meets_requirement: false,
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FnPredictor, Prediction};
+    use testbed::Calibration;
+
+    /// A synthetic predictor with a clear structure: batching reduces loss
+    /// under network faults, at-least-once halves it, and duplicates grow
+    /// mildly with loss under at-least-once.
+    fn oracle() -> FnPredictor<impl Fn(&Features) -> Prediction> {
+        FnPredictor(|f: &Features| {
+            let base = f.loss_rate * 4.0 / (f.batch_size as f64 + 1.0);
+            let p_loss = match f.semantics {
+                DeliverySemantics::AtMostOnce => base,
+                DeliverySemantics::AtLeastOnce => base / 2.0,
+            }
+            .clamp(0.0, 1.0);
+            let p_dup = match f.semantics {
+                DeliverySemantics::AtMostOnce => 0.0,
+                DeliverySemantics::AtLeastOnce => (f.loss_rate * 0.05).min(1.0),
+            };
+            Prediction { p_loss, p_dup }
+        })
+    }
+
+    fn recommender_fixture() -> (KpiModel, SearchSpace) {
+        (
+            KpiModel::from_calibration(&Calibration::paper()),
+            SearchSpace::default(),
+        )
+    }
+
+    #[test]
+    fn already_satisfied_start_returns_immediately() {
+        let (kpi, space) = recommender_fixture();
+        let oracle = oracle();
+        let rec = Recommender::new(&kpi, &oracle, space);
+        let start = Features::default(); // clean network, zero loss
+        let out = rec.recommend(&start, &KpiWeights::paper_default(), 0.3);
+        assert!(out.meets_requirement);
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.features, start);
+    }
+
+    #[test]
+    fn search_batches_its_way_out_of_loss() {
+        let (kpi, space) = recommender_fixture();
+        let oracle = oracle();
+        let rec = Recommender::new(&kpi, &oracle, space);
+        let start = Features {
+            loss_rate: 0.15,
+            batch_size: 1,
+            semantics: DeliverySemantics::AtMostOnce,
+            ..Features::default()
+        };
+        let out = rec.recommend(&start, &KpiWeights::paper_default(), 0.9);
+        assert!(
+            out.features.batch_size > 1
+                || out.features.semantics == DeliverySemantics::AtLeastOnce,
+            "search should batch or switch semantics: {:?}",
+            out.features
+        );
+        assert!(out.gamma > rec.gamma(&start, &KpiWeights::paper_default()));
+    }
+
+    #[test]
+    fn unreachable_requirement_reports_best_effort() {
+        let (kpi, space) = recommender_fixture();
+        let oracle = oracle();
+        let rec = Recommender::new(&kpi, &oracle, space);
+        let start = Features {
+            loss_rate: 0.45,
+            ..Features::default()
+        };
+        let out = rec.recommend(&start, &KpiWeights::paper_default(), 2.0);
+        assert!(!out.meets_requirement);
+        assert!(out.gamma <= 1.0);
+    }
+
+    #[test]
+    fn search_respects_bounds() {
+        let (kpi, mut space) = recommender_fixture();
+        space.batch = (1, 3);
+        let oracle = oracle();
+        let rec = Recommender::new(&kpi, &oracle, space);
+        let start = Features {
+            loss_rate: 0.3,
+            ..Features::default()
+        };
+        let out = rec.recommend(&start, &KpiWeights::paper_default(), 1.5);
+        assert!(out.features.batch_size <= 3);
+        assert!(out.features.message_timeout_ms <= 5_000.0);
+    }
+
+    #[test]
+    fn invalid_space_rejected() {
+        let mut space = SearchSpace::default();
+        space.batch = (0, 5);
+        assert!(space.validate().is_err());
+        let mut space = SearchSpace::default();
+        space.timeout_step_ms = 0.0;
+        assert!(space.validate().is_err());
+        let mut space = SearchSpace::default();
+        space.max_steps = 0;
+        assert!(space.validate().is_err());
+    }
+
+    #[test]
+    fn semantics_switch_can_be_disabled() {
+        let (kpi, mut space) = recommender_fixture();
+        space.allow_semantics_switch = false;
+        let oracle = oracle();
+        let rec = Recommender::new(&kpi, &oracle, space);
+        let start = Features {
+            loss_rate: 0.2,
+            semantics: DeliverySemantics::AtMostOnce,
+            ..Features::default()
+        };
+        let out = rec.recommend(&start, &KpiWeights::paper_default(), 1.5);
+        assert_eq!(out.features.semantics, DeliverySemantics::AtMostOnce);
+    }
+}

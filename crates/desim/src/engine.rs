@@ -1,0 +1,421 @@
+//! The event scheduler: a virtual clock plus a priority queue of closures.
+//!
+//! A [`Simulation`] owns a user-supplied *world* (any type `W`) and a queue
+//! of events. Each event is a boxed `FnOnce(&mut W, &mut Context<W>)`; firing
+//! an event may mutate the world and schedule further events through the
+//! [`Context`]. Events at equal timestamps fire in insertion order, making
+//! every run deterministic.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+///
+/// # Example
+///
+/// ```
+/// use desim::{Simulation, SimDuration};
+/// let mut sim = Simulation::new(0u32);
+/// let id = sim.schedule_in(SimDuration::from_secs(1), |w: &mut u32, _| *w += 1);
+/// sim.cancel(id);
+/// sim.run_until_idle();
+/// assert_eq!(*sim.world(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+type Action<W> = Box<dyn FnOnce(&mut W, &mut Context<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    id: EventId,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // breaking ties by insertion order (smaller id first).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Scheduling handle passed to every firing event.
+///
+/// Allows an event to read the clock, schedule follow-up events, and cancel
+/// pending ones, without owning the world borrow.
+pub struct Context<W> {
+    now: SimTime,
+    next_id: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<EventId>,
+    fired: u64,
+}
+
+impl<W> core::fmt::Debug for Context<W> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+impl<W> Context<W> {
+    fn new() -> Self {
+        Context {
+            now: SimTime::ZERO,
+            next_id: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            fired: 0,
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `action` to fire at the absolute instant `at`.
+    ///
+    /// Events scheduled in the past fire "now" (at the current clock value),
+    /// after all events already queued for the current instant.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Context<W>) + 'static,
+    {
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.queue.push(Scheduled {
+            at,
+            id,
+            action: Box::new(action),
+        });
+        id
+    }
+
+    /// Schedules `action` to fire `delay` after the current instant.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Context<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancels a pending event. Has no effect if the event already fired.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Number of events that have fired so far.
+    #[must_use]
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending (including cancelled-but-unpopped ones).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A discrete-event simulation: a world `W` plus the scheduler driving it.
+///
+/// # Example
+///
+/// ```
+/// use desim::{Simulation, SimDuration, SimTime};
+///
+/// struct World { ticks: u32 }
+///
+/// let mut sim = Simulation::new(World { ticks: 0 });
+/// fn tick(w: &mut World, ctx: &mut desim::Context<World>) {
+///     w.ticks += 1;
+///     if w.ticks < 5 {
+///         ctx.schedule_in(SimDuration::from_millis(10), tick);
+///     }
+/// }
+/// sim.schedule_at(SimTime::ZERO, tick);
+/// sim.run_until_idle();
+/// assert_eq!(sim.world().ticks, 5);
+/// assert_eq!(sim.now(), SimTime::from_millis(40));
+/// ```
+pub struct Simulation<W> {
+    world: W,
+    ctx: Context<W>,
+}
+
+impl<W: core::fmt::Debug> core::fmt::Debug for Simulation<W> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("world", &self.world)
+            .field("ctx", &self.ctx)
+            .finish()
+    }
+}
+
+impl<W> Simulation<W> {
+    /// Creates a simulation over `world` with the clock at zero.
+    #[must_use]
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            ctx: Context::new(),
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// Shared access to the world.
+    #[must_use]
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulation, returning the world.
+    #[must_use]
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules an event at an absolute instant. See [`Context::schedule_at`].
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Context<W>) + 'static,
+    {
+        self.ctx.schedule_at(at, action)
+    }
+
+    /// Schedules an event after a delay. See [`Context::schedule_in`].
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Context<W>) + 'static,
+    {
+        self.ctx.schedule_in(delay, action)
+    }
+
+    /// Cancels a pending event.
+    pub fn cancel(&mut self, id: EventId) {
+        self.ctx.cancel(id);
+    }
+
+    /// Fires the next pending event, advancing the clock to its timestamp.
+    ///
+    /// Returns `false` when the queue is empty (the clock does not move).
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(ev) = self.ctx.queue.pop() else {
+                return false;
+            };
+            if self.ctx.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.ctx.now, "time must be monotone");
+            self.ctx.now = ev.at;
+            self.ctx.fired += 1;
+            (ev.action)(&mut self.world, &mut self.ctx);
+            return true;
+        }
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// Returns the number of events fired. Beware of event chains that
+    /// reschedule themselves forever; prefer [`Simulation::run_until`] when
+    /// the model has recurring timers.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let before = self.ctx.fired;
+        while self.step() {}
+        self.ctx.fired - before
+    }
+
+    /// Runs until the clock would pass `deadline` or the queue drains.
+    ///
+    /// Events stamped exactly at `deadline` still fire; the clock never
+    /// exceeds `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.ctx.fired;
+        loop {
+            // Peek (skipping cancelled events) to decide whether to proceed.
+            let next_at = loop {
+                match self.ctx.queue.peek() {
+                    None => break None,
+                    Some(ev) if self.ctx.cancelled.contains(&ev.id) => {
+                        let ev = self.ctx.queue.pop().expect("peeked event");
+                        self.ctx.cancelled.remove(&ev.id);
+                    }
+                    Some(ev) => break Some(ev.at),
+                }
+            };
+            match next_at {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.ctx.now < deadline {
+            self.ctx.now = deadline;
+        }
+        self.ctx.fired - before
+    }
+
+    /// Total events fired since construction.
+    #[must_use]
+    pub fn events_fired(&self) -> u64 {
+        self.ctx.events_fired()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        sim.schedule_at(SimTime::from_millis(30), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(SimTime::from_millis(10), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_millis(20), |w: &mut Vec<u32>, _| w.push(2));
+        sim.run_until_idle();
+        assert_eq!(sim.world(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_millis(5), move |w: &mut Vec<u32>, _| {
+                w.push(i)
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.world(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_advances_clock() {
+        let mut sim = Simulation::new(0u64);
+        sim.schedule_in(SimDuration::from_secs(1), |_, ctx| {
+            ctx.schedule_in(SimDuration::from_secs(2), |w: &mut u64, ctx| {
+                *w = ctx.now().as_micros();
+            });
+        });
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), SimTime::from_secs(3).as_micros());
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = Simulation::new(0u32);
+        let keep = sim.schedule_in(SimDuration::from_millis(1), |w: &mut u32, _| *w += 1);
+        let drop1 = sim.schedule_in(SimDuration::from_millis(2), |w: &mut u32, _| *w += 10);
+        sim.cancel(drop1);
+        let _ = keep;
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 1);
+    }
+
+    #[test]
+    fn cancel_from_within_event() {
+        let mut sim = Simulation::new(0u32);
+        let victim = sim.schedule_at(SimTime::from_millis(10), |w: &mut u32, _| *w += 100);
+        sim.schedule_at(SimTime::from_millis(5), move |_, ctx| ctx.cancel(victim));
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 0);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for ms in [5u64, 10, 15, 20] {
+            sim.schedule_at(SimTime::from_millis(ms), move |w: &mut Vec<u64>, _| {
+                w.push(ms)
+            });
+        }
+        let fired = sim.run_until(SimTime::from_millis(12));
+        assert_eq!(fired, 2);
+        assert_eq!(sim.world(), &[5, 10]);
+        assert_eq!(sim.now(), SimTime::from_millis(12));
+        sim.run_until_idle();
+        assert_eq!(sim.world(), &[5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn run_until_fires_events_at_deadline() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_at(SimTime::from_millis(7), |w: &mut u32, _| *w += 1);
+        sim.run_until(SimTime::from_millis(7));
+        assert_eq!(*sim.world(), 1);
+    }
+
+    #[test]
+    fn past_events_fire_now() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_at(SimTime::from_millis(10), |_, ctx| {
+            // Scheduling in the past clamps to "now".
+            ctx.schedule_at(SimTime::from_millis(1), |w: &mut u32, ctx| {
+                *w = ctx.now().as_millis() as u32;
+            });
+        });
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn step_returns_false_when_idle() {
+        let mut sim = Simulation::new(());
+        assert!(!sim.step());
+        sim.schedule_in(SimDuration::ZERO, |_, _| {});
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim = Simulation::new(());
+        sim.run_until(SimTime::from_secs(9));
+        assert_eq!(sim.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn events_fired_counts() {
+        let mut sim = Simulation::new(());
+        for _ in 0..5 {
+            sim.schedule_in(SimDuration::from_millis(1), |_, _| {});
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.events_fired(), 5);
+    }
+}

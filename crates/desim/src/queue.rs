@@ -1,0 +1,217 @@
+//! A bounded FIFO queue with drop accounting.
+//!
+//! Both the network links (drop-tail packet queues) and the Kafka producer
+//! (record accumulator) are bounded queues whose overflow behaviour matters
+//! to the reliability metrics, so the drop counter is first-class here.
+
+use std::collections::VecDeque;
+
+/// A first-in-first-out queue with a fixed capacity.
+///
+/// Pushing into a full queue rejects the element and increments the drop
+/// counter, mimicking a drop-tail router queue.
+///
+/// # Example
+///
+/// ```
+/// use desim::BoundedQueue;
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert_eq!(q.push(3), Err(3)); // full: element handed back
+/// assert_eq!(q.dropped(), 1);
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+    pushed: u64,
+    high_watermark: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+            pushed: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Appends an element, or returns it back if the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the queue is at capacity; the drop counter
+    /// is incremented.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.pushed += 1;
+        self.high_watermark = self.high_watermark.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes and returns the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// A reference to the oldest element without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current number of queued elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no elements are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when the queue is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Elements rejected because the queue was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Elements accepted over the queue's lifetime.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The maximum occupancy ever observed.
+    #[must_use]
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Removes all elements, keeping counters.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates over queued elements from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Drains elements from the front while `keep_draining` returns `true`.
+    ///
+    /// Returns the drained elements in FIFO order.
+    pub fn drain_while<F>(&mut self, mut keep_draining: F) -> Vec<T>
+    where
+        F: FnMut(&T) -> bool,
+    {
+        let mut out = Vec::new();
+        while let Some(front) = self.items.front() {
+            if keep_draining(front) {
+                out.push(self.items.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_counts_drops_and_returns_item() {
+        let mut q = BoundedQueue::new(1);
+        q.push("a").unwrap();
+        assert_eq!(q.push("b"), Err("b"));
+        assert_eq!(q.push("c"), Err("c"));
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.pushed(), 1);
+    }
+
+    #[test]
+    fn watermark_tracks_peak() {
+        let mut q = BoundedQueue::new(10);
+        for i in 0..7 {
+            q.push(i).unwrap();
+        }
+        for _ in 0..7 {
+            q.pop();
+        }
+        assert_eq!(q.high_watermark(), 7);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_while_stops_at_predicate() {
+        let mut q = BoundedQueue::new(10);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        let drained = q.drain_while(|&x| x < 3);
+        assert_eq!(drained, vec![0, 1, 2]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek(), Some(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let _ = q.push(3);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.pushed(), 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests of the simulation engine's core guarantees: time-ordered,
+//! FIFO-stable, deterministic event execution.
+
+use desim::{SimDuration, SimTime, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events fire in non-decreasing time order, with ties broken by
+    /// insertion order, for any schedule.
+    #[test]
+    fn events_fire_in_order(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
+        for (idx, &t) in times.iter().enumerate() {
+            sim.schedule_at(
+                SimTime::from_micros(t),
+                move |w: &mut Vec<(u64, usize)>, _| w.push((t, idx)),
+            );
+        }
+        sim.run_until_idle();
+        let fired = sim.world();
+        prop_assert_eq!(fired.len(), times.len());
+        for pair in fired.windows(2) {
+            prop_assert!(
+                pair[0].0 < pair[1].0 || (pair[0].0 == pair[1].0 && pair[0].1 < pair[1].1),
+                "order violated: {:?} then {:?}", pair[0], pair[1]
+            );
+        }
+    }
+
+    /// `run_until(d)` fires exactly the events stamped ≤ d and leaves the
+    /// clock at d.
+    #[test]
+    fn run_until_is_a_clean_cut(
+        times in proptest::collection::vec(0u64..10_000, 1..60),
+        cut in 0u64..10_000,
+    ) {
+        let mut sim = Simulation::new(0usize);
+        for &t in &times {
+            sim.schedule_at(SimTime::from_micros(t), |w: &mut usize, _| *w += 1);
+        }
+        sim.run_until(SimTime::from_micros(cut));
+        let expected = times.iter().filter(|&&t| t <= cut).count();
+        prop_assert_eq!(*sim.world(), expected);
+        prop_assert_eq!(sim.now(), SimTime::from_micros(cut));
+        sim.run_until_idle();
+        prop_assert_eq!(*sim.world(), times.len());
+    }
+
+    /// Cancelling any subset of events fires exactly the complement.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(1u64..10_000, 1..60),
+        cancel_mask in proptest::collection::vec(proptest::bool::ANY, 60),
+    ) {
+        let mut sim = Simulation::new(0usize);
+        let ids: Vec<_> = times
+            .iter()
+            .map(|&t| sim.schedule_at(SimTime::from_micros(t), |w: &mut usize, _| *w += 1))
+            .collect();
+        let mut kept = 0;
+        for (i, id) in ids.into_iter().enumerate() {
+            if cancel_mask.get(i).copied().unwrap_or(false) {
+                sim.cancel(id);
+            } else {
+                kept += 1;
+            }
+        }
+        sim.run_until_idle();
+        prop_assert_eq!(*sim.world(), kept);
+    }
+
+    /// Statistics merging is order-independent (within float tolerance).
+    #[test]
+    fn moments_merge_commutes(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..50),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        use desim::stats::RunningMoments;
+        let fill = |xs: &[f64]| {
+            let mut m = RunningMoments::new();
+            for &x in xs { m.record(x); }
+            m
+        };
+        let mut ab = fill(&a);
+        ab.merge(&fill(&b));
+        let mut ba = fill(&b);
+        ba.merge(&fill(&a));
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.population_variance() - ba.population_variance()).abs() < 1e-6);
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+
+    /// The duration arithmetic respects the triangle-style identities used
+    /// throughout the simulators.
+    #[test]
+    fn duration_arithmetic_identities(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let da = SimDuration::from_micros(a);
+        let db = SimDuration::from_micros(b);
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db).saturating_sub(db), da);
+        let t = SimTime::from_micros(a) + db;
+        prop_assert_eq!(t.saturating_since(SimTime::from_micros(a)), db);
+    }
+}

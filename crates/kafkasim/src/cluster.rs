@@ -1,0 +1,228 @@
+//! The Kafka cluster: brokers, a topic, and the partition→leader mapping.
+//!
+//! The paper's testbed runs three broker containers and one topic whose
+//! partitions are distributed across them (§III-A/E); the producer
+//! round-robins messages over partitions. This module reproduces that
+//! layout.
+
+use serde::{Deserialize, Serialize};
+
+use crate::broker::{Broker, BrokerId, BrokerModel};
+
+/// Static description of a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of broker nodes (the paper uses 3).
+    pub brokers: u32,
+    /// Number of partitions in the topic.
+    pub partitions: u32,
+    /// Broker cost model.
+    pub broker_model: BrokerModel,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            brokers: 3,
+            partitions: 3,
+            broker_model: BrokerModel::default(),
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.brokers == 0 {
+            return Err("cluster needs at least one broker".into());
+        }
+        if self.partitions == 0 {
+            return Err("topic needs at least one partition".into());
+        }
+        Ok(())
+    }
+}
+
+/// A running cluster: brokers with their partition logs.
+///
+/// Partition `p` is led by broker `p % brokers`, mirroring Kafka's
+/// round-robin leader spread for a fresh topic.
+///
+/// # Example
+///
+/// ```
+/// use kafkasim::cluster::{Cluster, ClusterSpec};
+///
+/// let cluster = Cluster::new(ClusterSpec { brokers: 3, partitions: 6, ..ClusterSpec::default() }).unwrap();
+/// assert_eq!(cluster.leader_of(4).0, 1);
+/// assert_eq!(cluster.brokers().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    brokers: Vec<Broker>,
+    leaders: Vec<BrokerId>,
+}
+
+impl Cluster {
+    /// Builds the cluster described by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's validation error.
+    pub fn new(spec: ClusterSpec) -> Result<Self, String> {
+        spec.validate()?;
+        let mut assignments: Vec<Vec<u32>> = vec![Vec::new(); spec.brokers as usize];
+        for p in 0..spec.partitions {
+            assignments[(p % spec.brokers) as usize].push(p);
+        }
+        let brokers = assignments
+            .into_iter()
+            .enumerate()
+            .map(|(i, parts)| Broker::with_model(BrokerId(i as u32), parts, spec.broker_model))
+            .collect();
+        let leaders = (0..spec.partitions)
+            .map(|p| BrokerId(p % spec.brokers))
+            .collect();
+        Ok(Cluster {
+            spec,
+            brokers,
+            leaders,
+        })
+    }
+
+    /// The cluster's spec.
+    #[must_use]
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The broker leading `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is outside the topic.
+    #[must_use]
+    pub fn leader_of(&self, partition: u32) -> BrokerId {
+        assert!(partition < self.spec.partitions, "unknown partition");
+        self.leaders[partition as usize]
+    }
+
+    /// Moves leadership of `partition` to `to` (failover). The new leader
+    /// starts a fresh log for the partition; the old replica's log is kept
+    /// for consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown partition or broker.
+    pub fn transfer_leadership(&mut self, partition: u32, to: BrokerId) {
+        assert!(partition < self.spec.partitions, "unknown partition");
+        assert!((to.0 as usize) < self.brokers.len(), "unknown broker");
+        self.brokers[to.0 as usize].add_partition(partition);
+        self.leaders[partition as usize] = to;
+    }
+
+    /// All brokers.
+    #[must_use]
+    pub fn brokers(&self) -> &[Broker] {
+        &self.brokers
+    }
+
+    /// Mutable access to one broker.
+    #[must_use]
+    pub fn broker_mut(&mut self, id: BrokerId) -> Option<&mut Broker> {
+        self.brokers.get_mut(id.0 as usize)
+    }
+
+    /// Read access to one broker.
+    #[must_use]
+    pub fn broker(&self, id: BrokerId) -> Option<&Broker> {
+        self.brokers.get(id.0 as usize)
+    }
+
+    /// Number of partitions in the topic.
+    #[must_use]
+    pub fn partitions(&self) -> u32 {
+        self.spec.partitions
+    }
+
+    /// Total records stored across all partitions.
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        self.brokers
+            .iter()
+            .flat_map(|b| b.logs())
+            .map(|l| l.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::ProduceRecord;
+    use crate::message::MessageKey;
+    use desim::SimTime;
+
+    #[test]
+    fn partitions_spread_round_robin() {
+        let c = Cluster::new(ClusterSpec {
+            brokers: 3,
+            partitions: 7,
+            ..ClusterSpec::default()
+        })
+        .unwrap();
+        assert_eq!(c.leader_of(0), BrokerId(0));
+        assert_eq!(c.leader_of(1), BrokerId(1));
+        assert_eq!(c.leader_of(2), BrokerId(2));
+        assert_eq!(c.leader_of(3), BrokerId(0));
+        let parts0: Vec<u32> = c.broker(BrokerId(0)).unwrap().partitions().collect();
+        assert_eq!(parts0, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(Cluster::new(ClusterSpec {
+            brokers: 0,
+            ..ClusterSpec::default()
+        })
+        .is_err());
+        assert!(Cluster::new(ClusterSpec {
+            partitions: 0,
+            ..ClusterSpec::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn total_records_counts_across_brokers() {
+        let mut c = Cluster::new(ClusterSpec::default()).unwrap();
+        for p in 0..3 {
+            let leader = c.leader_of(p);
+            c.broker_mut(leader)
+                .unwrap()
+                .append(
+                    p,
+                    &[ProduceRecord {
+                        key: MessageKey(p as u64),
+                        payload_bytes: 10,
+                        created_at: SimTime::ZERO,
+                    }],
+                    SimTime::ZERO,
+                )
+                .unwrap();
+        }
+        assert_eq!(c.total_records(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown partition")]
+    fn leader_of_unknown_partition_panics() {
+        let c = Cluster::new(ClusterSpec::default()).unwrap();
+        let _ = c.leader_of(99);
+    }
+}

@@ -1,0 +1,169 @@
+//! The consumer: reads every partition back after an experiment.
+//!
+//! The paper's methodology (§III-E): "when the producer finishes, we stop
+//! the fault injection and start a consumer container to consume all
+//! messages in this topic. Finally, we analyze the results by comparing the
+//! unique keys from source data and the messages received by the consumer."
+
+use std::collections::HashMap;
+
+use desim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::message::MessageKey;
+
+/// One message copy as read back by the consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsumedRecord {
+    /// The unique key.
+    pub key: MessageKey,
+    /// Partition it was stored in.
+    pub partition: u32,
+    /// Offset within that partition.
+    pub offset: u64,
+    /// Producer-to-broker latency of this copy.
+    pub latency: SimDuration,
+}
+
+/// Everything the consumer saw, aggregated per key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConsumedTopic {
+    records: Vec<ConsumedRecord>,
+    copies_per_key: HashMap<MessageKey, u64>,
+    first_latency: HashMap<MessageKey, SimDuration>,
+}
+
+impl ConsumedTopic {
+    /// Reads the whole topic from a cluster.
+    #[must_use]
+    pub fn read_all(cluster: &Cluster) -> Self {
+        let mut topic = ConsumedTopic::default();
+        for broker in cluster.brokers() {
+            for log in broker.logs() {
+                for record in log.iter() {
+                    let consumed = ConsumedRecord {
+                        key: record.key,
+                        partition: log.partition(),
+                        offset: record.offset,
+                        latency: record.latency(),
+                    };
+                    *topic.copies_per_key.entry(record.key).or_insert(0) += 1;
+                    topic
+                        .first_latency
+                        .entry(record.key)
+                        .and_modify(|l| *l = (*l).min(consumed.latency))
+                        .or_insert(consumed.latency);
+                    topic.records.push(consumed);
+                }
+            }
+        }
+        topic
+    }
+
+    /// Total record copies read (including duplicates).
+    #[must_use]
+    pub fn total_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of copies stored for `key` (0 = lost).
+    #[must_use]
+    pub fn copies(&self, key: MessageKey) -> u64 {
+        self.copies_per_key.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The earliest-copy latency for `key`, if delivered.
+    #[must_use]
+    pub fn first_latency(&self, key: MessageKey) -> Option<SimDuration> {
+        self.first_latency.get(&key).copied()
+    }
+
+    /// All records read, in partition/offset order per partition.
+    #[must_use]
+    pub fn records(&self) -> &[ConsumedRecord] {
+        &self.records
+    }
+
+    /// Distinct keys observed.
+    #[must_use]
+    pub fn distinct_keys(&self) -> usize {
+        self.copies_per_key.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::ProduceRecord;
+    use crate::cluster::ClusterSpec;
+    use desim::SimTime;
+
+    fn cluster_with_records(appends: &[(u32, u64)]) -> Cluster {
+        let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        for &(partition, key) in appends {
+            let leader = cluster.leader_of(partition);
+            cluster
+                .broker_mut(leader)
+                .unwrap()
+                .append(
+                    partition,
+                    &[ProduceRecord {
+                        key: MessageKey(key),
+                        payload_bytes: 100,
+                        created_at: SimTime::ZERO,
+                    }],
+                    SimTime::from_millis(5),
+                )
+                .unwrap();
+        }
+        cluster
+    }
+
+    #[test]
+    fn reads_across_partitions() {
+        let cluster = cluster_with_records(&[(0, 1), (1, 2), (2, 3)]);
+        let topic = ConsumedTopic::read_all(&cluster);
+        assert_eq!(topic.total_records(), 3);
+        assert_eq!(topic.distinct_keys(), 3);
+        for k in 1..=3 {
+            assert_eq!(topic.copies(MessageKey(k)), 1);
+        }
+        assert_eq!(topic.copies(MessageKey(99)), 0);
+    }
+
+    #[test]
+    fn duplicates_counted_per_key() {
+        let cluster = cluster_with_records(&[(0, 7), (0, 7), (1, 7)]);
+        let topic = ConsumedTopic::read_all(&cluster);
+        assert_eq!(topic.copies(MessageKey(7)), 3);
+        assert_eq!(topic.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn first_latency_is_minimum_over_copies() {
+        let mut cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let rec = ProduceRecord {
+            key: MessageKey(1),
+            payload_bytes: 10,
+            created_at: SimTime::ZERO,
+        };
+        let leader = cluster.leader_of(0);
+        let b = cluster.broker_mut(leader).unwrap();
+        b.append(0, &[rec], SimTime::from_millis(30)).unwrap();
+        b.append(0, &[rec], SimTime::from_millis(10)).unwrap();
+        let topic = ConsumedTopic::read_all(&cluster);
+        assert_eq!(
+            topic.first_latency(MessageKey(1)),
+            Some(SimDuration::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn empty_cluster_reads_empty() {
+        let cluster = Cluster::new(ClusterSpec::default()).unwrap();
+        let topic = ConsumedTopic::read_all(&cluster);
+        assert_eq!(topic.total_records(), 0);
+        assert_eq!(topic.first_latency(MessageKey(0)), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! `kafkasim` — a discrete-event simulated Apache Kafka.
+//!
+//! The paper ("Learning to Reliably Deliver Streaming Data with Apache
+//! Kafka", DSN 2020) measures two reliability metrics of a Kafka producer —
+//! the probability of message loss `P_l` and of message duplication `P_d` —
+//! on a Docker testbed. This crate replaces the Docker testbed with a
+//! protocol-level simulation that exercises exactly the message state
+//! machine the paper analyses (its Fig. 2 / Table I):
+//!
+//! * a **producer** ([`producer`]) with the paper's configurable features:
+//!   delivery semantics (`acks=0` at-most-once vs `acks=1` at-least-once),
+//!   batch size `B`, polling interval `δ`, message timeout `T_o`, retries
+//!   `τ_r`, plus request timeouts and in-flight limits;
+//! * **brokers** ([`broker`]) with per-partition append-only logs
+//!   ([`log`]), organised into a [`cluster`];
+//! * a **consumer + audit** ([`consumer`], [`audit`]) that replays the
+//!   paper's methodology: compare the unique keys of the source stream with
+//!   the keys found in the topic, count `N_l` and `N_d`, and classify every
+//!   message into one of Table I's five delivery cases;
+//! * a **runtime** ([`runtime`]) that wires producer, brokers and
+//!   [`netsim::DuplexChannel`]s into one deterministic event loop, with
+//!   NetEm-style fault injection from a [`netsim::ConditionTimeline`] and
+//!   support for mid-run configuration changes (the paper's §V dynamic
+//!   configuration).
+//!
+//! # Example
+//!
+//! ```
+//! use kafkasim::config::{DeliverySemantics, ProducerConfig};
+//! use kafkasim::runtime::{KafkaRun, RunSpec};
+//! use kafkasim::source::SourceSpec;
+//!
+//! let spec = RunSpec {
+//!     producer: ProducerConfig::builder()
+//!         .semantics(DeliverySemantics::AtLeastOnce)
+//!         .batch_size(4)
+//!         .build()
+//!         .unwrap(),
+//!     source: SourceSpec::fixed_rate(1_000, 200, 500.0),
+//!     ..RunSpec::default()
+//! };
+//! let outcome = KafkaRun::new(spec, 42).execute();
+//! assert_eq!(outcome.report.n_source, 1_000);
+//! assert!(outcome.report.p_loss() < 0.05, "clean network loses almost nothing");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod broker;
+pub mod cluster;
+pub mod config;
+pub mod consumer;
+pub mod log;
+pub mod message;
+pub mod producer;
+pub mod runtime;
+pub mod source;
+pub mod state;
+pub mod wire;
+
+pub use audit::{DeliveryReport, LossReason};
+pub use config::{DeliverySemantics, ProducerConfig};
+pub use runtime::{KafkaRun, RunOutcome, RunSpec};
+pub use source::SourceSpec;
+pub use state::{DeliveryCase, MessageState};

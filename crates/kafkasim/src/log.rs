@@ -1,0 +1,168 @@
+//! Append-only partition logs.
+//!
+//! Messages under one topic are physically stored in multiple partitions;
+//! each partition is an ordered, offset-addressed, append-only log. Without
+//! idempotent producers (the paper studies plain at-most-once and
+//! at-least-once), a retried batch whose original was already persisted is
+//! appended *again* — that is exactly how duplicates (Case 5) materialise.
+
+use desim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::message::MessageKey;
+
+/// One record as stored in a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredRecord {
+    /// Offset within the partition.
+    pub offset: u64,
+    /// The producer-assigned unique key.
+    pub key: MessageKey,
+    /// Payload size in bytes.
+    pub payload_bytes: u64,
+    /// When the record was created at the producer.
+    pub created_at: SimTime,
+    /// When the broker appended it.
+    pub appended_at: SimTime,
+}
+
+impl StoredRecord {
+    /// End-to-end delivery latency of this copy.
+    #[must_use]
+    pub fn latency(&self) -> desim::SimDuration {
+        self.appended_at.saturating_since(self.created_at)
+    }
+}
+
+/// An append-only partition log.
+///
+/// # Example
+///
+/// ```
+/// use kafkasim::log::PartitionLog;
+/// use kafkasim::message::MessageKey;
+/// use desim::SimTime;
+///
+/// let mut log = PartitionLog::new(0);
+/// let offset = log.append(MessageKey(9), 200, SimTime::ZERO, SimTime::from_millis(3));
+/// assert_eq!(offset, 0);
+/// assert_eq!(log.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionLog {
+    partition: u32,
+    records: Vec<StoredRecord>,
+}
+
+impl PartitionLog {
+    /// Creates an empty log for partition `partition`.
+    #[must_use]
+    pub fn new(partition: u32) -> Self {
+        PartitionLog {
+            partition,
+            records: Vec::new(),
+        }
+    }
+
+    /// The partition id.
+    #[must_use]
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    /// Appends a record, returning its offset.
+    pub fn append(
+        &mut self,
+        key: MessageKey,
+        payload_bytes: u64,
+        created_at: SimTime,
+        appended_at: SimTime,
+    ) -> u64 {
+        let offset = self.records.len() as u64;
+        self.records.push(StoredRecord {
+            offset,
+            key,
+            payload_bytes,
+            created_at,
+            appended_at,
+        });
+        offset
+    }
+
+    /// Number of records (the log-end offset).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no records are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record at `offset`, if present.
+    #[must_use]
+    pub fn get(&self, offset: u64) -> Option<&StoredRecord> {
+        self.records.get(offset as usize)
+    }
+
+    /// Iterates over records from a starting offset (a consumer fetch).
+    pub fn fetch_from(&self, offset: u64) -> impl Iterator<Item = &StoredRecord> {
+        self.records.iter().skip(offset as usize)
+    }
+
+    /// Iterates over all records in offset order.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredRecord> {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+
+    #[test]
+    fn offsets_are_dense_and_ordered() {
+        let mut log = PartitionLog::new(3);
+        for i in 0..10 {
+            let off = log.append(MessageKey(i), 100, SimTime::ZERO, SimTime::from_millis(i));
+            assert_eq!(off, i);
+        }
+        assert_eq!(log.partition(), 3);
+        assert_eq!(log.len(), 10);
+        let offsets: Vec<u64> = log.iter().map(|r| r.offset).collect();
+        assert_eq!(offsets, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_keys_are_appended_not_deduplicated() {
+        let mut log = PartitionLog::new(0);
+        log.append(MessageKey(7), 10, SimTime::ZERO, SimTime::from_millis(1));
+        log.append(MessageKey(7), 10, SimTime::ZERO, SimTime::from_millis(2));
+        assert_eq!(log.len(), 2, "no idempotence: the duplicate is stored");
+    }
+
+    #[test]
+    fn fetch_from_skips_consumed_prefix() {
+        let mut log = PartitionLog::new(0);
+        for i in 0..5 {
+            log.append(MessageKey(i), 10, SimTime::ZERO, SimTime::ZERO);
+        }
+        let tail: Vec<u64> = log.fetch_from(3).map(|r| r.key.0).collect();
+        assert_eq!(tail, vec![3, 4]);
+    }
+
+    #[test]
+    fn latency_is_append_minus_create() {
+        let mut log = PartitionLog::new(0);
+        log.append(
+            MessageKey(0),
+            10,
+            SimTime::from_millis(5),
+            SimTime::from_millis(25),
+        );
+        assert_eq!(log.get(0).unwrap().latency(), SimDuration::from_millis(20));
+    }
+}

@@ -1,0 +1,665 @@
+//! Producer-side bookkeeping: the record accumulator, batches, the
+//! in-flight request table and the message ledger.
+//!
+//! These types are pure state machines (no events, no I/O) so their
+//! behaviour — batching by count `B`, linger flushes, `T_o` expiry, retry
+//! accounting — can be unit-tested in isolation; [`crate::runtime`] drives
+//! them from the event loop.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use desim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::audit::LossReason;
+use crate::broker::ProduceRecord;
+use crate::message::{Message, MessageKey};
+
+/// A batch of messages bound for one partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingBatch {
+    /// Batch identifier (unique per run).
+    pub id: u64,
+    /// Destination partition.
+    pub partition: u32,
+    /// The batched messages.
+    pub messages: Vec<Message>,
+    /// Kafka-level send attempts so far.
+    pub attempts: u32,
+}
+
+impl PendingBatch {
+    /// The earliest message deadline — the batch must complete by then.
+    #[must_use]
+    pub fn deadline(&self) -> SimTime {
+        self.messages
+            .iter()
+            .map(|m| m.deadline)
+            .min()
+            .unwrap_or(SimTime::MAX)
+    }
+
+    /// Total payload bytes.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.messages.iter().map(|m| m.payload_bytes).sum()
+    }
+
+    /// Drops expired messages, returning them.
+    pub fn drop_expired(&mut self, now: SimTime) -> Vec<Message> {
+        let (expired, keep): (Vec<Message>, Vec<Message>) =
+            self.messages.iter().partition(|m| m.is_expired(now));
+        self.messages = keep;
+        expired
+    }
+
+    /// The records a broker stores for this batch.
+    #[must_use]
+    pub fn to_records(&self) -> Vec<ProduceRecord> {
+        self.messages
+            .iter()
+            .map(|m| ProduceRecord {
+                key: m.key,
+                payload_bytes: m.payload_bytes,
+                created_at: m.created_at,
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenBatch {
+    messages: Vec<Message>,
+    opened_at: SimTime,
+}
+
+/// The record accumulator: per-partition open batches plus a FIFO of ready
+/// batches awaiting the sender.
+///
+/// # Example
+///
+/// ```
+/// use kafkasim::producer::Accumulator;
+/// use kafkasim::message::{Message, MessageKey};
+/// use desim::{SimDuration, SimTime};
+///
+/// let mut acc = Accumulator::new(2, SimDuration::from_millis(5), 100, 1);
+/// let msg = |k| Message::new(MessageKey(k), 100, SimTime::ZERO, SimDuration::from_secs(1));
+/// acc.push(msg(0), 0, SimTime::ZERO).unwrap();
+/// assert!(acc.pop_ready(SimTime::ZERO).is_none(), "batch of 2 not yet full");
+/// acc.push(msg(1), 0, SimTime::ZERO).unwrap();
+/// let batch = acc.pop_ready(SimTime::ZERO).expect("full batch");
+/// assert_eq!(batch.messages.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    batch_size: usize,
+    linger: SimDuration,
+    capacity: usize,
+    open: Vec<Option<OpenBatch>>,
+    ready: VecDeque<PendingBatch>,
+    buffered: usize,
+    next_batch_id: u64,
+    overflowed: u64,
+}
+
+impl Accumulator {
+    /// Creates an accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size`, `capacity` or `partitions` is zero.
+    #[must_use]
+    pub fn new(batch_size: usize, linger: SimDuration, capacity: usize, partitions: u32) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(partitions > 0, "need at least one partition");
+        Accumulator {
+            batch_size,
+            linger,
+            capacity,
+            open: vec![None; partitions as usize],
+            ready: VecDeque::new(),
+            buffered: 0,
+            next_batch_id: 0,
+            overflowed: 0,
+        }
+    }
+
+    /// Buffered messages (open + ready).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buffered
+    }
+
+    /// `true` when nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buffered == 0
+    }
+
+    /// Messages rejected because the accumulator was full.
+    #[must_use]
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed
+    }
+
+    /// Ready (full or lingered-out) batches waiting for the sender.
+    #[must_use]
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Applies a new batch size / linger (dynamic reconfiguration §V).
+    ///
+    /// Open batches are sealed under the old configuration.
+    pub fn reconfigure(&mut self, batch_size: usize, linger: SimDuration, now: SimTime) {
+        assert!(batch_size > 0, "batch_size must be positive");
+        // Seal open batches so the new size applies cleanly.
+        for p in 0..self.open.len() {
+            self.seal(p, now);
+        }
+        self.batch_size = batch_size;
+        self.linger = linger;
+    }
+
+    /// Adds a message to `partition`'s open batch.
+    ///
+    /// # Errors
+    ///
+    /// Hands the message back when the accumulator is at capacity
+    /// (`buffer.memory` exhausted).
+    pub fn push(&mut self, message: Message, partition: u32, now: SimTime) -> Result<(), Message> {
+        if self.buffered >= self.capacity {
+            self.overflowed += 1;
+            return Err(message);
+        }
+        let slot = &mut self.open[partition as usize];
+        let open = slot.get_or_insert_with(|| OpenBatch {
+            messages: Vec::with_capacity(self.batch_size),
+            opened_at: now,
+        });
+        open.messages.push(message);
+        self.buffered += 1;
+        if open.messages.len() >= self.batch_size {
+            self.seal(partition as usize, now);
+        }
+        Ok(())
+    }
+
+    fn seal(&mut self, partition: usize, _now: SimTime) {
+        if let Some(open) = self.open[partition].take() {
+            if open.messages.is_empty() {
+                return;
+            }
+            let id = self.next_batch_id;
+            self.next_batch_id += 1;
+            self.ready.push_back(PendingBatch {
+                id,
+                partition: partition as u32,
+                messages: open.messages,
+                attempts: 0,
+            });
+        }
+    }
+
+    /// Seals open batches that have lingered past their deadline.
+    pub fn flush_due(&mut self, now: SimTime) {
+        for p in 0..self.open.len() {
+            let due = self.open[p]
+                .as_ref()
+                .is_some_and(|o| now.saturating_since(o.opened_at) >= self.linger);
+            if due {
+                self.seal(p, now);
+            }
+        }
+    }
+
+    /// The earliest instant at which an open batch lingers out, if any.
+    #[must_use]
+    pub fn next_linger_deadline(&self) -> Option<SimTime> {
+        self.open
+            .iter()
+            .flatten()
+            .map(|o| o.opened_at + self.linger)
+            .min()
+    }
+
+    /// Takes the next ready batch, discarding expired messages from it.
+    ///
+    /// Expired messages are returned via `expired`; empty husks are skipped.
+    pub fn pop_ready_with_expiry(
+        &mut self,
+        now: SimTime,
+        expired: &mut Vec<Message>,
+    ) -> Option<PendingBatch> {
+        while let Some(mut batch) = self.ready.pop_front() {
+            let dropped = batch.drop_expired(now);
+            self.buffered -= dropped.len();
+            expired.extend(dropped);
+            if batch.messages.is_empty() {
+                continue;
+            }
+            self.buffered -= batch.messages.len();
+            return Some(batch);
+        }
+        None
+    }
+
+    /// Convenience wrapper over [`Accumulator::pop_ready_with_expiry`] that
+    /// drops the expired list (tests, examples).
+    pub fn pop_ready(&mut self, now: SimTime) -> Option<PendingBatch> {
+        let mut sink = Vec::new();
+        self.pop_ready_with_expiry(now, &mut sink)
+    }
+
+    /// Requeues a batch at the front (retry path).
+    pub fn requeue_front(&mut self, batch: PendingBatch) {
+        self.buffered += batch.messages.len();
+        self.ready.push_front(batch);
+    }
+
+    /// Removes every expired message anywhere in the accumulator.
+    ///
+    /// Returns the expired messages; used by housekeeping so that `T_o`
+    /// fires even when the sender is blocked.
+    pub fn expire_all(&mut self, now: SimTime) -> Vec<Message> {
+        let mut expired = Vec::new();
+        for slot in &mut self.open {
+            if let Some(open) = slot {
+                let (dead, keep): (Vec<Message>, Vec<Message>) =
+                    open.messages.iter().partition(|m| m.is_expired(now));
+                self.buffered -= dead.len();
+                expired.extend(dead);
+                open.messages = keep;
+                if open.messages.is_empty() {
+                    *slot = None;
+                }
+            }
+        }
+        let mut keep = VecDeque::with_capacity(self.ready.len());
+        for mut batch in self.ready.drain(..) {
+            let dead = batch.drop_expired(now);
+            self.buffered -= dead.len();
+            expired.extend(dead);
+            if !batch.messages.is_empty() {
+                keep.push_back(batch);
+            }
+        }
+        self.ready = keep;
+        expired
+    }
+}
+
+/// An in-flight produce request awaiting its broker response (`acks=1`).
+#[derive(Debug, Clone)]
+pub struct InFlightRequest {
+    /// The batch the request carries.
+    pub batch: PendingBatch,
+    /// Connection index it was sent on.
+    pub conn: usize,
+    /// When it was written to the socket.
+    pub sent_at: SimTime,
+    /// When the response timeout fires.
+    pub timeout_at: SimTime,
+}
+
+/// Table of in-flight requests keyed by request id.
+#[derive(Debug, Clone, Default)]
+pub struct InFlightTable {
+    requests: HashMap<u64, InFlightRequest>,
+    timeouts: BTreeSet<(SimTime, u64)>,
+    per_conn: HashMap<usize, usize>,
+}
+
+impl InFlightTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        InFlightTable::default()
+    }
+
+    /// Number of requests in flight on `conn`.
+    #[must_use]
+    pub fn count(&self, conn: usize) -> usize {
+        self.per_conn.get(&conn).copied().unwrap_or(0)
+    }
+
+    /// Total requests in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Inserts a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already present.
+    pub fn insert(&mut self, id: u64, request: InFlightRequest) {
+        self.timeouts.insert((request.timeout_at, id));
+        *self.per_conn.entry(request.conn).or_insert(0) += 1;
+        let prev = self.requests.insert(id, request);
+        assert!(prev.is_none(), "duplicate request id");
+    }
+
+    /// Completes (acknowledges) a request, removing it.
+    pub fn complete(&mut self, id: u64) -> Option<InFlightRequest> {
+        let request = self.requests.remove(&id)?;
+        self.timeouts.remove(&(request.timeout_at, id));
+        if let Some(n) = self.per_conn.get_mut(&request.conn) {
+            *n -= 1;
+        }
+        Some(request)
+    }
+
+    /// Removes every request on `conn` (connection failure path).
+    ///
+    /// Requests come back ordered by id (send order), so retry scheduling
+    /// is deterministic.
+    pub fn take_conn(&mut self, conn: usize) -> Vec<(u64, InFlightRequest)> {
+        let mut ids: Vec<u64> = self
+            .requests
+            .iter()
+            .filter(|(_, r)| r.conn == conn)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| {
+                let r = self.complete(id).expect("listed id");
+                (id, r)
+            })
+            .collect()
+    }
+
+    /// The earliest (timeout instant, request id), if any.
+    #[must_use]
+    pub fn next_timeout(&self) -> Option<(SimTime, u64)> {
+        self.timeouts.iter().next().copied()
+    }
+
+    /// Whether `id` is still in flight.
+    #[must_use]
+    pub fn contains(&self, id: u64) -> bool {
+        self.requests.contains_key(&id)
+    }
+
+    /// The connection `id` is in flight on, if any.
+    #[must_use]
+    pub fn conn_of(&self, id: u64) -> Option<usize> {
+        self.requests.get(&id).map(|r| r.conn)
+    }
+}
+
+/// Producer-side per-message accounting.
+///
+/// The ledger records the producer's *view* (attempts, loss reasons); the
+/// final report combines it with the ground truth found in the broker logs.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    entries: Vec<LedgerEntry>,
+}
+
+/// One message's producer-side record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// When the message entered the producer.
+    pub created_at: SimTime,
+    /// Kafka-level send attempts that included this message.
+    pub attempts: u32,
+    /// Loss reason, when the producer gave up on the message.
+    pub lost: Option<LossReason>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Registers a freshly created message; keys must arrive in order.
+    pub fn register(&mut self, key: MessageKey, created_at: SimTime) {
+        debug_assert_eq!(key.0 as usize, self.entries.len(), "keys must be dense");
+        self.entries.push(LedgerEntry {
+            created_at,
+            attempts: 0,
+            lost: None,
+        });
+    }
+
+    /// Notes one more send attempt for `key`.
+    pub fn note_attempt(&mut self, key: MessageKey) {
+        if let Some(e) = self.entries.get_mut(key.0 as usize) {
+            e.attempts += 1;
+        }
+    }
+
+    /// Marks `key` lost for `reason` (first reason wins).
+    pub fn mark_lost(&mut self, key: MessageKey, reason: LossReason) {
+        if let Some(e) = self.entries.get_mut(key.0 as usize) {
+            if e.lost.is_none() {
+                e.lost = Some(reason);
+            }
+        }
+    }
+
+    /// The entry for `key`.
+    #[must_use]
+    pub fn get(&self, key: MessageKey) -> Option<&LedgerEntry> {
+        self.entries.get(key.0 as usize)
+    }
+
+    /// All entries in key order.
+    #[must_use]
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Number of registered messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no messages were registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(key: u64, created_ms: u64, timeout_ms: u64) -> Message {
+        Message::new(
+            MessageKey(key),
+            100,
+            SimTime::from_millis(created_ms),
+            SimDuration::from_millis(timeout_ms),
+        )
+    }
+
+    #[test]
+    fn batches_fill_by_count() {
+        let mut acc = Accumulator::new(3, SimDuration::from_secs(1), 100, 2);
+        for k in 0..6 {
+            acc.push(msg(k, 0, 10_000), (k % 2) as u32, SimTime::ZERO).unwrap();
+        }
+        let a = acc.pop_ready(SimTime::ZERO).unwrap();
+        let b = acc.pop_ready(SimTime::ZERO).unwrap();
+        assert_eq!(a.messages.len(), 3);
+        assert_eq!(b.messages.len(), 3);
+        assert_ne!(a.partition, b.partition);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn linger_flushes_partial_batches() {
+        let mut acc = Accumulator::new(10, SimDuration::from_millis(5), 100, 1);
+        acc.push(msg(0, 0, 10_000), 0, SimTime::ZERO).unwrap();
+        assert!(acc.pop_ready(SimTime::ZERO).is_none());
+        assert_eq!(acc.next_linger_deadline(), Some(SimTime::from_millis(5)));
+        acc.flush_due(SimTime::from_millis(5));
+        let batch = acc.pop_ready(SimTime::from_millis(5)).unwrap();
+        assert_eq!(batch.messages.len(), 1);
+        assert_eq!(acc.next_linger_deadline(), None);
+    }
+
+    #[test]
+    fn capacity_overflow_rejects() {
+        let mut acc = Accumulator::new(1, SimDuration::ZERO, 2, 1);
+        acc.push(msg(0, 0, 10_000), 0, SimTime::ZERO).unwrap();
+        acc.push(msg(1, 0, 10_000), 0, SimTime::ZERO).unwrap();
+        let err = acc.push(msg(2, 0, 10_000), 0, SimTime::ZERO);
+        assert!(err.is_err());
+        assert_eq!(acc.overflowed(), 1);
+    }
+
+    #[test]
+    fn pop_ready_drops_expired_messages() {
+        let mut acc = Accumulator::new(2, SimDuration::ZERO, 100, 1);
+        acc.push(msg(0, 0, 100), 0, SimTime::ZERO).unwrap();
+        acc.push(msg(1, 0, 10_000), 0, SimTime::ZERO).unwrap();
+        let mut expired = Vec::new();
+        let batch = acc
+            .pop_ready_with_expiry(SimTime::from_millis(200), &mut expired)
+            .unwrap();
+        assert_eq!(batch.messages.len(), 1);
+        assert_eq!(batch.messages[0].key, MessageKey(1));
+        assert_eq!(expired.len(), 1);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn expire_all_sweeps_open_and_ready() {
+        let mut acc = Accumulator::new(2, SimDuration::from_secs(10), 100, 2);
+        acc.push(msg(0, 0, 100), 0, SimTime::ZERO).unwrap(); // open, p0
+        acc.push(msg(1, 0, 100), 1, SimTime::ZERO).unwrap(); // open, p1
+        acc.push(msg(2, 0, 100), 1, SimTime::ZERO).unwrap(); // seals p1
+        let expired = acc.expire_all(SimTime::from_millis(500));
+        assert_eq!(expired.len(), 3);
+        assert!(acc.is_empty());
+        assert!(acc.pop_ready(SimTime::from_millis(500)).is_none());
+    }
+
+    #[test]
+    fn reconfigure_seals_and_applies_new_size() {
+        let mut acc = Accumulator::new(5, SimDuration::from_secs(10), 100, 1);
+        acc.push(msg(0, 0, 10_000), 0, SimTime::ZERO).unwrap();
+        acc.reconfigure(1, SimDuration::ZERO, SimTime::from_millis(1));
+        // The old partial batch was sealed.
+        let sealed = acc.pop_ready(SimTime::from_millis(1)).unwrap();
+        assert_eq!(sealed.messages.len(), 1);
+        // New messages use the new batch size of 1.
+        acc.push(msg(1, 1, 10_000), 0, SimTime::from_millis(1)).unwrap();
+        assert!(acc.pop_ready(SimTime::from_millis(1)).is_some());
+    }
+
+    #[test]
+    fn requeue_front_preserves_priority() {
+        let mut acc = Accumulator::new(1, SimDuration::ZERO, 100, 1);
+        acc.push(msg(0, 0, 10_000), 0, SimTime::ZERO).unwrap();
+        acc.push(msg(1, 0, 10_000), 0, SimTime::ZERO).unwrap();
+        let first = acc.pop_ready(SimTime::ZERO).unwrap();
+        acc.requeue_front(first);
+        let again = acc.pop_ready(SimTime::ZERO).unwrap();
+        assert_eq!(again.messages[0].key, MessageKey(0));
+    }
+
+    #[test]
+    fn batch_deadline_is_earliest_message() {
+        let batch = PendingBatch {
+            id: 0,
+            partition: 0,
+            messages: vec![msg(0, 0, 500), msg(1, 0, 100), msg(2, 0, 900)],
+            attempts: 0,
+        };
+        assert_eq!(batch.deadline(), SimTime::from_millis(100));
+        assert_eq!(batch.payload_bytes(), 300);
+    }
+
+    #[test]
+    fn in_flight_table_tracks_counts_and_timeouts() {
+        let mut t = InFlightTable::new();
+        let batch = PendingBatch {
+            id: 0,
+            partition: 0,
+            messages: vec![msg(0, 0, 1000)],
+            attempts: 1,
+        };
+        t.insert(
+            10,
+            InFlightRequest {
+                batch: batch.clone(),
+                conn: 0,
+                sent_at: SimTime::ZERO,
+                timeout_at: SimTime::from_millis(100),
+            },
+        );
+        t.insert(
+            11,
+            InFlightRequest {
+                batch,
+                conn: 0,
+                sent_at: SimTime::ZERO,
+                timeout_at: SimTime::from_millis(50),
+            },
+        );
+        assert_eq!(t.count(0), 2);
+        assert_eq!(t.next_timeout(), Some((SimTime::from_millis(50), 11)));
+        let done = t.complete(11).unwrap();
+        assert_eq!(done.timeout_at, SimTime::from_millis(50));
+        assert_eq!(t.count(0), 1);
+        assert_eq!(t.next_timeout(), Some((SimTime::from_millis(100), 10)));
+        assert!(t.complete(11).is_none(), "double completion is None");
+    }
+
+    #[test]
+    fn take_conn_clears_only_that_connection() {
+        let mut t = InFlightTable::new();
+        let batch = PendingBatch {
+            id: 0,
+            partition: 0,
+            messages: vec![msg(0, 0, 1000)],
+            attempts: 1,
+        };
+        for (id, conn) in [(1u64, 0usize), (2, 1), (3, 0)] {
+            t.insert(
+                id,
+                InFlightRequest {
+                    batch: batch.clone(),
+                    conn,
+                    sent_at: SimTime::ZERO,
+                    timeout_at: SimTime::from_millis(id),
+                },
+            );
+        }
+        let taken = t.take_conn(0);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(2));
+    }
+
+    #[test]
+    fn ledger_accumulates_attempts_and_first_loss() {
+        let mut ledger = Ledger::new();
+        ledger.register(MessageKey(0), SimTime::ZERO);
+        ledger.note_attempt(MessageKey(0));
+        ledger.note_attempt(MessageKey(0));
+        ledger.mark_lost(MessageKey(0), LossReason::RetriesExhausted);
+        ledger.mark_lost(MessageKey(0), LossReason::ConnectionReset);
+        let e = ledger.get(MessageKey(0)).unwrap();
+        assert_eq!(e.attempts, 2);
+        assert_eq!(e.lost, Some(LossReason::RetriesExhausted));
+    }
+}

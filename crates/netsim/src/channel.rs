@@ -1,0 +1,791 @@
+//! A full-duplex, record-oriented channel between two endpoints.
+//!
+//! [`DuplexChannel`] glues together two [`Link`]s (one per direction) and two
+//! [`TcpSender`]/[`TcpReceiver`] pairs (one byte stream per direction) and
+//! exposes *records* — length-delimited application messages, like Kafka
+//! produce requests and their responses — with an internal event queue.
+//!
+//! The channel is driven by its owner's discrete-event loop:
+//!
+//! 1. write records with [`DuplexChannel::send_record`],
+//! 2. ask [`DuplexChannel::next_wakeup`] when something will happen,
+//! 3. call [`DuplexChannel::advance`] up to that instant and handle the
+//!    returned [`ChannelEvent`]s.
+//!
+//! Everything in between — segmentation, loss, retransmission, congestion
+//! control, ACK-vs-data bandwidth contention — happens inside. The channel
+//! also models **connection resets** ([`DuplexChannel::reset`]): all
+//! undelivered records are discarded, exactly like the bytes sitting in a
+//! killed socket's buffers. This is the mechanism by which `acks=0`
+//! (at-most-once) producers silently lose data in the paper.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use desim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::link::{Link, LinkConfig, LinkOutcome, LinkStats};
+use crate::netem::NetCondition;
+use crate::tcp::{TcpConfig, TcpReceiver, TcpSender, TcpSenderStats};
+
+/// One side of the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The client side (the Kafka producer in this reproduction).
+    A,
+    /// The server side (the Kafka broker).
+    B,
+}
+
+impl Endpoint {
+    /// The opposite endpoint.
+    #[must_use]
+    pub fn peer(self) -> Endpoint {
+        match self {
+            Endpoint::A => Endpoint::B,
+            Endpoint::B => Endpoint::A,
+        }
+    }
+
+    fn dir(self) -> usize {
+        match self {
+            Endpoint::A => 0,
+            Endpoint::B => 1,
+        }
+    }
+
+    fn from_dir(dir: usize) -> Endpoint {
+        if dir == 0 {
+            Endpoint::A
+        } else {
+            Endpoint::B
+        }
+    }
+}
+
+/// Channel configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// TCP parameters shared by both directions.
+    pub tcp: TcpConfig,
+    /// Link parameters (both directions start identical).
+    pub link: LinkConfig,
+    /// Time to re-establish the connection after a reset (handshake cost).
+    pub reconnect_delay: SimDuration,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            tcp: TcpConfig::default(),
+            link: LinkConfig::default(),
+            reconnect_delay: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// Something the channel's owner must react to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelEvent {
+    /// A record arrived, complete and in order, at `to`.
+    RecordDelivered {
+        /// Receiving endpoint.
+        to: Endpoint,
+        /// Caller-assigned record id.
+        id: u64,
+        /// Arrival instant.
+        at: SimTime,
+    },
+    /// Acknowledgements freed send-buffer space at `endpoint`.
+    SendSpaceAvailable {
+        /// The endpoint whose buffer drained.
+        endpoint: Endpoint,
+        /// Instant of the change.
+        at: SimTime,
+    },
+}
+
+/// Error returned when a record cannot be accepted right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendRecordError {
+    /// The send buffer lacks space; retry after
+    /// [`ChannelEvent::SendSpaceAvailable`].
+    BufferFull {
+        /// Bytes currently available.
+        available: u64,
+    },
+    /// The connection is re-establishing after a reset; retry after the
+    /// instant given.
+    Reconnecting {
+        /// When the connection reopens.
+        until: SimTime,
+    },
+}
+
+impl core::fmt::Display for SendRecordError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SendRecordError::BufferFull { available } => {
+                write!(f, "send buffer full ({available} bytes free)")
+            }
+            SendRecordError::Reconnecting { until } => {
+                write!(f, "connection re-establishing until {until}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SendRecordError {}
+
+/// What happened to in-flight records when a [`DuplexChannel::reset`] tore
+/// the connection down.
+///
+/// Tearing down a TCP connection does not vaporise segments already on the
+/// wire: they typically reach the peer (and get processed) before the
+/// RST/FIN does. `teardown_delivered_*` lists the records whose bytes were
+/// fully in flight and contiguous — the receiver ends up with them even
+/// though the sender never learns. This is precisely the race that turns an
+/// at-least-once retry into a duplicate, and that makes `acks=0` loss
+/// *partial* rather than total.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResetReport {
+    /// Record ids offered by A that are definitively gone.
+    pub undelivered_from_a: Vec<u64>,
+    /// Record ids offered by B that are definitively gone.
+    pub undelivered_from_b: Vec<u64>,
+    /// Records from A that reached B during teardown (B will process them;
+    /// A will never know).
+    pub teardown_delivered_to_b: Vec<u64>,
+    /// Records from B that reached A during teardown.
+    pub teardown_delivered_to_a: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Seg { dir: usize, seq: u64, len: u64 },
+    Ack { dir: usize, ack: u64 },
+    Rto { dir: usize, epoch: u64 },
+    Pump,
+}
+
+#[derive(Debug)]
+struct Stream {
+    snd: TcpSender,
+    rcv: TcpReceiver,
+    /// FIFO of (stream end offset, record id) for records in flight.
+    pending: VecDeque<(u64, u64)>,
+    last_rto_epoch_pushed: u64,
+}
+
+impl Stream {
+    fn new(tcp: TcpConfig, now: SimTime) -> Self {
+        Stream {
+            snd: TcpSender::new(tcp, now),
+            rcv: TcpReceiver::new(),
+            pending: VecDeque::new(),
+            last_rto_epoch_pushed: 0,
+        }
+    }
+}
+
+/// A bidirectional TCP connection carrying records between endpoints A and B.
+///
+/// See the [module documentation](self) for the driving protocol.
+pub struct DuplexChannel {
+    cfg: ChannelConfig,
+    links: [Link; 2],
+    streams: [Stream; 2],
+    heap: BinaryHeap<Reverse<(u64, u64, u64, Ev)>>,
+    next_seq: u64,
+    generation: u64,
+    rng: SimRng,
+    open_at: SimTime,
+    resets: u64,
+    last_advance: SimTime,
+}
+
+impl core::fmt::Debug for DuplexChannel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DuplexChannel")
+            .field("pending_events", &self.heap.len())
+            .field("resets", &self.resets)
+            .field("open_at", &self.open_at)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DuplexChannel {
+    /// Creates an open channel.
+    #[must_use]
+    pub fn new(cfg: ChannelConfig, rng: SimRng) -> Self {
+        let now = SimTime::ZERO;
+        DuplexChannel {
+            links: [Link::new(cfg.link.clone()), Link::new(cfg.link.clone())],
+            streams: [
+                Stream::new(cfg.tcp.clone(), now),
+                Stream::new(cfg.tcp.clone(), now),
+            ],
+            cfg,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            generation: 0,
+            rng,
+            open_at: now,
+            resets: 0,
+            last_advance: now,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap
+            .push(Reverse((at.as_micros(), seq, self.generation, ev)));
+    }
+
+    /// The earliest instant at which internal state will change, if any.
+    #[must_use]
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.heap
+            .peek()
+            .map(|Reverse((t, _, _, _))| SimTime::from_micros(*t))
+    }
+
+    /// Offers a record of `bytes` from `from` at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`SendRecordError::BufferFull`] when the send buffer cannot take the
+    /// whole record, [`SendRecordError::Reconnecting`] while a reset is still
+    /// re-establishing the connection.
+    pub fn send_record(
+        &mut self,
+        from: Endpoint,
+        id: u64,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<(), SendRecordError> {
+        if now < self.open_at {
+            return Err(SendRecordError::Reconnecting { until: self.open_at });
+        }
+        let dir = from.dir();
+        let stream = &mut self.streams[dir];
+        let available = stream.snd.available();
+        if available < bytes {
+            return Err(SendRecordError::BufferFull { available });
+        }
+        let accepted = stream.snd.offer(bytes);
+        debug_assert_eq!(accepted, bytes);
+        let end = stream.snd.stream_end();
+        stream.pending.push_back((end, id));
+        self.pump(dir, now);
+        Ok(())
+    }
+
+    /// Send-buffer space available to `from`.
+    #[must_use]
+    pub fn writable(&self, from: Endpoint) -> u64 {
+        self.streams[from.dir()].snd.available()
+    }
+
+    /// Bytes offered by `from` and not yet acknowledged end-to-end.
+    #[must_use]
+    pub fn bytes_unacked(&self, from: Endpoint) -> u64 {
+        self.streams[from.dir()].snd.bytes_unacked()
+    }
+
+    /// Records offered by `from` whose delivery has not been reported yet.
+    #[must_use]
+    pub fn records_in_flight(&self, from: Endpoint) -> usize {
+        self.streams[from.dir()].pending.len()
+    }
+
+    /// Last instant `from`'s stream made cumulative-ACK progress.
+    #[must_use]
+    pub fn last_progress(&self, from: Endpoint) -> SimTime {
+        self.streams[from.dir()].snd.last_progress()
+    }
+
+    /// Consecutive RTO backoffs on `from`'s stream without progress.
+    #[must_use]
+    pub fn backoffs(&self, from: Endpoint) -> u32 {
+        self.streams[from.dir()].snd.backoffs()
+    }
+
+    /// `true` when `from` has unacknowledged data and has made no progress
+    /// for at least `patience`.
+    #[must_use]
+    pub fn is_stalled(&self, from: Endpoint, now: SimTime, patience: SimDuration) -> bool {
+        let snd = &self.streams[from.dir()].snd;
+        snd.bytes_unacked() > 0 && now.saturating_since(snd.last_progress()) >= patience
+    }
+
+    /// TCP sender statistics for `from`'s stream.
+    #[must_use]
+    pub fn sender_stats(&self, from: Endpoint) -> TcpSenderStats {
+        self.streams[from.dir()].snd.stats()
+    }
+
+    /// Statistics of the link carrying data from `from` to its peer.
+    #[must_use]
+    pub fn link_stats(&self, from: Endpoint) -> LinkStats {
+        self.links[from.dir()].stats()
+    }
+
+    /// Smoothed RTT observed by `from`'s sender, if sampled.
+    #[must_use]
+    pub fn srtt(&self, from: Endpoint) -> Option<SimDuration> {
+        self.streams[from.dir()].snd.srtt()
+    }
+
+    /// Number of resets performed so far.
+    #[must_use]
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// The instant the connection (re)opens; writes before it are rejected.
+    #[must_use]
+    pub fn open_at(&self) -> SimTime {
+        self.open_at
+    }
+
+    /// Applies a new network condition at `now`.
+    ///
+    /// Mirrors reconfiguring NetEm on the Docker bridge between producer
+    /// and cluster: the *delay* affects packets in both directions (the
+    /// round-trip time becomes `2·D`), while *loss* is injected on the
+    /// producer's egress only — transport ACKs and broker responses return
+    /// delayed but reliably.
+    pub fn set_condition(&mut self, condition: NetCondition, _now: SimTime) {
+        self.links[0].set_delay(condition.delay_model());
+        self.links[0].set_loss(condition.loss_model());
+        self.links[1].set_delay(condition.delay_model());
+    }
+
+    /// Tears the connection down and starts a fresh one.
+    ///
+    /// All records not yet reported delivered are discarded — this is what
+    /// happens to the bytes in a real socket's buffers when a client closes
+    /// a stalled connection. The new connection becomes writable at
+    /// `now + reconnect_delay`.
+    pub fn reset(&mut self, now: SimTime) -> ResetReport {
+        let mut report = ResetReport::default();
+        // Segments already in flight still arrive at the peer before the
+        // teardown does: feed them to the receivers, then see which records
+        // became contiguous.
+        let events: Vec<_> = self.heap.drain().collect();
+        for Reverse((_, _, generation, ev)) in events {
+            if generation != self.generation {
+                continue;
+            }
+            if let Ev::Seg { dir, seq, len } = ev {
+                let _ = self.streams[dir].rcv.on_segment(seq, len);
+            }
+        }
+        for (dir, delivered, undelivered) in [
+            (
+                0usize,
+                &mut report.teardown_delivered_to_b,
+                &mut report.undelivered_from_a,
+            ),
+            (
+                1usize,
+                &mut report.teardown_delivered_to_a,
+                &mut report.undelivered_from_b,
+            ),
+        ] {
+            let contiguous = self.streams[dir].rcv.contiguous();
+            for (end, id) in self.streams[dir].pending.iter() {
+                if *end <= contiguous {
+                    delivered.push(*id);
+                } else {
+                    undelivered.push(*id);
+                }
+            }
+        }
+        self.generation += 1;
+        self.resets += 1;
+        self.streams = [
+            Stream::new(self.cfg.tcp.clone(), now),
+            Stream::new(self.cfg.tcp.clone(), now),
+        ];
+        self.open_at = now + self.cfg.reconnect_delay;
+        self.push(self.open_at, Ev::Pump);
+        report
+    }
+
+    /// Processes every internal event up to and including `now`.
+    ///
+    /// Returns the application-visible events in causal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than a previous `advance` call.
+    pub fn advance(&mut self, now: SimTime) -> Vec<ChannelEvent> {
+        assert!(
+            now >= self.last_advance,
+            "advance must move forward in time"
+        );
+        self.last_advance = now;
+        let mut out = Vec::new();
+        while let Some(Reverse((t, _, _, _))) = self.heap.peek() {
+            if SimTime::from_micros(*t) > now {
+                break;
+            }
+            let Reverse((t, _, generation, ev)) = self.heap.pop().expect("peeked");
+            let t = SimTime::from_micros(t);
+            if generation != self.generation {
+                continue;
+            }
+            match ev {
+                Ev::Seg { dir, seq, len } => self.on_segment(dir, seq, len, t, &mut out),
+                Ev::Ack { dir, ack } => self.on_ack(dir, ack, t, &mut out),
+                Ev::Rto { dir, epoch } => {
+                    let snd = &mut self.streams[dir].snd;
+                    if snd.rto_epoch() == epoch
+                        && snd.rto_deadline().is_some_and(|dl| dl <= t)
+                    {
+                        snd.on_rto(t);
+                        self.pump(dir, t);
+                    }
+                }
+                Ev::Pump => {
+                    self.pump(0, t);
+                    self.pump(1, t);
+                }
+            }
+        }
+        out
+    }
+
+    fn on_segment(
+        &mut self,
+        dir: usize,
+        seq: u64,
+        len: u64,
+        t: SimTime,
+        out: &mut Vec<ChannelEvent>,
+    ) {
+        let stream = &mut self.streams[dir];
+        let ack = stream.rcv.on_segment(seq, len);
+        // Report records whose bytes are now contiguous at the receiver.
+        while stream
+            .pending
+            .front()
+            .is_some_and(|(end, _)| *end <= ack)
+        {
+            let (_, id) = stream.pending.pop_front().expect("checked front");
+            out.push(ChannelEvent::RecordDelivered {
+                to: Endpoint::from_dir(dir).peer(),
+                id,
+                at: t,
+            });
+        }
+        // Send the cumulative ACK back over the reverse link.
+        let ack_bytes = self.cfg.tcp.ack_bytes;
+        match self.links[1 - dir].transmit(t, ack_bytes, &mut self.rng) {
+            LinkOutcome::Delivered(at) => self.push(at, Ev::Ack { dir, ack }),
+            LinkOutcome::Lost | LinkOutcome::Dropped => {}
+        }
+    }
+
+    fn on_ack(&mut self, dir: usize, ack: u64, t: SimTime, out: &mut Vec<ChannelEvent>) {
+        let advanced = self.streams[dir].snd.on_ack(ack, t);
+        self.pump(dir, t);
+        if advanced {
+            out.push(ChannelEvent::SendSpaceAvailable {
+                endpoint: Endpoint::from_dir(dir),
+                at: t,
+            });
+        }
+    }
+
+    /// Emits whatever `dir`'s sender can currently send and schedules the
+    /// resulting arrivals and timers.
+    fn pump(&mut self, dir: usize, now: SimTime) {
+        if now < self.open_at {
+            return;
+        }
+        let segments = self.streams[dir].snd.emit(now);
+        let header = self.cfg.tcp.header_bytes;
+        for seg in segments {
+            match self.links[dir].transmit(now, seg.len + header, &mut self.rng) {
+                LinkOutcome::Delivered(at) => self.push(
+                    at,
+                    Ev::Seg {
+                        dir,
+                        seq: seg.seq,
+                        len: seg.len,
+                    },
+                ),
+                LinkOutcome::Lost | LinkOutcome::Dropped => {}
+            }
+        }
+        // (Re)arm the retransmission timer event if its deadline moved.
+        let stream = &self.streams[dir];
+        let epoch = stream.snd.rto_epoch();
+        if let Some(deadline) = stream.snd.rto_deadline() {
+            if epoch != stream.last_rto_epoch_pushed {
+                self.streams[dir].last_rto_epoch_pushed = epoch;
+                self.push(deadline, Ev::Rto { dir, epoch });
+            }
+        }
+    }
+
+    /// Drives the channel until both directions are idle or `deadline` hits.
+    ///
+    /// Convenience for tests and drain phases; returns all events produced.
+    pub fn run_until_idle(&mut self, deadline: SimTime) -> Vec<ChannelEvent> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_wakeup() {
+            if t > deadline {
+                break;
+            }
+            out.extend(self.advance(t));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayModel;
+    use crate::loss::LossModel;
+
+    fn quiet_cfg() -> ChannelConfig {
+        ChannelConfig {
+            link: LinkConfig {
+                rate_bytes_per_sec: 12_500_000.0,
+                max_queue_delay: SimDuration::from_millis(500),
+                delay: DelayModel::constant(SimDuration::from_millis(5)),
+                loss: LossModel::None,
+            },
+            ..ChannelConfig::default()
+        }
+    }
+
+    fn drive(ch: &mut DuplexChannel, horizon: SimTime) -> Vec<ChannelEvent> {
+        ch.run_until_idle(horizon)
+    }
+
+    fn delivered_ids(events: &[ChannelEvent], to: Endpoint) -> Vec<u64> {
+        events
+            .iter()
+            .filter_map(|ev| match ev {
+                ChannelEvent::RecordDelivered { to: t, id, .. } if *t == to => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_record_delivered() {
+        let mut ch = DuplexChannel::new(quiet_cfg(), SimRng::seed_from_u64(1));
+        ch.send_record(Endpoint::A, 7, 500, SimTime::ZERO).unwrap();
+        let events = drive(&mut ch, SimTime::from_secs(10));
+        assert_eq!(delivered_ids(&events, Endpoint::B), vec![7]);
+    }
+
+    #[test]
+    fn records_delivered_in_order() {
+        let mut ch = DuplexChannel::new(quiet_cfg(), SimRng::seed_from_u64(2));
+        for id in 0..50 {
+            ch.send_record(Endpoint::A, id, 2000, SimTime::ZERO).unwrap();
+        }
+        let events = drive(&mut ch, SimTime::from_secs(10));
+        assert_eq!(delivered_ids(&events, Endpoint::B), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplex_traffic_flows_both_ways() {
+        let mut ch = DuplexChannel::new(quiet_cfg(), SimRng::seed_from_u64(3));
+        ch.send_record(Endpoint::A, 1, 1000, SimTime::ZERO).unwrap();
+        ch.send_record(Endpoint::B, 2, 1000, SimTime::ZERO).unwrap();
+        let events = drive(&mut ch, SimTime::from_secs(10));
+        assert_eq!(delivered_ids(&events, Endpoint::B), vec![1]);
+        assert_eq!(delivered_ids(&events, Endpoint::A), vec![2]);
+    }
+
+    #[test]
+    fn buffer_full_is_reported_and_recovers() {
+        let mut cfg = quiet_cfg();
+        cfg.tcp.send_buffer = 4096;
+        let mut ch = DuplexChannel::new(cfg, SimRng::seed_from_u64(4));
+        ch.send_record(Endpoint::A, 0, 4096, SimTime::ZERO).unwrap();
+        let err = ch.send_record(Endpoint::A, 1, 1, SimTime::ZERO);
+        assert!(matches!(err, Err(SendRecordError::BufferFull { .. })));
+        let events = drive(&mut ch, SimTime::from_secs(10));
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev, ChannelEvent::SendSpaceAvailable { endpoint: Endpoint::A, .. })));
+        assert_eq!(ch.writable(Endpoint::A), 4096);
+    }
+
+    #[test]
+    fn lossy_path_still_delivers_via_retransmission() {
+        let mut cfg = quiet_cfg();
+        cfg.link.loss = LossModel::bernoulli(0.10);
+        let mut ch = DuplexChannel::new(cfg, SimRng::seed_from_u64(5));
+        let mut events = Vec::new();
+        let mut sent = 0u64;
+        let mut now = SimTime::ZERO;
+        loop {
+            while sent < 100 && ch.writable(Endpoint::A) >= 1500 {
+                ch.send_record(Endpoint::A, sent, 1500, now).unwrap();
+                sent += 1;
+            }
+            let Some(t) = ch.next_wakeup() else { break };
+            if t > SimTime::from_secs(120) {
+                break;
+            }
+            now = t;
+            events.extend(ch.advance(t));
+        }
+        assert_eq!(
+            delivered_ids(&events, Endpoint::B),
+            (0..100).collect::<Vec<_>>()
+        );
+        assert!(ch.sender_stats(Endpoint::A).retransmits > 0);
+    }
+
+    #[test]
+    fn heavy_loss_stalls_the_connection() {
+        let mut cfg = quiet_cfg();
+        cfg.link.loss = LossModel::bernoulli(0.95);
+        let mut ch = DuplexChannel::new(cfg, SimRng::seed_from_u64(6));
+        ch.send_record(Endpoint::A, 0, 1000, SimTime::ZERO).unwrap();
+        let _ = drive(&mut ch, SimTime::from_secs(30));
+        assert!(ch.is_stalled(Endpoint::A, SimTime::from_secs(30), SimDuration::from_secs(5)));
+        assert!(ch.backoffs(Endpoint::A) >= 2);
+    }
+
+    #[test]
+    fn reset_reports_undelivered_records() {
+        let mut cfg = quiet_cfg();
+        cfg.link.loss = LossModel::bernoulli(1.0); // nothing gets through
+        let mut ch = DuplexChannel::new(cfg, SimRng::seed_from_u64(7));
+        ch.send_record(Endpoint::A, 11, 800, SimTime::ZERO).unwrap();
+        ch.send_record(Endpoint::A, 12, 800, SimTime::ZERO).unwrap();
+        let _ = drive(&mut ch, SimTime::from_secs(5));
+        let report = ch.reset(SimTime::from_secs(5));
+        assert_eq!(report.undelivered_from_a, vec![11, 12]);
+        assert!(report.undelivered_from_b.is_empty());
+        assert_eq!(ch.resets(), 1);
+    }
+
+    #[test]
+    fn reset_then_fresh_connection_works() {
+        let mut ch = DuplexChannel::new(quiet_cfg(), SimRng::seed_from_u64(8));
+        ch.send_record(Endpoint::A, 0, 500, SimTime::ZERO).unwrap();
+        let _ = drive(&mut ch, SimTime::from_secs(1));
+        let t = SimTime::from_secs(1);
+        let _ = ch.reset(t);
+        // Writes during the handshake are rejected.
+        let err = ch.send_record(Endpoint::A, 1, 500, t);
+        assert!(matches!(err, Err(SendRecordError::Reconnecting { .. })));
+        let reopened = ch.open_at();
+        ch.send_record(Endpoint::A, 1, 500, reopened).unwrap();
+        let events = drive(&mut ch, SimTime::from_secs(10));
+        assert_eq!(delivered_ids(&events, Endpoint::B), vec![1]);
+    }
+
+    #[test]
+    fn in_flight_records_deliver_during_teardown() {
+        let mut cfg = quiet_cfg();
+        cfg.link.delay = DelayModel::constant(SimDuration::from_millis(100));
+        let mut ch = DuplexChannel::new(cfg, SimRng::seed_from_u64(9));
+        ch.send_record(Endpoint::A, 0, 500, SimTime::ZERO).unwrap();
+        // Reset while the segment is still in flight: the wire does not
+        // forget — the record reaches B during teardown, but never produces
+        // a RecordDelivered event.
+        let report = ch.reset(SimTime::from_millis(1));
+        assert_eq!(report.teardown_delivered_to_b, vec![0]);
+        assert!(report.undelivered_from_a.is_empty());
+        let events = drive(&mut ch, SimTime::from_secs(5));
+        assert!(delivered_ids(&events, Endpoint::B).is_empty());
+    }
+
+    #[test]
+    fn teardown_distinguishes_lost_and_arrived_records() {
+        let mut cfg = quiet_cfg();
+        cfg.link.delay = DelayModel::constant(SimDuration::from_millis(50));
+        // First record's segments get through; then turn the link fully
+        // lossy so the second record's segments vanish.
+        let mut ch = DuplexChannel::new(cfg, SimRng::seed_from_u64(10));
+        ch.send_record(Endpoint::A, 1, 400, SimTime::ZERO).unwrap();
+        ch.set_condition(
+            NetCondition::new(SimDuration::from_millis(50), 1.0),
+            SimTime::ZERO,
+        );
+        ch.send_record(Endpoint::A, 2, 400, SimTime::ZERO).unwrap();
+        let report = ch.reset(SimTime::from_millis(1));
+        assert_eq!(report.teardown_delivered_to_b, vec![1]);
+        assert_eq!(report.undelivered_from_a, vec![2]);
+    }
+
+    #[test]
+    fn condition_change_applies_to_forward_link() {
+        let mut ch = DuplexChannel::new(quiet_cfg(), SimRng::seed_from_u64(10));
+        ch.set_condition(
+            NetCondition::new(SimDuration::from_millis(100), 0.0),
+            SimTime::ZERO,
+        );
+        ch.send_record(Endpoint::A, 0, 100, SimTime::ZERO).unwrap();
+        let events = drive(&mut ch, SimTime::from_secs(5));
+        let at = events
+            .iter()
+            .find_map(|ev| match ev {
+                ChannelEvent::RecordDelivered { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("delivered");
+        assert!(at >= SimTime::from_millis(100), "one-way delay applied");
+    }
+
+    #[test]
+    fn throughput_degrades_with_loss() {
+        // Goodput under 15% loss should be well below goodput under 0.1%.
+        fn goodput(loss: f64, seed: u64) -> f64 {
+            let mut cfg = quiet_cfg();
+            cfg.link.loss = if loss > 0.0 {
+                LossModel::bernoulli(loss)
+            } else {
+                LossModel::None
+            };
+            cfg.link.delay = DelayModel::constant(SimDuration::from_millis(20));
+            let mut ch = DuplexChannel::new(cfg, SimRng::seed_from_u64(seed));
+            let horizon = SimTime::from_secs(20);
+            let mut now = SimTime::ZERO;
+            let mut sent = 0u64;
+            let mut delivered = 0u64;
+            loop {
+                // Keep the pipe as full as the buffer allows.
+                while ch.writable(Endpoint::A) >= 1400 && sent < 100_000 {
+                    ch.send_record(Endpoint::A, sent, 1400, now).unwrap();
+                    sent += 1;
+                }
+                let Some(t) = ch.next_wakeup() else { break };
+                if t > horizon {
+                    break;
+                }
+                now = t;
+                for ev in ch.advance(t) {
+                    if matches!(ev, ChannelEvent::RecordDelivered { .. }) {
+                        delivered += 1;
+                    }
+                }
+            }
+            delivered as f64 / horizon.as_secs_f64()
+        }
+        let clean = goodput(0.0, 1);
+        let lossy = goodput(0.15, 1);
+        assert!(
+            lossy < clean / 5.0,
+            "loss should crush goodput: clean={clean}/s lossy={lossy}/s"
+        );
+        assert!(lossy > 0.0, "some records still get through");
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of the TCP substrate: reliability invariants that
+//! must hold for arbitrary loss patterns, segment orderings and workloads.
+
+use desim::{SimDuration, SimRng, SimTime};
+use netsim::channel::{ChannelConfig, ChannelEvent, DuplexChannel, Endpoint};
+use netsim::tcp::{TcpConfig, TcpReceiver, TcpSender};
+use netsim::{DelayModel, LossModel};
+use proptest::prelude::*;
+
+/// Drives sender → receiver with a scripted per-segment loss pattern and a
+/// fixed RTT until everything is acknowledged or the step budget runs out.
+fn drive_with_losses(bytes: u64, loss_pattern: &[bool]) -> bool {
+    let cfg = TcpConfig::default();
+    let mut snd = TcpSender::new(cfg, SimTime::ZERO);
+    let mut rcv = TcpReceiver::new();
+    snd.offer(bytes);
+    let mut now = SimTime::ZERO;
+    let rtt = SimDuration::from_millis(20);
+    let mut tx = 0usize;
+    for _ in 0..10_000 {
+        if snd.is_idle() {
+            return true;
+        }
+        let segs = snd.emit(now);
+        now = now + rtt;
+        let mut ack = None;
+        for seg in segs {
+            let lost = loss_pattern.get(tx).copied().unwrap_or(false);
+            tx += 1;
+            if !lost {
+                ack = Some(rcv.on_segment(seg.seq, seg.len));
+            }
+        }
+        if let Some(a) = ack {
+            snd.on_ack(a, now);
+        }
+        // Fire the retransmission timer whenever it is due.
+        while let Some(dl) = snd.rto_deadline() {
+            if dl <= now {
+                snd.on_rto(now);
+                break;
+            } else if snd.bytes_unacked() > 0 && snd.emit(now).is_empty() && ack.is_none() {
+                now = dl; // idle wait for the timer
+            } else {
+                break;
+            }
+        }
+    }
+    snd.is_idle()
+}
+
+proptest! {
+    /// Whatever (finite) pattern of losses the network applies, every
+    /// offered byte is eventually delivered and acknowledged: TCP is
+    /// reliable as long as the loss is not permanent.
+    #[test]
+    fn tcp_delivers_under_arbitrary_finite_loss(
+        kilobytes in 1u64..40,
+        pattern in proptest::collection::vec(proptest::bool::weighted(0.3), 0..200),
+    ) {
+        prop_assert!(drive_with_losses(kilobytes * 1024, &pattern));
+    }
+
+    /// The receiver reassembles any arrival order of a segmented stream:
+    /// the cumulative ACK equals the total length once all segments have
+    /// arrived, regardless of permutation and duplication.
+    #[test]
+    fn receiver_reassembles_any_permutation(
+        seg_lens in proptest::collection::vec(1u64..2000, 1..30),
+        seed in 0u64..10_000,
+        duplicate_every in 2usize..5,
+    ) {
+        let mut segments: Vec<(u64, u64)> = Vec::new();
+        let mut offset = 0;
+        for len in &seg_lens {
+            segments.push((offset, *len));
+            offset += len;
+        }
+        // Shuffle deterministically and inject duplicates.
+        let mut rng = SimRng::seed_from_u64(seed);
+        rng.shuffle(&mut segments);
+        let dups: Vec<(u64, u64)> = segments
+            .iter()
+            .step_by(duplicate_every)
+            .copied()
+            .collect();
+        segments.extend(dups);
+
+        let mut rcv = TcpReceiver::new();
+        let mut last = 0;
+        for (seq, len) in segments {
+            last = rcv.on_segment(seq, len);
+            prop_assert!(last <= offset, "ack beyond stream end");
+        }
+        prop_assert_eq!(last, offset, "stream must be fully contiguous");
+    }
+
+    /// Sender byte accounting never goes backwards and never exceeds what
+    /// was offered, under arbitrary (possibly bogus) ack sequences.
+    #[test]
+    fn sender_accounting_is_monotone(
+        acks in proptest::collection::vec(0u64..100_000, 1..50),
+    ) {
+        let mut snd = TcpSender::new(TcpConfig::default(), SimTime::ZERO);
+        let offered = snd.offer(50_000);
+        let _ = snd.emit(SimTime::ZERO);
+        let mut high = 0;
+        for (i, &ack) in acks.iter().enumerate() {
+            // Clamp acks into the valid range: TCP would never see an ack
+            // beyond what was sent.
+            let ack = ack.min(snd.stream_end());
+            snd.on_ack(ack, SimTime::from_millis(i as u64 + 1));
+            prop_assert!(snd.acked_up_to() >= high, "snd_una went backwards");
+            high = snd.acked_up_to();
+            prop_assert!(high <= offered);
+            let _ = snd.emit(SimTime::from_millis(i as u64 + 1));
+        }
+    }
+}
+
+#[test]
+fn channel_delivers_records_in_order_under_bursty_loss() {
+    // Gilbert–Elliott loss on the data path: delivery order must still be
+    // exactly the send order (TCP is a stream).
+    let mut cfg = ChannelConfig::default();
+    cfg.link.loss = LossModel::gilbert_elliott(0.05, 0.3, 0.0, 0.9);
+    cfg.link.delay = DelayModel::constant(SimDuration::from_millis(10));
+    let mut ch = DuplexChannel::new(cfg, SimRng::seed_from_u64(5));
+    let mut delivered = Vec::new();
+    let mut sent = 0u64;
+    let mut now = SimTime::ZERO;
+    loop {
+        while sent < 300 && ch.writable(Endpoint::A) >= 500 {
+            ch.send_record(Endpoint::A, sent, 500, now).unwrap();
+            sent += 1;
+        }
+        let Some(t) = ch.next_wakeup() else { break };
+        if t > SimTime::from_secs(600) {
+            break;
+        }
+        now = t;
+        for ev in ch.advance(t) {
+            if let ChannelEvent::RecordDelivered { id, .. } = ev {
+                delivered.push(id);
+            }
+        }
+        if delivered.len() == 300 {
+            break;
+        }
+    }
+    assert_eq!(delivered, (0..300).collect::<Vec<u64>>());
+}
+
+#[test]
+fn reset_conserves_records() {
+    // Every offered record is either delivered, teardown-delivered, or
+    // reported undelivered — none vanish, none double-count.
+    let mut cfg = ChannelConfig::default();
+    cfg.link.loss = LossModel::bernoulli(0.5);
+    cfg.link.delay = DelayModel::constant(SimDuration::from_millis(30));
+    let mut ch = DuplexChannel::new(cfg, SimRng::seed_from_u64(9));
+    let mut now = SimTime::ZERO;
+    let mut sent = Vec::new();
+    let mut delivered = Vec::new();
+    for id in 0..40u64 {
+        if ch.writable(Endpoint::A) >= 700 {
+            ch.send_record(Endpoint::A, id, 700, now).unwrap();
+            sent.push(id);
+        }
+        if let Some(t) = ch.next_wakeup() {
+            now = t;
+            for ev in ch.advance(t) {
+                if let ChannelEvent::RecordDelivered { id, .. } = ev {
+                    delivered.push(id);
+                }
+            }
+        }
+    }
+    let report = ch.reset(now);
+    let mut all: Vec<u64> = delivered;
+    all.extend(report.teardown_delivered_to_b.iter());
+    all.extend(report.undelivered_from_a.iter());
+    all.sort_unstable();
+    assert_eq!(all, sent, "partition of offered records must be exact");
+}

@@ -1,0 +1,94 @@
+//! Network bandwidth utilisation `φ`.
+//!
+//! The first term of the paper's weighted KPI is "the utilisation of
+//! network bandwidth … under normal circumstances": how much of the link's
+//! capacity the producer's offered wire traffic uses.
+
+/// Offered wire throughput in bytes/second.
+///
+/// `message_rate` is in messages/second and `wire_bytes_per_message`
+/// includes all protocol overhead (record framing, request headers, TCP/IP
+/// headers amortised per message).
+#[must_use]
+pub fn offered_bytes_per_sec(message_rate: f64, wire_bytes_per_message: f64) -> f64 {
+    message_rate.max(0.0) * wire_bytes_per_message.max(0.0)
+}
+
+/// Bandwidth utilisation `φ ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `capacity_bytes_per_sec` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use perfmodel::bandwidth::utilisation;
+/// assert_eq!(utilisation(1_000.0, 500.0, 1_000_000.0), 0.5);
+/// ```
+#[must_use]
+pub fn utilisation(message_rate: f64, wire_bytes_per_message: f64, capacity_bytes_per_sec: f64) -> f64 {
+    assert!(
+        capacity_bytes_per_sec > 0.0,
+        "link capacity must be positive"
+    );
+    (offered_bytes_per_sec(message_rate, wire_bytes_per_message) / capacity_bytes_per_sec)
+        .clamp(0.0, 1.0)
+}
+
+/// Wire bytes per message for a batch of `batch` messages of `payload`
+/// bytes, with the given per-request and per-record overheads and the
+/// per-packet transport overhead amortised over `mss`-sized segments.
+#[must_use]
+pub fn wire_bytes_per_message(
+    payload: f64,
+    batch: usize,
+    request_overhead: f64,
+    record_overhead: f64,
+    packet_header: f64,
+    mss: f64,
+) -> f64 {
+    let batch = batch.max(1) as f64;
+    let request_bytes = request_overhead + batch * (record_overhead + payload);
+    let packets = (request_bytes / mss).ceil().max(1.0);
+    (request_bytes + packets * packet_header) / batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilisation_clamps_to_one() {
+        assert_eq!(utilisation(1e9, 1_000.0, 1_000.0), 1.0);
+        assert_eq!(utilisation(0.0, 1_000.0, 1_000.0), 0.0);
+    }
+
+    #[test]
+    fn batching_reduces_wire_bytes_per_message() {
+        let single = wire_bytes_per_message(100.0, 1, 94.0, 40.0, 66.0, 1448.0);
+        let batched = wire_bytes_per_message(100.0, 10, 94.0, 40.0, 66.0, 1448.0);
+        assert!(batched < single);
+        // Payload + record overhead is the irreducible floor.
+        assert!(batched > 140.0);
+    }
+
+    #[test]
+    fn utilisation_grows_with_rate() {
+        let phi_lo = utilisation(100.0, 300.0, 1e6);
+        let phi_hi = utilisation(1_000.0, 300.0, 1e6);
+        assert!(phi_hi > phi_lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "link capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = utilisation(1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        assert_eq!(offered_bytes_per_sec(-5.0, 100.0), 0.0);
+        assert_eq!(utilisation(-5.0, 100.0, 1e6), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! `perfmodel` — an analytic queueing model of a Kafka producer.
+//!
+//! The paper's weighted KPI (Eq. 2) combines the predicted reliability
+//! metrics with two *performance* metrics taken from the authors' earlier
+//! queueing model (Wu, Shang & Wolter, HPCC 2019, ref. \[6\]): `φ`, the
+//! utilisation of network bandwidth, and `μ`, the mean service rate of the
+//! producer. This crate reimplements that queueing model analytically:
+//!
+//! * [`service`] — the producer's mean service time/rate as a function of
+//!   message size `M` and batch size `B` (per-request overhead amortised by
+//!   batching);
+//! * [`queueing`] — M/M/1 and M/D/1 waiting-time formulas and the
+//!   deadline-miss probability `P(W > T_o)` used to sanity-check the
+//!   simulator's overload behaviour;
+//! * [`bandwidth`] — wire throughput and bandwidth utilisation `φ`.
+//!
+//! # Example
+//!
+//! ```
+//! use perfmodel::ServiceModel;
+//! use perfmodel::bandwidth::utilisation;
+//!
+//! let model = ServiceModel::default();
+//! // Batching amortises the per-request cost: service rate grows with B.
+//! assert!(model.service_rate(200, 10) > model.service_rate(200, 1));
+//! // Bandwidth utilisation of 500 msg/s of 306-wire-byte messages on 1 MB/s.
+//! let phi = utilisation(500.0, 306.0, 1_000_000.0);
+//! assert!((phi - 0.153).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod queueing;
+pub mod service;
+
+pub use queueing::{MD1Queue, MM1Queue};
+pub use service::ServiceModel;

@@ -1,0 +1,209 @@
+//! Single-server queueing formulas.
+//!
+//! The producer is modelled as a single-server queue fed by the polling
+//! process (rate `λ = 1/δ`) and drained by the serialisation service (rate
+//! `μ` from [`crate::ServiceModel`]). Two classical service disciplines are
+//! provided: exponential service (M/M/1 — matches `kafkasim`'s jittered
+//! service) and deterministic service (M/D/1).
+
+use serde::{Deserialize, Serialize};
+
+/// Error for unstable or malformed queue parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueError {
+    /// Rates must be finite and strictly positive.
+    InvalidRate,
+}
+
+impl core::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "rates must be finite and strictly positive")
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// An M/M/1 queue (Poisson arrivals, exponential service).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MM1Queue {
+    /// Arrival rate `λ`.
+    pub lambda: f64,
+    /// Service rate `μ`.
+    pub mu: f64,
+}
+
+impl MM1Queue {
+    /// Creates the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::InvalidRate`] when either rate is non-positive or
+    /// non-finite.
+    pub fn new(lambda: f64, mu: f64) -> Result<Self, QueueError> {
+        if !(lambda.is_finite() && mu.is_finite() && lambda > 0.0 && mu > 0.0) {
+            return Err(QueueError::InvalidRate);
+        }
+        Ok(MM1Queue { lambda, mu })
+    }
+
+    /// Utilisation `ρ = λ/μ`.
+    #[must_use]
+    pub fn utilisation(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// `true` when the queue has a stationary distribution (`ρ < 1`).
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.utilisation() < 1.0
+    }
+
+    /// Mean waiting time in queue `W_q = ρ / (μ − λ)`.
+    ///
+    /// Returns `f64::INFINITY` when unstable.
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        self.utilisation() / (self.mu - self.lambda)
+    }
+
+    /// Mean sojourn (wait + service) `W = 1 / (μ − λ)`.
+    #[must_use]
+    pub fn mean_sojourn(&self) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// `P(W > t)` — probability that the *sojourn* time exceeds `t`
+    /// seconds: `e^{−(μ−λ)t}` for a stable M/M/1.
+    ///
+    /// This is the analytic form of the paper's Fig. 5 (loss from
+    /// `T_o`-expiry under load). Returns 1 when unstable.
+    #[must_use]
+    pub fn sojourn_exceeds(&self, t: f64) -> f64 {
+        if !self.is_stable() {
+            return 1.0;
+        }
+        (-(self.mu - self.lambda) * t).exp()
+    }
+
+    /// The long-run loss fraction when arrivals beyond capacity are shed:
+    /// `max(0, 1 − μ/λ)` — the sustained-overload floor of Fig. 6.
+    #[must_use]
+    pub fn overload_loss(&self) -> f64 {
+        (1.0 - self.mu / self.lambda).max(0.0)
+    }
+}
+
+/// An M/D/1 queue (Poisson arrivals, deterministic service).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MD1Queue {
+    /// Arrival rate `λ`.
+    pub lambda: f64,
+    /// Service rate `μ`.
+    pub mu: f64,
+}
+
+impl MD1Queue {
+    /// Creates the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::InvalidRate`] when either rate is non-positive or
+    /// non-finite.
+    pub fn new(lambda: f64, mu: f64) -> Result<Self, QueueError> {
+        if !(lambda.is_finite() && mu.is_finite() && lambda > 0.0 && mu > 0.0) {
+            return Err(QueueError::InvalidRate);
+        }
+        Ok(MD1Queue { lambda, mu })
+    }
+
+    /// Utilisation `ρ = λ/μ`.
+    #[must_use]
+    pub fn utilisation(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// `true` when `ρ < 1`.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.utilisation() < 1.0
+    }
+
+    /// Mean waiting time `W_q = ρ / (2μ(1 − ρ))` (Pollaczek–Khinchine).
+    ///
+    /// Returns `f64::INFINITY` when unstable.
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        let rho = self.utilisation();
+        rho / (2.0 * self.mu * (1.0 - rho))
+    }
+
+    /// Mean sojourn time (wait + deterministic service).
+    #[must_use]
+    pub fn mean_sojourn(&self) -> f64 {
+        self.mean_wait() + 1.0 / self.mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_textbook_values() {
+        // λ=8, μ=10: ρ=0.8, Wq = 0.8/2 = 0.4s, W = 0.5s.
+        let q = MM1Queue::new(8.0, 10.0).unwrap();
+        assert!((q.utilisation() - 0.8).abs() < 1e-12);
+        assert!((q.mean_wait() - 0.4).abs() < 1e-12);
+        assert!((q.mean_sojourn() - 0.5).abs() < 1e-12);
+        assert!(q.is_stable());
+    }
+
+    #[test]
+    fn mm1_tail_probability() {
+        let q = MM1Queue::new(8.0, 10.0).unwrap();
+        // P(W > 0.5) = e^{-2·0.5} = e^{-1}
+        assert!((q.sojourn_exceeds(0.5) - (-1.0f64).exp()).abs() < 1e-12);
+        // Tail decreases with t.
+        assert!(q.sojourn_exceeds(1.0) < q.sojourn_exceeds(0.5));
+    }
+
+    #[test]
+    fn mm1_unstable_behaviour() {
+        let q = MM1Queue::new(12.0, 10.0).unwrap();
+        assert!(!q.is_stable());
+        assert_eq!(q.mean_wait(), f64::INFINITY);
+        assert_eq!(q.sojourn_exceeds(10.0), 1.0);
+        assert!((q.overload_loss() - (1.0 - 10.0 / 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_queue_has_no_overload_loss() {
+        let q = MM1Queue::new(5.0, 10.0).unwrap();
+        assert_eq!(q.overload_loss(), 0.0);
+    }
+
+    #[test]
+    fn md1_waits_half_of_mm1() {
+        // Classic result: M/D/1 queueing delay is half the M/M/1 delay.
+        let mm1 = MM1Queue::new(8.0, 10.0).unwrap();
+        let md1 = MD1Queue::new(8.0, 10.0).unwrap();
+        assert!((md1.mean_wait() - mm1.mean_wait() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        assert!(MM1Queue::new(0.0, 1.0).is_err());
+        assert!(MM1Queue::new(1.0, -1.0).is_err());
+        assert!(MD1Queue::new(f64::NAN, 1.0).is_err());
+        assert!(MD1Queue::new(1.0, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! The producer's service-rate model `μ(M, B)`.
+//!
+//! Ref. \[6\] observes that the producer's serialisation efficiency
+//! correlates strongly with the message size `M` ("with larger M the
+//! service rate μ is lower") and that batching trades service rate for
+//! latency ("larger B results in lower μ"). Both observations follow from
+//! a linear cost model with a per-request component amortised over the
+//! batch.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear service-cost model of a producer host.
+///
+/// Mean service time *per message* for batch size `B` and message size `M`:
+///
+/// ```text
+/// s(M, B) = per_request_s / B + per_message_s + per_byte_s · M
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Fixed cost per produce request, in seconds.
+    pub per_request_s: f64,
+    /// Cost per message, in seconds.
+    pub per_message_s: f64,
+    /// Cost per payload byte, in seconds.
+    pub per_byte_s: f64,
+}
+
+impl Default for ServiceModel {
+    /// Matches `kafkasim`'s default [`HostModel`] constants (400 µs per
+    /// request, 300 µs per message, 60 ns per byte).
+    ///
+    /// [`HostModel`]: https://docs.rs/kafkasim
+    fn default() -> Self {
+        ServiceModel {
+            per_request_s: 400e-6,
+            per_message_s: 300e-6,
+            per_byte_s: 60e-9,
+        }
+    }
+}
+
+impl ServiceModel {
+    /// Mean service time per message, in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn service_time(&self, message_bytes: u64, batch: usize) -> f64 {
+        assert!(batch > 0, "batch size must be positive");
+        self.per_request_s / batch as f64
+            + self.per_message_s
+            + self.per_byte_s * message_bytes as f64
+    }
+
+    /// Mean service rate `μ` in messages/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn service_rate(&self, message_bytes: u64, batch: usize) -> f64 {
+        1.0 / self.service_time(message_bytes, batch)
+    }
+
+    /// Service rate normalised to `[0, 1]` against the best achievable rate
+    /// (smallest message, infinite batch) — the `μ` term of the weighted
+    /// KPI, which must be unit-scaled to combine with probabilities.
+    #[must_use]
+    pub fn normalized_rate(&self, message_bytes: u64, batch: usize) -> f64 {
+        let best = 1.0 / self.per_message_s;
+        (self.service_rate(message_bytes, batch) / best).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_falls_with_message_size() {
+        let m = ServiceModel::default();
+        assert!(m.service_rate(50, 1) > m.service_rate(1_000, 1));
+    }
+
+    #[test]
+    fn rate_rises_with_batching() {
+        let m = ServiceModel::default();
+        let mut prev = m.service_rate(200, 1);
+        for b in [2, 4, 8] {
+            let rate = m.service_rate(200, b);
+            assert!(rate > prev, "B={b}");
+            prev = rate;
+        }
+    }
+
+    #[test]
+    fn batching_has_diminishing_returns() {
+        let m = ServiceModel::default();
+        let gain_1_2 = m.service_rate(200, 2) - m.service_rate(200, 1);
+        let gain_8_9 = m.service_rate(200, 9) - m.service_rate(200, 8);
+        assert!(gain_1_2 > 5.0 * gain_8_9);
+    }
+
+    #[test]
+    fn service_time_components_add_up() {
+        let m = ServiceModel {
+            per_request_s: 1e-3,
+            per_message_s: 2e-3,
+            per_byte_s: 1e-6,
+        };
+        let s = m.service_time(1_000, 2);
+        assert!((s - (0.5e-3 + 2e-3 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_rate_is_unit_bounded() {
+        let m = ServiceModel::default();
+        for &(bytes, batch) in &[(50u64, 1usize), (200, 10), (5_000, 1)] {
+            let r = m.normalized_rate(bytes, batch);
+            assert!((0.0..=1.0).contains(&r), "({bytes},{batch}) → {r}");
+        }
+        // Large batch of tiny messages approaches the per-message bound.
+        assert!(m.normalized_rate(1, 10_000) > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_panics() {
+        let _ = ServiceModel::default().service_time(100, 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! The Fig. 3 training-data collection design.
+//!
+//! The full feature space grows exponentially, so the paper splits it by
+//! the current network environment:
+//!
+//! * **normal cases** (`D < 200 ms`, `L = 0`): only the producer-side
+//!   features matter — message size, timeliness/timeout, polling interval
+//!   and semantics are swept while the network is healthy;
+//! * **abnormal cases** (faults injected): "proper values" are fixed for
+//!   the features learnt in the normal study, and the network features
+//!   (`D`, `L`) are swept together with batching and semantics.
+//!
+//! Feature ranges follow real-world systems, as the paper prescribes.
+
+use desim::SimDuration;
+use kafkasim::config::DeliverySemantics;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::ExperimentPoint;
+
+/// Grid over the effective features of the paper's *normal* cases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalCaseGrid {
+    /// Message sizes `M` (bytes).
+    pub message_sizes: Vec<u64>,
+    /// Message timeouts `T_o` (ms).
+    pub message_timeouts_ms: Vec<u64>,
+    /// Polling intervals `δ` (ms; 0 = full load).
+    pub poll_intervals_ms: Vec<u64>,
+    /// Delivery semantics to cover.
+    pub semantics: Vec<DeliverySemantics>,
+    /// The healthy baseline delay.
+    pub base_delay_ms: u64,
+}
+
+impl Default for NormalCaseGrid {
+    fn default() -> Self {
+        NormalCaseGrid {
+            message_sizes: vec![50, 100, 200, 400, 700, 1000],
+            message_timeouts_ms: vec![200, 500, 1000, 1500, 2000, 3000],
+            poll_intervals_ms: vec![0, 10, 30, 60, 90],
+            semantics: vec![DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce],
+            base_delay_ms: 1,
+        }
+    }
+}
+
+impl NormalCaseGrid {
+    /// Materialises the grid into experiment points.
+    ///
+    /// `T_o` and `δ` are swept on separate axes (each with the other held
+    /// at a sensible default), mirroring the paper's one-factor studies,
+    /// rather than as a full cross product.
+    #[must_use]
+    pub fn points(&self) -> Vec<ExperimentPoint> {
+        let mut points = Vec::new();
+        let default_timeout = SimDuration::from_millis(2_000);
+        let default_poll = SimDuration::ZERO;
+        for &semantics in &self.semantics {
+            for &m in &self.message_sizes {
+                // Sweep T_o at full load.
+                for &t_o in &self.message_timeouts_ms {
+                    points.push(ExperimentPoint {
+                        message_size: m,
+                        timeliness: None,
+                        delay: SimDuration::from_millis(self.base_delay_ms),
+                        loss_rate: 0.0,
+                        semantics,
+                        batch_size: 1,
+                        poll_interval: default_poll,
+                        message_timeout: SimDuration::from_millis(t_o),
+                    });
+                }
+                // Sweep δ at the default timeout.
+                for &delta in &self.poll_intervals_ms {
+                    points.push(ExperimentPoint {
+                        message_size: m,
+                        timeliness: None,
+                        delay: SimDuration::from_millis(self.base_delay_ms),
+                        loss_rate: 0.0,
+                        semantics,
+                        batch_size: 1,
+                        poll_interval: SimDuration::from_millis(delta),
+                        message_timeout: default_timeout,
+                    });
+                }
+            }
+        }
+        points
+    }
+}
+
+/// Grid over the effective features of the paper's *abnormal* cases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbnormalCaseGrid {
+    /// Message sizes `M` (bytes).
+    pub message_sizes: Vec<u64>,
+    /// Injected one-way delays `D` (ms).
+    pub delays_ms: Vec<u64>,
+    /// Injected packet-loss rates `L`.
+    pub loss_rates: Vec<f64>,
+    /// Batch sizes `B`.
+    pub batch_sizes: Vec<usize>,
+    /// Delivery semantics to cover.
+    pub semantics: Vec<DeliverySemantics>,
+    /// The "proper" polling interval fixed from the normal study (ms).
+    pub fixed_poll_ms: u64,
+    /// The "proper" message timeout fixed from the normal study (ms).
+    pub fixed_timeout_ms: u64,
+    /// Also sweep the message-size axis at full load (δ = 0) — the Fig. 4
+    /// operating point, which the prediction model must cover.
+    pub include_full_load_axis: bool,
+}
+
+impl Default for AbnormalCaseGrid {
+    fn default() -> Self {
+        AbnormalCaseGrid {
+            message_sizes: vec![100, 200, 500, 1000],
+            delays_ms: vec![50, 100, 200],
+            loss_rates: vec![0.02, 0.05, 0.08, 0.10, 0.13, 0.16, 0.19, 0.25, 0.30, 0.40],
+            batch_sizes: vec![1, 2, 4, 6, 8, 10],
+            semantics: vec![DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce],
+            fixed_poll_ms: 50,
+            fixed_timeout_ms: 2_000,
+            include_full_load_axis: true,
+        }
+    }
+}
+
+impl AbnormalCaseGrid {
+    /// Materialises the grid into experiment points.
+    ///
+    /// `M` and `B` are swept against the `(D, L)` space on separate axes
+    /// (with the other held at its default) — the paper's Fig. 4 varies `M`
+    /// with `B = 1`, and Figs. 7–8 vary `B` at a fixed size.
+    #[must_use]
+    pub fn points(&self) -> Vec<ExperimentPoint> {
+        let mut points = Vec::new();
+        let default_size = 200;
+        for &semantics in &self.semantics {
+            for &d in &self.delays_ms {
+                for &l in &self.loss_rates {
+                    for &m in &self.message_sizes {
+                        points.push(self.point(m, d, l, 1, semantics));
+                        if self.include_full_load_axis {
+                            let mut full = self.point(m, d, l, 1, semantics);
+                            full.poll_interval = SimDuration::ZERO;
+                            points.push(full);
+                        }
+                    }
+                    for &b in &self.batch_sizes {
+                        if b == 1 {
+                            continue; // covered by the size axis
+                        }
+                        points.push(self.point(default_size, d, l, b, semantics));
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    fn point(
+        &self,
+        m: u64,
+        d_ms: u64,
+        l: f64,
+        b: usize,
+        semantics: DeliverySemantics,
+    ) -> ExperimentPoint {
+        ExperimentPoint {
+            message_size: m,
+            timeliness: None,
+            delay: SimDuration::from_millis(d_ms),
+            loss_rate: l,
+            semantics,
+            batch_size: b,
+            poll_interval: SimDuration::from_millis(self.fixed_poll_ms),
+            message_timeout: SimDuration::from_millis(self.fixed_timeout_ms),
+        }
+    }
+}
+
+/// The complete Fig. 3 design: both grids.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CollectionDesign {
+    /// Normal-case grid.
+    pub normal: NormalCaseGrid,
+    /// Abnormal-case grid.
+    pub abnormal: AbnormalCaseGrid,
+}
+
+impl CollectionDesign {
+    /// Every experiment point of the design: normal first, then abnormal.
+    #[must_use]
+    pub fn all_points(&self) -> Vec<ExperimentPoint> {
+        let mut points = self.normal.points();
+        points.extend(self.abnormal.points());
+        points
+    }
+
+    /// `(normal, abnormal)` point counts — the quantity Fig. 3's split is
+    /// designed to keep manageable.
+    #[must_use]
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.normal.points().len(), self.abnormal.points().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_points_are_normal_cases() {
+        let grid = NormalCaseGrid::default();
+        let points = grid.points();
+        assert!(!points.is_empty());
+        assert!(points.iter().all(ExperimentPoint::is_normal_case));
+    }
+
+    #[test]
+    fn abnormal_points_are_abnormal_cases() {
+        let grid = AbnormalCaseGrid::default();
+        let points = grid.points();
+        assert!(!points.is_empty());
+        assert!(points.iter().all(|p| !p.is_normal_case()));
+    }
+
+    #[test]
+    fn normal_grid_size_is_axes_not_product() {
+        let grid = NormalCaseGrid::default();
+        let expected = grid.semantics.len()
+            * grid.message_sizes.len()
+            * (grid.message_timeouts_ms.len() + grid.poll_intervals_ms.len());
+        assert_eq!(grid.points().len(), expected);
+    }
+
+    #[test]
+    fn abnormal_grid_size_is_axes_not_product() {
+        let grid = AbnormalCaseGrid::default();
+        let size_axes = if grid.include_full_load_axis { 2 } else { 1 };
+        let per_network =
+            grid.message_sizes.len() * size_axes + (grid.batch_sizes.len() - 1);
+        let expected =
+            grid.semantics.len() * grid.delays_ms.len() * grid.loss_rates.len() * per_network;
+        assert_eq!(grid.points().len(), expected);
+    }
+
+    #[test]
+    fn full_load_axis_covers_fig4_conditions() {
+        let grid = AbnormalCaseGrid::default();
+        assert!(grid
+            .points()
+            .iter()
+            .any(|p| p.poll_interval.is_zero() && (p.loss_rate - 0.19).abs() < 1e-9));
+    }
+
+    #[test]
+    fn design_is_far_smaller_than_full_cross_product() {
+        let design = CollectionDesign::default();
+        let (normal, abnormal) = design.sizes();
+        let total = normal + abnormal;
+        // A full cross product of the default axes would exceed 100k points.
+        let full = 6 * 6 * 5 * 2 * 4 * 3 * 10 * 6;
+        assert!(total < full / 50, "{total} vs full {full}");
+        assert_eq!(design.all_points().len(), total);
+    }
+
+    #[test]
+    fn batch_one_not_duplicated_in_abnormal_grid() {
+        let grid = AbnormalCaseGrid {
+            message_sizes: vec![200],
+            delays_ms: vec![100],
+            loss_rates: vec![0.1],
+            batch_sizes: vec![1, 2],
+            semantics: vec![DeliverySemantics::AtLeastOnce],
+            include_full_load_axis: false,
+            ..AbnormalCaseGrid::default()
+        };
+        // size axis gives B=1 at M=200; batch axis adds only B=2.
+        assert_eq!(grid.points().len(), 2);
+    }
+}

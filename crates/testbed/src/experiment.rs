@@ -1,0 +1,276 @@
+//! One experiment point: the paper's feature tuple and its execution.
+//!
+//! The prediction model's inputs (Eq. 1) are
+//! `{M, S, D, L, Confs = (semantics, B, δ, T_o)}`; an
+//! [`ExperimentPoint`] carries exactly those eight features. Running a
+//! point builds a fresh [`kafkasim::RunSpec`] from the shared
+//! [`Calibration`], executes it, and records `P_l` and `P_d`.
+
+use desim::{SimDuration, SimTime};
+use kafkasim::audit::DeliveryReport;
+use kafkasim::config::{DeliverySemantics, ProducerConfig};
+use kafkasim::runtime::{KafkaRun, ProducerStats, RunSpec};
+use kafkasim::source::{RateSpec, SizeSpec, SourceSpec};
+use netsim::{ConditionTimeline, NetCondition};
+use serde::{Deserialize, Serialize};
+
+use crate::calibration::Calibration;
+
+/// The paper's eight prediction features for one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentPoint {
+    /// (a) Message size `M` in bytes.
+    pub message_size: u64,
+    /// (b) Message timeliness `S` (staleness bound); `None` disables
+    /// staleness accounting.
+    pub timeliness: Option<SimDuration>,
+    /// (c) One-way network delay `D`.
+    pub delay: SimDuration,
+    /// (d) Network packet-loss rate `L` in `[0, 1]`.
+    pub loss_rate: f64,
+    /// (e) Delivery semantics.
+    pub semantics: DeliverySemantics,
+    /// (f) Batch size `B`.
+    pub batch_size: usize,
+    /// (g) Polling interval `δ`; `ZERO` = full load.
+    pub poll_interval: SimDuration,
+    /// (h) Message timeout `T_o`.
+    pub message_timeout: SimDuration,
+}
+
+impl Default for ExperimentPoint {
+    fn default() -> Self {
+        ExperimentPoint {
+            message_size: 200,
+            timeliness: None,
+            delay: SimDuration::from_millis(1),
+            loss_rate: 0.0,
+            semantics: DeliverySemantics::AtLeastOnce,
+            batch_size: 1,
+            poll_interval: SimDuration::from_millis(100),
+            message_timeout: SimDuration::from_millis(3_000),
+        }
+    }
+}
+
+impl ExperimentPoint {
+    /// The numeric feature vector for the prediction model, in the order
+    /// `[M, S_ms, D_ms, L, semantics, B, δ_ms, T_o_ms]` (semantics encoded
+    /// 0 = at-most-once, 1 = at-least-once; `S = 0` when unset).
+    #[must_use]
+    pub fn feature_vector(&self) -> Vec<f64> {
+        vec![
+            self.message_size as f64,
+            self.timeliness.map_or(0.0, |s| s.as_secs_f64() * 1e3),
+            self.delay.as_secs_f64() * 1e3,
+            self.loss_rate,
+            match self.semantics {
+                DeliverySemantics::AtMostOnce => 0.0,
+                DeliverySemantics::AtLeastOnce => 1.0,
+            },
+            self.batch_size as f64,
+            self.poll_interval.as_secs_f64() * 1e3,
+            self.message_timeout.as_secs_f64() * 1e3,
+        ]
+    }
+
+    /// Number of features in [`ExperimentPoint::feature_vector`].
+    pub const FEATURES: usize = 8;
+
+    /// Whether this point is a "normal case" in the paper's Fig. 3 sense
+    /// (`D < 200 ms` and `L = 0`).
+    #[must_use]
+    pub fn is_normal_case(&self) -> bool {
+        NetCondition::new(self.delay, self.loss_rate).is_normal()
+    }
+
+    /// The producer configuration this point implies under `cal`.
+    #[must_use]
+    pub fn producer_config(&self, cal: &Calibration) -> ProducerConfig {
+        ProducerConfig {
+            semantics: self.semantics,
+            batch_size: self.batch_size,
+            poll_interval: self.poll_interval,
+            message_timeout: self.message_timeout,
+            // Let count-based batching dominate, but never hold a partial
+            // batch past a third of the message timeout.
+            linger: (self.message_timeout / 3).min(SimDuration::from_millis(800)),
+            max_retries: cal.max_retries,
+            request_timeout: cal.request_timeout,
+            max_in_flight: cal.max_in_flight,
+            buffer_capacity: cal.buffer_capacity,
+            stall_backoffs: cal.stall_backoffs,
+            stall_patience: cal.stall_patience,
+            host: cal.host,
+        }
+    }
+
+    /// The full run specification for `n_messages` source messages.
+    #[must_use]
+    pub fn to_run_spec(&self, cal: &Calibration, n_messages: u64) -> RunSpec {
+        let rate = if self.poll_interval.is_zero() {
+            RateSpec::FullLoad
+        } else {
+            RateSpec::Interval(self.poll_interval)
+        };
+        RunSpec {
+            producer: self.producer_config(cal),
+            cluster: cal.cluster.clone(),
+            source: SourceSpec {
+                n_messages,
+                size: SizeSpec::Fixed(self.message_size),
+                rate,
+                timeliness: self.timeliness,
+            },
+            network: ConditionTimeline::constant(NetCondition::new(self.delay, self.loss_rate)),
+            channel: cal.channel.clone(),
+            wire: cal.wire,
+            config_schedule: Vec::new(),
+            max_duration: SimDuration::from_secs(7_200),
+            outages: Vec::new(),
+            failover_after: None,
+            online: None,
+        }
+    }
+
+    /// Runs the experiment with `n_messages` source messages.
+    #[must_use]
+    pub fn run(&self, cal: &Calibration, n_messages: u64, seed: u64) -> ExperimentResult {
+        let spec = self.to_run_spec(cal, n_messages);
+        let outcome = KafkaRun::new(spec, seed).execute();
+        ExperimentResult {
+            point: self.clone(),
+            p_loss: outcome.report.p_loss(),
+            p_dup: outcome.report.p_dup(),
+            report: outcome.report,
+            producer: outcome.producer,
+            seed,
+        }
+    }
+}
+
+/// The outcome of one experiment: the measured reliability metrics plus the
+/// full report for deeper analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The features that were run.
+    pub point: ExperimentPoint,
+    /// Measured `P_l`.
+    pub p_loss: f64,
+    /// Measured `P_d`.
+    pub p_dup: f64,
+    /// The full audit report.
+    pub report: DeliveryReport,
+    /// Producer counters.
+    pub producer: ProducerStats,
+    /// Seed the run used.
+    pub seed: u64,
+}
+
+impl ExperimentResult {
+    /// The training row for the prediction model:
+    /// `(features, [P_l, P_d])`.
+    #[must_use]
+    pub fn training_row(&self) -> (Vec<f64>, Vec<f64>) {
+        (self.point.feature_vector(), vec![self.p_loss, self.p_dup])
+    }
+}
+
+/// Converts results into parallel feature/target row vectors for model
+/// training.
+#[must_use]
+pub fn to_training_rows(results: &[ExperimentResult]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    results.iter().map(ExperimentResult::training_row).unzip()
+}
+
+/// The instant an experiment's network trace considers "the end" — used by
+/// Table II style runs (re-exported for convenience).
+#[must_use]
+pub fn trace_end(timeline: &ConditionTimeline) -> SimTime {
+    timeline.last_change()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vector_layout() {
+        let p = ExperimentPoint {
+            message_size: 100,
+            timeliness: Some(SimDuration::from_millis(250)),
+            delay: SimDuration::from_millis(100),
+            loss_rate: 0.19,
+            semantics: DeliverySemantics::AtMostOnce,
+            batch_size: 4,
+            poll_interval: SimDuration::from_millis(90),
+            message_timeout: SimDuration::from_millis(500),
+        };
+        assert_eq!(
+            p.feature_vector(),
+            vec![100.0, 250.0, 100.0, 0.19, 0.0, 4.0, 90.0, 500.0]
+        );
+        assert_eq!(p.feature_vector().len(), ExperimentPoint::FEATURES);
+    }
+
+    #[test]
+    fn normal_case_classification() {
+        let mut p = ExperimentPoint::default();
+        assert!(p.is_normal_case());
+        p.loss_rate = 0.05;
+        assert!(!p.is_normal_case());
+        p.loss_rate = 0.0;
+        p.delay = SimDuration::from_millis(300);
+        assert!(!p.is_normal_case());
+    }
+
+    #[test]
+    fn clean_point_runs_without_loss() {
+        let cal = Calibration::paper();
+        let result = ExperimentPoint::default().run(&cal, 300, 1);
+        assert_eq!(result.report.n_source, 300);
+        assert!(result.p_loss < 0.02, "P_l = {}", result.p_loss);
+        assert_eq!(result.p_dup, 0.0);
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let cal = Calibration::paper();
+        let p = ExperimentPoint {
+            loss_rate: 0.10,
+            delay: SimDuration::from_millis(50),
+            ..ExperimentPoint::default()
+        };
+        let a = p.run(&cal, 300, 9);
+        let b = p.run(&cal, 300, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_rows_align() {
+        let cal = Calibration::paper();
+        let results: Vec<ExperimentResult> = (0..3)
+            .map(|i| {
+                ExperimentPoint {
+                    message_size: 100 + 100 * i,
+                    ..ExperimentPoint::default()
+                }
+                .run(&cal, 100, i)
+            })
+            .collect();
+        let (x, y) = to_training_rows(&results);
+        assert_eq!(x.len(), 3);
+        assert_eq!(y.len(), 3);
+        assert_eq!(x[1][0], 200.0);
+        assert_eq!(y[0].len(), 2);
+    }
+
+    #[test]
+    fn producer_config_inherits_calibration() {
+        let cal = Calibration::paper();
+        let cfg = ExperimentPoint::default().producer_config(&cal);
+        assert_eq!(cfg.max_retries, cal.max_retries);
+        assert_eq!(cfg.host, cal.host);
+        cfg.validate().unwrap();
+    }
+}

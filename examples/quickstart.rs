@@ -1,0 +1,94 @@
+//! Quickstart: measure, learn, predict, recommend.
+//!
+//! Walks the full pipeline of the reproduction in about a minute:
+//!
+//! 1. run a handful of testbed experiments (simulated Kafka + network),
+//! 2. train a compact reliability model on the results,
+//! 3. predict `P_l`/`P_d` for an unseen configuration,
+//! 4. ask the stepwise recommender for a configuration that meets a KPI
+//!    requirement under a lossy network.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kafka_predict::kpi::KpiModel;
+use kafka_predict::prelude::*;
+use kafka_predict::recommend::{Recommender, SearchSpace};
+use kafkasim::config::DeliverySemantics;
+use testbed::scenarios::KpiWeights;
+
+fn main() {
+    // 1. Collect training data: a small grid of simulated experiments.
+    //    (The paper runs 10⁶ messages per point; 2 000 keeps this example
+    //    fast while preserving the trends.)
+    let cal = Calibration::paper();
+    println!("running the experiment grid...");
+    let results = quick_grid(&cal, 2_000, 0_usize.max(4));
+    println!("  {} experiments done", results.len());
+    for r in results.iter().step_by(9) {
+        println!(
+            "  M={:>4}B L={:>4.0}% B={} {:<14} -> P_l={:>6.2}%  P_d={:>5.2}%",
+            r.point.message_size,
+            r.point.loss_rate * 100.0,
+            r.point.batch_size,
+            r.point.semantics.to_string(),
+            r.p_loss * 100.0,
+            r.p_dup * 100.0,
+        );
+    }
+
+    // 2. Train the two-headed ANN (compact topology for speed).
+    println!("\ntraining the reliability model...");
+    let options = TrainOptions::fast();
+    let trained = train_model(&results, &options, 7).expect("enough samples");
+    println!(
+        "  at-most-once head MAE:  {:.4}\n  at-least-once head MAE: {:.4}",
+        trained.amo.test_mae, trained.alo.test_mae
+    );
+
+    // 3. Predict reliability for an unseen configuration.
+    let features = Features {
+        message_size: 300,
+        loss_rate: 0.15,
+        delay_ms: 60.0,
+        semantics: DeliverySemantics::AtLeastOnce,
+        batch_size: 3,
+        poll_interval_ms: 60.0,
+        message_timeout_ms: 2_000.0,
+        ..Features::default()
+    };
+    let prediction = trained.model.predict(&features);
+    println!(
+        "\npredicted for M=300B, L=15%, B=3, at-least-once:\n  P_l = {:.2}%  P_d = {:.2}%",
+        prediction.p_loss * 100.0,
+        prediction.p_dup * 100.0
+    );
+
+    // 4. Recommend a configuration meeting a KPI requirement (Eq. 2).
+    let kpi = KpiModel::from_calibration(&cal);
+    let recommender = Recommender::new(&kpi, &trained.model, SearchSpace::default());
+    let weights = KpiWeights::paper_default();
+    let start = Features {
+        loss_rate: 0.15,
+        delay_ms: 100.0,
+        semantics: DeliverySemantics::AtMostOnce,
+        batch_size: 1,
+        ..features
+    };
+    let rec = recommender.recommend(&start, &weights, 0.85);
+    println!(
+        "\nrecommended configuration (gamma = {:.3}, requirement met: {}):",
+        rec.gamma, rec.meets_requirement
+    );
+    println!(
+        "  semantics = {}, B = {}, delta = {:.0} ms, T_o = {:.0} ms ({} steps)",
+        rec.features.semantics,
+        rec.features.batch_size,
+        rec.features.poll_interval_ms,
+        rec.features.message_timeout_ms,
+        rec.steps
+    );
+}

@@ -1,0 +1,119 @@
+//! Property-based invariants that must hold across the whole stack, for
+//! arbitrary configurations and network conditions.
+
+use desim::SimDuration;
+use kafkasim::config::DeliverySemantics;
+use proptest::prelude::*;
+use testbed::experiment::ExperimentPoint;
+use testbed::Calibration;
+
+fn arb_semantics() -> impl Strategy<Value = DeliverySemantics> {
+    prop_oneof![
+        Just(DeliverySemantics::AtMostOnce),
+        Just(DeliverySemantics::AtLeastOnce),
+    ]
+}
+
+fn arb_point() -> impl Strategy<Value = ExperimentPoint> {
+    (
+        50u64..1_000,          // message size
+        0u64..200,             // delay ms
+        0u32..40,              // loss percent
+        arb_semantics(),
+        1usize..10,            // batch
+        0u64..120,             // poll ms
+        300u64..4_000,         // timeout ms
+    )
+        .prop_map(|(m, d, l, semantics, b, poll, t_o)| ExperimentPoint {
+            message_size: m,
+            timeliness: None,
+            delay: SimDuration::from_millis(d),
+            loss_rate: f64::from(l) / 100.0,
+            semantics,
+            batch_size: b,
+            poll_interval: SimDuration::from_millis(poll),
+            message_timeout: SimDuration::from_millis(t_o),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full simulation
+        .. ProptestConfig::default()
+    })]
+
+    /// Every source message resolves to exactly one outcome, the case
+    /// counts tally, and the probabilities stay in range — for *any*
+    /// configuration and network condition.
+    #[test]
+    fn every_message_resolves_exactly_once(point in arb_point(), seed in 0u64..1_000) {
+        let cal = Calibration::paper();
+        let result = point.run(&cal, 400, seed);
+        let r = &result.report;
+        prop_assert_eq!(r.delivered_once + r.lost + r.duplicated, r.n_source);
+        prop_assert_eq!(r.case_counts.iter().sum::<u64>(), r.n_source);
+        prop_assert!((0.0..=1.0).contains(&result.p_loss));
+        prop_assert!((0.0..=1.0).contains(&result.p_dup));
+        let attributed: u64 = r.loss_reasons.values().sum();
+        prop_assert_eq!(attributed, r.lost, "every loss has exactly one reason");
+    }
+
+    /// At-most-once can never produce duplicates (only Cases 1 and 2 are
+    /// reachable, per the paper's state analysis).
+    #[test]
+    fn at_most_once_never_duplicates(point in arb_point(), seed in 0u64..1_000) {
+        let mut point = point;
+        point.semantics = DeliverySemantics::AtMostOnce;
+        let cal = Calibration::paper();
+        let result = point.run(&cal, 300, seed);
+        prop_assert_eq!(result.report.duplicated, 0);
+        prop_assert_eq!(result.report.case_counts[2], 0, "no Case 3 without retries");
+        prop_assert_eq!(result.report.case_counts[3], 0, "no Case 4 without retries");
+        prop_assert_eq!(result.report.case_counts[4], 0, "no Case 5 without retries");
+    }
+
+    /// Runs are bit-for-bit deterministic in (spec, seed).
+    #[test]
+    fn runs_are_deterministic(point in arb_point(), seed in 0u64..1_000) {
+        let cal = Calibration::paper();
+        let a = point.run(&cal, 250, seed);
+        let b = point.run(&cal, 250, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A lossless, fault-free, lightly-loaded pipeline delivers everything
+    /// exactly once, whatever the configuration.
+    #[test]
+    fn clean_light_load_is_lossless(
+        semantics in arb_semantics(),
+        b in 1usize..8,
+        m in 100u64..800,
+    ) {
+        let point = ExperimentPoint {
+            message_size: m,
+            timeliness: None,
+            delay: SimDuration::from_millis(5),
+            loss_rate: 0.0,
+            semantics,
+            batch_size: b,
+            poll_interval: SimDuration::from_millis(150),
+            message_timeout: SimDuration::from_millis(5_000),
+        };
+        let cal = Calibration::paper();
+        let result = point.run(&cal, 400, 9);
+        prop_assert_eq!(result.report.lost, 0, "reasons: {:?}", result.report.loss_reasons);
+        prop_assert_eq!(result.report.duplicated, 0);
+    }
+}
+
+// The feature vector round-trips through the experiment point for any
+// generated point (model-facing and testbed-facing views agree).
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #[test]
+    fn features_round_trip(point in arb_point()) {
+        let features = kafka_predict::Features::from(&point);
+        let back = features.to_experiment_point();
+        prop_assert_eq!(point, back);
+    }
+}

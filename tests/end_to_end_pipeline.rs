@@ -1,0 +1,106 @@
+//! End-to-end integration: testbed → dataset → ANN → prediction →
+//! recommendation, across every crate in the workspace.
+
+use kafka_predict::kpi::KpiModel;
+use kafka_predict::prelude::*;
+use kafka_predict::train::validate_against_simulation;
+use kafkasim::config::DeliverySemantics;
+use testbed::experiment::ExperimentPoint;
+use testbed::scenarios::KpiWeights;
+
+fn training_results() -> Vec<testbed::ExperimentResult> {
+    let cal = Calibration::paper();
+    quick_grid(&cal, 1_200, 4)
+}
+
+#[test]
+fn collect_train_predict_recommend() {
+    let cal = Calibration::paper();
+    let results = training_results();
+    assert!(results.len() >= 40, "grid produced {} points", results.len());
+
+    // Train.
+    let mut options = TrainOptions::fast();
+    options.sgd.epochs = 250;
+    let trained = train_model(&results, &options, 3).expect("train");
+    assert!(
+        trained.worst_mae() < 0.25,
+        "even the fast model should be in the ballpark: MAE {}",
+        trained.worst_mae()
+    );
+
+    // Predict: unit-interval outputs, semantics-consistent duplicates.
+    let f = Features {
+        loss_rate: 0.18,
+        delay_ms: 90.0,
+        semantics: DeliverySemantics::AtMostOnce,
+        ..Features::default()
+    };
+    let p = trained.model.predict(&f);
+    assert!((0.0..=1.0).contains(&p.p_loss));
+    assert_eq!(p.p_dup, 0.0, "at-most-once never predicts duplicates");
+
+    // Recommend: the search must improve (or keep) the KPI.
+    let kpi = KpiModel::from_calibration(&cal);
+    let recommender = Recommender::new(&kpi, &trained.model, SearchSpace::default());
+    let weights = KpiWeights::paper_default();
+    let start = Features {
+        loss_rate: 0.2,
+        delay_ms: 100.0,
+        semantics: DeliverySemantics::AtMostOnce,
+        batch_size: 1,
+        ..Features::default()
+    };
+    let start_gamma = kpi.gamma(&trained.model, &start, &weights);
+    let rec = recommender.recommend(&start, &weights, 0.95);
+    assert!(
+        rec.gamma >= start_gamma - 1e-12,
+        "search must not make the KPI worse: {} -> {}",
+        start_gamma,
+        rec.gamma
+    );
+    rec.features.validate().expect("recommended features valid");
+    rec.features
+        .to_experiment_point()
+        .producer_config(&cal)
+        .validate()
+        .expect("recommendation maps to a valid producer config");
+}
+
+#[test]
+fn model_round_trips_through_json() {
+    let results = training_results();
+    let trained = train_model(&results, &TrainOptions::fast(), 5).expect("train");
+    let json = trained.model.to_json().expect("serialise");
+    let restored = ReliabilityModel::from_json(&json).expect("parse");
+    let f = Features {
+        loss_rate: 0.1,
+        ..Features::default()
+    };
+    let a = trained.model.predict(&f);
+    let b = restored.predict(&f);
+    // JSON text round-trips can shift the last ULP of a weight; the
+    // predictions must agree far beyond any decision-relevant precision.
+    assert!((a.p_loss - b.p_loss).abs() < 1e-9);
+    assert!((a.p_dup - b.p_dup).abs() < 1e-9);
+}
+
+#[test]
+fn validation_against_fresh_simulations_is_bounded() {
+    let cal = Calibration::paper();
+    let results = training_results();
+    let mut options = TrainOptions::fast();
+    options.sgd.epochs = 300;
+    let trained = train_model(&results, &options, 9).expect("train");
+    // Validate on a handful of fresh points near the training manifold.
+    let points: Vec<ExperimentPoint> = results
+        .iter()
+        .step_by(7)
+        .map(|r| r.point.clone())
+        .collect();
+    let mae = validate_against_simulation(&trained.model, &points, &cal, 1_200, 123, 4);
+    assert!(
+        mae < 0.30,
+        "simulation-validated MAE should be bounded: {mae}"
+    );
+}

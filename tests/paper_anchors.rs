@@ -1,0 +1,186 @@
+//! Qualitative anchors from the paper's evaluation, asserted end-to-end
+//! against the simulated testbed.
+//!
+//! These tests encode the *shape* claims of each figure — who wins, in
+//! which direction a parameter moves the metrics — at reduced message
+//! counts so they run in CI. The full-effort numbers live in
+//! EXPERIMENTS.md.
+
+use desim::SimDuration;
+use kafkasim::config::DeliverySemantics;
+use testbed::experiment::ExperimentPoint;
+use testbed::sweep::{run_repeated, run_sweep};
+use testbed::Calibration;
+
+const N: u64 = 3_000;
+
+fn fig4_point(m: u64, semantics: DeliverySemantics) -> ExperimentPoint {
+    ExperimentPoint {
+        message_size: m,
+        timeliness: None,
+        delay: SimDuration::from_millis(100),
+        loss_rate: 0.19,
+        semantics,
+        batch_size: 1,
+        poll_interval: SimDuration::ZERO,
+        message_timeout: SimDuration::from_millis(2_000),
+    }
+}
+
+/// Fig. 4: `P_l` falls with message size under both semantics.
+#[test]
+fn fig4_loss_falls_with_message_size() {
+    let cal = Calibration::paper();
+    for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+        let points: Vec<ExperimentPoint> =
+            [100u64, 400, 1000].iter().map(|&m| fig4_point(m, semantics)).collect();
+        let r = run_sweep(&points, &cal, N, 1, 3);
+        assert!(
+            r[0].p_loss > r[1].p_loss && r[1].p_loss > r[2].p_loss,
+            "{semantics:?}: {} > {} > {} expected",
+            r[0].p_loss,
+            r[1].p_loss,
+            r[2].p_loss
+        );
+        assert!(
+            r[0].p_loss > 0.4,
+            "small messages under 19% loss lose heavily: {}",
+            r[0].p_loss
+        );
+    }
+}
+
+/// Fig. 4: for large messages, at-least-once ends below 1% and saves
+/// messages over at-most-once ("at-least-once can save approximately 3000
+/// more messages" per 10⁶).
+#[test]
+fn fig4_at_least_once_wins_for_large_messages() {
+    let cal = Calibration::paper();
+    let (amo, _) = run_repeated(
+        &fig4_point(1000, DeliverySemantics::AtMostOnce),
+        &cal,
+        N,
+        2,
+        3,
+        3,
+    );
+    let (alo, _) = run_repeated(
+        &fig4_point(1000, DeliverySemantics::AtLeastOnce),
+        &cal,
+        N,
+        2,
+        3,
+        3,
+    );
+    assert!(alo < 0.01, "at-least-once below 1% at M=1000: {alo}");
+    assert!(alo < amo, "retries must save messages: {alo} vs {amo}");
+}
+
+/// Fig. 5: under near-saturated load with no faults, small `T_o` loses
+/// messages and generous `T_o` does not.
+#[test]
+fn fig5_timeout_governs_loss_under_load() {
+    let cal = Calibration::paper();
+    let point = |t_o: u64| ExperimentPoint {
+        message_size: 620,
+        timeliness: None,
+        delay: SimDuration::from_millis(1),
+        loss_rate: 0.0,
+        semantics: DeliverySemantics::AtLeastOnce,
+        batch_size: 1,
+        poll_interval: SimDuration::ZERO,
+        message_timeout: SimDuration::from_millis(t_o),
+    };
+    let r = run_sweep(&[point(200), point(3_000)], &cal, N, 3, 2);
+    assert!(
+        r[0].p_loss > 0.05,
+        "a 200ms timeout must expire messages: {}",
+        r[0].p_loss
+    );
+    assert!(
+        r[1].p_loss < 0.01,
+        "a 3s timeout keeps losses negligible: {}",
+        r[1].p_loss
+    );
+}
+
+/// Fig. 6: `δ = 0` overloads the producer (paper: > 45% loss); `δ = 90 ms`
+/// keeps loss under 10%.
+#[test]
+fn fig6_polling_interval_relieves_overload() {
+    let cal = Calibration::paper();
+    let point = |delta: u64| ExperimentPoint {
+        message_size: 100,
+        timeliness: None,
+        delay: SimDuration::from_millis(1),
+        loss_rate: 0.0,
+        semantics: DeliverySemantics::AtLeastOnce,
+        batch_size: 1,
+        poll_interval: SimDuration::from_millis(delta),
+        message_timeout: SimDuration::from_millis(500),
+    };
+    let r = run_sweep(&[point(0), point(90)], &cal, N, 4, 2);
+    assert!(
+        r[0].p_loss > 0.45,
+        "full load loses above 45%: {}",
+        r[0].p_loss
+    );
+    assert!(
+        r[1].p_loss < 0.10,
+        "δ=90ms brings loss under 10%: {}",
+        r[1].p_loss
+    );
+}
+
+/// Fig. 7: batching reduces loss under moderate packet loss, for both
+/// semantics, and at-least-once sits below at-most-once.
+#[test]
+fn fig7_batching_and_semantics_order() {
+    let cal = Calibration::paper();
+    let point = |b: usize, semantics: DeliverySemantics| ExperimentPoint {
+        message_size: 200,
+        timeliness: None,
+        delay: SimDuration::from_millis(100),
+        loss_rate: 0.25,
+        semantics,
+        batch_size: b,
+        poll_interval: SimDuration::from_millis(70),
+        message_timeout: SimDuration::from_millis(2_000),
+    };
+    for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+        let (unbatched, _) = run_repeated(&point(1, semantics), &cal, N, 5, 3, 3);
+        let (batched, _) = run_repeated(&point(4, semantics), &cal, N, 5, 3, 3);
+        assert!(
+            batched < unbatched,
+            "{semantics:?}: batching must reduce loss ({batched} vs {unbatched})"
+        );
+    }
+    let (amo, _) = run_repeated(&point(1, DeliverySemantics::AtMostOnce), &cal, N, 6, 3, 3);
+    let (alo, _) = run_repeated(&point(1, DeliverySemantics::AtLeastOnce), &cal, N, 6, 3, 3);
+    assert!(alo < amo, "retries win under loss: {alo} vs {amo}");
+}
+
+/// Fig. 8: duplicates only occur under at-least-once, and batching does
+/// not increase them.
+#[test]
+fn fig8_duplicates_semantics_and_batching() {
+    let cal = Calibration::paper();
+    let point = |b: usize, semantics: DeliverySemantics| ExperimentPoint {
+        message_size: 200,
+        timeliness: None,
+        delay: SimDuration::from_millis(100),
+        loss_rate: 0.20,
+        semantics,
+        batch_size: b,
+        poll_interval: SimDuration::from_millis(70),
+        message_timeout: SimDuration::from_millis(2_000),
+    };
+    let (_, amo_dup) = run_repeated(&point(1, DeliverySemantics::AtMostOnce), &cal, N, 7, 3, 3);
+    assert_eq!(amo_dup, 0.0, "at-most-once can never duplicate");
+    let (_, b1) = run_repeated(&point(1, DeliverySemantics::AtLeastOnce), &cal, N, 7, 4, 4);
+    let (_, b8) = run_repeated(&point(8, DeliverySemantics::AtLeastOnce), &cal, N, 7, 4, 4);
+    assert!(
+        b8 <= b1 + 0.01,
+        "batching must not inflate duplicates: B=8 {b8} vs B=1 {b1}"
+    );
+}
