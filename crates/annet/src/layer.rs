@@ -44,8 +44,16 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     #[must_use]
-    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut SimRng) -> Self {
-        assert!(input_dim > 0 && output_dim > 0, "dimensions must be positive");
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "dimensions must be positive"
+        );
         let std = (activation.init_gain() / input_dim as f64).sqrt();
         let mut weights = Matrix::zeros(output_dim, input_dim);
         for r in 0..output_dim {
@@ -108,7 +116,12 @@ impl Dense {
     /// * `output` — what forward returned (post-activation);
     /// * `grad_output` — `∂L/∂output`.
     #[must_use]
-    pub fn backward(&self, input: &Matrix, output: &Matrix, grad_output: &Matrix) -> DenseGradients {
+    pub fn backward(
+        &self,
+        input: &Matrix,
+        output: &Matrix,
+        grad_output: &Matrix,
+    ) -> DenseGradients {
         // δ = grad_output ⊙ f'(output)
         let mut delta = grad_output.clone();
         for r in 0..delta.rows() {
@@ -306,10 +319,7 @@ mod tests {
             let down = loss_at(&x);
             x.set(0, c, orig);
             let numeric = (up - down) / (2.0 * h);
-            assert!(
-                (numeric - grads.input.get(0, c)).abs() < 1e-5,
-                "dX[0,{c}]"
-            );
+            assert!((numeric - grads.input.get(0, c)).abs() < 1e-5, "dX[0,{c}]");
         }
     }
 

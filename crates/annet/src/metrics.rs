@@ -65,7 +65,11 @@ pub fn r_squared(predictions: &Matrix, targets: &Matrix) -> f64 {
     check(predictions, targets);
     let n = targets.as_slice().len() as f64;
     let mean = targets.as_slice().iter().sum::<f64>() / n;
-    let ss_tot: f64 = targets.as_slice().iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_tot: f64 = targets
+        .as_slice()
+        .iter()
+        .map(|t| (t - mean) * (t - mean))
+        .sum();
     if ss_tot <= 0.0 {
         return 0.0;
     }

@@ -305,7 +305,8 @@ mod tests {
         assert_eq!(net.input_dim(), 8);
         assert_eq!(net.output_dim(), 2);
         // 8→200→200→200→64→2
-        let expected = 8 * 200 + 200 + 200 * 200 + 200 + 200 * 200 + 200 + 200 * 64 + 64 + 64 * 2 + 2;
+        let expected =
+            8 * 200 + 200 + 200 * 200 + 200 + 200 * 200 + 200 + 200 * 64 + 64 + 64 * 2 + 2;
         assert_eq!(net.parameter_count(), expected);
     }
 

@@ -14,7 +14,7 @@ fn synthetic_dataset(n: usize, rng: &mut SimRng) -> Dataset {
     let mut y = Vec::with_capacity(n);
     for _ in 0..n {
         let row: Vec<f64> = (0..7).map(|_| rng.next_f64()).collect();
-        let target = ((row[3] * 3.0 - row[4]).max(0.0)).min(1.0);
+        let target = (row[3] * 3.0 - row[4]).clamp(0.0, 1.0);
         x.push(row);
         y.push(vec![target]);
     }
@@ -33,7 +33,13 @@ fn bench(c: &mut Criterion) {
             .dense(16, Activation::Tanh)
             .dense(1, Activation::Sigmoid)
             .build(&mut rng);
-        let cfg = TrainConfig { epochs: 1, learning_rate: 0.5, batch_size: 32, shuffle: true, momentum: 0.0 };
+        let cfg = TrainConfig {
+            epochs: 1,
+            learning_rate: 0.5,
+            batch_size: 32,
+            shuffle: true,
+            momentum: 0.0,
+        };
         b.iter(|| black_box(net.train(&data, &cfg, &mut rng).final_loss()));
     });
 
@@ -49,7 +55,13 @@ fn bench(c: &mut Criterion) {
             }
             Dataset::from_rows(x, y).unwrap()
         };
-        let cfg = TrainConfig { epochs: 1, learning_rate: 0.5, batch_size: 32, shuffle: true, momentum: 0.0 };
+        let cfg = TrainConfig {
+            epochs: 1,
+            learning_rate: 0.5,
+            batch_size: 32,
+            shuffle: true,
+            momentum: 0.0,
+        };
         b.iter(|| black_box(net.train(&wide, &cfg, &mut rng).final_loss()));
     });
 

@@ -29,15 +29,14 @@ fn bench(c: &mut Criterion) {
     let cal = Calibration::paper();
     let mut group = c.benchmark_group("fig4_message_size");
     group.sample_size(10);
-    for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+    for semantics in [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ] {
         for m in [100u64, 1000] {
-            group.bench_with_input(
-                BenchmarkId::new(semantics.to_string(), m),
-                &m,
-                |b, &m| {
-                    b.iter(|| black_box(point(m, semantics).run(&cal, 500, 42)).p_loss);
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(semantics.to_string(), m), &m, |b, &m| {
+                b.iter(|| black_box(point(m, semantics).run(&cal, 500, 42)).p_loss);
+            });
         }
     }
     group.finish();

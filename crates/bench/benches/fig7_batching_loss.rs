@@ -28,7 +28,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_batching_loss");
     group.sample_size(10);
     for (loss, batch) in [(0.13, 1usize), (0.13, 4), (0.30, 4)] {
-        for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+        for semantics in [
+            DeliverySemantics::AtMostOnce,
+            DeliverySemantics::AtLeastOnce,
+        ] {
             let id = format!("L{:.0}%_B{batch}_{semantics}", loss * 100.0);
             group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, ()| {
                 b.iter(|| black_box(point(loss, batch, semantics).run(&cal, 500, 42)).p_loss);

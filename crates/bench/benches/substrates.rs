@@ -52,16 +52,8 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("matrix_matmul_128", |b| {
         let mut rng = SimRng::seed_from_u64(2);
-        let a = annet::Matrix::from_vec(
-            128,
-            128,
-            (0..128 * 128).map(|_| rng.next_f64()).collect(),
-        );
-        let m = annet::Matrix::from_vec(
-            128,
-            128,
-            (0..128 * 128).map(|_| rng.next_f64()).collect(),
-        );
+        let a = annet::Matrix::from_vec(128, 128, (0..128 * 128).map(|_| rng.next_f64()).collect());
+        let m = annet::Matrix::from_vec(128, 128, (0..128 * 128).map(|_| rng.next_f64()).collect());
         b.iter(|| black_box(a.matmul(&m)));
     });
 

@@ -13,7 +13,9 @@ use testbed::Calibration;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 4 {
-        eprintln!("usage: probe <M> <L%> <D_ms> <amo|alo> [batch] [poll_ms] [timeout_ms] [messages]");
+        eprintln!(
+            "usage: probe <M> <L%> <D_ms> <amo|alo> [batch] [poll_ms] [timeout_ms] [messages]"
+        );
         std::process::exit(2);
     }
     let m: u64 = args[0].parse().expect("M");
@@ -42,7 +44,11 @@ fn main() {
     let spec = point.to_run_spec(&cal, messages);
     let outcome = kafkasim::runtime::KafkaRun::new(spec, 42).execute();
     let r = &outcome.report;
-    println!("P_l = {:.2}%  P_d = {:.2}%", r.p_loss() * 100.0, r.p_dup() * 100.0);
+    println!(
+        "P_l = {:.2}%  P_d = {:.2}%",
+        r.p_loss() * 100.0,
+        r.p_dup() * 100.0
+    );
     println!(
         "delivered {} lost {} dup {} (of {}), duration {:.1}s, throughput {:.1}/s",
         r.delivered_once,
@@ -68,5 +74,9 @@ fn main() {
             link.dropped
         );
     }
-    println!("latency: mean {:.0}ms max {:.0}ms", r.latency.mean_s * 1e3, r.latency.max_s * 1e3);
+    println!(
+        "latency: mean {:.0}ms max {:.0}ms",
+        r.latency.mean_s * 1e3,
+        r.latency.max_s * 1e3
+    );
 }

@@ -20,6 +20,7 @@ struct Args {
     json: bool,
     data: Option<String>,
     save_data: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
     let mut json = false;
     let mut data = None;
     let mut save_data = None;
+    let mut trace_out = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--quick" => effort = Effort::quick(),
@@ -49,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--data" => data = Some(args.next().ok_or("--data needs a path")?),
             "--save-data" => save_data = Some(args.next().ok_or("--save-data needs a path")?),
+            "--trace-out" => trace_out = Some(args.next().ok_or("--trace-out needs a path")?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -59,12 +62,13 @@ fn parse_args() -> Result<Args, String> {
         json,
         data,
         save_data,
+        trace_out,
     })
 }
 
 fn usage() -> String {
-    "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|ablation-transport|ablation-jitter|all> \
-     [--messages N] [--quick] [--paper-ann] [--seed S] [--threads T] [--json] [--data FILE] [--save-data FILE]"
+    "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|ablation-transport|ablation-jitter|trace|all> \
+     [--messages N] [--quick] [--paper-ann] [--seed S] [--threads T] [--json] [--data FILE] [--save-data FILE] [--trace-out FILE.jsonl]"
         .to_string()
 }
 
@@ -88,56 +92,117 @@ fn main() {
     run("table1", &mut || table1(args.json));
     run("collection", &mut || collection(args.json));
     run("fig4", &mut || {
-        series("Fig. 4: P_l vs message size M (D=100ms, L=19%, full load)",
-            "M (bytes)", "P_l", &figures::fig4(args.effort), args.json);
+        series(
+            "Fig. 4: P_l vs message size M (D=100ms, L=19%, full load)",
+            "M (bytes)",
+            "P_l",
+            &figures::fig4(args.effort),
+            args.json,
+        );
     });
     run("fig5", &mut || {
-        series("Fig. 5: P_l vs message timeout T_o (no faults, near-saturated load)",
-            "T_o (ms)", "P_l", &figures::fig5(args.effort), args.json);
+        series(
+            "Fig. 5: P_l vs message timeout T_o (no faults, near-saturated load)",
+            "T_o (ms)",
+            "P_l",
+            &figures::fig5(args.effort),
+            args.json,
+        );
     });
     run("fig6", &mut || {
-        series("Fig. 6: P_l vs polling interval delta (T_o=500ms, no faults)",
-            "delta (ms)", "P_l", &figures::fig6(args.effort), args.json);
+        series(
+            "Fig. 6: P_l vs polling interval delta (T_o=500ms, no faults)",
+            "delta (ms)",
+            "P_l",
+            &figures::fig6(args.effort),
+            args.json,
+        );
     });
     run("fig7", &mut || {
-        series("Fig. 7: P_l vs packet loss L, batch sizes x semantics",
-            "L", "P_l", &figures::fig7(args.effort), args.json);
+        series(
+            "Fig. 7: P_l vs packet loss L, batch sizes x semantics",
+            "L",
+            "P_l",
+            &figures::fig7(args.effort),
+            args.json,
+        );
     });
     run("fig8", &mut || {
-        series("Fig. 8: P_d vs batch size B (at-least-once)",
-            "B", "P_d", &figures::fig8(args.effort), args.json);
+        series(
+            "Fig. 8: P_d vs batch size B (at-least-once)",
+            "B",
+            "P_d",
+            &figures::fig8(args.effort),
+            args.json,
+        );
     });
     run("fig9", &mut || fig9(args.effort.seed, args.json));
     run("ann", &mut || {
-        ann(args.effort, args.paper_ann, args.json, args.data.as_deref(), args.save_data.as_deref())
+        ann(
+            args.effort,
+            args.paper_ann,
+            args.json,
+            args.data.as_deref(),
+            args.save_data.as_deref(),
+        )
     });
     run("kpi", &mut || kpi(args.json));
-    run("table2", &mut || table2(args.effort, args.paper_ann, args.json));
+    run("table2", &mut || {
+        table2(args.effort, args.paper_ann, args.json)
+    });
     run("overlay", &mut || {
         let (series_data, mae) = figures::prediction_overlay(args.effort, args.paper_ann);
-        series("Figs. 4-6 overlay: measured vs ANN-predicted P_l on the Fig. 4 sweep",
-            "M (bytes)", "P_l", &series_data, args.json);
+        series(
+            "Figs. 4-6 overlay: measured vs ANN-predicted P_l on the Fig. 4 sweep",
+            "M (bytes)",
+            "P_l",
+            &series_data,
+            args.json,
+        );
         if !args.json {
             println!("overlay MAE vs fresh measurements: {mae:.4}\n");
         }
     });
     run("sensitivity", &mut || sensitivity(args.effort, args.json));
     run("ext-outage", &mut || {
-        series("EXT-1: P_l vs broker outage duration (1 of 3 brokers down)",
-            "outage (s)", "P_l", &figures::ext_broker_outage(args.effort), args.json);
+        series(
+            "EXT-1: P_l vs broker outage duration (1 of 3 brokers down)",
+            "outage (s)",
+            "P_l",
+            &figures::ext_broker_outage(args.effort),
+            args.json,
+        );
     });
     run("ext-online", &mut || ext_online(args.effort, args.json));
     run("ext-retries", &mut || {
-        series("EXT-2: P_l vs retry budget tau_r (L=25%, D=100ms)",
-            "tau_r", "P_l", &figures::ext_retry_strategy(args.effort), args.json);
+        series(
+            "EXT-2: P_l vs retry budget tau_r (L=25%, D=100ms)",
+            "tau_r",
+            "P_l",
+            &figures::ext_retry_strategy(args.effort),
+            args.json,
+        );
     });
     run("ablation-transport", &mut || {
-        series("ABL-1: early retransmit vs classic Reno (fire-and-forget, full load)",
-            "L", "P_l", &figures::ablation_early_retransmit(args.effort), args.json);
+        series(
+            "ABL-1: early retransmit vs classic Reno (fire-and-forget, full load)",
+            "L",
+            "P_l",
+            &figures::ablation_early_retransmit(args.effort),
+            args.json,
+        );
     });
     run("ablation-jitter", &mut || {
-        series("ABL-2: service-time jitter and the T_o loss tail",
-            "T_o (ms)", "P_l", &figures::ablation_service_jitter(args.effort), args.json);
+        series(
+            "ABL-2: service-time jitter and the T_o loss tail",
+            "T_o (ms)",
+            "P_l",
+            &figures::ablation_service_jitter(args.effort),
+            args.json,
+        );
+    });
+    run("trace", &mut || {
+        trace_demo(args.json, args.trace_out.as_deref())
     });
 
     if !matched {
@@ -148,7 +213,10 @@ fn main() {
 
 fn series(title: &str, x: &str, metric: &str, data: &[figures::Series], json: bool) {
     if json {
-        println!("{}", serde_json::to_string_pretty(data).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(data).expect("serialisable")
+        );
     } else {
         println!("{}", render::render_series(title, x, metric, data));
     }
@@ -163,7 +231,10 @@ fn table1(json: bool) {
                 serde_json::json!({"case": case.to_string(), "path": path, "verified": ok})
             })
             .collect();
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialisable")
+        );
         return;
     }
     println!("== Table I: message delivery cases (verified against the state machine) ==");
@@ -194,11 +265,17 @@ fn collection(json: bool) {
 fn fig9(seed: u64, json: bool) {
     let trace = figures::fig9(seed);
     if json {
-        println!("{}", serde_json::to_string_pretty(&trace).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&trace).expect("serialisable")
+        );
         return;
     }
     println!("== Fig. 9: network connection in the dynamic-configuration experiment ==");
-    println!("{:>8} {:>10} {:>8} {:>6}", "t (s)", "delay(ms)", "loss", "state");
+    println!(
+        "{:>8} {:>10} {:>8} {:>6}",
+        "t (s)", "delay(ms)", "loss", "state"
+    );
     for ((t, cond), state) in trace.timeline.breakpoints().iter().zip(&trace.states) {
         println!(
             "{:>8} {:>10.1} {:>7.1}% {:>6?}",
@@ -261,7 +338,10 @@ fn ann(effort: Effort, paper_scale: bool, json: bool, data: Option<&str>, save_d
         return;
     }
     println!("== ANN prediction accuracy (paper: MAE < 0.02) ==");
-    for (name, head) in [("at-most-once", trained.amo), ("at-least-once", trained.alo)] {
+    for (name, head) in [
+        ("at-most-once", trained.amo),
+        ("at-least-once", trained.alo),
+    ] {
         println!(
             "{name:>14} head: {} train / {} test samples, held-out MAE = {:.4}",
             head.train_samples, head.test_samples, head.test_mae
@@ -278,7 +358,10 @@ fn kpi(json: bool) {
             .iter()
             .map(|(label, g)| serde_json::json!({"config": label, "gamma": g}))
             .collect();
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialisable")
+        );
         return;
     }
     println!("== Eq. 2: weighted KPI gamma (D=100ms, L=13%, default weights) ==");
@@ -307,7 +390,10 @@ fn sensitivity(effort: Effort, json: bool) {
     let cal = Calibration::paper();
     let rows = analyze(&base, &cal, effort.messages, effort.seed, effort.threads);
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialisable")
+        );
         return;
     }
     println!("== Sec. III-D sensitivity analysis: +/-50% perturbations around a lossy baseline ==");
@@ -343,7 +429,10 @@ fn ext_online(effort: Effort, json: bool) {
             .iter()
             .map(|(label, r)| serde_json::json!({"mode": label, "report": r}))
             .collect();
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialisable")
+        );
         return;
     }
     println!("== EXT-3: online vs offline dynamic configuration (web access records) ==");
@@ -364,6 +453,179 @@ fn ext_online(effort: Effort, json: bool) {
     println!();
 }
 
+/// The `trace` target: runs the two canonical reliability-failure
+/// scenarios with full lifecycle tracing, reconstructs a per-message
+/// timeline from the events, and cross-checks it against the audit so
+/// every lost and duplicated message is shown with its cause. With
+/// `--trace-out base.jsonl`, each scenario's event stream is written to
+/// `base-amo.jsonl` / `base-alo.jsonl` and re-parsed to verify the
+/// round-trip.
+fn trace_demo(json: bool, trace_out: Option<&str>) {
+    use desim::SimDuration;
+    use kafkasim::config::{DeliverySemantics, ProducerConfig};
+    use kafkasim::runtime::{KafkaRun, RunSpec};
+    use kafkasim::source::SourceSpec;
+    use netsim::{ConditionTimeline, NetCondition};
+    use obs::{JsonlSink, MessageFate, RingBufferSink, TimelineReport, TraceSink};
+
+    let lossy = {
+        let mut spec = RunSpec {
+            source: SourceSpec::fixed_rate(1_000, 200, 500.0),
+            ..RunSpec::default()
+        };
+        spec.producer = ProducerConfig::builder()
+            .semantics(DeliverySemantics::AtMostOnce)
+            .message_timeout(SimDuration::from_millis(2_000))
+            .build()
+            .expect("valid config");
+        spec.network =
+            ConditionTimeline::constant(NetCondition::new(SimDuration::from_millis(100), 0.30));
+        spec
+    };
+    let duplicating = {
+        let mut spec = RunSpec {
+            source: SourceSpec::fixed_rate(2_000, 200, 500.0),
+            ..RunSpec::default()
+        };
+        spec.producer = ProducerConfig::builder()
+            .semantics(DeliverySemantics::AtLeastOnce)
+            .request_timeout(SimDuration::from_millis(400))
+            .message_timeout(SimDuration::from_millis(5_000))
+            .build()
+            .expect("valid config");
+        spec.network =
+            ConditionTimeline::constant(NetCondition::new(SimDuration::from_millis(150), 0.25));
+        spec
+    };
+    let scenarios = [
+        ("amo", "acks=0, D=100ms, L=30% (silent loss)", lossy, 3u64),
+        (
+            "alo",
+            "acks=1, D=150ms, L=25%, request timeout 400ms (duplicates)",
+            duplicating,
+            5u64,
+        ),
+    ];
+
+    if !json {
+        println!("== Message-lifecycle traces: every P_l / P_d count explained ==");
+    }
+    let mut rows = Vec::new();
+    for (tag, label, spec, seed) in scenarios {
+        let (outcome, mut sink) =
+            KafkaRun::new(spec, seed).execute_traced(Box::new(RingBufferSink::new(1 << 22)));
+        let events = sink.drain();
+        let timeline = TimelineReport::reconstruct(&events);
+        let audit = kafkasim::crosscheck(&outcome.report, &timeline);
+
+        let written = trace_out.map(|base| {
+            let path = derive_trace_path(base, tag);
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            let mut jsonl = JsonlSink::new(std::io::BufWriter::new(file));
+            for e in &events {
+                jsonl.record(e.clone());
+            }
+            assert_eq!(jsonl.errors(), 0, "all events serialise");
+            jsonl.into_inner().expect("flush trace file");
+            let text = std::fs::read_to_string(&path).expect("re-read trace file");
+            let parsed = obs::parse_jsonl(&text).expect("trace file parses back");
+            assert_eq!(parsed, events, "JSONL round-trip preserves the trace");
+            (path, events.len())
+        });
+
+        if json {
+            rows.push(serde_json::json!({
+                "scenario": label,
+                "seed": seed,
+                "events": events.len(),
+                "report": outcome.report,
+                "lost_by_cause": timeline
+                    .lost_by_cause()
+                    .into_iter()
+                    .map(|(c, n)| (c.to_string(), n))
+                    .collect::<std::collections::BTreeMap<_, _>>(),
+                "fully_explained": audit.fully_explains(),
+                "trace_file": written.as_ref().map(|(p, _)| p.clone()),
+            }));
+            continue;
+        }
+
+        println!("\n-- {label} (seed {seed}) --");
+        println!(
+            "{} events traced; N={} delivered_once={} lost={} duplicated={}",
+            events.len(),
+            outcome.report.n_source,
+            outcome.report.delivered_once,
+            outcome.report.lost,
+            outcome.report.duplicated
+        );
+        for (cause, n) in timeline.lost_by_cause() {
+            println!("  lost via {cause}: {n}");
+        }
+        let mut dup_causes: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        for tl in timeline.timelines() {
+            if let MessageFate::Duplicated {
+                cause: Some(cause), ..
+            } = &tl.fate
+            {
+                *dup_causes.entry(cause.to_string()).or_insert(0) += 1;
+            }
+        }
+        for (cause, n) in dup_causes {
+            println!("  duplicated via {cause}: {n}");
+        }
+        println!(
+            "  trace vs audit: {}",
+            if audit.fully_explains() {
+                "every lost/duplicated message attributed".to_string()
+            } else {
+                format!("DISCREPANCIES: {:?}", audit.discrepancies)
+            }
+        );
+        // Show one worked example of each failure the scenario produced.
+        if let Some(tl) = timeline
+            .timelines()
+            .find(|t| matches!(t.fate, MessageFate::Lost { .. }))
+        {
+            println!("  example lost message:\n{}", indent(&tl.narrate()));
+        }
+        if let Some(tl) = timeline
+            .timelines()
+            .find(|t| matches!(t.fate, MessageFate::Duplicated { .. }))
+        {
+            println!("  example duplicated message:\n{}", indent(&tl.narrate()));
+        }
+        if let Some((path, n)) = written {
+            println!("  wrote {n} events to {path} (round-trip verified)");
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialisable")
+        );
+    } else {
+        println!();
+    }
+}
+
+/// `base.jsonl` + `amo` → `base-amo.jsonl`.
+fn derive_trace_path(base: &str, tag: &str) -> String {
+    match base.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{tag}.{ext}"),
+        _ => format!("{base}-{tag}.jsonl"),
+    }
+}
+
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 fn table2(effort: Effort, paper_ann: bool, json: bool) {
     eprintln!("table2: training the prediction model first...");
     let trained = figures::ann_accuracy(effort, paper_ann);
@@ -373,7 +635,10 @@ fn table2(effort: Effort, paper_ann: bool, json: bool) {
     );
     let rows = figures::table2(&trained.model, effort);
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialisable")
+        );
         return;
     }
     println!("{}", render::render_table2(&rows));

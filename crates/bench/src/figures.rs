@@ -78,11 +78,7 @@ pub struct Series {
     pub points: Vec<SeriesPoint>,
 }
 
-fn sweep_series(
-    label: &str,
-    points: Vec<(f64, ExperimentPoint)>,
-    effort: Effort,
-) -> Series {
+fn sweep_series(label: &str, points: Vec<(f64, ExperimentPoint)>, effort: Effort) -> Series {
     let cal = Calibration::paper();
     let xs: Vec<f64> = points.iter().map(|(x, _)| *x).collect();
     let eps: Vec<ExperimentPoint> = points.into_iter().map(|(_, p)| p).collect();
@@ -107,30 +103,33 @@ fn sweep_series(
 #[must_use]
 pub fn fig4(effort: Effort) -> Vec<Series> {
     let sizes = [50u64, 100, 150, 200, 300, 400, 500, 700, 1000];
-    [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce]
-        .into_iter()
-        .map(|semantics| {
-            let points = sizes
-                .iter()
-                .map(|&m| {
-                    (
-                        m as f64,
-                        ExperimentPoint {
-                            message_size: m,
-                            timeliness: None,
-                            delay: SimDuration::from_millis(100),
-                            loss_rate: 0.19,
-                            semantics,
-                            batch_size: 1,
-                            poll_interval: SimDuration::ZERO, // full load
-                            message_timeout: SimDuration::from_millis(2_000),
-                        },
-                    )
-                })
-                .collect();
-            sweep_series(&semantics.to_string(), points, effort)
-        })
-        .collect()
+    [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ]
+    .into_iter()
+    .map(|semantics| {
+        let points = sizes
+            .iter()
+            .map(|&m| {
+                (
+                    m as f64,
+                    ExperimentPoint {
+                        message_size: m,
+                        timeliness: None,
+                        delay: SimDuration::from_millis(100),
+                        loss_rate: 0.19,
+                        semantics,
+                        batch_size: 1,
+                        poll_interval: SimDuration::ZERO, // full load
+                        message_timeout: SimDuration::from_millis(2_000),
+                    },
+                )
+            })
+            .collect();
+        sweep_series(&semantics.to_string(), points, effort)
+    })
+    .collect()
 }
 
 /// Fig. 5 — `P_l` vs message timeout `T_o` (ms) under full load with **no**
@@ -142,30 +141,33 @@ pub fn fig4(effort: Effort) -> Vec<Series> {
 #[must_use]
 pub fn fig5(effort: Effort) -> Vec<Series> {
     let timeouts = [200u64, 400, 600, 800, 1000, 1250, 1500, 2000, 2500, 3000];
-    [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce]
-        .into_iter()
-        .map(|semantics| {
-            let points = timeouts
-                .iter()
-                .map(|&t| {
-                    (
-                        t as f64,
-                        ExperimentPoint {
-                            message_size: 620,
-                            timeliness: None,
-                            delay: SimDuration::from_millis(1),
-                            loss_rate: 0.0,
-                            semantics,
-                            batch_size: 1,
-                            poll_interval: SimDuration::ZERO, // full load
-                            message_timeout: SimDuration::from_millis(t),
-                        },
-                    )
-                })
-                .collect();
-            sweep_series(&semantics.to_string(), points, effort)
-        })
-        .collect()
+    [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ]
+    .into_iter()
+    .map(|semantics| {
+        let points = timeouts
+            .iter()
+            .map(|&t| {
+                (
+                    t as f64,
+                    ExperimentPoint {
+                        message_size: 620,
+                        timeliness: None,
+                        delay: SimDuration::from_millis(1),
+                        loss_rate: 0.0,
+                        semantics,
+                        batch_size: 1,
+                        poll_interval: SimDuration::ZERO, // full load
+                        message_timeout: SimDuration::from_millis(t),
+                    },
+                )
+            })
+            .collect();
+        sweep_series(&semantics.to_string(), points, effort)
+    })
+    .collect()
 }
 
 /// Fig. 6 — `P_l` vs polling interval `δ` (ms) with `T_o = 500 ms`, no
@@ -173,30 +175,33 @@ pub fn fig5(effort: Effort) -> Vec<Series> {
 #[must_use]
 pub fn fig6(effort: Effort) -> Vec<Series> {
     let deltas = [0u64, 10, 20, 30, 40, 50, 60, 70, 80, 90];
-    [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce]
-        .into_iter()
-        .map(|semantics| {
-            let points = deltas
-                .iter()
-                .map(|&d| {
-                    (
-                        d as f64,
-                        ExperimentPoint {
-                            message_size: 100,
-                            timeliness: None,
-                            delay: SimDuration::from_millis(1),
-                            loss_rate: 0.0,
-                            semantics,
-                            batch_size: 1,
-                            poll_interval: SimDuration::from_millis(d),
-                            message_timeout: SimDuration::from_millis(500),
-                        },
-                    )
-                })
-                .collect();
-            sweep_series(&semantics.to_string(), points, effort)
-        })
-        .collect()
+    [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ]
+    .into_iter()
+    .map(|semantics| {
+        let points = deltas
+            .iter()
+            .map(|&d| {
+                (
+                    d as f64,
+                    ExperimentPoint {
+                        message_size: 100,
+                        timeliness: None,
+                        delay: SimDuration::from_millis(1),
+                        loss_rate: 0.0,
+                        semantics,
+                        batch_size: 1,
+                        poll_interval: SimDuration::from_millis(d),
+                        message_timeout: SimDuration::from_millis(500),
+                    },
+                )
+            })
+            .collect();
+        sweep_series(&semantics.to_string(), points, effort)
+    })
+    .collect()
 }
 
 /// Fig. 7 — `P_l` vs packet loss rate `L` for batch sizes `B ∈ {1..10}`
@@ -204,10 +209,15 @@ pub fn fig6(effort: Effort) -> Vec<Series> {
 /// the paper).
 #[must_use]
 pub fn fig7(effort: Effort) -> Vec<Series> {
-    let losses = [0.0, 0.02, 0.05, 0.08, 0.10, 0.13, 0.16, 0.20, 0.25, 0.30, 0.40, 0.50];
+    let losses = [
+        0.0, 0.02, 0.05, 0.08, 0.10, 0.13, 0.16, 0.20, 0.25, 0.30, 0.40, 0.50,
+    ];
     let batches = [1usize, 2, 4, 6, 8, 10];
     let mut series = Vec::new();
-    for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+    for semantics in [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ] {
         for &b in &batches {
             let points = losses
                 .iter()
@@ -325,7 +335,10 @@ pub fn kpi_sweep(predictor: &dyn Predictor) -> Vec<(String, f64)> {
     let kpi = KpiModel::from_calibration(&cal);
     let weights = KpiWeights::paper_default();
     let mut rows = Vec::new();
-    for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+    for semantics in [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ] {
         for b in [1usize, 2, 4, 8] {
             let f = Features {
                 message_size: 200,
@@ -437,11 +450,7 @@ pub fn table2(predictor: &dyn Predictor, effort: Effort) -> Vec<Table2Row> {
 /// Messages needed to span the trace at the scenario's mean rate.
 fn messages_for(scenario: &ApplicationScenario, trace: &ConditionTimeline) -> u64 {
     let horizon = trace.last_change().saturating_since(SimTime::ZERO);
-    let mean_rate = scenario
-        .rate_timeline
-        .iter()
-        .map(|(_, r)| *r)
-        .sum::<f64>()
+    let mean_rate = scenario.rate_timeline.iter().map(|(_, r)| *r).sum::<f64>()
         / scenario.rate_timeline.len().max(1) as f64;
     ((horizon.as_secs_f64() * mean_rate) as u64).max(100)
 }
@@ -468,55 +477,6 @@ pub fn heuristic_predictor() -> impl Predictor {
     })
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table1_paths_all_verify() {
-        let rows = table1();
-        assert_eq!(rows.len(), 5);
-        assert!(rows.iter().all(|(_, _, ok)| *ok));
-    }
-
-    #[test]
-    fn collection_sizes_are_reported() {
-        let (normal, abnormal) = collection_summary();
-        assert!(normal > 50);
-        assert!(abnormal > 100);
-    }
-
-    #[test]
-    fn fig9_trace_is_deterministic() {
-        assert_eq!(fig9(1), fig9(1));
-        assert_ne!(fig9(1), fig9(2));
-    }
-
-    #[test]
-    fn kpi_sweep_produces_unit_gammas() {
-        let p = heuristic_predictor();
-        let rows = kpi_sweep(&p);
-        assert_eq!(rows.len(), 8);
-        assert!(rows.iter().all(|(_, g)| (0.0..=1.0).contains(g)));
-    }
-
-    #[test]
-    fn fig6_overload_floor_appears() {
-        let mut effort = Effort::quick();
-        effort.messages = 1_500;
-        let series = fig6(effort);
-        // At δ = 0 the overloaded producer loses a large share.
-        let amo = &series[0];
-        assert!(amo.points[0].p_loss > 0.3, "δ=0: {}", amo.points[0].p_loss);
-        // At δ = 90 ms loss collapses.
-        assert!(
-            amo.points.last().unwrap().p_loss < 0.10,
-            "δ=90: {}",
-            amo.points.last().unwrap().p_loss
-        );
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Extensions beyond the paper (its "future research" directions) and
 // ablations of this reproduction's own design choices.
@@ -535,8 +495,16 @@ pub fn ext_broker_outage(effort: Effort) -> Vec<Series> {
     let cal = Calibration::paper();
     let durations = [0u64, 5, 10, 20, 30];
     let variants: [(&str, DeliverySemantics, Option<SimDuration>); 3] = [
-        ("at-most-once, no failover", DeliverySemantics::AtMostOnce, None),
-        ("at-least-once, no failover", DeliverySemantics::AtLeastOnce, None),
+        (
+            "at-most-once, no failover",
+            DeliverySemantics::AtMostOnce,
+            None,
+        ),
+        (
+            "at-least-once, no failover",
+            DeliverySemantics::AtLeastOnce,
+            None,
+        ),
         (
             "at-least-once, failover 1s",
             DeliverySemantics::AtLeastOnce,
@@ -742,7 +710,10 @@ pub fn prediction_overlay(effort: Effort, paper_scale: bool) -> (Vec<Series>, f6
     let mut series = Vec::new();
     let mut abs_err = 0.0;
     let mut n_err = 0usize;
-    for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+    for semantics in [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ] {
         let points: Vec<ExperimentPoint> = sizes
             .iter()
             .map(|&m| ExperimentPoint {
@@ -845,9 +816,7 @@ pub fn ext_online(
     let offline = ModelPlanner::new(&model, &cal, SearchSpace::default());
     rows.push((
         "offline dynamic (network known)".to_string(),
-        testbed::dynamic::run_scenario(
-            &scenario, &trace, &offline, &cal, n, interval, effort.seed,
-        ),
+        testbed::dynamic::run_scenario(&scenario, &trace, &offline, &cal, n, interval, effort.seed),
     ));
 
     // The online controller sees only the producer's own statistics; it
@@ -878,4 +847,53 @@ pub fn ext_online(
         ),
     ));
     rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_paths_all_verify() {
+        let rows = table1();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|(_, _, ok)| *ok));
+    }
+
+    #[test]
+    fn collection_sizes_are_reported() {
+        let (normal, abnormal) = collection_summary();
+        assert!(normal > 50);
+        assert!(abnormal > 100);
+    }
+
+    #[test]
+    fn fig9_trace_is_deterministic() {
+        assert_eq!(fig9(1), fig9(1));
+        assert_ne!(fig9(1), fig9(2));
+    }
+
+    #[test]
+    fn kpi_sweep_produces_unit_gammas() {
+        let p = heuristic_predictor();
+        let rows = kpi_sweep(&p);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|(_, g)| (0.0..=1.0).contains(g)));
+    }
+
+    #[test]
+    fn fig6_overload_floor_appears() {
+        let mut effort = Effort::quick();
+        effort.messages = 1_500;
+        let series = fig6(effort);
+        // At δ = 0 the overloaded producer loses a large share.
+        let amo = &series[0];
+        assert!(amo.points[0].p_loss > 0.3, "δ=0: {}", amo.points[0].p_loss);
+        // At δ = 90 ms loss collapses.
+        assert!(
+            amo.points.last().unwrap().p_loss < 0.10,
+            "δ=90: {}",
+            amo.points.last().unwrap().p_loss
+        );
+    }
 }

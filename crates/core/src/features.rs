@@ -52,13 +52,13 @@ impl Default for Features {
 /// The Fig. 3 value ranges, per feature (excluding semantics, which is the
 /// model-selection axis): `[M, S, D, L, B, δ, T_o]`.
 pub const FEATURE_RANGES: [(f64, f64); 7] = [
-    (50.0, 1_000.0),  // M: 50 B .. 1 kB
-    (0.0, 30_000.0),  // S: 0 .. 30 s
-    (0.0, 400.0),     // D: 0 .. 400 ms
-    (0.0, 0.5),       // L: 0 .. 50 %
-    (1.0, 10.0),      // B: 1 .. 10 messages
-    (0.0, 200.0),     // δ: 0 .. 200 ms
-    (200.0, 30_000.0) // T_o: 200 ms .. 30 s
+    (50.0, 1_000.0),   // M: 50 B .. 1 kB
+    (0.0, 30_000.0),   // S: 0 .. 30 s
+    (0.0, 400.0),      // D: 0 .. 400 ms
+    (0.0, 0.5),        // L: 0 .. 50 %
+    (1.0, 10.0),       // B: 1 .. 10 messages
+    (0.0, 200.0),      // δ: 0 .. 200 ms
+    (200.0, 30_000.0), // T_o: 200 ms .. 30 s
 ];
 
 impl Features {
@@ -215,14 +215,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_out_of_domain() {
-        let mut f = Features::default();
-        f.loss_rate = 1.2;
+        let f = Features {
+            loss_rate: 1.2,
+            ..Features::default()
+        };
         assert!(f.validate().is_err());
-        let mut f = Features::default();
-        f.batch_size = 0;
+        let f = Features {
+            batch_size: 0,
+            ..Features::default()
+        };
         assert!(f.validate().is_err());
-        let mut f = Features::default();
-        f.delay_ms = f64::NAN;
+        let f = Features {
+            delay_ms: f64::NAN,
+            ..Features::default()
+        };
         assert!(f.validate().is_err());
         assert!(Features::default().validate().is_ok());
     }

@@ -189,7 +189,10 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         let m = ReliabilityModel::new(Topology::Compact, &mut rng);
         for loss in [0.0, 0.19, 0.5] {
-            for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+            for semantics in [
+                DeliverySemantics::AtMostOnce,
+                DeliverySemantics::AtLeastOnce,
+            ] {
                 let p = m.predict(&Features {
                     loss_rate: loss,
                     semantics,

@@ -44,10 +44,7 @@ impl NetworkEstimator {
     /// A fresh estimator assuming a healthy network.
     #[must_use]
     pub fn new(alpha: f64) -> Self {
-        assert!(
-            alpha > 0.0 && alpha <= 1.0,
-            "alpha must be in (0, 1]"
-        );
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         NetworkEstimator {
             alpha,
             loss: 0.0,
@@ -143,7 +140,10 @@ impl<P: Predictor + Send + Sync> OnlineController for OnlineModelController<P> {
         };
         let recommender = Recommender::new(&self.kpi, &self.predictor, self.space.clone());
         let rec = recommender.recommend(&start, &self.weights, self.gamma_requirement);
-        let mut cfg = rec.features.to_experiment_point().producer_config(&self.cal);
+        let mut cfg = rec
+            .features
+            .to_experiment_point()
+            .producer_config(&self.cal);
         // Keep the current retry budget: the search space does not tune it.
         cfg.max_retries = current.max_retries.max(self.cal.max_retries);
         Some(cfg)
@@ -168,6 +168,9 @@ mod tests {
             expired: 0,
             backlog: 0,
             srtt_ms,
+            rtt_p99_ms: None,
+            e2e_p99_ms: None,
+            batch_fill_mean: None,
         }
     }
 

@@ -209,7 +209,9 @@ impl<'a> Recommender<'a> {
                     best = Some((candidate, g));
                 }
             }
-            let Some((next, next_gamma)) = best else { break };
+            let Some((next, next_gamma)) = best else {
+                break;
+            };
             if next_gamma <= current_gamma {
                 break; // local optimum: nothing improves γ
             }
@@ -291,8 +293,7 @@ mod tests {
         };
         let out = rec.recommend(&start, &KpiWeights::paper_default(), 0.9);
         assert!(
-            out.features.batch_size > 1
-                || out.features.semantics == DeliverySemantics::AtLeastOnce,
+            out.features.batch_size > 1 || out.features.semantics == DeliverySemantics::AtLeastOnce,
             "search should batch or switch semantics: {:?}",
             out.features
         );
@@ -330,14 +331,20 @@ mod tests {
 
     #[test]
     fn invalid_space_rejected() {
-        let mut space = SearchSpace::default();
-        space.batch = (0, 5);
+        let space = SearchSpace {
+            batch: (0, 5),
+            ..SearchSpace::default()
+        };
         assert!(space.validate().is_err());
-        let mut space = SearchSpace::default();
-        space.timeout_step_ms = 0.0;
+        let space = SearchSpace {
+            timeout_step_ms: 0.0,
+            ..SearchSpace::default()
+        };
         assert!(space.validate().is_err());
-        let mut space = SearchSpace::default();
-        space.max_steps = 0;
+        let space = SearchSpace {
+            max_steps: 0,
+            ..SearchSpace::default()
+        };
         assert!(space.validate().is_err());
     }
 

@@ -238,7 +238,10 @@ pub fn validate_against_simulation(
 #[must_use]
 pub fn quick_grid(cal: &Calibration, n_messages: u64, threads: usize) -> Vec<ExperimentResult> {
     let mut points = Vec::new();
-    for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+    for semantics in [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ] {
         for &loss in &[0.0, 0.12, 0.25] {
             for &batch in &[1usize, 6] {
                 for &m in &[100u64, 400] {
@@ -312,18 +315,10 @@ mod tests {
         options.sgd.epochs = 400;
         let trained = train_model(&results, &options, 2).unwrap();
         // Compare in-sample MAE against predicting the global mean P_l.
-        let mean_pl: f64 =
-            results.iter().map(|r| r.p_loss).sum::<f64>() / results.len() as f64;
+        let mean_pl: f64 = results.iter().map(|r| r.p_loss).sum::<f64>() / results.len() as f64;
         let model_err: f64 = results
             .iter()
-            .map(|r| {
-                (trained
-                    .model
-                    .predict(&Features::from(&r.point))
-                    .p_loss
-                    - r.p_loss)
-                    .abs()
-            })
+            .map(|r| (trained.model.predict(&Features::from(&r.point)).p_loss - r.p_loss).abs())
             .sum::<f64>()
             / results.len() as f64;
         let baseline_err: f64 = results

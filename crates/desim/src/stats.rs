@@ -117,8 +117,7 @@ impl RunningMoments {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -177,8 +176,7 @@ impl Histogram {
             self.overflow += 1;
         } else {
             let frac = (x - self.low) / (self.high - self.low);
-            let idx = ((frac * self.buckets.len() as f64) as usize)
-                .min(self.buckets.len() - 1);
+            let idx = ((frac * self.buckets.len() as f64) as usize).min(self.buckets.len() - 1);
             self.buckets[idx] += 1;
         }
     }

@@ -214,7 +214,11 @@ mod tests {
     use crate::cluster::{Cluster, ClusterSpec};
 
     fn build(
-        outcomes: &[(u32 /* attempts */, u64 /* copies */, Option<LossReason>)],
+        outcomes: &[(
+            u32, /* attempts */
+            u64, /* copies */
+            Option<LossReason>,
+        )],
     ) -> DeliveryReport {
         let mut ledger = Ledger::new();
         let mut cluster = Cluster::new(ClusterSpec {
@@ -250,17 +254,22 @@ mod tests {
             }
         }
         let topic = ConsumedTopic::read_all(&cluster);
-        audit(&ledger, &topic, Some(SimDuration::from_millis(5)), SimTime::from_secs(1))
+        audit(
+            &ledger,
+            &topic,
+            Some(SimDuration::from_millis(5)),
+            SimTime::from_secs(1),
+        )
     }
 
     #[test]
     fn metrics_match_paper_definitions() {
         let report = build(&[
-            (1, 1, None),                                  // Case1
-            (1, 0, Some(LossReason::ExpiredInBuffer)),     // Case2
-            (4, 0, Some(LossReason::RetriesExhausted)),    // Case3
-            (3, 1, None),                                  // Case4
-            (2, 2, None),                                  // Case5
+            (1, 1, None),                               // Case1
+            (1, 0, Some(LossReason::ExpiredInBuffer)),  // Case2
+            (4, 0, Some(LossReason::RetriesExhausted)), // Case3
+            (3, 1, None),                               // Case4
+            (2, 2, None),                               // Case5
         ]);
         assert_eq!(report.n_source, 5);
         assert_eq!(report.lost, 2);

@@ -215,7 +215,9 @@ mod tests {
     #[test]
     fn append_to_led_partition() {
         let mut b = Broker::new(BrokerId(1), vec![0, 2]);
-        let base = b.append(2, &[rec(1), rec(2)], SimTime::from_millis(1)).unwrap();
+        let base = b
+            .append(2, &[rec(1), rec(2)], SimTime::from_millis(1))
+            .unwrap();
         assert_eq!(base, 0);
         let base2 = b.append(2, &[rec(3)], SimTime::from_millis(2)).unwrap();
         assert_eq!(base2, 2);

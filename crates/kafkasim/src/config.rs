@@ -386,7 +386,10 @@ mod tests {
             ConfigError::ZeroMessageTimeout
         );
         assert_eq!(
-            ProducerConfig::builder().max_in_flight(0).build().unwrap_err(),
+            ProducerConfig::builder()
+                .max_in_flight(0)
+                .build()
+                .unwrap_err(),
             ConfigError::ZeroInFlight
         );
         assert_eq!(
@@ -405,7 +408,10 @@ mod tests {
             ConfigError::ZeroRequestTimeout
         );
         assert_eq!(
-            ProducerConfig::builder().stall_backoffs(0).build().unwrap_err(),
+            ProducerConfig::builder()
+                .stall_backoffs(0)
+                .build()
+                .unwrap_err(),
             ConfigError::ZeroStallBackoffs
         );
     }

@@ -21,7 +21,11 @@
 //!   [`netsim::DuplexChannel`]s into one deterministic event loop, with
 //!   NetEm-style fault injection from a [`netsim::ConditionTimeline`] and
 //!   support for mid-run configuration changes (the paper's §V dynamic
-//!   configuration).
+//!   configuration);
+//! * **observability** — the runtime is instrumented with [`obs`]
+//!   lifecycle trace events ([`runtime::KafkaRun::execute_traced`]), and
+//!   [`explain`] cross-checks a reconstructed trace against the audit so
+//!   every lost or duplicated message has a concrete traced cause.
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@ pub mod broker;
 pub mod cluster;
 pub mod config;
 pub mod consumer;
+pub mod explain;
 pub mod log;
 pub mod message;
 pub mod producer;
@@ -62,6 +67,7 @@ pub mod wire;
 
 pub use audit::{DeliveryReport, LossReason};
 pub use config::{DeliverySemantics, ProducerConfig};
+pub use explain::{crosscheck, TraceAudit};
 pub use runtime::{KafkaRun, RunOutcome, RunSpec};
 pub use source::SourceSpec;
 pub use state::{DeliveryCase, MessageState};

@@ -37,7 +37,12 @@ pub struct Message {
 impl Message {
     /// Creates a message with the given timeout `T_o`.
     #[must_use]
-    pub fn new(key: MessageKey, payload_bytes: u64, created_at: SimTime, timeout: SimDuration) -> Self {
+    pub fn new(
+        key: MessageKey,
+        payload_bytes: u64,
+        created_at: SimTime,
+        timeout: SimDuration,
+    ) -> Self {
         Message {
             key,
             payload_bytes,
@@ -73,7 +78,10 @@ mod tests {
         );
         assert!(!m.is_expired(SimTime::from_millis(1_400)));
         assert!(m.is_expired(SimTime::from_millis(1_500)));
-        assert_eq!(m.age(SimTime::from_millis(1_300)), SimDuration::from_millis(300));
+        assert_eq!(
+            m.age(SimTime::from_millis(1_300)),
+            SimDuration::from_millis(300)
+        );
     }
 
     #[test]

@@ -493,7 +493,8 @@ mod tests {
     fn batches_fill_by_count() {
         let mut acc = Accumulator::new(3, SimDuration::from_secs(1), 100, 2);
         for k in 0..6 {
-            acc.push(msg(k, 0, 10_000), (k % 2) as u32, SimTime::ZERO).unwrap();
+            acc.push(msg(k, 0, 10_000), (k % 2) as u32, SimTime::ZERO)
+                .unwrap();
         }
         let a = acc.pop_ready(SimTime::ZERO).unwrap();
         let b = acc.pop_ready(SimTime::ZERO).unwrap();
@@ -561,7 +562,8 @@ mod tests {
         let sealed = acc.pop_ready(SimTime::from_millis(1)).unwrap();
         assert_eq!(sealed.messages.len(), 1);
         // New messages use the new batch size of 1.
-        acc.push(msg(1, 1, 10_000), 0, SimTime::from_millis(1)).unwrap();
+        acc.push(msg(1, 1, 10_000), 0, SimTime::from_millis(1))
+            .unwrap();
         assert!(acc.pop_ready(SimTime::from_millis(1)).is_some());
     }
 

@@ -23,12 +23,13 @@
 //!   request whose original *was* persisted (the ack was lost or late)
 //!   appends the batch again — duplicates, the paper's Case 5 (Fig. 8).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use desim::{Context, SimDuration, SimRng, SimTime, Simulation};
 use netsim::channel::SendRecordError;
 use netsim::{ChannelConfig, ChannelEvent, ConditionTimeline, DuplexChannel, Endpoint};
+use obs::{LossCause, MetricsSummary, NoopSink, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::audit::{audit, DeliveryReport, LossReason};
@@ -67,6 +68,15 @@ pub struct WindowStats {
     pub backlog: usize,
     /// Largest smoothed RTT across connections, in milliseconds.
     pub srtt_ms: Option<f64>,
+    /// 99th-percentile produce-request RTT in milliseconds, when a metrics
+    /// sink (`obs::MetricsSink`) is attached to the run.
+    pub rtt_p99_ms: Option<f64>,
+    /// 99th-percentile end-to-end delivery latency in milliseconds so far,
+    /// when a metrics sink is attached.
+    pub e2e_p99_ms: Option<f64>,
+    /// Mean records per formed batch so far, when a metrics sink is
+    /// attached.
+    pub batch_fill_mean: Option<f64>,
 }
 
 /// An online configuration controller: decides, from the producer's own
@@ -170,11 +180,7 @@ impl RunSpec {
         for (_, cfg) in &self.config_schedule {
             cfg.validate().map_err(|e| e.to_string())?;
         }
-        if self
-            .config_schedule
-            .windows(2)
-            .any(|w| w[0].0 >= w[1].0)
-        {
+        if self.config_schedule.windows(2).any(|w| w[0].0 >= w[1].0) {
             return Err("config schedule must strictly increase in time".into());
         }
         for outage in &self.outages {
@@ -232,6 +238,12 @@ pub struct RunOutcome {
     pub events_fired: u64,
     /// Instant of the last productive activity.
     pub ended_at: SimTime,
+    /// Total records appended across all brokers (every copy, including
+    /// duplicates) — `delivered_once + duplicated + extra_copies`.
+    pub records_appended: u64,
+    /// Metrics folded from the trace, when the run's sink was an
+    /// [`obs::MetricsSink`].
+    pub metrics: Option<MetricsSummary>,
 }
 
 struct Conn {
@@ -247,6 +259,7 @@ struct RequestInfo {
     partition: u32,
     records: Vec<ProduceRecord>,
     wants_ack: bool,
+    batch_id: u64,
 }
 
 struct World {
@@ -277,14 +290,40 @@ struct World {
     finished: bool,
     last_activity: SimTime,
     housekeep_interval: SimDuration,
+    trace: Box<dyn TraceSink>,
+    conn_epochs: Vec<u32>,
+    appended_keys: HashSet<u64>,
 }
 
 impl World {
-    fn mark_expired(&mut self, messages: &[Message]) {
+    fn mark_expired(&mut self, now: SimTime, messages: &[Message]) {
         for m in messages {
             self.ledger.mark_lost(m.key, LossReason::ExpiredInBuffer);
         }
         self.stats.expired += messages.len() as u64;
+        self.trace_losses(now, messages, LossCause::ExpiredInBuffer, None);
+    }
+
+    /// Emits one `Expired` trace event per dropped message (no-op when the
+    /// sink is disabled).
+    fn trace_losses(
+        &mut self,
+        now: SimTime,
+        messages: &[Message],
+        cause: LossCause,
+        batch: Option<u64>,
+    ) {
+        if !self.trace.enabled() {
+            return;
+        }
+        for m in messages {
+            self.trace.record(TraceEvent::Expired {
+                at: now,
+                key: m.key.0,
+                cause,
+                batch,
+            });
+        }
     }
 }
 
@@ -307,12 +346,32 @@ impl KafkaRun {
 
     /// Executes the run to completion and audits the result.
     ///
+    /// Runs untraced (an [`obs::NoopSink`] is attached): the hot path asks
+    /// the sink once per site whether to construct an event, so this costs
+    /// one constant-returning virtual call per site and nothing else.
+    ///
     /// # Panics
     ///
     /// Panics if the spec fails validation — call [`RunSpec::validate`]
     /// first when the spec comes from untrusted input.
     #[must_use]
     pub fn execute(self) -> RunOutcome {
+        self.execute_traced(Box::new(NoopSink)).0
+    }
+
+    /// Executes the run with `sink` receiving a [`TraceEvent`] for every
+    /// hop of every message, and returns the sink alongside the outcome so
+    /// its contents (events, metrics) can be inspected.
+    ///
+    /// Tracing is observational only: a traced run takes the exact same
+    /// decisions as an untraced one with the same spec and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation — call [`RunSpec::validate`]
+    /// first when the spec comes from untrusted input.
+    #[must_use]
+    pub fn execute_traced(self, sink: Box<dyn TraceSink>) -> (RunOutcome, Box<dyn TraceSink>) {
         self.spec.validate().expect("invalid run spec");
         let RunSpec {
             producer,
@@ -357,6 +416,7 @@ impl KafkaRun {
             cluster.partitions(),
         );
         let n_messages = source.n_messages;
+        let n_conns = conns.len();
         let world = World {
             cfg: producer,
             wire,
@@ -385,6 +445,9 @@ impl KafkaRun {
             finished: false,
             last_activity: SimTime::ZERO,
             housekeep_interval: SimDuration::from_millis(100),
+            trace: sink,
+            conn_epochs: vec![0; n_conns],
+            appended_keys: HashSet::new(),
         };
 
         let mut sim = Simulation::new(world);
@@ -408,12 +471,9 @@ impl KafkaRun {
                 on_outage_start(w, ctx, ci, outage.until);
             });
             if let Some(detect) = failover_after {
-                sim.schedule_at(
-                    outage.from + detect,
-                    move |w: &mut World, ctx: &mut Ctx| {
-                        on_failover(w, ctx, ci);
-                    },
-                );
+                sim.schedule_at(outage.from + detect, move |w: &mut World, ctx: &mut Ctx| {
+                    on_failover(w, ctx, ci);
+                });
             }
             sim.schedule_at(outage.until, move |w: &mut World, ctx: &mut Ctx| {
                 w.conns[ci].down_until = None;
@@ -433,15 +493,47 @@ impl KafkaRun {
             }
         }
 
+        let (report, metrics, trace) = {
+            let world = sim.world_mut();
+            let topic = ConsumedTopic::read_all(&world.cluster);
+            if world.trace.enabled() {
+                let end = world.last_activity;
+                // Messages still unresolved at the horizon: the audit
+                // counts them as UnsentAtEnd, so the trace must too.
+                for (i, entry) in world.ledger.entries().iter().enumerate() {
+                    let key = MessageKey(i as u64);
+                    if entry.lost.is_none() && topic.copies(key) == 0 {
+                        world.trace.record(TraceEvent::Expired {
+                            at: end,
+                            key: key.0,
+                            cause: LossCause::UnsentAtEnd,
+                            batch: None,
+                        });
+                    }
+                }
+                // Replay the audit consumer's pass over the topic.
+                for rec in topic.records() {
+                    world.trace.record(TraceEvent::ConsumerRead {
+                        at: end,
+                        key: rec.key.0,
+                        partition: rec.partition,
+                        offset: rec.offset,
+                        latency: rec.latency,
+                    });
+                }
+            }
+            let report = audit(
+                &world.ledger,
+                &topic,
+                world.source.timeliness,
+                world.last_activity,
+            );
+            let metrics = world.trace.metrics().map(obs::MetricsRegistry::summary);
+            let trace = std::mem::replace(&mut world.trace, Box::new(NoopSink));
+            (report, metrics, trace)
+        };
         let world = sim.world();
-        let topic = ConsumedTopic::read_all(&world.cluster);
-        let report = audit(
-            &world.ledger,
-            &topic,
-            world.source.timeliness,
-            world.last_activity,
-        );
-        RunOutcome {
+        let outcome = RunOutcome {
             report,
             producer: ProducerStats {
                 overflowed: world.accumulator.overflowed(),
@@ -459,7 +551,15 @@ impl KafkaRun {
                 .collect(),
             events_fired: sim.events_fired(),
             ended_at: world.last_activity,
-        }
+            records_appended: world
+                .cluster
+                .brokers()
+                .iter()
+                .map(|b| b.records_appended())
+                .sum(),
+            metrics,
+        };
+        (outcome, trace)
     }
 }
 
@@ -488,8 +588,24 @@ fn poll_source(w: &mut World, ctx: &mut Ctx) {
         w.sticky_count = 0;
         w.next_partition = (w.next_partition + 1) % w.cluster.partitions();
     }
+    if w.trace.enabled() {
+        w.trace.record(TraceEvent::Enqueued {
+            at: now,
+            key: key.0,
+            partition,
+            deadline: message.deadline,
+        });
+    }
     if let Err(rejected) = w.accumulator.push(message, partition, now) {
         w.ledger.mark_lost(rejected.key, LossReason::BufferOverflow);
+        if w.trace.enabled() {
+            w.trace.record(TraceEvent::Expired {
+                at: now,
+                key: rejected.key.0,
+                cause: LossCause::BufferOverflow,
+                batch: None,
+            });
+        }
     }
     kick_sender(w, ctx);
     let gap = w.source.poll_gap(now, payload, &w.cfg.host);
@@ -516,11 +632,11 @@ fn kick_sender(w: &mut World, ctx: &mut Ctx) {
     loop {
         let mut expired = Vec::new();
         let Some(mut batch) = w.accumulator.pop_ready_with_expiry(now, &mut expired) else {
-            w.mark_expired(&expired);
+            w.mark_expired(now, &expired);
             schedule_linger_wake(w, ctx);
             return;
         };
-        w.mark_expired(&expired);
+        w.mark_expired(now, &expired);
         let mean = w
             .cfg
             .host
@@ -538,9 +654,18 @@ fn kick_sender(w: &mut World, ctx: &mut Ctx) {
         // is not known in advance — and once picked, the batch is
         // committed.
         let doomed = batch.drop_expired(now + mean);
-        w.mark_expired(&doomed);
+        w.mark_expired(now, &doomed);
         if batch.messages.is_empty() {
             continue;
+        }
+        if w.trace.enabled() {
+            w.trace.record(TraceEvent::BatchFormed {
+                at: now,
+                batch: batch.id,
+                partition: batch.partition,
+                keys: batch.messages.iter().map(|m| m.key.0).collect(),
+                bytes: batch.payload_bytes(),
+            });
         }
         w.sender_busy_until = now + service;
         ctx.schedule_at(w.sender_busy_until, move |w: &mut World, ctx: &mut Ctx| {
@@ -576,7 +701,12 @@ fn dispatch_batch(w: &mut World, ctx: &mut Ctx, batch: PendingBatch) {
 }
 
 /// Attempts to put `batch` on the wire; hands it back when backpressured.
-fn try_send(w: &mut World, ctx: &mut Ctx, ci: usize, mut batch: PendingBatch) -> Result<(), PendingBatch> {
+fn try_send(
+    w: &mut World,
+    ctx: &mut Ctx,
+    ci: usize,
+    mut batch: PendingBatch,
+) -> Result<(), PendingBatch> {
     let now = ctx.now();
     // First-attempt batches were committed when the sender picked them (the
     // expiry check happened at pop, with service lookahead) - they go out
@@ -588,6 +718,7 @@ fn try_send(w: &mut World, ctx: &mut Ctx, ci: usize, mut batch: PendingBatch) ->
             w.ledger.mark_lost(m.key, LossReason::RetriesExhausted);
         }
         w.stats.expired += expired.len() as u64;
+        w.trace_losses(now, &expired, LossCause::RetriesExhausted, Some(batch.id));
     }
     if batch.messages.is_empty() {
         return Ok(());
@@ -617,12 +748,36 @@ fn try_send(w: &mut World, ctx: &mut Ctx, ci: usize, mut batch: PendingBatch) ->
             if batch.attempts > 1 {
                 w.stats.retries += 1;
             }
+            if w.trace.enabled() {
+                let epoch = w.conn_epochs[ci];
+                w.trace.record(TraceEvent::RequestSent {
+                    at: now,
+                    batch: batch.id,
+                    request: req_id,
+                    conn: ci as u32,
+                    epoch,
+                    attempt: batch.attempts,
+                    records: batch.messages.len() as u64,
+                    bytes,
+                });
+                if batch.attempts > 1 {
+                    w.trace.record(TraceEvent::Retry {
+                        at: now,
+                        batch: batch.id,
+                        request: req_id,
+                        conn: ci as u32,
+                        epoch,
+                        attempt: batch.attempts,
+                    });
+                }
+            }
             w.requests.insert(
                 req_id,
                 RequestInfo {
                     partition: batch.partition,
                     records: batch.to_records(),
                     wants_ack,
+                    batch_id: batch.id,
                 },
             );
             if wants_ack {
@@ -702,9 +857,19 @@ fn pump_conn(w: &mut World, ctx: &mut Ctx, ci: usize) {
                 id,
                 ..
             } => {
-                if w.in_flight.complete(id).is_some() {
+                if let Some(req) = w.in_flight.complete(id) {
                     w.stats.acks_received += 1;
                     w.last_activity = now;
+                    if w.trace.enabled() {
+                        w.trace.record(TraceEvent::AckReceived {
+                            at: now,
+                            batch: req.batch.id,
+                            request: id,
+                            conn: ci as u32,
+                            epoch: w.conn_epochs[ci],
+                            rtt: now.saturating_since(req.sent_at),
+                        });
+                    }
                     drain = true;
                 }
             }
@@ -739,25 +904,57 @@ fn on_request_arrived(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
     ctx.schedule_in(proc, move |w: &mut World, ctx: &mut Ctx| {
         let broker_id = w.conns[ci].broker;
         let now = ctx.now();
-        w.cluster
+        let base = w
+            .cluster
             .broker_mut(broker_id)
             .expect("broker exists")
             .append(info.partition, &info.records, now)
             .expect("partition is led by this broker");
         w.last_activity = now;
+        trace_appends(w, now, &info, id, base, broker_id, false);
         if info.wants_ack {
             send_response(w, ctx, ci, id);
         }
     });
 }
 
+/// Emits one `BrokerAppend` per record just persisted, tagging the ones
+/// whose key was already in a partition log — those appends are the
+/// moments Case 5 duplicates come into being. The duplicate-detection set
+/// is only maintained while tracing, so untraced runs pay nothing.
+fn trace_appends(
+    w: &mut World,
+    now: SimTime,
+    info: &RequestInfo,
+    request: u64,
+    base_offset: u64,
+    broker: BrokerId,
+    via_teardown: bool,
+) {
+    if !w.trace.enabled() {
+        return;
+    }
+    for (i, r) in info.records.iter().enumerate() {
+        let duplicate = !w.appended_keys.insert(r.key.0);
+        w.trace.record(TraceEvent::BrokerAppend {
+            at: now,
+            batch: info.batch_id,
+            request,
+            broker: broker.0,
+            partition: info.partition,
+            key: r.key.0,
+            offset: base_offset + i as u64,
+            latency: now.saturating_since(r.created_at),
+            duplicate,
+            via_teardown,
+        });
+    }
+}
+
 fn send_response(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
     let now = ctx.now();
     let bytes = w.wire.response_bytes;
-    match w.conns[ci]
-        .channel
-        .send_record(Endpoint::B, id, bytes, now)
-    {
+    match w.conns[ci].channel.send_record(Endpoint::B, id, bytes, now) {
         Ok(()) => sched_conn_wake(w, ctx, ci),
         Err(_) => w.conns[ci].resp_queue.push_back(id),
     }
@@ -767,10 +964,7 @@ fn flush_responses(w: &mut World, ctx: &mut Ctx, ci: usize) {
     let now = ctx.now();
     while let Some(&id) = w.conns[ci].resp_queue.front() {
         let bytes = w.wire.response_bytes;
-        match w.conns[ci]
-            .channel
-            .send_record(Endpoint::B, id, bytes, now)
-        {
+        match w.conns[ci].channel.send_record(Endpoint::B, id, bytes, now) {
             Ok(()) => {
                 w.conns[ci].resp_queue.pop_front();
             }
@@ -790,10 +984,7 @@ fn on_request_timeout(w: &mut World, ctx: &mut Ctx, req_id: u64) {
     }
     // An unanswered request fails the whole connection (as in a real
     // client): reset it and retry everything that was in flight on it.
-    let ci = w
-        .in_flight
-        .conn_of(req_id)
-        .expect("request is in flight");
+    let ci = w.in_flight.conn_of(req_id).expect("request is in flight");
     fail_connection_alo(w, ctx, ci);
 }
 
@@ -801,6 +992,18 @@ fn fail_connection_alo(w: &mut World, ctx: &mut Ctx, ci: usize) {
     let now = ctx.now();
     let report = w.conns[ci].channel.reset(now);
     w.stats.connection_resets += 1;
+    if w.trace.enabled() {
+        // Under acks=1 nothing is lost in the socket itself: the in-flight
+        // batches are requeued, and any that die do so as RetriesExhausted
+        // expiries below.
+        w.trace.record(TraceEvent::ConnectionReset {
+            at: now,
+            conn: ci as u32,
+            epoch: w.conn_epochs[ci],
+            lost_keys: Vec::new(),
+        });
+    }
+    w.conn_epochs[ci] += 1;
     // Responses that were already on the wire still count: those requests
     // completed and must not be retried.
     for id in &report.teardown_delivered_to_a {
@@ -825,12 +1028,15 @@ fn fail_connection_alo(w: &mut World, ctx: &mut Ctx, ci: usize) {
             for m in &batch.messages {
                 w.ledger.mark_lost(m.key, LossReason::RetriesExhausted);
             }
+            let given_up = std::mem::take(&mut batch.messages);
+            w.trace_losses(now, &given_up, LossCause::RetriesExhausted, Some(batch.id));
             continue;
         }
         let expired = batch.drop_expired(now);
         for m in &expired {
             w.ledger.mark_lost(m.key, LossReason::RetriesExhausted);
         }
+        w.trace_losses(now, &expired, LossCause::RetriesExhausted, Some(batch.id));
         if !batch.messages.is_empty() {
             w.conns[ci].blocked.push_front(batch);
         }
@@ -873,15 +1079,30 @@ fn reset_amo(w: &mut World, ctx: &mut Ctx, ci: usize) {
         w.amo_outstanding.remove(&id);
         teardown_append(w, ctx, ci, id);
     }
+    let mut lost_keys = Vec::new();
     for id in &report.undelivered_from_a {
         if let Some((_, batch)) = w.amo_outstanding.remove(id) {
             for m in &batch.messages {
                 w.ledger.mark_lost(m.key, LossReason::ConnectionReset);
+                if w.trace.enabled() {
+                    lost_keys.push(m.key.0);
+                }
             }
             w.stats.reset_losses += batch.messages.len() as u64;
         }
         w.requests.remove(id);
     }
+    if w.trace.enabled() {
+        // The keys that died silently in the torn-down socket: acks=0's
+        // loss mode, attributable only through this event.
+        w.trace.record(TraceEvent::ConnectionReset {
+            at: now,
+            conn: ci as u32,
+            epoch: w.conn_epochs[ci],
+            lost_keys,
+        });
+    }
+    w.conn_epochs[ci] += 1;
     let reopen = w.conns[ci].channel.open_at();
     ctx.schedule_at(reopen, move |w: &mut World, ctx: &mut Ctx| {
         drain_blocked(w, ctx, ci);
@@ -902,12 +1123,15 @@ fn teardown_append(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
         .processing_time(info.records.len());
     ctx.schedule_in(proc, move |w: &mut World, ctx: &mut Ctx| {
         let broker_id = w.conns[ci].broker;
-        w.cluster
+        let now = ctx.now();
+        let base = w
+            .cluster
             .broker_mut(broker_id)
             .expect("broker exists")
-            .append(info.partition, &info.records, ctx.now())
+            .append(info.partition, &info.records, now)
             .expect("partition is led by this broker");
-        w.last_activity = ctx.now();
+        w.last_activity = now;
+        trace_appends(w, now, &info, id, base, broker_id, true);
     });
 }
 
@@ -930,11 +1154,11 @@ fn on_outage_start(w: &mut World, ctx: &mut Ctx, ci: usize, until: SimTime) {
 /// next alive broker; the producer re-routes its backlog.
 fn on_failover(w: &mut World, ctx: &mut Ctx, ci: usize) {
     let now = ctx.now();
-    if !w.conns[ci].down_until.is_some_and(|u| now < u) {
+    if w.conns[ci].down_until.is_none_or(|u| now >= u) {
         return; // back already
     }
     let alive: Vec<usize> = (0..w.conns.len())
-        .filter(|&c| c != ci && !w.conns[c].down_until.is_some_and(|u| now < u))
+        .filter(|&c| c != ci && w.conns[c].down_until.is_none_or(|u| now >= u))
         .collect();
     let Some(&target) = alive.first() else {
         return; // nowhere to go
@@ -960,21 +1184,22 @@ fn on_failover(w: &mut World, ctx: &mut Ctx, ci: usize) {
 fn housekeeping(w: &mut World, ctx: &mut Ctx) {
     let now = ctx.now();
     let expired = w.accumulator.expire_all(now);
-    w.mark_expired(&expired);
+    w.mark_expired(now, &expired);
     // Blocked batches also age out.
     for ci in 0..w.conns.len() {
         let mut kept = VecDeque::new();
         while let Some(mut batch) = w.conns[ci].blocked.pop_front() {
-            let reason = if batch.attempts == 0 {
-                LossReason::ExpiredInBuffer
+            let (reason, cause) = if batch.attempts == 0 {
+                (LossReason::ExpiredInBuffer, LossCause::ExpiredInBuffer)
             } else {
-                LossReason::RetriesExhausted
+                (LossReason::RetriesExhausted, LossCause::RetriesExhausted)
             };
             let expired = batch.drop_expired(now);
             for m in &expired {
                 w.ledger.mark_lost(m.key, reason);
             }
             w.stats.expired += expired.len() as u64;
+            w.trace_losses(now, &expired, cause, Some(batch.id));
             if !batch.messages.is_empty() {
                 kept.push_back(batch);
             }
@@ -1002,7 +1227,9 @@ fn housekeeping(w: &mut World, ctx: &mut Ctx) {
 
 /// One observation-window boundary of the online controller.
 fn online_tick(w: &mut World, ctx: &mut Ctx) {
-    let Some(online) = w.online.clone() else { return };
+    let Some(online) = w.online.clone() else {
+        return;
+    };
     let now = ctx.now();
     let cur = w.stats;
     let base = w.window_base;
@@ -1012,7 +1239,17 @@ fn online_tick(w: &mut World, ctx: &mut Ctx) {
         .iter()
         .filter_map(|c| c.channel.srtt(Endpoint::A))
         .map(|d| d.as_secs_f64() * 1e3)
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        });
+    let (rtt_p99_ms, e2e_p99_ms, batch_fill_mean) = match w.trace.metrics() {
+        Some(m) => (
+            m.rtt().quantile(0.99).map(|s| s * 1e3),
+            m.e2e_latency().quantile(0.99).map(|s| s * 1e3),
+            m.batch_fill_mean(),
+        ),
+        None => (None, None, None),
+    };
     let stats = WindowStats {
         at: now,
         window: online.interval,
@@ -1023,6 +1260,9 @@ fn online_tick(w: &mut World, ctx: &mut Ctx) {
         expired: cur.expired - base.expired,
         backlog: w.accumulator.len(),
         srtt_ms,
+        rtt_p99_ms,
+        e2e_p99_ms,
+        batch_fill_mean,
     };
     if let Some(new_cfg) = online.controller.decide(&stats, &w.cfg) {
         if new_cfg != w.cfg && new_cfg.validate().is_ok() {
@@ -1040,8 +1280,7 @@ fn online_tick(w: &mut World, ctx: &mut Ctx) {
 
 fn apply_config(w: &mut World, ctx: &mut Ctx, cfg: ProducerConfig) {
     let now = ctx.now();
-    w.accumulator
-        .reconfigure(cfg.batch_size, cfg.linger, now);
+    w.accumulator.reconfigure(cfg.batch_size, cfg.linger, now);
     w.cfg = cfg;
     kick_sender(w, ctx);
 }
@@ -1074,10 +1313,8 @@ mod tests {
     fn conservation_invariant_holds() {
         for seed in 0..3 {
             let mut spec = quick_spec(500);
-            spec.network = ConditionTimeline::constant(NetCondition::new(
-                SimDuration::from_millis(100),
-                0.15,
-            ));
+            spec.network =
+                ConditionTimeline::constant(NetCondition::new(SimDuration::from_millis(100), 0.15));
             let outcome = KafkaRun::new(spec, seed).execute();
             let r = &outcome.report;
             assert_eq!(
@@ -1094,10 +1331,8 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let run = |seed| {
             let mut spec = quick_spec(800);
-            spec.network = ConditionTimeline::constant(NetCondition::new(
-                SimDuration::from_millis(50),
-                0.10,
-            ));
+            spec.network =
+                ConditionTimeline::constant(NetCondition::new(SimDuration::from_millis(50), 0.10));
             KafkaRun::new(spec, seed).execute()
         };
         let a = run(7);
@@ -1120,10 +1355,8 @@ mod tests {
             .message_timeout(SimDuration::from_millis(2_000))
             .build()
             .unwrap();
-        spec.network = ConditionTimeline::constant(NetCondition::new(
-            SimDuration::from_millis(100),
-            0.30,
-        ));
+        spec.network =
+            ConditionTimeline::constant(NetCondition::new(SimDuration::from_millis(100), 0.30));
         let outcome = KafkaRun::new(spec, 3).execute();
         assert!(
             outcome.report.p_loss() > 0.05,
@@ -1142,10 +1375,8 @@ mod tests {
                 .message_timeout(SimDuration::from_millis(4_000))
                 .build()
                 .unwrap();
-            spec.network = ConditionTimeline::constant(NetCondition::new(
-                SimDuration::from_millis(100),
-                0.20,
-            ));
+            spec.network =
+                ConditionTimeline::constant(NetCondition::new(SimDuration::from_millis(100), 0.20));
             KafkaRun::new(spec, 4).execute().report.p_loss()
         };
         let amo = run(DeliverySemantics::AtMostOnce);
@@ -1165,10 +1396,8 @@ mod tests {
             .message_timeout(SimDuration::from_millis(5_000))
             .build()
             .unwrap();
-        spec.network = ConditionTimeline::constant(NetCondition::new(
-            SimDuration::from_millis(150),
-            0.25,
-        ));
+        spec.network =
+            ConditionTimeline::constant(NetCondition::new(SimDuration::from_millis(150), 0.25));
         let outcome = KafkaRun::new(spec, 5).execute();
         // With aggressive request timeouts and heavy loss some acks are
         // missed after the append happened → Case 5.
@@ -1181,8 +1410,10 @@ mod tests {
 
     #[test]
     fn overload_expires_messages_via_timeout() {
-        let mut spec = RunSpec::default();
-        spec.source = SourceSpec::full_load(3_000, 200);
+        let mut spec = RunSpec {
+            source: SourceSpec::full_load(3_000, 200),
+            ..RunSpec::default()
+        };
         spec.producer = ProducerConfig::builder()
             .message_timeout(SimDuration::from_millis(300))
             .build()
@@ -1289,19 +1520,23 @@ mod tests {
 
     #[test]
     fn outage_validation_rejects_nonsense() {
-        let mut spec = RunSpec::default();
-        spec.outages = vec![BrokerOutage {
-            broker: crate::broker::BrokerId(0),
-            from: SimTime::from_secs(5),
-            until: SimTime::from_secs(5),
-        }];
+        let spec = RunSpec {
+            outages: vec![BrokerOutage {
+                broker: crate::broker::BrokerId(0),
+                from: SimTime::from_secs(5),
+                until: SimTime::from_secs(5),
+            }],
+            ..RunSpec::default()
+        };
         assert!(spec.validate().is_err());
-        let mut spec = RunSpec::default();
-        spec.outages = vec![BrokerOutage {
-            broker: crate::broker::BrokerId(9),
-            from: SimTime::ZERO,
-            until: SimTime::from_secs(1),
-        }];
+        let spec = RunSpec {
+            outages: vec![BrokerOutage {
+                broker: crate::broker::BrokerId(9),
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1),
+            }],
+            ..RunSpec::default()
+        };
         assert!(spec.validate().is_err());
     }
 
@@ -1362,11 +1597,13 @@ mod tests {
                 None
             }
         }
-        let mut spec = RunSpec::default();
-        spec.online = Some(OnlineSpec {
-            interval: SimDuration::ZERO,
-            controller: Arc::new(Noop),
-        });
+        let spec = RunSpec {
+            online: Some(OnlineSpec {
+                interval: SimDuration::ZERO,
+                controller: Arc::new(Noop),
+            }),
+            ..RunSpec::default()
+        };
         assert!(spec.validate().is_err());
     }
 

@@ -212,10 +212,7 @@ mod tests {
     #[test]
     fn timeline_rate_switches() {
         let s = SourceSpec {
-            rate: RateSpec::Timeline(vec![
-                (SimTime::ZERO, 100.0),
-                (SimTime::from_secs(10), 10.0),
-            ]),
+            rate: RateSpec::Timeline(vec![(SimTime::ZERO, 100.0), (SimTime::from_secs(10), 10.0)]),
             ..SourceSpec::default()
         };
         let host = HostModel::default();
@@ -249,17 +246,25 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_specs() {
-        let mut s = SourceSpec::default();
-        s.n_messages = 0;
+        let s = SourceSpec {
+            n_messages: 0,
+            ..SourceSpec::default()
+        };
         assert!(s.validate().is_err());
-        let mut s = SourceSpec::default();
-        s.size = SizeSpec::Fixed(0);
+        let s = SourceSpec {
+            size: SizeSpec::Fixed(0),
+            ..SourceSpec::default()
+        };
         assert!(s.validate().is_err());
-        let mut s = SourceSpec::default();
-        s.rate = RateSpec::Timeline(vec![]);
+        let s = SourceSpec {
+            rate: RateSpec::Timeline(vec![]),
+            ..SourceSpec::default()
+        };
         assert!(s.validate().is_err());
-        let mut s = SourceSpec::default();
-        s.rate = RateSpec::Timeline(vec![(SimTime::from_secs(1), 5.0)]);
+        let s = SourceSpec {
+            rate: RateSpec::Timeline(vec![(SimTime::from_secs(1), 5.0)]),
+            ..SourceSpec::default()
+        };
         assert!(s.validate().is_err());
         assert!(SourceSpec::default().validate().is_ok());
     }

@@ -79,7 +79,10 @@ mod tests {
         let w = WireFormat::default();
         let single = w.request_bytes_uniform(1, 100);
         let batched = w.request_bytes_uniform(10, 100);
-        assert!(batched < single * 10, "10-batch beats 10 singles on the wire");
+        assert!(
+            batched < single * 10,
+            "10-batch beats 10 singles on the wire"
+        );
         assert!(w.efficiency(10, 100) > w.efficiency(1, 100));
     }
 

@@ -267,7 +267,9 @@ impl DuplexChannel {
         now: SimTime,
     ) -> Result<(), SendRecordError> {
         if now < self.open_at {
-            return Err(SendRecordError::Reconnecting { until: self.open_at });
+            return Err(SendRecordError::Reconnecting {
+                until: self.open_at,
+            });
         }
         let dir = from.dir();
         let stream = &mut self.streams[dir];
@@ -444,9 +446,7 @@ impl DuplexChannel {
                 Ev::Ack { dir, ack } => self.on_ack(dir, ack, t, &mut out),
                 Ev::Rto { dir, epoch } => {
                     let snd = &mut self.streams[dir].snd;
-                    if snd.rto_epoch() == epoch
-                        && snd.rto_deadline().is_some_and(|dl| dl <= t)
-                    {
+                    if snd.rto_epoch() == epoch && snd.rto_deadline().is_some_and(|dl| dl <= t) {
                         snd.on_rto(t);
                         self.pump(dir, t);
                     }
@@ -471,11 +471,7 @@ impl DuplexChannel {
         let stream = &mut self.streams[dir];
         let ack = stream.rcv.on_segment(seq, len);
         // Report records whose bytes are now contiguous at the receiver.
-        while stream
-            .pending
-            .front()
-            .is_some_and(|(end, _)| *end <= ack)
-        {
+        while stream.pending.front().is_some_and(|(end, _)| *end <= ack) {
             let (_, id) = stream.pending.pop_front().expect("checked front");
             out.push(ChannelEvent::RecordDelivered {
                 to: Endpoint::from_dir(dir).peer(),
@@ -593,10 +589,14 @@ mod tests {
     fn records_delivered_in_order() {
         let mut ch = DuplexChannel::new(quiet_cfg(), SimRng::seed_from_u64(2));
         for id in 0..50 {
-            ch.send_record(Endpoint::A, id, 2000, SimTime::ZERO).unwrap();
+            ch.send_record(Endpoint::A, id, 2000, SimTime::ZERO)
+                .unwrap();
         }
         let events = drive(&mut ch, SimTime::from_secs(10));
-        assert_eq!(delivered_ids(&events, Endpoint::B), (0..50).collect::<Vec<_>>());
+        assert_eq!(
+            delivered_ids(&events, Endpoint::B),
+            (0..50).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -618,9 +618,13 @@ mod tests {
         let err = ch.send_record(Endpoint::A, 1, 1, SimTime::ZERO);
         assert!(matches!(err, Err(SendRecordError::BufferFull { .. })));
         let events = drive(&mut ch, SimTime::from_secs(10));
-        assert!(events
-            .iter()
-            .any(|ev| matches!(ev, ChannelEvent::SendSpaceAvailable { endpoint: Endpoint::A, .. })));
+        assert!(events.iter().any(|ev| matches!(
+            ev,
+            ChannelEvent::SendSpaceAvailable {
+                endpoint: Endpoint::A,
+                ..
+            }
+        )));
         assert_eq!(ch.writable(Endpoint::A), 4096);
     }
 
@@ -658,7 +662,11 @@ mod tests {
         let mut ch = DuplexChannel::new(cfg, SimRng::seed_from_u64(6));
         ch.send_record(Endpoint::A, 0, 1000, SimTime::ZERO).unwrap();
         let _ = drive(&mut ch, SimTime::from_secs(30));
-        assert!(ch.is_stalled(Endpoint::A, SimTime::from_secs(30), SimDuration::from_secs(5)));
+        assert!(ch.is_stalled(
+            Endpoint::A,
+            SimTime::from_secs(30),
+            SimDuration::from_secs(5)
+        ));
         assert!(ch.backoffs(Endpoint::A) >= 2);
     }
 

@@ -84,7 +84,11 @@ impl DelayModel {
     /// A truncated normal delay (mean ± jitter, never below `floor`).
     #[must_use]
     pub fn normal(mean: SimDuration, jitter: SimDuration, floor: SimDuration) -> Self {
-        DelayModel::Normal { mean, jitter, floor }
+        DelayModel::Normal {
+            mean,
+            jitter,
+            floor,
+        }
     }
 
     /// A capped Pareto delay.
@@ -108,7 +112,11 @@ impl DelayModel {
                 let secs = rng.uniform(low.as_secs_f64(), high.as_secs_f64());
                 SimDuration::from_secs_f64(secs)
             }
-            DelayModel::Normal { mean, jitter, floor } => {
+            DelayModel::Normal {
+                mean,
+                jitter,
+                floor,
+            } => {
                 let secs = rng.normal(mean.as_secs_f64(), jitter.as_secs_f64());
                 SimDuration::from_secs_f64(secs).max(*floor)
             }
@@ -146,7 +154,10 @@ mod tests {
 
     fn sample_mean(model: &DelayModel, seed: u64, n: usize) -> f64 {
         let mut rng = SimRng::seed_from_u64(seed);
-        (0..n).map(|_| model.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| model.sample(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -200,7 +211,11 @@ mod tests {
 
     #[test]
     fn pareto_is_heavy_tailed() {
-        let m = DelayModel::pareto(SimDuration::from_millis(20), 1.5, SimDuration::from_secs(10));
+        let m = DelayModel::pareto(
+            SimDuration::from_millis(20),
+            1.5,
+            SimDuration::from_secs(10),
+        );
         let mut rng = SimRng::seed_from_u64(7);
         let n = 100_000;
         let over_100ms = (0..n)

@@ -136,8 +136,7 @@ impl Link {
             self.stats.dropped += 1;
             return LinkOutcome::Dropped;
         }
-        let tx_time =
-            SimDuration::from_secs_f64(bytes as f64 / self.config.rate_bytes_per_sec);
+        let tx_time = SimDuration::from_secs_f64(bytes as f64 / self.config.rate_bytes_per_sec);
         let serialized_at = start + tx_time;
         self.busy_until = serialized_at;
         if self.config.loss.sample(rng) {

@@ -34,9 +34,10 @@ pub enum GeState {
 /// let lost = (0..100_000).filter(|_| loss.sample(&mut rng)).count();
 /// assert!((lost as f64 / 100_000.0 - 0.19).abs() < 0.01);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum LossModel {
     /// No loss at all.
+    #[default]
     None,
     /// Independent loss with fixed probability per packet.
     Bernoulli {
@@ -58,12 +59,6 @@ pub enum LossModel {
     },
 }
 
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
-    }
-}
-
 impl LossModel {
     /// A lossless process.
     #[must_use]
@@ -78,7 +73,10 @@ impl LossModel {
     /// Panics if `p` is outside `[0, 1]` or not finite.
     #[must_use]
     pub fn bernoulli(p: f64) -> Self {
-        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0,1]");
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "p must be in [0,1]"
+        );
         LossModel::Bernoulli { p }
     }
 

@@ -166,7 +166,10 @@ impl ConditionTimeline {
     /// The condition in force at instant `t`.
     #[must_use]
     pub fn at(&self, t: SimTime) -> NetCondition {
-        match self.breakpoints.binary_search_by(|(start, _)| start.cmp(&t)) {
+        match self
+            .breakpoints
+            .binary_search_by(|(start, _)| start.cmp(&t))
+        {
             Ok(i) => self.breakpoints[i].1,
             Err(0) => self.breakpoints[0].1, // unreachable: origin at zero
             Err(i) => self.breakpoints[i - 1].1,
@@ -209,10 +212,7 @@ impl ConditionTimeline {
         let mut cursor = from;
         while cursor < to {
             let cond = self.at(cursor);
-            let next = self
-                .next_change(cursor)
-                .filter(|n| *n < to)
-                .unwrap_or(to);
+            let next = self.next_change(cursor).filter(|n| *n < to).unwrap_or(to);
             acc += cond.loss_rate * next.saturating_since(cursor).as_secs_f64();
             cursor = next;
         }

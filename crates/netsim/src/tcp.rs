@@ -172,7 +172,9 @@ impl TcpSender {
     /// Send-buffer space currently available to the application.
     #[must_use]
     pub fn available(&self) -> u64 {
-        self.cfg.send_buffer.saturating_sub(self.app_end - self.snd_una)
+        self.cfg
+            .send_buffer
+            .saturating_sub(self.app_end - self.snd_una)
     }
 
     /// Accepts `bytes` of application data into the send buffer.
@@ -476,10 +478,7 @@ impl TcpReceiver {
         if seq <= self.rcv_nxt {
             self.rcv_nxt = end;
             // Pull any newly-contiguous stashed segments.
-            loop {
-                let Some((&start, &stash_end)) = self.out_of_order.iter().next() else {
-                    break;
-                };
+            while let Some((&start, &stash_end)) = self.out_of_order.iter().next() {
                 if start > self.rcv_nxt {
                     break;
                 }
@@ -575,7 +574,11 @@ mod tests {
             let ack = rcv.on_segment(seg.seq, seg.len);
             snd.on_ack(ack, now);
         }
-        assert!((snd.cwnd() - before - 1.0).abs() < 0.1, "cwnd {}", snd.cwnd());
+        assert!(
+            (snd.cwnd() - before - 1.0).abs() < 0.1,
+            "cwnd {}",
+            snd.cwnd()
+        );
     }
 
     #[test]

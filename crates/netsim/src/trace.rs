@@ -123,7 +123,11 @@ fn duration_of(timeline: &ConditionTimeline) -> SimDuration {
         return SimDuration::ZERO;
     }
     let gap = bps[1].0.saturating_since(bps[0].0);
-    bps.last().expect("non-empty").0.saturating_since(SimTime::ZERO) + gap
+    bps.last()
+        .expect("non-empty")
+        .0
+        .saturating_since(SimTime::ZERO)
+        + gap
 }
 
 /// Generates a Fig. 9-style network trace.
@@ -145,19 +149,11 @@ fn duration_of(timeline: &ConditionTimeline) -> SimDuration {
 /// let trace = generate_trace(&TraceConfig::default(), &mut SimRng::seed_from_u64(9)).unwrap();
 /// assert!(trace.timeline.breakpoints().len() >= 59);
 /// ```
-pub fn generate_trace(
-    config: &TraceConfig,
-    rng: &mut SimRng,
-) -> Result<NetworkTrace, String> {
+pub fn generate_trace(config: &TraceConfig, rng: &mut SimRng) -> Result<NetworkTrace, String> {
     config.validate()?;
-    let intervals =
-        (config.duration.as_micros() / config.interval.as_micros()).max(1) as usize;
-    let mut loss_chain = LossModel::gilbert_elliott(
-        config.p_good_to_bad,
-        config.p_bad_to_good,
-        0.0,
-        1.0,
-    );
+    let intervals = (config.duration.as_micros() / config.interval.as_micros()).max(1) as usize;
+    let mut loss_chain =
+        LossModel::gilbert_elliott(config.p_good_to_bad, config.p_bad_to_good, 0.0, 1.0);
     let mut breakpoints = Vec::with_capacity(intervals);
     let mut states = Vec::with_capacity(intervals);
     for i in 0..intervals {
@@ -242,21 +238,26 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = TraceConfig::default();
-        cfg.interval = SimDuration::ZERO;
+        let cfg = TraceConfig {
+            interval: SimDuration::ZERO,
+            ..TraceConfig::default()
+        };
         assert!(generate_trace(&cfg, &mut SimRng::seed_from_u64(6)).is_err());
-        let mut cfg = TraceConfig::default();
-        cfg.loss_bad = (0.5, 0.2);
+        let cfg = TraceConfig {
+            loss_bad: (0.5, 0.2),
+            ..TraceConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = TraceConfig::default();
-        cfg.delay_shape = -1.0;
+        let cfg = TraceConfig {
+            delay_shape: -1.0,
+            ..TraceConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn mean_loss_is_sane() {
-        let trace =
-            generate_trace(&TraceConfig::default(), &mut SimRng::seed_from_u64(7)).unwrap();
+        let trace = generate_trace(&TraceConfig::default(), &mut SimRng::seed_from_u64(7)).unwrap();
         let mean = trace.mean_loss();
         assert!((0.0..=0.25).contains(&mean), "mean loss {mean}");
     }

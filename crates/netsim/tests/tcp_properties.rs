@@ -22,7 +22,7 @@ fn drive_with_losses(bytes: u64, loss_pattern: &[bool]) -> bool {
             return true;
         }
         let segs = snd.emit(now);
-        now = now + rtt;
+        now += rtt;
         let mut ack = None;
         for seg in segs {
             let lost = loss_pattern.get(tx).copied().unwrap_or(false);

@@ -1,0 +1,456 @@
+//! The trace-event taxonomy: one variant per hop of a message's life.
+//!
+//! Every event is stamped with the simulated time it happened and with the
+//! identifiers needed to join it back to the rest of the story: the message
+//! key, the producer batch id, and the connection *epoch* (how many times
+//! that connection had been torn down and re-established when the event
+//! fired — two events with the same `conn` but different `epoch` happened
+//! on different TCP incarnations).
+
+use desim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Why the producer gave up on a message.
+///
+/// Mirrors `kafkasim::audit::LossReason` variant-for-variant so that the
+/// per-message attribution the reconstructor produces can be compared
+/// against the end-of-run audit without `obs` depending on `kafkasim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LossCause {
+    /// Expired in the accumulator before (or between) send attempts.
+    ExpiredInBuffer,
+    /// The accumulator was full when the message arrived.
+    BufferOverflow,
+    /// Retries (or the message deadline) were exhausted (at-least-once).
+    RetriesExhausted,
+    /// Discarded with a torn-down connection's socket buffer
+    /// (at-most-once's silent loss).
+    ConnectionReset,
+    /// Still unresolved when the run's hard horizon ended.
+    UnsentAtEnd,
+}
+
+impl LossCause {
+    /// Every cause, in declaration order.
+    pub const ALL: [LossCause; 5] = [
+        LossCause::ExpiredInBuffer,
+        LossCause::BufferOverflow,
+        LossCause::RetriesExhausted,
+        LossCause::ConnectionReset,
+        LossCause::UnsentAtEnd,
+    ];
+}
+
+impl core::fmt::Display for LossCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            LossCause::ExpiredInBuffer => "expired-in-buffer",
+            LossCause::BufferOverflow => "buffer-overflow",
+            LossCause::RetriesExhausted => "retries-exhausted",
+            LossCause::ConnectionReset => "connection-reset",
+            LossCause::UnsentAtEnd => "unsent-at-end",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One structured observation on the message path.
+///
+/// The variants follow the paper's message state machine (Fig. 2): a
+/// message is *enqueued*, batched, sent as a produce request, appended by
+/// the broker and finally read back by the consumer — or it drops out of
+/// the pipeline through one of the loss modes (`Expired`,
+/// `ConnectionReset`). `Retry` and the `duplicate` flag on `BrokerAppend`
+/// mark the path that produces the paper's Case 5 duplicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A source message entered the producer (and its ledger).
+    Enqueued {
+        /// When it arrived.
+        at: SimTime,
+        /// Its unique key.
+        key: u64,
+        /// The partition the sticky partitioner chose.
+        partition: u32,
+        /// Its hard delivery deadline (`created_at + T_o`).
+        deadline: SimTime,
+    },
+    /// The producer gave up on a message: the generalised expiry event
+    /// covering every producer-side loss mode except the in-socket loss of
+    /// a reset connection (see [`TraceEvent::ConnectionReset`]).
+    Expired {
+        /// When the producer dropped it.
+        at: SimTime,
+        /// The dropped message.
+        key: u64,
+        /// Which loss mode fired.
+        cause: LossCause,
+        /// The batch it was riding in, when it had one.
+        batch: Option<u64>,
+    },
+    /// The sender picked a sealed batch for serialisation.
+    BatchFormed {
+        /// When the sender picked it.
+        at: SimTime,
+        /// Batch id (unique per run).
+        batch: u64,
+        /// Destination partition.
+        partition: u32,
+        /// Keys of the batched messages.
+        keys: Vec<u64>,
+        /// Total payload bytes.
+        bytes: u64,
+    },
+    /// A produce request was written to a connection's socket.
+    RequestSent {
+        /// Socket-write instant.
+        at: SimTime,
+        /// The batch being carried.
+        batch: u64,
+        /// Wire-level request id.
+        request: u64,
+        /// Connection index (one per broker).
+        conn: u32,
+        /// Connection epoch at send time.
+        epoch: u32,
+        /// Kafka-level attempt number (1 = first try).
+        attempt: u32,
+        /// Records in the request.
+        records: u64,
+        /// Request size on the wire.
+        bytes: u64,
+    },
+    /// The producer received the broker's acknowledgement (`acks=1` only).
+    AckReceived {
+        /// When the ack arrived.
+        at: SimTime,
+        /// The acknowledged batch.
+        batch: u64,
+        /// The acknowledged request.
+        request: u64,
+        /// Connection index.
+        conn: u32,
+        /// Connection epoch.
+        epoch: u32,
+        /// Request round-trip time (send to ack).
+        rtt: SimDuration,
+    },
+    /// A batch went out again after an earlier attempt failed.
+    Retry {
+        /// Socket-write instant of the retry.
+        at: SimTime,
+        /// The retried batch.
+        batch: u64,
+        /// The new request id.
+        request: u64,
+        /// Connection index.
+        conn: u32,
+        /// Connection epoch.
+        epoch: u32,
+        /// Attempt number of this send (≥ 2).
+        attempt: u32,
+    },
+    /// The producer tore a connection down (request timeout, transport
+    /// stall, or broker outage). Under `acks=0` the messages still in the
+    /// socket die with it: their keys are listed here — this is the only
+    /// trace of at-most-once's silent loss.
+    ConnectionReset {
+        /// Reset instant.
+        at: SimTime,
+        /// Connection index.
+        conn: u32,
+        /// The epoch that just ended (events carrying this epoch happened
+        /// on the incarnation being torn down).
+        epoch: u32,
+        /// Keys silently lost in the dead socket (`acks=0` only; empty
+        /// under `acks=1`, where the in-flight batches are retried and
+        /// their fate shows up as `Retry`/`Expired` events instead).
+        lost_keys: Vec<u64>,
+    },
+    /// The broker appended one record to a partition log.
+    BrokerAppend {
+        /// Append instant (after broker processing time).
+        at: SimTime,
+        /// The batch the record came from.
+        batch: u64,
+        /// The carrying request.
+        request: u64,
+        /// The appending broker.
+        broker: u32,
+        /// Partition log.
+        partition: u32,
+        /// Record key.
+        key: u64,
+        /// Offset assigned in the partition log.
+        offset: u64,
+        /// Producer-enqueue → broker-append latency of this copy: the
+        /// end-to-end delivery latency when `duplicate` is `false`.
+        latency: SimDuration,
+        /// `true` when this key was already in some partition log — the
+        /// append that *creates* a paper Case 5 duplicate.
+        duplicate: bool,
+        /// `true` when the request arrived while its connection was being
+        /// torn down, so no response could ever reach the producer (the
+        /// classic ack-lost path to duplicates).
+        via_teardown: bool,
+    },
+    /// The end-of-run consumer read one record back.
+    ConsumerRead {
+        /// Read instant (the audit replay time).
+        at: SimTime,
+        /// Record key.
+        key: u64,
+        /// Partition it was stored in.
+        partition: u32,
+        /// Offset within the partition.
+        offset: u64,
+        /// Producer-to-broker latency of this copy.
+        latency: SimDuration,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated instant the event fired.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Enqueued { at, .. }
+            | TraceEvent::Expired { at, .. }
+            | TraceEvent::BatchFormed { at, .. }
+            | TraceEvent::RequestSent { at, .. }
+            | TraceEvent::AckReceived { at, .. }
+            | TraceEvent::Retry { at, .. }
+            | TraceEvent::ConnectionReset { at, .. }
+            | TraceEvent::BrokerAppend { at, .. }
+            | TraceEvent::ConsumerRead { at, .. } => *at,
+        }
+    }
+
+    /// A short stable name for the event kind (metric/counter label).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Enqueued { .. } => "enqueued",
+            TraceEvent::Expired { .. } => "expired",
+            TraceEvent::BatchFormed { .. } => "batch-formed",
+            TraceEvent::RequestSent { .. } => "request-sent",
+            TraceEvent::AckReceived { .. } => "ack-received",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::ConnectionReset { .. } => "connection-reset",
+            TraceEvent::BrokerAppend { .. } => "broker-append",
+            TraceEvent::ConsumerRead { .. } => "consumer-read",
+        }
+    }
+
+    /// The message key the event is directly about, when it names one.
+    #[must_use]
+    pub fn key(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Enqueued { key, .. }
+            | TraceEvent::Expired { key, .. }
+            | TraceEvent::BrokerAppend { key, .. }
+            | TraceEvent::ConsumerRead { key, .. } => Some(*key),
+            _ => None,
+        }
+    }
+
+    /// The batch id the event carries, when it has one.
+    #[must_use]
+    pub fn batch(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Expired { batch, .. } => *batch,
+            TraceEvent::BatchFormed { batch, .. }
+            | TraceEvent::RequestSent { batch, .. }
+            | TraceEvent::AckReceived { batch, .. }
+            | TraceEvent::Retry { batch, .. }
+            | TraceEvent::BrokerAppend { batch, .. } => Some(*batch),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let t = self.at();
+        match self {
+            TraceEvent::Enqueued {
+                key,
+                partition,
+                deadline,
+                ..
+            } => write!(
+                f,
+                "{t} msg#{key} enqueued for partition {partition} (deadline {deadline})"
+            ),
+            TraceEvent::Expired {
+                key, cause, batch, ..
+            } => match batch {
+                Some(b) => write!(f, "{t} msg#{key} dropped in batch {b}: {cause}"),
+                None => write!(f, "{t} msg#{key} dropped: {cause}"),
+            },
+            TraceEvent::BatchFormed {
+                batch,
+                partition,
+                keys,
+                bytes,
+                ..
+            } => write!(
+                f,
+                "{t} batch {batch} formed for partition {partition}: {} records, {bytes} B",
+                keys.len()
+            ),
+            TraceEvent::RequestSent {
+                batch,
+                request,
+                conn,
+                epoch,
+                attempt,
+                records,
+                ..
+            } => {
+                write!(
+                    f,
+                    "{t} request {request} (batch {batch}, attempt {attempt}, {records} records) \
+                     sent on conn {conn}/e{epoch}"
+                )
+            }
+            TraceEvent::AckReceived {
+                batch,
+                request,
+                conn,
+                epoch,
+                rtt,
+                ..
+            } => write!(
+                f,
+                "{t} ack for request {request} (batch {batch}) on conn {conn}/e{epoch}, rtt {rtt}"
+            ),
+            TraceEvent::Retry {
+                batch,
+                request,
+                conn,
+                epoch,
+                attempt,
+                ..
+            } => write!(
+                f,
+                "{t} retry of batch {batch} as request {request} (attempt {attempt}) \
+                 on conn {conn}/e{epoch}"
+            ),
+            TraceEvent::ConnectionReset {
+                conn,
+                epoch,
+                lost_keys,
+                ..
+            } => {
+                if lost_keys.is_empty() {
+                    write!(f, "{t} conn {conn}/e{epoch} reset")
+                } else {
+                    write!(
+                        f,
+                        "{t} conn {conn}/e{epoch} reset, {} messages died in the socket",
+                        lost_keys.len()
+                    )
+                }
+            }
+            TraceEvent::BrokerAppend {
+                key,
+                batch,
+                broker,
+                partition,
+                offset,
+                duplicate,
+                via_teardown,
+                ..
+            } => {
+                let dup = if *duplicate { " DUPLICATE" } else { "" };
+                let tear = if *via_teardown {
+                    " (during teardown, no ack possible)"
+                } else {
+                    ""
+                };
+                write!(
+                    f,
+                    "{t} broker {broker} appended msg#{key} (batch {batch}) \
+                     at partition {partition} offset {offset}{dup}{tear}"
+                )
+            }
+            TraceEvent::ConsumerRead {
+                key,
+                partition,
+                offset,
+                latency,
+                ..
+            } => write!(
+                f,
+                "{t} consumer read msg#{key} from partition {partition} offset {offset} \
+                 (latency {latency})"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let ev = TraceEvent::Enqueued {
+            at: SimTime::from_millis(5),
+            key: 3,
+            partition: 0,
+            deadline: SimTime::from_millis(505),
+        };
+        assert_eq!(ev.at(), SimTime::from_millis(5));
+        assert_eq!(ev.kind(), "enqueued");
+        assert_eq!(ev.key(), Some(3));
+        assert_eq!(ev.batch(), None);
+
+        let ev = TraceEvent::BrokerAppend {
+            at: SimTime::from_millis(9),
+            batch: 7,
+            request: 11,
+            broker: 0,
+            partition: 2,
+            key: 3,
+            offset: 0,
+            latency: SimDuration::from_millis(6),
+            duplicate: true,
+            via_teardown: false,
+        };
+        assert_eq!(ev.key(), Some(3));
+        assert_eq!(ev.batch(), Some(7));
+        assert!(ev.to_string().contains("DUPLICATE"));
+    }
+
+    #[test]
+    fn loss_cause_displays_kebab_case() {
+        assert_eq!(LossCause::ExpiredInBuffer.to_string(), "expired-in-buffer");
+        assert_eq!(LossCause::ConnectionReset.to_string(), "connection-reset");
+        assert_eq!(LossCause::ALL.len(), 5);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            TraceEvent::Expired {
+                at: SimTime::from_millis(1),
+                key: 0,
+                cause: LossCause::BufferOverflow,
+                batch: None,
+            },
+            TraceEvent::ConnectionReset {
+                at: SimTime::from_millis(2),
+                conn: 1,
+                epoch: 0,
+                lost_keys: vec![4, 5],
+            },
+        ];
+        for ev in &events {
+            let line = serde_json::to_string(ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, ev);
+        }
+    }
+}

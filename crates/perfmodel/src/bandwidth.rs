@@ -27,7 +27,11 @@ pub fn offered_bytes_per_sec(message_rate: f64, wire_bytes_per_message: f64) -> 
 /// assert_eq!(utilisation(1_000.0, 500.0, 1_000_000.0), 0.5);
 /// ```
 #[must_use]
-pub fn utilisation(message_rate: f64, wire_bytes_per_message: f64, capacity_bytes_per_sec: f64) -> f64 {
+pub fn utilisation(
+    message_rate: f64,
+    wire_bytes_per_message: f64,
+    capacity_bytes_per_sec: f64,
+) -> f64 {
     assert!(
         capacity_bytes_per_sec > 0.0,
         "link capacity must be positive"

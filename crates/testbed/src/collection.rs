@@ -39,7 +39,10 @@ impl Default for NormalCaseGrid {
             message_sizes: vec![50, 100, 200, 400, 700, 1000],
             message_timeouts_ms: vec![200, 500, 1000, 1500, 2000, 3000],
             poll_intervals_ms: vec![0, 10, 30, 60, 90],
-            semantics: vec![DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce],
+            semantics: vec![
+                DeliverySemantics::AtMostOnce,
+                DeliverySemantics::AtLeastOnce,
+            ],
             base_delay_ms: 1,
         }
     }
@@ -119,7 +122,10 @@ impl Default for AbnormalCaseGrid {
             delays_ms: vec![50, 100, 200],
             loss_rates: vec![0.02, 0.05, 0.08, 0.10, 0.13, 0.16, 0.19, 0.25, 0.30, 0.40],
             batch_sizes: vec![1, 2, 4, 6, 8, 10],
-            semantics: vec![DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce],
+            semantics: vec![
+                DeliverySemantics::AtMostOnce,
+                DeliverySemantics::AtLeastOnce,
+            ],
             fixed_poll_ms: 50,
             fixed_timeout_ms: 2_000,
             include_full_load_axis: true,
@@ -240,8 +246,7 @@ mod tests {
     fn abnormal_grid_size_is_axes_not_product() {
         let grid = AbnormalCaseGrid::default();
         let size_axes = if grid.include_full_load_axis { 2 } else { 1 };
-        let per_network =
-            grid.message_sizes.len() * size_axes + (grid.batch_sizes.len() - 1);
+        let per_network = grid.message_sizes.len() * size_axes + (grid.batch_sizes.len() - 1);
         let expected =
             grid.semantics.len() * grid.delays_ms.len() * grid.loss_rates.len() * per_network;
         assert_eq!(grid.points().len(), expected);

@@ -136,16 +136,33 @@ impl ExperimentPoint {
     /// Runs the experiment with `n_messages` source messages.
     #[must_use]
     pub fn run(&self, cal: &Calibration, n_messages: u64, seed: u64) -> ExperimentResult {
+        self.run_traced(cal, n_messages, seed, Box::new(obs::NoopSink))
+            .0
+    }
+
+    /// Runs the experiment with a trace sink attached to the simulated
+    /// pipeline. Returns the result plus the sink, which now holds whatever
+    /// it collected (events for an [`obs::RingBufferSink`], a registry for
+    /// an [`obs::MetricsSink`]).
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        cal: &Calibration,
+        n_messages: u64,
+        seed: u64,
+        sink: Box<dyn obs::TraceSink>,
+    ) -> (ExperimentResult, Box<dyn obs::TraceSink>) {
         let spec = self.to_run_spec(cal, n_messages);
-        let outcome = KafkaRun::new(spec, seed).execute();
-        ExperimentResult {
+        let (outcome, sink) = KafkaRun::new(spec, seed).execute_traced(sink);
+        let result = ExperimentResult {
             point: self.clone(),
             p_loss: outcome.report.p_loss(),
             p_dup: outcome.report.p_dup(),
             report: outcome.report,
             producer: outcome.producer,
             seed,
-        }
+        };
+        (result, sink)
     }
 }
 
@@ -244,6 +261,29 @@ mod tests {
         let a = p.run(&cal, 300, 9);
         let b = p.run(&cal, 300, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_captures_the_lifecycle() {
+        let cal = Calibration::paper();
+        let p = ExperimentPoint {
+            loss_rate: 0.10,
+            delay: SimDuration::from_millis(50),
+            ..ExperimentPoint::default()
+        };
+        let plain = p.run(&cal, 200, 9);
+        let (traced, mut sink) =
+            p.run_traced(&cal, 200, 9, Box::new(obs::RingBufferSink::new(1 << 20)));
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let events = sink.drain();
+        let enqueued = events
+            .iter()
+            .filter(|e| matches!(e, obs::TraceEvent::Enqueued { .. }))
+            .count() as u64;
+        assert_eq!(enqueued, 200, "every source message is traced");
+        let report = obs::TimelineReport::reconstruct(&events);
+        let audit = kafkasim::crosscheck(&traced.report, &report);
+        assert!(audit.fully_explains(), "{:?}", audit.discrepancies);
     }
 
     #[test]

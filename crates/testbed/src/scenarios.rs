@@ -95,7 +95,10 @@ impl ApplicationScenario {
     pub fn social_media() -> Self {
         ApplicationScenario {
             name: "messages from social media".into(),
-            size: SizeSpec::Uniform { low: 120, high: 400 },
+            size: SizeSpec::Uniform {
+                low: 120,
+                high: 400,
+            },
             timeliness: SimDuration::from_secs(2),
             weights: KpiWeights::new(0.4, 0.3, 0.2, 0.1).expect("valid"),
             rate_timeline: bursty_rate(42.0, 16.0),
@@ -209,7 +212,10 @@ mod tests {
         assert!(game.mean_size() < 100, "game messages are under 100 bytes");
         assert!(game.timeliness < SimDuration::from_secs(1));
         let web = ApplicationScenario::web_access_records();
-        assert!(web.weights.no_loss > 0.5, "web logs prioritise completeness");
+        assert!(
+            web.weights.no_loss > 0.5,
+            "web logs prioritise completeness"
+        );
         assert!(web.timeliness > SimDuration::from_secs(10));
         let social = ApplicationScenario::social_media();
         assert!(social.weights.bandwidth >= social.weights.no_loss);

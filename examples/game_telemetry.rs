@@ -30,8 +30,8 @@ fn main() {
         interval: SimDuration::from_secs(10),
         ..TraceConfig::default()
     };
-    let trace = generate_trace(&trace_cfg, &mut SimRng::seed_from_u64(9))
-        .expect("valid trace config");
+    let trace =
+        generate_trace(&trace_cfg, &mut SimRng::seed_from_u64(9)).expect("valid trace config");
     println!(
         "network trace: mean loss {:.1}%, {:.0}% of time in the bad state",
         trace.mean_loss() * 100.0,

@@ -26,7 +26,7 @@ fn main() {
     //    fast while preserving the trends.)
     let cal = Calibration::paper();
     println!("running the experiment grid...");
-    let results = quick_grid(&cal, 2_000, 0_usize.max(4));
+    let results = quick_grid(&cal, 2_000, 4);
     println!("  {} experiments done", results.len());
     for r in results.iter().step_by(9) {
         println!(

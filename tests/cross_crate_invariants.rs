@@ -16,13 +16,13 @@ fn arb_semantics() -> impl Strategy<Value = DeliverySemantics> {
 
 fn arb_point() -> impl Strategy<Value = ExperimentPoint> {
     (
-        50u64..1_000,          // message size
-        0u64..200,             // delay ms
-        0u32..40,              // loss percent
+        50u64..1_000, // message size
+        0u64..200,    // delay ms
+        0u32..40,     // loss percent
         arb_semantics(),
-        1usize..10,            // batch
-        0u64..120,             // poll ms
-        300u64..4_000,         // timeout ms
+        1usize..10,    // batch
+        0u64..120,     // poll ms
+        300u64..4_000, // timeout ms
     )
         .prop_map(|(m, d, l, semantics, b, poll, t_o)| ExperimentPoint {
             message_size: m,

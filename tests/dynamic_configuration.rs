@@ -71,12 +71,11 @@ fn model_planner_beats_or_matches_the_default_on_loss() {
 #[test]
 fn schedules_respond_to_the_trace() {
     let cal = Calibration::paper();
-    let predictor = kafka_predict::model::FnPredictor(|f: &Features| {
-        kafka_predict::model::Prediction {
+    let predictor =
+        kafka_predict::model::FnPredictor(|f: &Features| kafka_predict::model::Prediction {
             p_loss: (f.loss_rate * 4.0 / f.batch_size as f64).min(1.0),
             p_dup: 0.0,
-        }
-    });
+        });
     let planner = ModelPlanner::new(&predictor, &cal, SearchSpace::default());
     let scenario = ApplicationScenario::social_media();
     let trace = test_trace(13, 240);
@@ -208,5 +207,8 @@ fn online_controller_matches_offline_planner_on_a_trace() {
     );
     let r = &online.report;
     assert_eq!(r.delivered_once + r.lost + r.duplicated, r.n_source);
-    assert!(online.config_switches >= 1, "the controller must have acted");
+    assert!(
+        online.config_switches >= 1,
+        "the controller must have acted"
+    );
 }

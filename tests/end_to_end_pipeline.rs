@@ -17,7 +17,11 @@ fn training_results() -> Vec<testbed::ExperimentResult> {
 fn collect_train_predict_recommend() {
     let cal = Calibration::paper();
     let results = training_results();
-    assert!(results.len() >= 40, "grid produced {} points", results.len());
+    assert!(
+        results.len() >= 40,
+        "grid produced {} points",
+        results.len()
+    );
 
     // Train.
     let mut options = TrainOptions::fast();
@@ -93,11 +97,7 @@ fn validation_against_fresh_simulations_is_bounded() {
     options.sgd.epochs = 300;
     let trained = train_model(&results, &options, 9).expect("train");
     // Validate on a handful of fresh points near the training manifold.
-    let points: Vec<ExperimentPoint> = results
-        .iter()
-        .step_by(7)
-        .map(|r| r.point.clone())
-        .collect();
+    let points: Vec<ExperimentPoint> = results.iter().step_by(7).map(|r| r.point.clone()).collect();
     let mae = validate_against_simulation(&trained.model, &points, &cal, 1_200, 123, 4);
     assert!(
         mae < 0.30,

@@ -31,9 +31,14 @@ fn fig4_point(m: u64, semantics: DeliverySemantics) -> ExperimentPoint {
 #[test]
 fn fig4_loss_falls_with_message_size() {
     let cal = Calibration::paper();
-    for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
-        let points: Vec<ExperimentPoint> =
-            [100u64, 400, 1000].iter().map(|&m| fig4_point(m, semantics)).collect();
+    for semantics in [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ] {
+        let points: Vec<ExperimentPoint> = [100u64, 400, 1000]
+            .iter()
+            .map(|&m| fig4_point(m, semantics))
+            .collect();
         let r = run_sweep(&points, &cal, N, 1, 3);
         assert!(
             r[0].p_loss > r[1].p_loss && r[1].p_loss > r[2].p_loss,
@@ -147,7 +152,10 @@ fn fig7_batching_and_semantics_order() {
         poll_interval: SimDuration::from_millis(70),
         message_timeout: SimDuration::from_millis(2_000),
     };
-    for semantics in [DeliverySemantics::AtMostOnce, DeliverySemantics::AtLeastOnce] {
+    for semantics in [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ] {
         let (unbatched, _) = run_repeated(&point(1, semantics), &cal, N, 5, 3, 3);
         let (batched, _) = run_repeated(&point(4, semantics), &cal, N, 5, 3, 3);
         assert!(

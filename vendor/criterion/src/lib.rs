@@ -1,0 +1,216 @@
+//! Offline, vendored stand-in for `criterion`.
+//!
+//! Implements the API the workspace benches use — `Criterion`,
+//! `benchmark_group` with `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock timer instead of criterion's statistical machinery. Each
+//! benchmark is warmed up once and then timed over a handful of samples;
+//! the mean time per iteration is printed to stderr.
+//!
+//! When the binary is invoked by `cargo test --benches` (the harness
+//! receives `--test`), measurement collapses to a single iteration so test
+//! runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a displayable benchmark label.
+pub trait IntoLabel {
+    /// Render as the label string.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it `iters` times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test --benches` the harness is passed `--test`;
+        // measure minimally in that mode.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoLabel, f: F) {
+        let label = id.into_label();
+        let test_mode = self.test_mode;
+        run_one("bench", &label, 10, test_mode, f);
+    }
+}
+
+/// A group of benchmarks sharing a name and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples (compatibility; we run few anyway).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoLabel,
+        f: F,
+    ) -> &mut Self {
+        let label = id.into_label();
+        run_one(
+            &self.name,
+            &label,
+            self.samples,
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input under this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into_label();
+        run_one(
+            &self.name,
+            &label,
+            self.samples,
+            self.criterion.test_mode,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (printing happens eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    label: &str,
+    samples: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let samples = if test_mode { 1 } else { samples.clamp(1, 20) };
+    let mut total = Duration::ZERO;
+    let mut iters_total = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters_total += b.iters;
+    }
+    let per_iter = if iters_total > 0 {
+        total / iters_total as u32
+    } else {
+        Duration::ZERO
+    };
+    eprintln!("{group}/{label}: {per_iter:?} per iter ({samples} samples)");
+}
+
+/// Declare a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Harness flags (`--bench`, `--test`, filters) are accepted and
+            // ignored; `Criterion::default` inspects them as needed.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,36 @@
+//! Offline, vendored stand-in for `crossbeam`'s scoped threads.
+//!
+//! Wraps `std::thread::scope` behind crossbeam's `scope(|s| ..)` API. The
+//! one semantic difference: when a spawned thread panics, `std`'s scope
+//! re-raises the panic in the parent instead of returning `Err`, so callers
+//! that `.expect()` the result still abort with the panic payload — which
+//! is the behavior the workspace's sweep runner wants.
+
+#![forbid(unsafe_code)]
+
+/// Scope handle passed to the closure given to [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to this scope. The closure receives the scope
+    /// handle again (crossbeam convention), enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Create a scope in which threads may borrow from the enclosing stack
+/// frame. Blocks until all spawned threads finish.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}

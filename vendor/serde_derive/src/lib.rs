@@ -1,0 +1,374 @@
+//! Offline, vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! stand-in `serde` crate's `Value` data model — without `syn`/`quote`
+//! (unavailable in this offline build environment). The token stream is
+//! parsed by hand; generated impls are emitted as source strings and
+//! re-parsed into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * structs with named fields, tuple/newtype structs, unit structs;
+//! * enums with unit, tuple, and struct variants.
+//!
+//! Not supported (and not needed here): generic parameters and
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    is_enum: bool,
+    /// For structs: one entry. For enums: one entry per variant.
+    items: Vec<(String, Shape)>,
+}
+
+/// Split a token list on top-level commas, tracking angle-bracket depth so
+/// commas inside `HashMap<u64, String>` don't split.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drop leading `#[...]` attribute pairs and `pub` / `pub(...)` visibility.
+fn strip_prefix(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &tokens[i..],
+        }
+    }
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(group_tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let chunk = strip_prefix(chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_arity(group_tokens: &[TokenTree]) -> usize {
+    split_top_level(group_tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .count()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Find the `struct` / `enum` keyword at top level (attributes and doc
+    // comments keep their payload inside bracket groups, so a plain scan
+    // that skips `#[...]` pairs is safe).
+    let is_enum = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct/enum found in derive input"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported ({name})");
+        }
+    }
+
+    if is_enum {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde_derive: expected enum body for {name}, got {other:?}"),
+        };
+        let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+        let mut variants = Vec::new();
+        for chunk in split_top_level(&body_tokens) {
+            let chunk = strip_prefix(&chunk);
+            if chunk.is_empty() {
+                continue;
+            }
+            let vname = match &chunk[0] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected variant name in {name}, got {other:?}"),
+            };
+            let shape = match chunk.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Shape::Tuple(parse_tuple_arity(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Shape::Named(parse_named_fields(&inner))
+                }
+                _ => Shape::Unit,
+            };
+            variants.push((vname, shape));
+        }
+        Input {
+            name,
+            is_enum: true,
+            items: variants,
+        }
+    } else {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Tuple(parse_tuple_arity(&inner))
+            }
+            _ => Shape::Unit,
+        };
+        let name_clone = name.clone();
+        Input {
+            name,
+            is_enum: false,
+            items: vec![(name_clone, shape)],
+        }
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut code = String::new();
+    code.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n"
+    ));
+    if input.is_enum {
+        code.push_str("        match self {\n");
+        for (vname, shape) in &input.items {
+            match shape {
+                Shape::Unit => code.push_str(&format!(
+                    "            {name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                )),
+                Shape::Tuple(1) => code.push_str(&format!(
+                    "            {name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(__f0))]),\n"
+                )),
+                Shape::Tuple(n) => {
+                    let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                    let vals: Vec<String> = pats
+                        .iter()
+                        .map(|p| format!("::serde::Serialize::to_value({p})"))
+                        .collect();
+                    code.push_str(&format!(
+                        "            {name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Seq(::std::vec![{}]))]),\n",
+                        pats.join(", "),
+                        vals.join(", ")
+                    ));
+                }
+                Shape::Named(fields) => {
+                    let pats = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    code.push_str(&format!(
+                        "            {name}::{vname} {{ {pats} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Map(::std::vec![{}]))]),\n",
+                        entries.join(", ")
+                    ));
+                }
+            }
+        }
+        code.push_str("        }\n");
+    } else {
+        match &input.items[0].1 {
+            Shape::Unit => code.push_str("        ::serde::Value::Null\n"),
+            Shape::Tuple(1) => {
+                code.push_str("        ::serde::Serialize::to_value(&self.0)\n");
+            }
+            Shape::Tuple(n) => {
+                let vals: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                code.push_str(&format!(
+                    "        ::serde::Value::Seq(::std::vec![{}])\n",
+                    vals.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                code.push_str(&format!(
+                    "        ::serde::Value::Map(::std::vec![{}])\n",
+                    entries.join(", ")
+                ));
+            }
+        }
+    }
+    code.push_str("    }\n}\n");
+    code
+}
+
+fn gen_named_de(name_path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::__field(__m, \"{f}\"))?"))
+        .collect();
+    format!(
+        "{{ let __m = {src}.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for {name_path}\"))?; ::std::result::Result::Ok({name_path} {{ {} }}) }}",
+        inits.join(", ")
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut code = String::new();
+    code.push_str(&format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+    ));
+    if input.is_enum {
+        // Unit variants arrive as strings.
+        code.push_str("        if let ::std::option::Option::Some(__s) = __v.as_str() {\n");
+        code.push_str("            return match __s {\n");
+        for (vname, shape) in &input.items {
+            if matches!(shape, Shape::Unit) {
+                code.push_str(&format!(
+                    "                \"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+        }
+        code.push_str(&format!(
+            "                __other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n"
+        ));
+        code.push_str("            };\n        }\n");
+        // Data variants arrive as single-entry maps.
+        code.push_str(&format!(
+            "        let __m = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected string or map for enum {name}\"))?;\n"
+        ));
+        code.push_str(&format!(
+            "        let (__k, __inner) = __m.first().ok_or_else(|| ::serde::DeError::custom(\"empty map for enum {name}\"))?;\n"
+        ));
+        code.push_str("        match __k.as_str() {\n");
+        for (vname, shape) in &input.items {
+            match shape {
+                Shape::Unit => {}
+                Shape::Tuple(1) => code.push_str(&format!(
+                    "            \"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+                )),
+                Shape::Tuple(n) => {
+                    let gets: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                        .collect();
+                    code.push_str(&format!(
+                        "            \"{vname}\" => {{ let __s = __inner.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for {name}::{vname}\"))?; if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong arity for {name}::{vname}\")); }} ::std::result::Result::Ok({name}::{vname}({})) }},\n",
+                        gets.join(", ")
+                    ));
+                }
+                Shape::Named(fields) => {
+                    let body = gen_named_de(&format!("{name}::{vname}"), fields, "__inner");
+                    code.push_str(&format!("            \"{vname}\" => {body},\n"));
+                }
+            }
+        }
+        code.push_str(&format!(
+            "            __other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n"
+        ));
+        code.push_str("        }\n");
+    } else {
+        match &input.items[0].1 {
+            Shape::Unit => {
+                code.push_str(&format!("        ::std::result::Result::Ok({name})\n"));
+            }
+            Shape::Tuple(1) => {
+                code.push_str(&format!(
+                    "        ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n"
+                ));
+            }
+            Shape::Tuple(n) => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                    .collect();
+                code.push_str(&format!(
+                    "        let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for {name}\"))?;\n        if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong arity for {name}\")); }}\n        ::std::result::Result::Ok({name}({}))\n",
+                    gets.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let body = gen_named_de(name, fields, "__v");
+                code.push_str(&format!("        {body}\n"));
+            }
+        }
+    }
+    code.push_str("    }\n}\n");
+    code
+}
+
+/// Derive `serde::Serialize` (vendored subset — see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (vendored subset — see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
