@@ -22,6 +22,7 @@ fn point(m: u64, semantics: DeliverySemantics) -> ExperimentPoint {
         batch_size: 1,
         poll_interval: SimDuration::ZERO,
         message_timeout: SimDuration::from_millis(2_000),
+        ..ExperimentPoint::default()
     }
 }
 

@@ -21,6 +21,7 @@ fn point(timeout_ms: u64) -> ExperimentPoint {
         batch_size: 1,
         poll_interval: SimDuration::ZERO,
         message_timeout: SimDuration::from_millis(timeout_ms),
+        ..ExperimentPoint::default()
     }
 }
 

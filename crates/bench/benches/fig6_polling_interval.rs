@@ -21,6 +21,7 @@ fn point(delta_ms: u64) -> ExperimentPoint {
         batch_size: 1,
         poll_interval: SimDuration::from_millis(delta_ms),
         message_timeout: SimDuration::from_millis(500),
+        ..ExperimentPoint::default()
     }
 }
 

@@ -20,6 +20,7 @@ fn point(loss: f64, batch: usize, semantics: DeliverySemantics) -> ExperimentPoi
         batch_size: batch,
         poll_interval: SimDuration::from_millis(70),
         message_timeout: SimDuration::from_millis(2_000),
+        ..ExperimentPoint::default()
     }
 }
 

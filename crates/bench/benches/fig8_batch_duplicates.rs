@@ -21,6 +21,7 @@ fn point(batch: usize) -> ExperimentPoint {
         batch_size: batch,
         poll_interval: SimDuration::from_millis(70),
         message_timeout: SimDuration::from_millis(2_000),
+        ..ExperimentPoint::default()
     }
 }
 

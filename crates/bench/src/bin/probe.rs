@@ -23,6 +23,7 @@ fn main() {
     let d: u64 = args[2].parse().expect("D");
     let semantics = match args[3].as_str() {
         "amo" => DeliverySemantics::AtMostOnce,
+        "all" => DeliverySemantics::All,
         _ => DeliverySemantics::AtLeastOnce,
     };
     let batch: usize = args.get(4).map_or(1, |s| s.parse().expect("batch"));
@@ -39,6 +40,7 @@ fn main() {
         batch_size: batch,
         poll_interval: SimDuration::from_millis(poll),
         message_timeout: SimDuration::from_millis(timeout),
+        ..ExperimentPoint::default()
     };
     let cal = Calibration::paper();
     let spec = point.to_run_spec(&cal, messages);

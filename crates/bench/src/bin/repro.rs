@@ -67,7 +67,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|ablation-transport|ablation-jitter|trace|all> \
+    "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|broker-faults|ablation-transport|ablation-jitter|trace|all> \
      [--messages N] [--quick] [--paper-ann] [--seed S] [--threads T] [--json] [--data FILE] [--save-data FILE] [--trace-out FILE.jsonl]"
         .to_string()
 }
@@ -183,6 +183,9 @@ fn main() {
             args.json,
         );
     });
+    run("broker-faults", &mut || {
+        broker_faults(args.effort, args.json)
+    });
     run("ablation-transport", &mut || {
         series(
             "ABL-1: early retransmit vs classic Reno (fire-and-forget, full load)",
@@ -248,18 +251,57 @@ fn table1(json: bool) {
 }
 
 fn collection(json: bool) {
-    let (normal, abnormal) = figures::collection_summary();
+    let (normal, abnormal, broker_faults) = figures::collection_summary();
     if json {
         println!(
             "{}",
-            serde_json::json!({"normal_points": normal, "abnormal_points": abnormal})
+            serde_json::json!({
+                "normal_points": normal,
+                "abnormal_points": abnormal,
+                "broker_fault_points": broker_faults,
+            })
         );
         return;
     }
     println!("== Fig. 3: training-data collection design ==");
     println!("normal cases   (D < 200ms, L = 0): {normal} experiment points");
     println!("abnormal cases (faults injected):  {abnormal} experiment points");
+    println!("broker faults  (beyond the paper): {broker_faults} experiment points");
     println!();
+}
+
+fn broker_faults(effort: Effort, json: bool) {
+    let rows = figures::ext_broker_faults(effort);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialisable")
+        );
+        return;
+    }
+    println!("== EXT-4: broker faults — loss and duplication by acks x failure scenario ==");
+    println!(
+        "{:<9} {:<17} {:>8} {:>8} {:>6} {:>14} {:>15}",
+        "acks", "scenario", "P_l", "P_d", "lost", "broker-caused", "elections(c/u)"
+    );
+    for r in &rows {
+        println!(
+            "{:<9} {:<17} {:>8.4} {:>8.4} {:>6} {:>14} {:>12}/{}",
+            r.acks,
+            r.scenario,
+            r.p_loss,
+            r.p_dup,
+            r.lost,
+            r.broker_caused,
+            r.clean_elections,
+            r.unclean_elections
+        );
+    }
+    println!(
+        "\nacks=all + clean election loses nothing; acks=1 loses the acked-but-\n\
+         unreplicated tail; unclean elections lose data at every acks level,\n\
+         attributed to the broker (leader-failover), not the network.\n"
+    );
 }
 
 fn fig9(seed: u64, json: bool) {
@@ -332,16 +374,21 @@ fn ann(effort: Effort, paper_scale: bool, json: bool, data: Option<&str>, save_d
         println!(
             "{}",
             serde_json::json!({
-                "amo": trained.amo, "alo": trained.alo, "worst_mae": trained.worst_mae()
+                "amo": trained.amo, "alo": trained.alo, "all": trained.all,
+                "worst_mae": trained.worst_mae()
             })
         );
         return;
     }
     println!("== ANN prediction accuracy (paper: MAE < 0.02) ==");
-    for (name, head) in [
+    let mut heads = vec![
         ("at-most-once", trained.amo),
         ("at-least-once", trained.alo),
-    ] {
+    ];
+    if let Some(all) = trained.all {
+        heads.push(("acks=all", all));
+    }
+    for (name, head) in heads {
         println!(
             "{name:>14} head: {} train / {} test samples, held-out MAE = {:.4}",
             head.train_samples, head.test_samples, head.test_mae
@@ -386,6 +433,7 @@ fn sensitivity(effort: Effort, json: bool) {
         batch_size: 2,
         poll_interval: SimDuration::from_millis(70),
         message_timeout: SimDuration::from_millis(1_000),
+        ..ExperimentPoint::default()
     };
     let cal = Calibration::paper();
     let rows = analyze(&base, &cal, effort.messages, effort.seed, effort.threads);

@@ -123,6 +123,7 @@ pub fn fig4(effort: Effort) -> Vec<Series> {
                         batch_size: 1,
                         poll_interval: SimDuration::ZERO, // full load
                         message_timeout: SimDuration::from_millis(2_000),
+                        ..ExperimentPoint::default()
                     },
                 )
             })
@@ -161,6 +162,7 @@ pub fn fig5(effort: Effort) -> Vec<Series> {
                         batch_size: 1,
                         poll_interval: SimDuration::ZERO, // full load
                         message_timeout: SimDuration::from_millis(t),
+                        ..ExperimentPoint::default()
                     },
                 )
             })
@@ -195,6 +197,7 @@ pub fn fig6(effort: Effort) -> Vec<Series> {
                         batch_size: 1,
                         poll_interval: SimDuration::from_millis(d),
                         message_timeout: SimDuration::from_millis(500),
+                        ..ExperimentPoint::default()
                     },
                 )
             })
@@ -233,6 +236,7 @@ pub fn fig7(effort: Effort) -> Vec<Series> {
                             batch_size: b,
                             poll_interval: SimDuration::from_millis(70),
                             message_timeout: SimDuration::from_millis(2_000),
+                            ..ExperimentPoint::default()
                         },
                     )
                 })
@@ -266,6 +270,7 @@ pub fn fig8(effort: Effort) -> Vec<Series> {
                             batch_size: b,
                             poll_interval: SimDuration::from_millis(70),
                             message_timeout: SimDuration::from_millis(2_000),
+                            ..ExperimentPoint::default()
                         },
                     )
                 })
@@ -284,9 +289,9 @@ pub fn fig9(seed: u64) -> NetworkTrace {
 }
 
 /// Fig. 3 — the training-data collection design: grid sizes per case
-/// family.
+/// family (normal, abnormal, broker-fault).
 #[must_use]
-pub fn collection_summary() -> (usize, usize) {
+pub fn collection_summary() -> (usize, usize, usize) {
     CollectionDesign::default().sizes()
 }
 
@@ -467,11 +472,14 @@ pub fn heuristic_predictor() -> impl Predictor {
         let p_loss = match f.semantics {
             DeliverySemantics::AtMostOnce => base,
             DeliverySemantics::AtLeastOnce => base * 0.5,
+            DeliverySemantics::All => base * 0.45,
         }
         .clamp(0.0, 1.0);
         let p_dup = match f.semantics {
             DeliverySemantics::AtMostOnce => 0.0,
-            DeliverySemantics::AtLeastOnce => (0.02 * congestion) * batch_relief,
+            DeliverySemantics::AtLeastOnce | DeliverySemantics::All => {
+                (0.02 * congestion) * batch_relief
+            }
         };
         kafka_predict::model::Prediction { p_loss, p_dup }
     })
@@ -526,6 +534,7 @@ pub fn ext_broker_outage(effort: Effort) -> Vec<Series> {
                         batch_size: 1,
                         poll_interval: SimDuration::from_millis(60),
                         message_timeout: SimDuration::from_millis(1_000),
+                        ..ExperimentPoint::default()
                     };
                     let mut spec = point.to_run_spec(&cal, effort.messages.min(5_000));
                     if secs > 0 {
@@ -550,6 +559,115 @@ pub fn ext_broker_outage(effort: Effort) -> Vec<Series> {
             }
         })
         .collect()
+}
+
+/// One cell of the EXT-4 broker-fault matrix: a full run at one `acks`
+/// level under one failure scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrokerFaultRow {
+    /// Producer acknowledgement level (`acks=0`, `acks=1`, `acks=all`).
+    pub acks: String,
+    /// Failure scenario (`no fault`, `clean failover`, `unclean failover`).
+    pub scenario: String,
+    /// Measured `P_l`.
+    pub p_loss: f64,
+    /// Measured `P_d`.
+    pub p_dup: f64,
+    /// Messages lost in total.
+    pub lost: u64,
+    /// Of those, messages the audit attributes to the broker (leader
+    /// failover truncation) rather than the network.
+    pub broker_caused: u64,
+    /// Clean leader elections during the run.
+    pub clean_elections: u64,
+    /// Unclean leader elections during the run.
+    pub unclean_elections: u64,
+}
+
+/// EXT-4 — broker-caused loss vs acknowledgement level (beyond the paper).
+///
+/// A 3×3 matrix: `acks ∈ {0, 1, all}` against `{no fault, clean failover,
+/// unclean failover}` on a replicated single-partition topic. The clean
+/// scenario crashes the leader while both followers are in sync; the
+/// unclean one first starves the only follower (early crash plus a
+/// one-record fetch cap keep it lagging and out of the ISR) so the
+/// election must promote a replica missing acknowledged records.
+///
+/// The expected shape: `acks=all` with a clean election loses nothing;
+/// `acks=1` loses the acked-but-unreplicated tail even on a clean
+/// election; every unclean election loses data regardless of `acks`, and
+/// the audit pins those losses on the broker, not the network.
+#[must_use]
+pub fn ext_broker_faults(effort: Effort) -> Vec<BrokerFaultRow> {
+    use kafkasim::broker::BrokerId;
+    use kafkasim::config::ProducerConfig;
+    use kafkasim::runtime::{BrokerFault, KafkaRun, RunSpec};
+    use kafkasim::source::SourceSpec;
+    use kafkasim::LossReason;
+
+    let n = effort.messages.min(3_000);
+    let spec_for = |semantics: DeliverySemantics, scenario: &str| -> RunSpec {
+        let mut spec = RunSpec {
+            source: SourceSpec::fixed_rate(n, 200, 100.0),
+            ..RunSpec::default()
+        };
+        spec.cluster.partitions = 1;
+        spec.cluster.replication.factor = 3;
+        spec.producer = ProducerConfig::builder()
+            .semantics(semantics)
+            .message_timeout(SimDuration::from_millis(2_500))
+            .max_in_flight(64)
+            .build()
+            .expect("valid producer config");
+        if scenario == "unclean failover" {
+            // Keep the sole follower lagging and out of the ISR.
+            spec.cluster.replication.factor = 2;
+            spec.cluster.replication.lag_time_max = SimDuration::from_millis(200);
+            spec.cluster.replication.max_fetch_records = 1;
+            spec.cluster.replication.allow_unclean = true;
+            spec.faults.push(BrokerFault::crash(
+                BrokerId(1),
+                SimTime::from_millis(100),
+                SimDuration::from_millis(1_400),
+            ));
+        }
+        if scenario != "no fault" {
+            spec.faults.push(BrokerFault::crash(
+                BrokerId(0),
+                SimTime::from_millis(2_115),
+                SimDuration::from_secs(5),
+            ));
+            spec.failover_after = Some(SimDuration::from_millis(500));
+        }
+        spec
+    };
+
+    let mut rows = Vec::new();
+    for (acks, semantics) in [
+        ("acks=0", DeliverySemantics::AtMostOnce),
+        ("acks=1", DeliverySemantics::AtLeastOnce),
+        ("acks=all", DeliverySemantics::All),
+    ] {
+        for scenario in ["no fault", "clean failover", "unclean failover"] {
+            let outcome = KafkaRun::new(spec_for(semantics, scenario), effort.seed).execute();
+            rows.push(BrokerFaultRow {
+                acks: acks.to_string(),
+                scenario: scenario.to_string(),
+                p_loss: outcome.report.p_loss(),
+                p_dup: outcome.report.p_dup(),
+                lost: outcome.report.lost,
+                broker_caused: outcome
+                    .report
+                    .loss_reasons
+                    .get(&LossReason::LeaderFailover)
+                    .copied()
+                    .unwrap_or(0),
+                clean_elections: outcome.brokers.clean_elections,
+                unclean_elections: outcome.brokers.unclean_elections,
+            });
+        }
+    }
+    rows
 }
 
 /// EXT-2 — the retry strategy (the paper: "we do not make a deep dive into
@@ -578,6 +696,7 @@ pub fn ext_retry_strategy(effort: Effort) -> Vec<Series> {
                         batch_size: 2,
                         poll_interval: SimDuration::from_millis(70),
                         message_timeout: SimDuration::from_millis(4_000),
+                        ..ExperimentPoint::default()
                     };
                     let mut spec = point.to_run_spec(&cal, effort.messages.min(8_000));
                     spec.producer.max_retries = retries;
@@ -627,6 +746,7 @@ pub fn ablation_early_retransmit(effort: Effort) -> Vec<Series> {
                         batch_size: 1,
                         poll_interval: SimDuration::ZERO,
                         message_timeout: SimDuration::from_millis(2_000),
+                        ..ExperimentPoint::default()
                     };
                     let spec = point.to_run_spec(&cal, effort.messages.min(8_000));
                     let outcome = KafkaRun::new(spec, effort.seed).execute();
@@ -676,6 +796,7 @@ pub fn ablation_service_jitter(effort: Effort) -> Vec<Series> {
                         batch_size: 1,
                         poll_interval: SimDuration::ZERO,
                         message_timeout: SimDuration::from_millis(t),
+                        ..ExperimentPoint::default()
                     };
                     let spec = point.to_run_spec(&cal, effort.messages.min(10_000));
                     let outcome = KafkaRun::new(spec, effort.seed).execute();
@@ -725,6 +846,7 @@ pub fn prediction_overlay(effort: Effort, paper_scale: bool) -> (Vec<Series>, f6
                 batch_size: 1,
                 poll_interval: SimDuration::ZERO,
                 message_timeout: SimDuration::from_millis(2_000),
+                ..ExperimentPoint::default()
             })
             .collect();
         // Fresh seeds: these measurements are new "test data".
@@ -862,9 +984,10 @@ mod tests {
 
     #[test]
     fn collection_sizes_are_reported() {
-        let (normal, abnormal) = collection_summary();
+        let (normal, abnormal, faults) = collection_summary();
         assert!(normal > 50);
         assert!(abnormal > 100);
+        assert!(faults > 10);
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //!
 //! Eq. 1's inputs are the stream type (`M`, `S`), the network condition
 //! (`D`, `L`) and the configuration (`semantics`, `B`, `δ`, `T_o`).
+//! Beyond the paper, three broker-side features join them: the
+//! replication factor `RF`, the injected broker downtime `F`, and the
+//! unclean-election flag `U` — so the model can learn broker-caused loss
+//! next to network-caused loss.
 //! The ranges below follow the paper's prescription to "specify the range
 //! of possible variables according to real world systems" (Fig. 3); the
 //! min–max scaler derived from them is *fixed*, so a model trained once
@@ -13,7 +17,8 @@ use kafkasim::config::DeliverySemantics;
 use serde::{Deserialize, Serialize};
 use testbed::experiment::ExperimentPoint;
 
-/// One prediction input: the paper's eight features.
+/// One prediction input: the paper's eight features plus the three
+/// broker-fault features.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Features {
     /// (a) Message size `M` in bytes.
@@ -32,6 +37,12 @@ pub struct Features {
     pub poll_interval_ms: f64,
     /// (h) Message timeout `T_o` in milliseconds.
     pub message_timeout_ms: f64,
+    /// (i) Per-partition replication factor `RF` (1 = the paper's setup).
+    pub replication_factor: u32,
+    /// (j) Injected broker downtime `F` in milliseconds (0 = no fault).
+    pub fault_downtime_ms: f64,
+    /// (k) Whether unclean leader election is allowed (`U`).
+    pub allow_unclean: bool,
 }
 
 impl Default for Features {
@@ -45,13 +56,17 @@ impl Default for Features {
             batch_size: 1,
             poll_interval_ms: 100.0,
             message_timeout_ms: 3_000.0,
+            replication_factor: 1,
+            fault_downtime_ms: 0.0,
+            allow_unclean: false,
         }
     }
 }
 
-/// The Fig. 3 value ranges, per feature (excluding semantics, which is the
-/// model-selection axis): `[M, S, D, L, B, δ, T_o]`.
-pub const FEATURE_RANGES: [(f64, f64); 7] = [
+/// The value ranges, per feature (excluding semantics, which is the
+/// model-selection axis): `[M, S, D, L, B, δ, T_o, RF, F, U]`. The first
+/// seven follow Fig. 3; the last three cover the broker-fault grid.
+pub const FEATURE_RANGES: [(f64, f64); 10] = [
     (50.0, 1_000.0),   // M: 50 B .. 1 kB
     (0.0, 30_000.0),   // S: 0 .. 30 s
     (0.0, 400.0),      // D: 0 .. 400 ms
@@ -59,15 +74,19 @@ pub const FEATURE_RANGES: [(f64, f64); 7] = [
     (1.0, 10.0),       // B: 1 .. 10 messages
     (0.0, 200.0),      // δ: 0 .. 200 ms
     (200.0, 30_000.0), // T_o: 200 ms .. 30 s
+    (1.0, 5.0),        // RF: 1 .. 5 replicas
+    (0.0, 10_000.0),   // F: 0 .. 10 s broker downtime
+    (0.0, 1.0),        // U: unclean election allowed
 ];
 
 impl Features {
     /// Number of numeric inputs per model head (semantics selects the head
     /// instead of being an input, per §III-G's "the input layer can be
     /// reduced").
-    pub const HEAD_INPUTS: usize = 7;
+    pub const HEAD_INPUTS: usize = 10;
 
-    /// The per-head numeric vector `[M, S, D, L, B, δ, T_o]` (unscaled).
+    /// The per-head numeric vector `[M, S, D, L, B, δ, T_o, RF, F, U]`
+    /// (unscaled).
     #[must_use]
     pub fn head_vector(&self) -> Vec<f64> {
         vec![
@@ -78,6 +97,9 @@ impl Features {
             self.batch_size as f64,
             self.poll_interval_ms,
             self.message_timeout_ms,
+            f64::from(self.replication_factor),
+            self.fault_downtime_ms,
+            f64::from(u8::from(self.allow_unclean)),
         ]
     }
 
@@ -115,10 +137,14 @@ impl Features {
         if self.message_timeout_ms <= 0.0 {
             return Err("message timeout must be positive".into());
         }
+        if self.replication_factor == 0 {
+            return Err("replication factor must be at least 1".into());
+        }
         for (name, v) in [
             ("timeliness", self.timeliness_ms),
             ("delay", self.delay_ms),
             ("poll interval", self.poll_interval_ms),
+            ("fault downtime", self.fault_downtime_ms),
         ] {
             if !v.is_finite() || v < 0.0 {
                 return Err(format!("{name} must be finite and non-negative"));
@@ -140,6 +166,9 @@ impl Features {
             batch_size: self.batch_size,
             poll_interval: SimDuration::from_secs_f64(self.poll_interval_ms / 1e3),
             message_timeout: SimDuration::from_secs_f64(self.message_timeout_ms / 1e3),
+            replication_factor: self.replication_factor,
+            fault_downtime: SimDuration::from_secs_f64(self.fault_downtime_ms / 1e3),
+            allow_unclean: self.allow_unclean,
         }
     }
 }
@@ -155,6 +184,9 @@ impl From<&ExperimentPoint> for Features {
             batch_size: p.batch_size,
             poll_interval_ms: p.poll_interval.as_secs_f64() * 1e3,
             message_timeout_ms: p.message_timeout.as_secs_f64() * 1e3,
+            replication_factor: p.replication_factor,
+            fault_downtime_ms: p.fault_downtime.as_secs_f64() * 1e3,
+            allow_unclean: p.allow_unclean,
         }
     }
 }
@@ -174,10 +206,13 @@ mod tests {
             batch_size: 4,
             poll_interval_ms: 90.0,
             message_timeout_ms: 500.0,
+            replication_factor: 3,
+            fault_downtime_ms: 4_000.0,
+            allow_unclean: true,
         };
         assert_eq!(
             f.head_vector(),
-            vec![100.0, 250.0, 100.0, 0.19, 4.0, 90.0, 500.0]
+            vec![100.0, 250.0, 100.0, 0.19, 4.0, 90.0, 500.0, 3.0, 4000.0, 1.0]
         );
         assert_eq!(f.head_vector().len(), Features::HEAD_INPUTS);
         assert_eq!(FEATURE_RANGES.len(), Features::HEAD_INPUTS);
@@ -207,6 +242,9 @@ mod tests {
             batch_size: 6,
             poll_interval_ms: 40.0,
             message_timeout_ms: 900.0,
+            replication_factor: 3,
+            fault_downtime_ms: 2_500.0,
+            allow_unclean: true,
         };
         let p = f.to_experiment_point();
         let back = Features::from(&p);
@@ -227,6 +265,11 @@ mod tests {
         assert!(f.validate().is_err());
         let f = Features {
             delay_ms: f64::NAN,
+            ..Features::default()
+        };
+        assert!(f.validate().is_err());
+        let f = Features {
+            replication_factor: 0,
             ..Features::default()
         };
         assert!(f.validate().is_err());

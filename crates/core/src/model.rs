@@ -66,11 +66,14 @@ impl Topology {
     }
 }
 
-/// The two-headed reliability model.
+/// The three-headed reliability model: one head per delivery semantics
+/// (the paper's two, plus the beyond-the-paper `acks=all` head, which —
+/// like at-least-once — predicts both `P_l` and `P_d`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReliabilityModel {
     amo_head: Network,
     alo_head: Network,
+    all_head: Network,
     topology: Topology,
 }
 
@@ -81,6 +84,7 @@ impl ReliabilityModel {
         ReliabilityModel {
             amo_head: topology.builder(Features::HEAD_INPUTS, 1).build(rng),
             alo_head: topology.builder(Features::HEAD_INPUTS, 2).build(rng),
+            all_head: topology.builder(Features::HEAD_INPUTS, 2).build(rng),
             topology,
         }
     }
@@ -96,6 +100,7 @@ impl ReliabilityModel {
         match semantics {
             DeliverySemantics::AtMostOnce => &mut self.amo_head,
             DeliverySemantics::AtLeastOnce => &mut self.alo_head,
+            DeliverySemantics::All => &mut self.all_head,
         }
     }
 
@@ -105,13 +110,16 @@ impl ReliabilityModel {
         match semantics {
             DeliverySemantics::AtMostOnce => &self.amo_head,
             DeliverySemantics::AtLeastOnce => &self.alo_head,
+            DeliverySemantics::All => &self.all_head,
         }
     }
 
     /// Total trainable parameters across both heads.
     #[must_use]
     pub fn parameter_count(&self) -> usize {
-        self.amo_head.parameter_count() + self.alo_head.parameter_count()
+        self.amo_head.parameter_count()
+            + self.alo_head.parameter_count()
+            + self.all_head.parameter_count()
     }
 
     /// Serialises the model to JSON.
@@ -144,8 +152,8 @@ impl Predictor for ReliabilityModel {
                     p_dup: 0.0,
                 }
             }
-            DeliverySemantics::AtLeastOnce => {
-                let out = self.alo_head.predict(&x);
+            DeliverySemantics::AtLeastOnce | DeliverySemantics::All => {
+                let out = self.head(features.semantics).predict(&x);
                 Prediction {
                     p_loss: out[0],
                     p_dup: out[1],
@@ -165,6 +173,7 @@ mod tests {
         let m = ReliabilityModel::new(Topology::Compact, &mut rng);
         assert_eq!(m.head(DeliverySemantics::AtMostOnce).output_dim(), 1);
         assert_eq!(m.head(DeliverySemantics::AtLeastOnce).output_dim(), 2);
+        assert_eq!(m.head(DeliverySemantics::All).output_dim(), 2);
         assert_eq!(
             m.head(DeliverySemantics::AtMostOnce).input_dim(),
             Features::HEAD_INPUTS
@@ -192,6 +201,7 @@ mod tests {
             for semantics in [
                 DeliverySemantics::AtMostOnce,
                 DeliverySemantics::AtLeastOnce,
+                DeliverySemantics::All,
             ] {
                 let p = m.predict(&Features {
                     loss_rate: loss,
@@ -208,8 +218,8 @@ mod tests {
     fn paper_topology_parameter_count() {
         let mut rng = SimRng::seed_from_u64(4);
         let m = ReliabilityModel::new(Topology::Paper, &mut rng);
-        // Two heads of ≈ 95k parameters each.
-        assert!(m.parameter_count() > 180_000);
+        // Three heads of ≈ 95k parameters each.
+        assert!(m.parameter_count() > 270_000);
         assert_eq!(m.topology(), Topology::Paper);
     }
 

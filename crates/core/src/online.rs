@@ -137,6 +137,7 @@ impl<P: Predictor + Send + Sync> OnlineController for OnlineModelController<P> {
             batch_size: current.batch_size,
             poll_interval_ms: current.poll_interval.as_secs_f64() * 1e3,
             message_timeout_ms: current.message_timeout.as_secs_f64() * 1e3,
+            ..Features::default()
         };
         let recommender = Recommender::new(&self.kpi, &self.predictor, self.space.clone());
         let rec = recommender.recommend(&start, &self.weights, self.gamma_requirement);

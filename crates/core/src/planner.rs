@@ -63,6 +63,7 @@ impl<'a> ModelPlanner<'a> {
             // but never below the search floor.
             message_timeout_ms: (scenario.timeliness.as_secs_f64() * 1e3)
                 .clamp(self.space.timeout_ms.0, self.space.timeout_ms.1),
+            ..Features::default()
         }
     }
 

@@ -168,14 +168,18 @@ impl<'a> Recommender<'a> {
             });
         }
         if s.allow_semantics_switch {
-            let other = match f.semantics {
-                DeliverySemantics::AtMostOnce => DeliverySemantics::AtLeastOnce,
-                DeliverySemantics::AtLeastOnce => DeliverySemantics::AtMostOnce,
-            };
-            out.push(Features {
-                semantics: other,
-                ..*f
-            });
+            for other in [
+                DeliverySemantics::AtMostOnce,
+                DeliverySemantics::AtLeastOnce,
+                DeliverySemantics::All,
+            ] {
+                if other != f.semantics {
+                    out.push(Features {
+                        semantics: other,
+                        ..*f
+                    });
+                }
+            }
         }
         out
     }
@@ -251,11 +255,14 @@ mod tests {
             let p_loss = match f.semantics {
                 DeliverySemantics::AtMostOnce => base,
                 DeliverySemantics::AtLeastOnce => base / 2.0,
+                DeliverySemantics::All => base / 2.5,
             }
             .clamp(0.0, 1.0);
             let p_dup = match f.semantics {
                 DeliverySemantics::AtMostOnce => 0.0,
-                DeliverySemantics::AtLeastOnce => (f.loss_rate * 0.05).min(1.0),
+                DeliverySemantics::AtLeastOnce | DeliverySemantics::All => {
+                    (f.loss_rate * 0.05).min(1.0)
+                }
             };
             Prediction { p_loss, p_dup }
         })

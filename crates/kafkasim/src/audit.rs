@@ -33,6 +33,11 @@ pub enum LossReason {
     ConnectionReset,
     /// Still unresolved when the run's hard horizon ended.
     UnsentAtEnd,
+    /// Truncated from a partition log when leadership moved to a replica
+    /// that had not fetched the record — broker-caused loss (unclean
+    /// leader election, or a failover under `acks < all`), distinct from
+    /// every network-caused reason above.
+    LeaderFailover,
 }
 
 impl core::fmt::Display for LossReason {
@@ -43,6 +48,7 @@ impl core::fmt::Display for LossReason {
             LossReason::RetriesExhausted => "retries-exhausted",
             LossReason::ConnectionReset => "connection-reset",
             LossReason::UnsentAtEnd => "unsent-at-end",
+            LossReason::LeaderFailover => "leader-failover",
         };
         write!(f, "{s}")
     }

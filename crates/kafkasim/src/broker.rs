@@ -175,6 +175,29 @@ impl Broker {
         Ok(base)
     }
 
+    /// Removes and returns this broker's log for `partition` (the physical
+    /// log handed to a newly elected leader — see
+    /// [`Broker::install_log`]).
+    pub fn take_log(&mut self, partition: u32) -> Option<PartitionLog> {
+        let idx = self.logs.iter().position(|l| l.partition() == partition)?;
+        Some(self.logs.remove(idx))
+    }
+
+    /// Installs a partition log on this broker (leadership arriving with
+    /// the replicated data), replacing any log it already had for that
+    /// partition.
+    pub fn install_log(&mut self, log: PartitionLog) {
+        if let Some(existing) = self
+            .logs
+            .iter_mut()
+            .find(|l| l.partition() == log.partition())
+        {
+            *existing = log;
+        } else {
+            self.logs.push(log);
+        }
+    }
+
     /// Read access to one partition log.
     #[must_use]
     pub fn log(&self, partition: u32) -> Option<&PartitionLog> {
@@ -237,6 +260,18 @@ mod tests {
     fn processing_time_scales_with_records() {
         let b = Broker::new(BrokerId(0), vec![0]);
         assert!(b.processing_time(10) > b.processing_time(1));
+    }
+
+    #[test]
+    fn logs_move_between_brokers_on_election() {
+        let mut old = Broker::new(BrokerId(0), vec![0]);
+        let mut new = Broker::new(BrokerId(1), vec![]);
+        old.append(0, &[rec(1), rec(2)], SimTime::ZERO).unwrap();
+        let log = old.take_log(0).unwrap();
+        assert_eq!(log.len(), 2);
+        assert!(old.log(0).is_none());
+        new.install_log(log);
+        assert_eq!(new.log(0).unwrap().len(), 2);
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub enum DeliverySemantics {
     /// `acks=1`: the broker acknowledges each produce request; the producer
     /// retries unacknowledged requests until `τ_r` or `T_o` is exhausted.
     AtLeastOnce,
+    /// `acks=all`: the leader withholds the acknowledgement until every
+    /// in-sync replica has fetched the records, so a clean leader failover
+    /// can never lose an acknowledged message. Retry behaviour matches
+    /// at-least-once; with a replication factor of 1 it degenerates to
+    /// `acks=1`. (Beyond the paper, which studies `acks={0,1}` only.)
+    All,
 }
 
 impl core::fmt::Display for DeliverySemantics {
@@ -27,6 +33,7 @@ impl core::fmt::Display for DeliverySemantics {
         match self {
             DeliverySemantics::AtMostOnce => write!(f, "at-most-once"),
             DeliverySemantics::AtLeastOnce => write!(f, "at-least-once"),
+            DeliverySemantics::All => write!(f, "acks-all"),
         }
     }
 }
@@ -440,6 +447,7 @@ mod tests {
     fn semantics_display() {
         assert_eq!(DeliverySemantics::AtMostOnce.to_string(), "at-most-once");
         assert_eq!(DeliverySemantics::AtLeastOnce.to_string(), "at-least-once");
+        assert_eq!(DeliverySemantics::All.to_string(), "acks-all");
     }
 
     #[test]

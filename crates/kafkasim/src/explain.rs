@@ -22,6 +22,7 @@ pub fn to_loss_reason(cause: LossCause) -> LossReason {
         LossCause::RetriesExhausted => LossReason::RetriesExhausted,
         LossCause::ConnectionReset => LossReason::ConnectionReset,
         LossCause::UnsentAtEnd => LossReason::UnsentAtEnd,
+        LossCause::LeaderFailover => LossReason::LeaderFailover,
     }
 }
 
@@ -34,6 +35,7 @@ pub fn to_loss_cause(reason: LossReason) -> LossCause {
         LossReason::RetriesExhausted => LossCause::RetriesExhausted,
         LossReason::ConnectionReset => LossCause::ConnectionReset,
         LossReason::UnsentAtEnd => LossCause::UnsentAtEnd,
+        LossReason::LeaderFailover => LossCause::LeaderFailover,
     }
 }
 

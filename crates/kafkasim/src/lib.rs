@@ -8,20 +8,25 @@
 //! machine the paper analyses (its Fig. 2 / Table I):
 //!
 //! * a **producer** ([`producer`]) with the paper's configurable features:
-//!   delivery semantics (`acks=0` at-most-once vs `acks=1` at-least-once),
-//!   batch size `B`, polling interval `δ`, message timeout `T_o`, retries
-//!   `τ_r`, plus request timeouts and in-flight limits;
+//!   delivery semantics (`acks=0` at-most-once, `acks=1` at-least-once,
+//!   and — beyond the paper — `acks=all`), batch size `B`, polling
+//!   interval `δ`, message timeout `T_o`, retries `τ_r`, plus request
+//!   timeouts and in-flight limits;
 //! * **brokers** ([`broker`]) with per-partition append-only logs
-//!   ([`log`]), organised into a [`cluster`];
+//!   ([`log`]), organised into a [`cluster`] with intra-cluster
+//!   **replication**: follower fetch rounds, an in-sync replica set with
+//!   `replica.lag.time.max` eviction, and clean vs unclean leader
+//!   elections ([`cluster::ReplicationSpec`]);
 //! * a **consumer + audit** ([`consumer`], [`audit`]) that replays the
 //!   paper's methodology: compare the unique keys of the source stream with
 //!   the keys found in the topic, count `N_l` and `N_d`, and classify every
 //!   message into one of Table I's five delivery cases;
 //! * a **runtime** ([`runtime`]) that wires producer, brokers and
 //!   [`netsim::DuplexChannel`]s into one deterministic event loop, with
-//!   NetEm-style fault injection from a [`netsim::ConditionTimeline`] and
-//!   support for mid-run configuration changes (the paper's §V dynamic
-//!   configuration);
+//!   NetEm-style fault injection from a [`netsim::ConditionTimeline`],
+//!   broker crash/restart/flapping injection ([`runtime::BrokerFault`])
+//!   and support for mid-run configuration changes (the paper's §V
+//!   dynamic configuration);
 //! * **observability** — the runtime is instrumented with [`obs`]
 //!   lifecycle trace events ([`runtime::KafkaRun::execute_traced`]), and
 //!   [`explain`] cross-checks a reconstructed trace against the audit so
@@ -46,6 +51,43 @@
 //! let outcome = KafkaRun::new(spec, 42).execute();
 //! assert_eq!(outcome.report.n_source, 1_000);
 //! assert!(outcome.report.p_loss() < 0.05, "clean network loses almost nothing");
+//! ```
+//!
+//! # Example: replication rides out a broker crash
+//!
+//! With a replication factor above one, `acks=all` holds producer acks
+//! until every in-sync replica has the records, so a crash of the leader
+//! followed by a *clean* election (a fully-caught-up ISR member takes
+//! over) loses nothing:
+//!
+//! ```
+//! use desim::{SimDuration, SimTime};
+//! use kafkasim::broker::BrokerId;
+//! use kafkasim::config::{DeliverySemantics, ProducerConfig};
+//! use kafkasim::runtime::{BrokerFault, KafkaRun, RunSpec};
+//! use kafkasim::source::SourceSpec;
+//!
+//! let mut spec = RunSpec {
+//!     source: SourceSpec::fixed_rate(500, 200, 100.0),
+//!     ..RunSpec::default()
+//! };
+//! spec.cluster.partitions = 1;
+//! spec.cluster.replication.factor = 3;
+//! spec.producer = ProducerConfig::builder()
+//!     .semantics(DeliverySemantics::All)
+//!     .max_in_flight(64)
+//!     .build()
+//!     .unwrap();
+//! spec.faults = vec![BrokerFault::crash(
+//!     BrokerId(0),
+//!     SimTime::from_secs(2),
+//!     SimDuration::from_secs(2),
+//! )];
+//! spec.failover_after = Some(SimDuration::from_millis(500));
+//!
+//! let outcome = KafkaRun::new(spec, 7).execute();
+//! assert_eq!(outcome.brokers.clean_elections, 1);
+//! assert_eq!(outcome.report.lost, 0, "acks=all + clean election loses nothing");
 //! ```
 
 #![forbid(unsafe_code)]

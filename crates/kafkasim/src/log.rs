@@ -116,6 +116,16 @@ impl PartitionLog {
     pub fn iter(&self) -> impl Iterator<Item = &StoredRecord> {
         self.records.iter()
     }
+
+    /// Truncates the log to `offset` records (an unclean leader election
+    /// rewinding to the new leader's log-end offset), returning the removed
+    /// suffix in offset order.
+    pub fn truncate_to(&mut self, offset: u64) -> Vec<StoredRecord> {
+        if offset as usize >= self.records.len() {
+            return Vec::new();
+        }
+        self.records.split_off(offset as usize)
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +162,20 @@ mod tests {
         }
         let tail: Vec<u64> = log.fetch_from(3).map(|r| r.key.0).collect();
         assert_eq!(tail, vec![3, 4]);
+    }
+
+    #[test]
+    fn truncate_returns_the_removed_suffix() {
+        let mut log = PartitionLog::new(0);
+        for i in 0..5 {
+            log.append(MessageKey(i), 10, SimTime::ZERO, SimTime::ZERO);
+        }
+        let removed = log.truncate_to(3);
+        assert_eq!(log.len(), 3);
+        let keys: Vec<u64> = removed.iter().map(|r| r.key.0).collect();
+        assert_eq!(keys, vec![3, 4]);
+        assert!(log.truncate_to(10).is_empty(), "no-op past the end");
+        assert_eq!(log.len(), 3);
     }
 
     #[test]

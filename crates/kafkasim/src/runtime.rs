@@ -34,7 +34,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::audit::{audit, DeliveryReport, LossReason};
 use crate::broker::{BrokerId, ProduceRecord};
-use crate::cluster::{Cluster, ClusterSpec};
+use crate::cluster::{Cluster, ClusterSpec, ReplicationDelta};
 use crate::config::{DeliverySemantics, ProducerConfig};
 use crate::consumer::ConsumedTopic;
 use crate::message::{Message, MessageKey};
@@ -119,6 +119,54 @@ pub struct BrokerOutage {
     pub until: SimTime,
 }
 
+/// A broker fault pattern: one crash, a crash-with-restart, or repeated
+/// flapping. Expands into [`BrokerOutage`] cycles driven through the
+/// event engine, each crash/restart traced as
+/// [`TraceEvent::BrokerDown`]/[`TraceEvent::BrokerUp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerFault {
+    /// The faulty broker.
+    pub broker: BrokerId,
+    /// First crash instant.
+    pub at: SimTime,
+    /// Outage length of each crash.
+    pub down_for: SimDuration,
+    /// Number of crash/restart cycles (1 = a single crash).
+    pub flaps: u32,
+    /// Healthy time between a restart and the next crash (ignored when
+    /// `flaps == 1`).
+    pub up_for: SimDuration,
+}
+
+impl BrokerFault {
+    /// One crash at `at`, restarting after `down_for`.
+    #[must_use]
+    pub fn crash(broker: BrokerId, at: SimTime, down_for: SimDuration) -> Self {
+        BrokerFault {
+            broker,
+            at,
+            down_for,
+            flaps: 1,
+            up_for: SimDuration::ZERO,
+        }
+    }
+
+    /// The outage cycles this fault expands to.
+    #[must_use]
+    pub fn outages(&self) -> Vec<BrokerOutage> {
+        (0..self.flaps)
+            .map(|k| {
+                let from = self.at + (self.down_for + self.up_for) * u64::from(k);
+                BrokerOutage {
+                    broker: self.broker,
+                    from,
+                    until: from + self.down_for,
+                }
+            })
+            .collect()
+    }
+}
+
 /// Full specification of one experiment run.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
@@ -141,9 +189,16 @@ pub struct RunSpec {
     pub max_duration: SimDuration,
     /// Scheduled broker outages.
     pub outages: Vec<BrokerOutage>,
-    /// When set, partitions led by a downed broker fail over to the next
-    /// alive broker after this detection delay (Kafka's controller moving
-    /// leadership); when `None`, producers must wait the outage out.
+    /// Broker fault patterns (crash / restart / flapping); each expands
+    /// into outage cycles on top of `outages`.
+    pub faults: Vec<BrokerFault>,
+    /// When set, partitions led by a downed broker fail over after this
+    /// detection delay (Kafka's controller moving leadership): a new
+    /// leader is elected from the partition's ISR (clean) or — if the
+    /// cluster allows it — from a lagging replica (unclean, truncating
+    /// unfetched records). With a replication factor of 1 the old
+    /// fresh-log handover is used instead. When `None`, producers must
+    /// wait the outage out.
     pub failover_after: Option<SimDuration>,
     /// Online (feedback) configuration control, the EXT-3 extension.
     pub online: Option<OnlineSpec>,
@@ -161,6 +216,7 @@ impl Default for RunSpec {
             config_schedule: Vec::new(),
             max_duration: SimDuration::from_secs(7_200),
             outages: Vec::new(),
+            faults: Vec::new(),
             failover_after: None,
             online: None,
         }
@@ -189,6 +245,20 @@ impl RunSpec {
             }
             if outage.broker.0 >= self.cluster.brokers {
                 return Err("outage names an unknown broker".into());
+            }
+        }
+        for fault in &self.faults {
+            if fault.down_for.is_zero() {
+                return Err("fault outage length must be positive".into());
+            }
+            if fault.flaps == 0 {
+                return Err("fault must have at least one crash cycle".into());
+            }
+            if fault.flaps > 1 && fault.up_for.is_zero() {
+                return Err("flapping fault needs a positive up time between crashes".into());
+            }
+            if fault.broker.0 >= self.cluster.brokers {
+                return Err("fault names an unknown broker".into());
             }
         }
         if let Some(online) = &self.online {
@@ -223,6 +293,33 @@ pub struct ProducerStats {
     pub online_reconfigurations: u64,
 }
 
+/// Cluster-side counters accumulated during a run: replication traffic,
+/// ISR churn, and leader elections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerStats {
+    /// Leader failovers performed (elections plus the replication-factor-1
+    /// fresh-log handovers).
+    pub failovers: u64,
+    /// Elections that promoted an in-sync replica.
+    pub clean_elections: u64,
+    /// Elections that promoted a lagging replica (may truncate records).
+    pub unclean_elections: u64,
+    /// Follower fetch rounds that copied records.
+    pub replica_fetches: u64,
+    /// Replicas evicted from an ISR for lagging.
+    pub isr_shrinks: u64,
+    /// Replicas that caught up and rejoined an ISR.
+    pub isr_expands: u64,
+    /// Record copies truncated off partition logs by elections.
+    pub records_truncated: u64,
+    /// Messages whose *only* copies were truncated — broker-caused loss,
+    /// audited as [`LossReason::LeaderFailover`].
+    pub lost_to_failover: u64,
+    /// Produce acknowledgements withheld (`acks=all`) until the ISR had
+    /// fetched the records.
+    pub acks_held: u64,
+}
+
 /// The result of a run: the audit report plus low-level statistics.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -230,6 +327,8 @@ pub struct RunOutcome {
     pub report: DeliveryReport,
     /// Producer counters.
     pub producer: ProducerStats,
+    /// Cluster-side counters (replication, ISR churn, elections).
+    pub brokers: BrokerStats,
     /// Per-connection TCP sender statistics (producer side).
     pub tcp: Vec<netsim::tcp::TcpSenderStats>,
     /// Per-connection forward-link statistics.
@@ -262,6 +361,16 @@ struct RequestInfo {
     batch_id: u64,
 }
 
+/// An `acks=all` acknowledgement the leader is withholding until every
+/// in-sync replica has fetched the request's records.
+struct PendingAck {
+    conn: usize,
+    req_id: u64,
+    partition: u32,
+    /// The leader log-end offset the ISR must reach.
+    required: u64,
+}
+
 struct World {
     cfg: ProducerConfig,
     wire: WireFormat,
@@ -284,6 +393,8 @@ struct World {
     sender_kick_scheduled: bool,
     linger_wake_at: Option<SimTime>,
     stats: ProducerStats,
+    broker_stats: BrokerStats,
+    pending_acks: Vec<PendingAck>,
     online: Option<OnlineSpec>,
     window_base: ProducerStats,
     done_polling: bool,
@@ -296,6 +407,14 @@ struct World {
 }
 
 impl World {
+    /// Which brokers are crashed at `now` (conns map 1:1 to brokers).
+    fn down_mask(&self, now: SimTime) -> Vec<bool> {
+        self.conns
+            .iter()
+            .map(|c| c.down_until.is_some_and(|u| now < u))
+            .collect()
+    }
+
     fn mark_expired(&mut self, now: SimTime, messages: &[Message]) {
         for m in messages {
             self.ledger.mark_lost(m.key, LossReason::ExpiredInBuffer);
@@ -383,6 +502,7 @@ impl KafkaRun {
             config_schedule,
             max_duration,
             outages,
+            faults,
             failover_after,
             online,
         } = self.spec;
@@ -439,6 +559,8 @@ impl KafkaRun {
             sender_kick_scheduled: false,
             linger_wake_at: None,
             stats: ProducerStats::default(),
+            broker_stats: BrokerStats::default(),
+            pending_acks: Vec::new(),
             online,
             window_base: ProducerStats::default(),
             done_polling: false,
@@ -465,7 +587,11 @@ impl KafkaRun {
                 apply_config(w, ctx, cfg.clone());
             });
         }
-        for outage in outages {
+        let all_outages: Vec<BrokerOutage> = outages
+            .into_iter()
+            .chain(faults.iter().flat_map(BrokerFault::outages))
+            .collect();
+        for outage in all_outages {
             let ci = outage.broker.0 as usize;
             sim.schedule_at(outage.from, move |w: &mut World, ctx: &mut Ctx| {
                 on_outage_start(w, ctx, ci, outage.until);
@@ -476,9 +602,12 @@ impl KafkaRun {
                 });
             }
             sim.schedule_at(outage.until, move |w: &mut World, ctx: &mut Ctx| {
-                w.conns[ci].down_until = None;
-                drain_blocked(w, ctx, ci);
+                on_broker_up(w, ctx, ci);
             });
+        }
+        if sim.world().cluster.spec().replication.factor > 1 {
+            let interval = sim.world().cluster.spec().replication.fetch_interval;
+            sim.schedule_in(interval, replication_tick);
         }
 
         if let Some(online) = sim.world().online.clone() {
@@ -539,6 +668,7 @@ impl KafkaRun {
                 overflowed: world.accumulator.overflowed(),
                 ..world.stats
             },
+            brokers: world.broker_stats,
             tcp: world
                 .conns
                 .iter()
@@ -726,7 +856,7 @@ fn try_send(
     if w.conns[ci].down_until.is_some_and(|u| now < u) {
         return Err(batch); // broker down: wait (or fail over)
     }
-    let wants_ack = w.cfg.semantics == DeliverySemantics::AtLeastOnce;
+    let wants_ack = w.cfg.semantics != DeliverySemantics::AtMostOnce;
     if wants_ack && w.in_flight.count(ci) >= w.cfg.max_in_flight {
         return Err(batch);
     }
@@ -913,7 +1043,23 @@ fn on_request_arrived(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
         w.last_activity = now;
         trace_appends(w, now, &info, id, base, broker_id, false);
         if info.wants_ack {
-            send_response(w, ctx, ci, id);
+            let required = base + info.records.len() as u64;
+            if w.cfg.semantics == DeliverySemantics::All
+                && !w.cluster.isr_has(info.partition, required)
+            {
+                // acks=all: hold the response until every in-sync replica
+                // has fetched up to this batch's last offset. The next
+                // replication tick (or an ISR shrink) releases it.
+                w.broker_stats.acks_held += 1;
+                w.pending_acks.push(PendingAck {
+                    conn: ci,
+                    req_id: id,
+                    partition: info.partition,
+                    required,
+                });
+            } else {
+                send_response(w, ctx, ci, id);
+            }
         }
     });
 }
@@ -1144,33 +1290,118 @@ fn teardown_append(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
 /// moves).
 fn on_outage_start(w: &mut World, ctx: &mut Ctx, ci: usize, until: SimTime) {
     w.conns[ci].down_until = Some(until);
+    if w.trace.enabled() {
+        w.trace.record(TraceEvent::BrokerDown {
+            at: ctx.now(),
+            broker: w.conns[ci].broker.0,
+        });
+    }
     match w.cfg.semantics {
         DeliverySemantics::AtMostOnce => reset_amo(w, ctx, ci),
-        DeliverySemantics::AtLeastOnce => fail_connection_alo(w, ctx, ci),
+        DeliverySemantics::AtLeastOnce | DeliverySemantics::All => {
+            fail_connection_alo(w, ctx, ci);
+        }
     }
 }
 
-/// The controller detects the dead broker and moves its partitions to the
-/// next alive broker; the producer re-routes its backlog.
+/// The broker's outage window ends: the connection is usable again and the
+/// broker's replicas start catching up (rejoining ISRs via fetch rounds).
+fn on_broker_up(w: &mut World, ctx: &mut Ctx, ci: usize) {
+    let now = ctx.now();
+    if w.conns[ci].down_until.is_some_and(|u| now < u) {
+        return; // a later outage window is still in force
+    }
+    w.conns[ci].down_until = None;
+    if w.trace.enabled() {
+        w.trace.record(TraceEvent::BrokerUp {
+            at: now,
+            broker: w.conns[ci].broker.0,
+        });
+    }
+    drain_blocked(w, ctx, ci);
+}
+
+/// The controller detects the dead broker and elects a new leader for each
+/// partition it led: from the ISR when possible (clean — no acknowledged
+/// record can be lost), from the least-lagging live replica when unclean
+/// election is enabled (truncating everything the winner had not fetched),
+/// or — when the partition has no replica to elect (`factor == 1`) — via
+/// the legacy fresh-log transfer to the first alive broker. The producer
+/// re-routes its backlog to the new leaders.
 fn on_failover(w: &mut World, ctx: &mut Ctx, ci: usize) {
     let now = ctx.now();
     if w.conns[ci].down_until.is_none_or(|u| now >= u) {
         return; // back already
     }
-    let alive: Vec<usize> = (0..w.conns.len())
-        .filter(|&c| c != ci && w.conns[c].down_until.is_none_or(|u| now >= u))
-        .collect();
-    let Some(&target) = alive.first() else {
-        return; // nowhere to go
-    };
+    let down = w.down_mask(now);
     for p in 0..w.partition_conn.len() {
-        if w.partition_conn[p] == ci {
+        if w.partition_conn[p] != ci {
+            continue;
+        }
+        let partition = p as u32;
+        if let Some((candidate, _)) = w.cluster.election_candidate(partition, &down) {
+            let outcome = w.cluster.elect_leader(partition, candidate, now);
+            w.broker_stats.failovers += 1;
+            if outcome.clean {
+                w.broker_stats.clean_elections += 1;
+            } else {
+                w.broker_stats.unclean_elections += 1;
+            }
+            w.broker_stats.records_truncated += outcome.truncated.len() as u64;
+            let mut truncated_keys: Vec<u64> = outcome.truncated.iter().map(|r| r.key.0).collect();
+            truncated_keys.sort_unstable();
+            // A truncated key with no surviving copy in the new leader's
+            // log is broker-caused loss. The mark is pessimistic on
+            // purpose: an unacknowledged copy may still be retried to the
+            // new leader, and the audit trusts the final log over the mark.
+            let surviving: HashSet<u64> = w
+                .cluster
+                .broker(outcome.leader)
+                .and_then(|b| b.log(partition))
+                .map(|log| log.iter().map(|r| r.key.0).collect())
+                .unwrap_or_default();
+            let mut lost_keys = truncated_keys.clone();
+            lost_keys.dedup();
+            lost_keys.retain(|k| !surviving.contains(k));
+            for &k in &lost_keys {
+                w.ledger
+                    .mark_lost(MessageKey(k), LossReason::LeaderFailover);
+            }
+            w.broker_stats.lost_to_failover += lost_keys.len() as u64;
+            if w.trace.enabled() {
+                w.trace.record(TraceEvent::LeaderElected {
+                    at: now,
+                    partition,
+                    leader: outcome.leader.0,
+                    clean: outcome.clean,
+                    truncated_keys,
+                    lost_keys,
+                });
+            }
+            w.partition_conn[p] = outcome.leader.0 as usize;
+        } else {
+            let target = (0..w.conns.len())
+                .find(|&c| c != ci && w.conns[c].down_until.is_none_or(|u| now >= u));
+            let Some(target) = target else {
+                continue; // nowhere to go
+            };
             let to = w.conns[target].broker;
-            w.cluster.transfer_leadership(p as u32, to);
+            w.cluster.transfer_leadership(partition, to);
             w.partition_conn[p] = target;
+            w.broker_stats.failovers += 1;
+            if w.trace.enabled() {
+                w.trace.record(TraceEvent::LeaderElected {
+                    at: now,
+                    partition,
+                    leader: to.0,
+                    clean: false,
+                    truncated_keys: Vec::new(),
+                    lost_keys: Vec::new(),
+                });
+            }
         }
     }
-    // Re-route the backlog to the new leader's connection.
+    // Re-route the backlog to the new leaders' connections.
     let backlog: Vec<PendingBatch> = w.conns[ci].blocked.drain(..).collect();
     for batch in backlog {
         let new_ci = w.partition_conn[batch.partition as usize];
@@ -1178,6 +1409,95 @@ fn on_failover(w: &mut World, ctx: &mut Ctx, ci: usize) {
     }
     for c in 0..w.conns.len() {
         drain_blocked(w, ctx, c);
+    }
+    // The election may have shrunk an ISR past a held ack's requirement.
+    release_pending_acks(w, ctx);
+}
+
+/// One follower-fetch round: followers pull from their leaders, the ISR is
+/// re-evaluated against `replica.lag.time.max`, and held `acks=all`
+/// responses whose offsets are now fully in-sync are released.
+///
+/// Deliberately leaves `last_activity` alone — replication traffic on its
+/// own never keeps a run alive.
+fn replication_tick(w: &mut World, ctx: &mut Ctx) {
+    let now = ctx.now();
+    let down = w.down_mask(now);
+    for delta in w.cluster.replicate(now, &down) {
+        match delta {
+            ReplicationDelta::Fetch {
+                partition,
+                leader,
+                follower,
+                from_offset,
+                records,
+            } => {
+                w.broker_stats.replica_fetches += 1;
+                if w.trace.enabled() {
+                    w.trace.record(TraceEvent::ReplicaFetch {
+                        at: now,
+                        partition,
+                        leader: leader.0,
+                        follower: follower.0,
+                        from_offset,
+                        records,
+                    });
+                }
+            }
+            ReplicationDelta::Shrink {
+                partition,
+                broker,
+                isr,
+            } => {
+                w.broker_stats.isr_shrinks += 1;
+                if w.trace.enabled() {
+                    w.trace.record(TraceEvent::IsrShrink {
+                        at: now,
+                        partition,
+                        broker: broker.0,
+                        isr,
+                    });
+                }
+            }
+            ReplicationDelta::Expand {
+                partition,
+                broker,
+                isr,
+            } => {
+                w.broker_stats.isr_expands += 1;
+                if w.trace.enabled() {
+                    w.trace.record(TraceEvent::IsrExpand {
+                        at: now,
+                        partition,
+                        broker: broker.0,
+                        isr,
+                    });
+                }
+            }
+        }
+    }
+    release_pending_acks(w, ctx);
+    if !w.finished {
+        let interval = w.cluster.spec().replication.fetch_interval;
+        ctx.schedule_in(interval, replication_tick);
+    }
+}
+
+/// Sends every held `acks=all` response whose required offset the ISR now
+/// has, and drops entries whose request is no longer in flight (the
+/// connection reset underneath them and the batch went back to the retry
+/// queue).
+fn release_pending_acks(w: &mut World, ctx: &mut Ctx) {
+    let pending = std::mem::take(&mut w.pending_acks);
+    for ack in pending {
+        if !w.in_flight.contains(ack.req_id) {
+            continue; // reset underneath us: the batch will be retried
+        }
+        if w.cluster.isr_has(ack.partition, ack.required) {
+            send_response(w, ctx, ack.conn, ack.req_id);
+        } else {
+            w.pending_acks.push(ack);
+        }
     }
 }
 

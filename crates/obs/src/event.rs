@@ -28,16 +28,21 @@ pub enum LossCause {
     ConnectionReset,
     /// Still unresolved when the run's hard horizon ended.
     UnsentAtEnd,
+    /// Truncated from a partition log when leadership moved to a replica
+    /// that had not yet fetched the record — the broker-caused loss of an
+    /// unclean leader election (or of a failover under `acks < all`).
+    LeaderFailover,
 }
 
 impl LossCause {
     /// Every cause, in declaration order.
-    pub const ALL: [LossCause; 5] = [
+    pub const ALL: [LossCause; 6] = [
         LossCause::ExpiredInBuffer,
         LossCause::BufferOverflow,
         LossCause::RetriesExhausted,
         LossCause::ConnectionReset,
         LossCause::UnsentAtEnd,
+        LossCause::LeaderFailover,
     ];
 }
 
@@ -49,6 +54,7 @@ impl core::fmt::Display for LossCause {
             LossCause::RetriesExhausted => "retries-exhausted",
             LossCause::ConnectionReset => "connection-reset",
             LossCause::UnsentAtEnd => "unsent-at-end",
+            LossCause::LeaderFailover => "leader-failover",
         };
         write!(f, "{s}")
     }
@@ -207,6 +213,82 @@ pub enum TraceEvent {
         /// Producer-to-broker latency of this copy.
         latency: SimDuration,
     },
+    /// A follower replica fetched records from its partition leader.
+    ReplicaFetch {
+        /// Fetch instant (one replication tick).
+        at: SimTime,
+        /// Partition being replicated.
+        partition: u32,
+        /// The leader being fetched from.
+        leader: u32,
+        /// The fetching follower.
+        follower: u32,
+        /// The follower's log-end offset before the fetch.
+        from_offset: u64,
+        /// Records copied in this fetch.
+        records: u64,
+    },
+    /// A replica fell further behind than `replica.lag.time.max` and was
+    /// evicted from the in-sync replica set.
+    IsrShrink {
+        /// Eviction instant.
+        at: SimTime,
+        /// Partition whose ISR shrank.
+        partition: u32,
+        /// The evicted replica's broker.
+        broker: u32,
+        /// The ISR after the shrink (broker ids).
+        isr: Vec<u32>,
+    },
+    /// A lagging replica caught back up to the leader's log end and
+    /// rejoined the in-sync replica set.
+    IsrExpand {
+        /// Rejoin instant.
+        at: SimTime,
+        /// Partition whose ISR grew.
+        partition: u32,
+        /// The rejoining replica's broker.
+        broker: u32,
+        /// The ISR after the expansion (broker ids).
+        isr: Vec<u32>,
+    },
+    /// A partition elected a new leader after its old leader went down.
+    ///
+    /// `clean` elections promote an in-sync replica; unclean elections
+    /// promote a lagging one, truncating the log to the new leader's
+    /// fetched offset — `truncated_keys` lists every destroyed record copy
+    /// and `lost_keys` the keys with *no* surviving copy (broker-caused
+    /// loss, attributed to [`LossCause::LeaderFailover`]).
+    LeaderElected {
+        /// Election instant.
+        at: SimTime,
+        /// The partition changing leaders.
+        partition: u32,
+        /// The newly elected leader's broker.
+        leader: u32,
+        /// `true` when the new leader came from the ISR.
+        clean: bool,
+        /// Keys of record copies truncated off the log (with multiplicity:
+        /// a key appended twice and truncated twice appears twice).
+        truncated_keys: Vec<u64>,
+        /// Truncated keys that now have zero surviving copies anywhere.
+        lost_keys: Vec<u64>,
+    },
+    /// A broker crashed (fault injection) and stopped serving.
+    BrokerDown {
+        /// Crash instant.
+        at: SimTime,
+        /// The crashed broker.
+        broker: u32,
+    },
+    /// A crashed broker restarted and rejoined (as a lagging follower for
+    /// partitions it used to lead).
+    BrokerUp {
+        /// Restart instant.
+        at: SimTime,
+        /// The restarted broker.
+        broker: u32,
+    },
 }
 
 impl TraceEvent {
@@ -222,7 +304,13 @@ impl TraceEvent {
             | TraceEvent::Retry { at, .. }
             | TraceEvent::ConnectionReset { at, .. }
             | TraceEvent::BrokerAppend { at, .. }
-            | TraceEvent::ConsumerRead { at, .. } => *at,
+            | TraceEvent::ConsumerRead { at, .. }
+            | TraceEvent::ReplicaFetch { at, .. }
+            | TraceEvent::IsrShrink { at, .. }
+            | TraceEvent::IsrExpand { at, .. }
+            | TraceEvent::LeaderElected { at, .. }
+            | TraceEvent::BrokerDown { at, .. }
+            | TraceEvent::BrokerUp { at, .. } => *at,
         }
     }
 
@@ -239,6 +327,12 @@ impl TraceEvent {
             TraceEvent::ConnectionReset { .. } => "connection-reset",
             TraceEvent::BrokerAppend { .. } => "broker-append",
             TraceEvent::ConsumerRead { .. } => "consumer-read",
+            TraceEvent::ReplicaFetch { .. } => "replica-fetch",
+            TraceEvent::IsrShrink { .. } => "isr-shrink",
+            TraceEvent::IsrExpand { .. } => "isr-expand",
+            TraceEvent::LeaderElected { .. } => "leader-elected",
+            TraceEvent::BrokerDown { .. } => "broker-down",
+            TraceEvent::BrokerUp { .. } => "broker-up",
         }
     }
 
@@ -386,6 +480,55 @@ impl core::fmt::Display for TraceEvent {
                 "{t} consumer read msg#{key} from partition {partition} offset {offset} \
                  (latency {latency})"
             ),
+            TraceEvent::ReplicaFetch {
+                partition,
+                leader,
+                follower,
+                from_offset,
+                records,
+                ..
+            } => write!(
+                f,
+                "{t} follower {follower} fetched {records} records of partition {partition} \
+                 from leader {leader} (offset {from_offset})"
+            ),
+            TraceEvent::IsrShrink {
+                partition,
+                broker,
+                isr,
+                ..
+            } => write!(
+                f,
+                "{t} broker {broker} evicted from ISR of partition {partition} (ISR now {isr:?})"
+            ),
+            TraceEvent::IsrExpand {
+                partition,
+                broker,
+                isr,
+                ..
+            } => write!(
+                f,
+                "{t} broker {broker} rejoined ISR of partition {partition} (ISR now {isr:?})"
+            ),
+            TraceEvent::LeaderElected {
+                partition,
+                leader,
+                clean,
+                truncated_keys,
+                lost_keys,
+                ..
+            } => {
+                let mode = if *clean { "clean" } else { "UNCLEAN" };
+                write!(
+                    f,
+                    "{t} {mode} election: broker {leader} now leads partition {partition} \
+                     ({} copies truncated, {} messages lost)",
+                    truncated_keys.len(),
+                    lost_keys.len()
+                )
+            }
+            TraceEvent::BrokerDown { broker, .. } => write!(f, "{t} broker {broker} crashed"),
+            TraceEvent::BrokerUp { broker, .. } => write!(f, "{t} broker {broker} restarted"),
         }
     }
 }
@@ -428,7 +571,62 @@ mod tests {
     fn loss_cause_displays_kebab_case() {
         assert_eq!(LossCause::ExpiredInBuffer.to_string(), "expired-in-buffer");
         assert_eq!(LossCause::ConnectionReset.to_string(), "connection-reset");
-        assert_eq!(LossCause::ALL.len(), 5);
+        assert_eq!(LossCause::LeaderFailover.to_string(), "leader-failover");
+        assert_eq!(LossCause::ALL.len(), 6);
+    }
+
+    #[test]
+    fn broker_fault_events_have_kinds_and_narration() {
+        let ev = TraceEvent::LeaderElected {
+            at: SimTime::from_millis(40),
+            partition: 1,
+            leader: 2,
+            clean: false,
+            truncated_keys: vec![7, 8, 8],
+            lost_keys: vec![7],
+        };
+        assert_eq!(ev.kind(), "leader-elected");
+        assert_eq!(ev.key(), None);
+        assert_eq!(ev.batch(), None);
+        assert!(ev.to_string().contains("UNCLEAN"));
+        assert!(ev.to_string().contains("3 copies truncated"));
+
+        let ev = TraceEvent::ReplicaFetch {
+            at: SimTime::from_millis(41),
+            partition: 0,
+            leader: 0,
+            follower: 1,
+            from_offset: 5,
+            records: 3,
+        };
+        assert_eq!(ev.kind(), "replica-fetch");
+        assert!(ev.to_string().contains("fetched 3 records"));
+
+        for ev in [
+            TraceEvent::IsrShrink {
+                at: SimTime::from_millis(42),
+                partition: 0,
+                broker: 1,
+                isr: vec![0],
+            },
+            TraceEvent::IsrExpand {
+                at: SimTime::from_millis(43),
+                partition: 0,
+                broker: 1,
+                isr: vec![0, 1],
+            },
+            TraceEvent::BrokerDown {
+                at: SimTime::from_millis(44),
+                broker: 0,
+            },
+            TraceEvent::BrokerUp {
+                at: SimTime::from_millis(45),
+                broker: 0,
+            },
+        ] {
+            assert!(!ev.kind().is_empty());
+            assert!(!ev.to_string().is_empty());
+        }
     }
 
     #[test]
@@ -445,6 +643,24 @@ mod tests {
                 conn: 1,
                 epoch: 0,
                 lost_keys: vec![4, 5],
+            },
+            TraceEvent::LeaderElected {
+                at: SimTime::from_millis(3),
+                partition: 2,
+                leader: 1,
+                clean: true,
+                truncated_keys: vec![],
+                lost_keys: vec![],
+            },
+            TraceEvent::IsrShrink {
+                at: SimTime::from_millis(4),
+                partition: 2,
+                broker: 0,
+                isr: vec![1, 2],
+            },
+            TraceEvent::BrokerDown {
+                at: SimTime::from_millis(5),
+                broker: 0,
             },
         ];
         for ev in &events {

@@ -40,6 +40,19 @@
 //!   RequestSent → BrokerAppend → ConsumerRead` chain, with
 //!   [`TraceEvent::AckReceived`] carrying the request RTT under `acks=1`.
 //!
+//! # Broker-fault events (beyond the paper)
+//!
+//! The replicated cluster emits its own event family, so broker-caused
+//! loss is distinguishable from network-caused loss:
+//! [`TraceEvent::BrokerDown`]/[`TraceEvent::BrokerUp`] bracket injected
+//! crashes, [`TraceEvent::ReplicaFetch`] records follower fetch rounds,
+//! [`TraceEvent::IsrShrink`]/[`TraceEvent::IsrExpand`] track in-sync
+//! replica membership, and [`TraceEvent::LeaderElected`] carries the
+//! election's `clean` flag plus the record keys the log truncation
+//! destroyed. A message whose last copy dies in such a truncation gets
+//! [`LossCause::LeaderFailover`] — the attribution the
+//! `kafkasim::explain` crosscheck verifies against the audit.
+//!
 //! The reconstruction is designed to be cross-checked against the
 //! end-of-run audit: `kafkasim::explain` compares a [`TimelineReport`]'s
 //! aggregate counts (lost, duplicated, loss-cause histogram) with the

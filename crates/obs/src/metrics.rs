@@ -108,9 +108,30 @@ impl MetricsRegistry {
                     self.set_outstanding(at, -1.0);
                 }
             }
+            TraceEvent::LeaderElected {
+                clean, lost_keys, ..
+            } => {
+                if !clean {
+                    *self
+                        .counters
+                        .entry("unclean-election".to_string())
+                        .or_insert(0) += 1;
+                }
+                if !lost_keys.is_empty() {
+                    *self
+                        .counters
+                        .entry("lost-leader-failover".to_string())
+                        .or_insert(0) += lost_keys.len() as u64;
+                }
+            }
             TraceEvent::RequestSent { .. }
             | TraceEvent::Retry { .. }
-            | TraceEvent::ConsumerRead { .. } => {}
+            | TraceEvent::ConsumerRead { .. }
+            | TraceEvent::ReplicaFetch { .. }
+            | TraceEvent::IsrShrink { .. }
+            | TraceEvent::IsrExpand { .. }
+            | TraceEvent::BrokerDown { .. }
+            | TraceEvent::BrokerUp { .. } => {}
         }
     }
 

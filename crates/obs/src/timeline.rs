@@ -133,6 +133,22 @@ impl TimelineReport {
                         attach(*k, ev);
                     }
                 }
+                TraceEvent::LeaderElected { truncated_keys, .. } => {
+                    // Attach once per distinct key: classify() re-counts the
+                    // truncation multiplicity from the event itself.
+                    let mut seen: Vec<u64> = truncated_keys.clone();
+                    seen.sort_unstable();
+                    seen.dedup();
+                    for k in seen {
+                        attach(k, ev);
+                    }
+                }
+                // Cluster-level events with no per-message story.
+                TraceEvent::ReplicaFetch { .. }
+                | TraceEvent::IsrShrink { .. }
+                | TraceEvent::IsrExpand { .. }
+                | TraceEvent::BrokerDown { .. }
+                | TraceEvent::BrokerUp { .. } => {}
             }
         }
 
@@ -238,6 +254,7 @@ impl TimelineReport {
 
 fn classify(key: u64, events: &[TraceEvent]) -> MessageFate {
     let mut appends = 0u64;
+    let mut truncated = 0u64;
     let mut reads = 0u64;
     let mut duplicate_appends = 0u64;
     let mut via_teardown = false;
@@ -266,14 +283,25 @@ fn classify(key: u64, events: &[TraceEvent]) -> MessageFate {
             TraceEvent::ConnectionReset { lost_keys, .. } if lost_keys.contains(&key) => {
                 first_loss.get_or_insert(LossCause::ConnectionReset);
             }
+            TraceEvent::LeaderElected {
+                truncated_keys,
+                lost_keys,
+                ..
+            } => {
+                truncated += truncated_keys.iter().filter(|&&k| k == key).count() as u64;
+                if lost_keys.contains(&key) {
+                    first_loss.get_or_insert(LossCause::LeaderFailover);
+                }
+            }
             TraceEvent::Retry { .. } => retried = true,
             TraceEvent::RequestSent { attempt, .. } if *attempt > 1 => retried = true,
             _ => {}
         }
     }
     // The consumer replay is the ground truth (it mirrors the audit);
-    // appends corroborate it when both are present.
-    let copies = reads.max(appends);
+    // surviving appends (appends minus leader-election truncations)
+    // corroborate it when both are present.
+    let copies = reads.max(appends.saturating_sub(truncated));
     match copies {
         0 => MessageFate::Lost { cause: first_loss },
         1 => MessageFate::DeliveredOnce,
@@ -421,6 +449,45 @@ mod tests {
             }
         );
         assert!(report.fully_attributed());
+    }
+
+    #[test]
+    fn unclean_election_truncation_attributes_broker_loss() {
+        // Key 20: appended once, then truncated away entirely → lost to
+        // the leader failover. Key 21: appended twice (one duplicate), one
+        // copy truncated → net one copy, delivered once.
+        let events = vec![
+            enq(20, 0),
+            enq(21, 1),
+            append(20, 0, 10, false, false),
+            append(21, 0, 11, false, false),
+            append(21, 1, 12, true, false),
+            TraceEvent::LeaderElected {
+                at: SimTime::from_millis(300),
+                partition: 0,
+                leader: 1,
+                clean: false,
+                truncated_keys: vec![20, 21],
+                lost_keys: vec![20],
+            },
+            read(21, 1000),
+        ];
+        let report = TimelineReport::reconstruct(&events);
+        assert_eq!(
+            report.timeline(20).unwrap().fate,
+            MessageFate::Lost {
+                cause: Some(LossCause::LeaderFailover)
+            }
+        );
+        assert_eq!(
+            report.timeline(21).unwrap().fate,
+            MessageFate::DeliveredOnce
+        );
+        assert!(report.fully_attributed());
+        assert_eq!(
+            report.lost_by_cause().get(&LossCause::LeaderFailover),
+            Some(&1)
+        );
     }
 
     #[test]

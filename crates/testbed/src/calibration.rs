@@ -17,7 +17,7 @@
 
 use desim::SimDuration;
 use kafkasim::broker::BrokerModel;
-use kafkasim::cluster::ClusterSpec;
+use kafkasim::cluster::{ClusterSpec, ReplicationSpec};
 use kafkasim::config::HostModel;
 use kafkasim::wire::WireFormat;
 use netsim::link::LinkConfig;
@@ -103,6 +103,7 @@ impl Calibration {
                     process_per_request: SimDuration::from_millis(2),
                     process_per_record: SimDuration::from_micros(200),
                 },
+                replication: ReplicationSpec::default(),
             },
             wire: WireFormat::default(),
             max_retries: 5,

@@ -72,6 +72,7 @@ impl NormalCaseGrid {
                         batch_size: 1,
                         poll_interval: default_poll,
                         message_timeout: SimDuration::from_millis(t_o),
+                        ..ExperimentPoint::default()
                     });
                 }
                 // Sweep δ at the default timeout.
@@ -85,6 +86,7 @@ impl NormalCaseGrid {
                         batch_size: 1,
                         poll_interval: SimDuration::from_millis(delta),
                         message_timeout: default_timeout,
+                        ..ExperimentPoint::default()
                     });
                 }
             }
@@ -183,33 +185,120 @@ impl AbnormalCaseGrid {
             batch_size: b,
             poll_interval: SimDuration::from_millis(self.fixed_poll_ms),
             message_timeout: SimDuration::from_millis(self.fixed_timeout_ms),
+            ..ExperimentPoint::default()
         }
     }
 }
 
-/// The complete Fig. 3 design: both grids.
+/// Grid over the broker-fault space (beyond the paper): replication
+/// factor × crash downtime × election policy × semantics, on a healthy
+/// network so every loss is broker-caused.
+///
+/// Each point crashes the leader of partition 0 at
+/// [`ExperimentPoint::FAULT_AT`] for the configured downtime; the
+/// election policy decides whether a lagging replica may take over
+/// (unclean) once the ISR has emptied. Combinations that cannot differ
+/// are skipped: with `factor == 1` there is nothing to elect, so the
+/// unclean axis collapses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrokerFaultGrid {
+    /// Replication factors to cover (`1` = the paper's single-copy setup).
+    pub replication_factors: Vec<u32>,
+    /// Crash downtimes (ms).
+    pub downtimes_ms: Vec<u64>,
+    /// Election policies: allow unclean election or not.
+    pub allow_unclean: Vec<bool>,
+    /// Delivery semantics to cover.
+    pub semantics: Vec<DeliverySemantics>,
+    /// Fixed message size `M` (bytes).
+    pub fixed_message_size: u64,
+    /// Fixed polling interval `δ` (ms) — steady load through the fault.
+    pub fixed_poll_ms: u64,
+    /// Fixed message timeout `T_o` (ms); generous, so retries (not
+    /// producer expiry) decide the outcome of the fault window.
+    pub fixed_timeout_ms: u64,
+}
+
+impl Default for BrokerFaultGrid {
+    fn default() -> Self {
+        BrokerFaultGrid {
+            replication_factors: vec![1, 3],
+            downtimes_ms: vec![2_000, 5_000],
+            allow_unclean: vec![false, true],
+            semantics: vec![
+                DeliverySemantics::AtMostOnce,
+                DeliverySemantics::AtLeastOnce,
+                DeliverySemantics::All,
+            ],
+            fixed_message_size: 200,
+            fixed_poll_ms: 50,
+            fixed_timeout_ms: 8_000,
+        }
+    }
+}
+
+impl BrokerFaultGrid {
+    /// Materialises the grid into experiment points.
+    #[must_use]
+    pub fn points(&self) -> Vec<ExperimentPoint> {
+        let mut points = Vec::new();
+        for &semantics in &self.semantics {
+            for &rf in &self.replication_factors {
+                for &down in &self.downtimes_ms {
+                    for &unclean in &self.allow_unclean {
+                        if rf == 1 && unclean {
+                            continue; // nothing to elect: axis collapses
+                        }
+                        points.push(ExperimentPoint {
+                            message_size: self.fixed_message_size,
+                            semantics,
+                            poll_interval: SimDuration::from_millis(self.fixed_poll_ms),
+                            message_timeout: SimDuration::from_millis(self.fixed_timeout_ms),
+                            replication_factor: rf,
+                            fault_downtime: SimDuration::from_millis(down),
+                            allow_unclean: unclean,
+                            ..ExperimentPoint::default()
+                        });
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
+/// The complete collection design: the paper's two Fig. 3 grids plus the
+/// beyond-the-paper broker-fault grid.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CollectionDesign {
     /// Normal-case grid.
     pub normal: NormalCaseGrid,
     /// Abnormal-case grid.
     pub abnormal: AbnormalCaseGrid,
+    /// Broker-fault grid.
+    pub broker_faults: BrokerFaultGrid,
 }
 
 impl CollectionDesign {
-    /// Every experiment point of the design: normal first, then abnormal.
+    /// Every experiment point of the design: normal, then abnormal, then
+    /// broker faults.
     #[must_use]
     pub fn all_points(&self) -> Vec<ExperimentPoint> {
         let mut points = self.normal.points();
         points.extend(self.abnormal.points());
+        points.extend(self.broker_faults.points());
         points
     }
 
-    /// `(normal, abnormal)` point counts — the quantity Fig. 3's split is
-    /// designed to keep manageable.
+    /// `(normal, abnormal, broker-fault)` point counts — the quantity
+    /// Fig. 3's split is designed to keep manageable.
     #[must_use]
-    pub fn sizes(&self) -> (usize, usize) {
-        (self.normal.points().len(), self.abnormal.points().len())
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (
+            self.normal.points().len(),
+            self.abnormal.points().len(),
+            self.broker_faults.points().len(),
+        )
     }
 }
 
@@ -262,10 +351,29 @@ mod tests {
     }
 
     #[test]
+    fn fault_grid_collapses_the_unclean_axis_at_rf_one() {
+        let grid = BrokerFaultGrid::default();
+        let points = grid.points();
+        assert!(!points.is_empty());
+        assert!(points
+            .iter()
+            .all(|p| !(p.replication_factor == 1 && p.allow_unclean)));
+        assert!(points.iter().all(|p| !p.fault_downtime.is_zero()));
+        // acks=all is part of the fault sweep.
+        assert!(points
+            .iter()
+            .any(|p| p.semantics == DeliverySemantics::All && p.replication_factor == 3));
+        let expected = grid.semantics.len()
+            * grid.downtimes_ms.len()
+            * (1 /* rf=1 */ + grid.allow_unclean.len()/* rf=3 */);
+        assert_eq!(points.len(), expected);
+    }
+
+    #[test]
     fn design_is_far_smaller_than_full_cross_product() {
         let design = CollectionDesign::default();
-        let (normal, abnormal) = design.sizes();
-        let total = normal + abnormal;
+        let (normal, abnormal, faults) = design.sizes();
+        let total = normal + abnormal + faults;
         // A full cross product of the default axes would exceed 100k points.
         let full = 6 * 6 * 5 * 2 * 4 * 3 * 10 * 6;
         assert!(total < full / 50, "{total} vs full {full}");

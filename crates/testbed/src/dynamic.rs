@@ -138,6 +138,7 @@ pub fn run_scenario<P: ConfigPlanner + ?Sized>(
         config_schedule: schedule,
         max_duration: horizon.saturating_since(SimTime::ZERO) + SimDuration::from_secs(600),
         outages: Vec::new(),
+        faults: Vec::new(),
         failover_after: None,
         online: None,
     };
@@ -184,6 +185,7 @@ pub fn run_scenario_online(
         config_schedule: Vec::new(),
         max_duration: horizon.saturating_since(SimTime::ZERO) + SimDuration::from_secs(600),
         outages: Vec::new(),
+        faults: Vec::new(),
         failover_after: None,
         online: Some(online),
     };

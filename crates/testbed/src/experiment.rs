@@ -8,8 +8,9 @@
 
 use desim::{SimDuration, SimTime};
 use kafkasim::audit::DeliveryReport;
+use kafkasim::broker::BrokerId;
 use kafkasim::config::{DeliverySemantics, ProducerConfig};
-use kafkasim::runtime::{KafkaRun, ProducerStats, RunSpec};
+use kafkasim::runtime::{BrokerFault, KafkaRun, ProducerStats, RunSpec};
 use kafkasim::source::{RateSpec, SizeSpec, SourceSpec};
 use netsim::{ConditionTimeline, NetCondition};
 use serde::{Deserialize, Serialize};
@@ -36,6 +37,17 @@ pub struct ExperimentPoint {
     pub poll_interval: SimDuration,
     /// (h) Message timeout `T_o`.
     pub message_timeout: SimDuration,
+    /// (i) Per-partition replication factor (beyond the paper; `1`
+    /// reproduces the paper's single-copy setup).
+    pub replication_factor: u32,
+    /// (j) Duration of an injected broker crash; `ZERO` injects no fault.
+    /// When set, the leader of partition 0 crashes at
+    /// [`ExperimentPoint::FAULT_AT`] and failover detection runs after
+    /// [`ExperimentPoint::FAILOVER_DETECT`] — size the run so it spans the
+    /// fault window.
+    pub fault_downtime: SimDuration,
+    /// (k) Whether unclean leader election is permitted during the fault.
+    pub allow_unclean: bool,
 }
 
 impl Default for ExperimentPoint {
@@ -49,14 +61,19 @@ impl Default for ExperimentPoint {
             batch_size: 1,
             poll_interval: SimDuration::from_millis(100),
             message_timeout: SimDuration::from_millis(3_000),
+            replication_factor: 1,
+            fault_downtime: SimDuration::ZERO,
+            allow_unclean: false,
         }
     }
 }
 
 impl ExperimentPoint {
     /// The numeric feature vector for the prediction model, in the order
-    /// `[M, S_ms, D_ms, L, semantics, B, δ_ms, T_o_ms]` (semantics encoded
-    /// 0 = at-most-once, 1 = at-least-once; `S = 0` when unset).
+    /// `[M, S_ms, D_ms, L, semantics, B, δ_ms, T_o_ms, RF, F_ms, U]`
+    /// (semantics encoded 0 = at-most-once, 1 = at-least-once,
+    /// 2 = acks-all; `S = 0` when unset; `F_ms` is the injected broker
+    /// downtime in ms, `U` is 1 when unclean election is allowed).
     #[must_use]
     pub fn feature_vector(&self) -> Vec<f64> {
         vec![
@@ -67,15 +84,25 @@ impl ExperimentPoint {
             match self.semantics {
                 DeliverySemantics::AtMostOnce => 0.0,
                 DeliverySemantics::AtLeastOnce => 1.0,
+                DeliverySemantics::All => 2.0,
             },
             self.batch_size as f64,
             self.poll_interval.as_secs_f64() * 1e3,
             self.message_timeout.as_secs_f64() * 1e3,
+            f64::from(self.replication_factor),
+            self.fault_downtime.as_secs_f64() * 1e3,
+            f64::from(u8::from(self.allow_unclean)),
         ]
     }
 
     /// Number of features in [`ExperimentPoint::feature_vector`].
-    pub const FEATURES: usize = 8;
+    pub const FEATURES: usize = 11;
+
+    /// When the injected broker fault (if any) begins.
+    pub const FAULT_AT: SimTime = SimTime::from_millis(1_500);
+
+    /// How long after the crash the controller elects a new leader.
+    pub const FAILOVER_DETECT: SimDuration = SimDuration::from_millis(500);
 
     /// Whether this point is a "normal case" in the paper's Fig. 3 sense
     /// (`D < 200 ms` and `L = 0`).
@@ -113,9 +140,25 @@ impl ExperimentPoint {
         } else {
             RateSpec::Interval(self.poll_interval)
         };
+        let mut cluster = cal.cluster.clone();
+        cluster.replication.factor = self.replication_factor;
+        cluster.replication.allow_unclean = self.allow_unclean;
+        let (faults, failover_after) = if self.fault_downtime.is_zero() {
+            (Vec::new(), None)
+        } else {
+            // Crash the leader of partition 0 (broker 0 by placement).
+            (
+                vec![BrokerFault::crash(
+                    BrokerId(0),
+                    Self::FAULT_AT,
+                    self.fault_downtime,
+                )],
+                Some(Self::FAILOVER_DETECT),
+            )
+        };
         RunSpec {
             producer: self.producer_config(cal),
-            cluster: cal.cluster.clone(),
+            cluster,
             source: SourceSpec {
                 n_messages,
                 size: SizeSpec::Fixed(self.message_size),
@@ -128,7 +171,8 @@ impl ExperimentPoint {
             config_schedule: Vec::new(),
             max_duration: SimDuration::from_secs(7_200),
             outages: Vec::new(),
-            failover_after: None,
+            faults,
+            failover_after,
             online: None,
         }
     }
@@ -222,10 +266,13 @@ mod tests {
             batch_size: 4,
             poll_interval: SimDuration::from_millis(90),
             message_timeout: SimDuration::from_millis(500),
+            replication_factor: 3,
+            fault_downtime: SimDuration::from_millis(4_000),
+            allow_unclean: true,
         };
         assert_eq!(
             p.feature_vector(),
-            vec![100.0, 250.0, 100.0, 0.19, 0.0, 4.0, 90.0, 500.0]
+            vec![100.0, 250.0, 100.0, 0.19, 0.0, 4.0, 90.0, 500.0, 3.0, 4000.0, 1.0]
         );
         assert_eq!(p.feature_vector().len(), ExperimentPoint::FEATURES);
     }

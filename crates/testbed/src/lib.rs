@@ -11,10 +11,14 @@
 //! * [`calibration`] — the frozen "fixed hardware" constants shared by every
 //!   experiment (host cost model, link, TCP, cluster, protocol sizing).
 //! * [`experiment`] — [`experiment::ExperimentPoint`]: the paper's feature
-//!   tuple `(M, S, D, L, semantics, B, δ, T_o)` and its execution.
+//!   tuple `(M, S, D, L, semantics, B, δ, T_o)` — extended beyond the
+//!   paper with a replication factor, an injected broker-crash downtime
+//!   and an unclean-election switch — and its execution.
 //! * [`sweep`] — parallel execution of experiment grids.
 //! * [`collection`] — the Fig. 3 training-data collection design: the
-//!   normal-case and abnormal-case feature grids.
+//!   normal-case and abnormal-case feature grids, plus the
+//!   [`collection::BrokerFaultGrid`] covering broker crashes under
+//!   `acks ∈ {0, 1, all}`.
 //! * [`dataset`] — persistence of collected results with provenance.
 //! * [`sensitivity`] — the §III-D ±50 % feature-selection analysis.
 //! * [`scenarios`] — the three Table II application workloads (social-media
@@ -31,7 +35,10 @@
 //! use testbed::calibration::Calibration;
 //!
 //! let cal = Calibration::paper();
-//! let point = ExperimentPoint::default();
+//! let point = ExperimentPoint {
+//!     replication_factor: 3,
+//!     ..ExperimentPoint::default()
+//! };
 //! let result = point.run(&cal, 500, 42);
 //! assert_eq!(result.report.n_source, 500);
 //! ```

@@ -193,6 +193,7 @@ mod tests {
             batch_size: 2,
             poll_interval: SimDuration::from_millis(70),
             message_timeout: SimDuration::from_millis(1_000),
+            ..ExperimentPoint::default()
         }
     }
 

@@ -38,6 +38,7 @@ fn main() {
         batch_size: 2,
         poll_interval: SimDuration::from_millis(100),
         message_timeout: SimDuration::from_millis(timeout_ms),
+        ..ExperimentPoint::default()
     };
 
     let losses = [0.0, 0.10, 0.20, 0.30];

@@ -39,6 +39,7 @@ fn main() {
         batch_size: 1,
         poll_interval: SimDuration::from_millis(80),
         message_timeout: SimDuration::from_millis(2_000),
+        ..ExperimentPoint::default()
     };
     // The tuned configuration the paper's lessons suggest for lossy links:
     // at-least-once with a moderate batch.

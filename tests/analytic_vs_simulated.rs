@@ -28,6 +28,7 @@ fn point(m: u64, poll_ms: u64, timeout_ms: u64) -> ExperimentPoint {
         batch_size: 1,
         poll_interval: SimDuration::from_millis(poll_ms),
         message_timeout: SimDuration::from_millis(timeout_ms),
+        ..ExperimentPoint::default()
     }
 }
 

@@ -33,6 +33,7 @@ fn arb_point() -> impl Strategy<Value = ExperimentPoint> {
             batch_size: b,
             poll_interval: SimDuration::from_millis(poll),
             message_timeout: SimDuration::from_millis(t_o),
+            ..ExperimentPoint::default()
         })
 }
 
@@ -98,6 +99,7 @@ proptest! {
             batch_size: b,
             poll_interval: SimDuration::from_millis(150),
             message_timeout: SimDuration::from_millis(5_000),
+            ..ExperimentPoint::default()
         };
         let cal = Calibration::paper();
         let result = point.run(&cal, 400, 9);

@@ -34,6 +34,7 @@ fn model_planner_beats_or_matches_the_default_on_loss() {
             p_loss: match f.semantics {
                 kafkasim::config::DeliverySemantics::AtMostOnce => base,
                 kafkasim::config::DeliverySemantics::AtLeastOnce => base * 0.4,
+                kafkasim::config::DeliverySemantics::All => base * 0.35,
             },
             p_dup: 0.0,
         }
@@ -161,6 +162,7 @@ fn online_controller_matches_offline_planner_on_a_trace() {
             p_loss: match f.semantics {
                 kafkasim::config::DeliverySemantics::AtMostOnce => base,
                 kafkasim::config::DeliverySemantics::AtLeastOnce => base * 0.4,
+                kafkasim::config::DeliverySemantics::All => base * 0.35,
             },
             p_dup: 0.0,
         }

@@ -24,6 +24,7 @@ fn fig4_point(m: u64, semantics: DeliverySemantics) -> ExperimentPoint {
         batch_size: 1,
         poll_interval: SimDuration::ZERO,
         message_timeout: SimDuration::from_millis(2_000),
+        ..ExperimentPoint::default()
     }
 }
 
@@ -95,6 +96,7 @@ fn fig5_timeout_governs_loss_under_load() {
         batch_size: 1,
         poll_interval: SimDuration::ZERO,
         message_timeout: SimDuration::from_millis(t_o),
+        ..ExperimentPoint::default()
     };
     let r = run_sweep(&[point(200), point(3_000)], &cal, N, 3, 2);
     assert!(
@@ -123,6 +125,7 @@ fn fig6_polling_interval_relieves_overload() {
         batch_size: 1,
         poll_interval: SimDuration::from_millis(delta),
         message_timeout: SimDuration::from_millis(500),
+        ..ExperimentPoint::default()
     };
     let r = run_sweep(&[point(0), point(90)], &cal, N, 4, 2);
     assert!(
@@ -151,6 +154,7 @@ fn fig7_batching_and_semantics_order() {
         batch_size: b,
         poll_interval: SimDuration::from_millis(70),
         message_timeout: SimDuration::from_millis(2_000),
+        ..ExperimentPoint::default()
     };
     for semantics in [
         DeliverySemantics::AtMostOnce,
@@ -182,6 +186,7 @@ fn fig8_duplicates_semantics_and_batching() {
         batch_size: b,
         poll_interval: SimDuration::from_millis(70),
         message_timeout: SimDuration::from_millis(2_000),
+        ..ExperimentPoint::default()
     };
     let (_, amo_dup) = run_repeated(&point(1, DeliverySemantics::AtMostOnce), &cal, N, 7, 3, 3);
     assert_eq!(amo_dup, 0.0, "at-most-once can never duplicate");

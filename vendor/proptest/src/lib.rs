@@ -260,7 +260,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Length specification for [`vec()`]: an exact `usize` or a `Range<usize>`.
     pub trait IntoSizeRange {
         /// Convert into `(min, max_exclusive)` bounds.
         fn bounds(self) -> (usize, usize);
