@@ -15,4 +15,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== perf baseline (smoke) =="
+# The tracked perf baseline must keep producing well-formed BENCH files.
+# Smoke mode shrinks the workloads to seconds; the JSON is validated with
+# the same parser the tooling uses.
+cargo build --release -q -p bench --bin perfbase
+target/release/perfbase --smoke --out-dir target/bench-smoke
+for f in target/bench-smoke/BENCH_sim.json target/bench-smoke/BENCH_train.json; do
+    [ -s "$f" ] || { echo "missing bench output: $f" >&2; exit 1; }
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f" \
+        || { echo "malformed bench output: $f" >&2; exit 1; }
+done
+
 echo "CI green."

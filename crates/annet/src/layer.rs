@@ -99,15 +99,31 @@ impl Dense {
     /// Panics if the input width differs from the layer's input dimension.
     #[must_use]
     pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut wt = Matrix::zeros(1, 1);
+        let mut out = Matrix::zeros(1, 1);
+        self.forward_into(input, &mut wt, &mut out);
+        out
+    }
+
+    /// Allocation-free forward pass: `out ← f(input · Wᵀ + b)`.
+    ///
+    /// `wt` is a scratch buffer for the transposed weights; both buffers
+    /// are resized to fit, so reusing them across calls amortises their
+    /// allocations to zero. Bit-identical to [`Dense::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width differs from the layer's input dimension.
+    pub fn forward_into(&self, input: &Matrix, wt: &mut Matrix, out: &mut Matrix) {
         assert_eq!(input.cols(), self.input_dim(), "input width mismatch");
-        let mut out = input.matmul(&self.weights.transpose());
+        self.weights.transpose_into(wt);
+        input.matmul_into(wt, out);
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             for (o, b) in row.iter_mut().zip(&self.bias) {
                 *o = self.activation.apply(*o + b);
             }
         }
-        out
     }
 
     /// Backward pass.
@@ -122,27 +138,55 @@ impl Dense {
         output: &Matrix,
         grad_output: &Matrix,
     ) -> DenseGradients {
+        let mut delta = Matrix::zeros(1, 1);
+        let mut grads = self.zero_gradients();
+        self.backward_into(input, output, grad_output, &mut delta, &mut grads);
+        grads
+    }
+
+    /// Allocation-free backward pass, writing into reusable buffers.
+    ///
+    /// `delta` is scratch for the pre-activation gradient; `grads` receives
+    /// the same values [`Dense::backward`] returns (all buffers are resized
+    /// to fit). Bit-identical to [`Dense::backward`]: the weight gradient
+    /// `δᵀ · x` and input gradient `δ · W` accumulate in the same order as
+    /// the materialised-transpose products.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch between `input`, `output`, and
+    /// `grad_output`.
+    pub fn backward_into(
+        &self,
+        input: &Matrix,
+        output: &Matrix,
+        grad_output: &Matrix,
+        delta: &mut Matrix,
+        grads: &mut DenseGradients,
+    ) {
+        assert_eq!(
+            (output.rows(), output.cols()),
+            (grad_output.rows(), grad_output.cols()),
+            "output / gradient shape mismatch"
+        );
+        assert_eq!(input.rows(), output.rows(), "batch size mismatch");
         // δ = grad_output ⊙ f'(output)
-        let mut delta = grad_output.clone();
-        for r in 0..delta.rows() {
-            for c in 0..delta.cols() {
-                let d = self.activation.derivative_from_output(output.get(r, c));
-                delta.set(r, c, delta.get(r, c) * d);
+        delta.resize_zeroed(grad_output.rows(), grad_output.cols());
+        for r in 0..grad_output.rows() {
+            let d_row = delta.row_mut(r);
+            for ((dl, &g), &o) in d_row.iter_mut().zip(grad_output.row(r)).zip(output.row(r)) {
+                *dl = g * self.activation.derivative_from_output(o);
             }
         }
-        let grad_weights = delta.transpose().matmul(input);
-        let mut grad_bias = vec![0.0; self.output_dim()];
+        delta.matmul_at_b_into(input, &mut grads.weights);
+        grads.bias.clear();
+        grads.bias.resize(self.output_dim(), 0.0);
         for r in 0..delta.rows() {
-            for (gb, &d) in grad_bias.iter_mut().zip(delta.row(r)) {
+            for (gb, &d) in grads.bias.iter_mut().zip(delta.row(r)) {
                 *gb += d;
             }
         }
-        let grad_input = delta.matmul(&self.weights);
-        DenseGradients {
-            weights: grad_weights,
-            bias: grad_bias,
-            input: grad_input,
-        }
+        delta.matmul_into(&self.weights, &mut grads.input);
     }
 
     /// Applies one SGD step: `W ← W − lr · ∂L/∂W`, `b ← b − lr · ∂L/∂b`.
@@ -151,9 +195,8 @@ impl Dense {
     ///
     /// Panics on gradient shape mismatch.
     pub fn apply_gradients(&mut self, grads: &DenseGradients, learning_rate: f64) {
-        let mut scaled = grads.weights.clone();
-        scaled.scale(learning_rate);
-        self.weights.sub_assign(&scaled);
+        self.weights
+            .sub_scaled_assign(&grads.weights, learning_rate);
         for (b, g) in self.bias.iter_mut().zip(&grads.bias) {
             *b -= learning_rate * g;
         }
@@ -179,9 +222,8 @@ impl Dense {
         for (v, g) in velocity.bias.iter_mut().zip(&grads.bias) {
             *v = momentum * *v + g;
         }
-        let mut scaled = velocity.weights.clone();
-        scaled.scale(learning_rate);
-        self.weights.sub_assign(&scaled);
+        self.weights
+            .sub_scaled_assign(&velocity.weights, learning_rate);
         for (b, v) in self.bias.iter_mut().zip(&velocity.bias) {
             *b -= learning_rate * v;
         }
@@ -193,6 +235,17 @@ impl Dense {
         Velocity {
             weights: Matrix::zeros(self.output_dim(), self.input_dim()),
             bias: vec![0.0; self.output_dim()],
+        }
+    }
+
+    /// A zeroed gradient buffer matching this layer's shape, for use as a
+    /// reusable [`Dense::backward_into`] target.
+    #[must_use]
+    pub fn zero_gradients(&self) -> DenseGradients {
+        DenseGradients {
+            weights: Matrix::zeros(self.output_dim(), self.input_dim()),
+            bias: vec![0.0; self.output_dim()],
+            input: Matrix::zeros(1, self.input_dim()),
         }
     }
 

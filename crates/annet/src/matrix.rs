@@ -142,13 +142,130 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable view of the flat row-major data.
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Rows of `rhs` touched per cache block of the blocked matmul.
+    ///
+    /// 16 rows of a 200-wide `f64` matrix is ~25 KiB — it fits L1 alongside
+    /// the output rows, so each block of `rhs` is loaded from outer cache
+    /// once per product instead of once per output row.
+    const MATMUL_K_BLOCK: usize = 16;
+
     /// Matrix product `self · rhs`.
+    ///
+    /// Blocked over the inner dimension; bit-identical to
+    /// [`Matrix::matmul_naive`] (the accumulation order per output element
+    /// is unchanged — see [`Matrix::matmul_into`]).
     ///
     /// # Panics
     ///
     /// Panics when the inner dimensions disagree.
     #[must_use]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self · rhs`, written into `out` (resized to fit).
+    ///
+    /// The traversal is blocked: the `k` range is cut into
+    /// `MATMUL_K_BLOCK`-row blocks of `rhs` so each block stays
+    /// cache-resident across every output row. Blocking only reorders
+    /// *which* `(i, k)` pairs are visited when; every output element still
+    /// accumulates its `k` terms in ascending order, so the result is
+    /// bit-identical to the naive `ikj` product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree ({}x{} · {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize_zeroed(self.rows, rhs.cols);
+        let rc = rhs.cols;
+        let mut kb = 0;
+        while kb < self.cols {
+            let k_end = (kb + Self::MATMUL_K_BLOCK).min(self.cols);
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out.data[i * rc..(i + 1) * rc];
+                // Eight `k` terms per pass so each output row is loaded and
+                // stored once per group instead of once per term. The
+                // eight-term update is the same left-to-right chain of adds
+                // as eight scalar passes, so the accumulation order per
+                // element is unchanged; any exact-zero term falls back to
+                // the skipping scalar loop.
+                let mut k = kb;
+                while k + 8 <= k_end {
+                    let c = &a_row[k..k + 8];
+                    let b0 = &rhs.data[k * rc..(k + 1) * rc];
+                    let b1 = &rhs.data[(k + 1) * rc..(k + 2) * rc];
+                    let b2 = &rhs.data[(k + 2) * rc..(k + 3) * rc];
+                    let b3 = &rhs.data[(k + 3) * rc..(k + 4) * rc];
+                    let b4 = &rhs.data[(k + 4) * rc..(k + 5) * rc];
+                    let b5 = &rhs.data[(k + 5) * rc..(k + 6) * rc];
+                    let b6 = &rhs.data[(k + 6) * rc..(k + 7) * rc];
+                    let b7 = &rhs.data[(k + 7) * rc..(k + 8) * rc];
+                    if c.iter().all(|&c| c != 0.0) {
+                        let (c0, c1, c2, c3) = (c[0], c[1], c[2], c[3]);
+                        let (c4, c5, c6, c7) = (c[4], c[5], c[6], c[7]);
+                        for (j, o) in out_row.iter_mut().enumerate() {
+                            *o = *o
+                                + c0 * b0[j]
+                                + c1 * b1[j]
+                                + c2 * b2[j]
+                                + c3 * b3[j]
+                                + c4 * b4[j]
+                                + c5 * b5[j]
+                                + c6 * b6[j]
+                                + c7 * b7[j];
+                        }
+                    } else {
+                        for (g, b) in [b0, b1, b2, b3, b4, b5, b6, b7].into_iter().enumerate() {
+                            let c = c[g];
+                            if c == 0.0 {
+                                continue;
+                            }
+                            for (o, &v) in out_row.iter_mut().zip(b) {
+                                *o += c * v;
+                            }
+                        }
+                    }
+                    k += 8;
+                }
+                while k < k_end {
+                    let a = a_row[k];
+                    if a != 0.0 {
+                        let rhs_row = &rhs.data[k * rc..(k + 1) * rc];
+                        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                            *o += a * b;
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            kb = k_end;
+        }
+    }
+
+    /// Reference matrix product: the textbook `ikj` loop, no blocking.
+    ///
+    /// This is the implementation the optimised [`Matrix::matmul`] is
+    /// pinned against (by proptest): the two must agree *bit for bit*,
+    /// including the skip of exact-zero left-hand elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    #[must_use]
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions must agree ({}x{} · {}x{})",
@@ -173,16 +290,160 @@ impl Matrix {
         out
     }
 
+    /// `self · rhsᵀ` without materialising the transpose, into `out`.
+    ///
+    /// Bit-identical to `self.matmul_into(&rhs.transpose(), out)`: the
+    /// transpose is folded into the traversal (each output element reads a
+    /// row of `self` against a row of `rhs`), and the per-element `k`
+    /// accumulation order and the exact-zero skip are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column counts disagree.
+    pub fn matmul_transposed_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "column counts must agree ({}x{} · ({}x{})ᵀ)",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize_zeroed(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (o, rhs_row) in out_row.iter_mut().zip(rhs.data.chunks_exact(rhs.cols)) {
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(rhs_row) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose, into `out`.
+    ///
+    /// Bit-identical to `self.transpose().matmul_into(rhs, out)`: the outer
+    /// loop walks the shared dimension (rows of both operands) in ascending
+    /// order, so every output element accumulates its terms in exactly the
+    /// order the materialised-transpose product would, with the same
+    /// exact-zero skip on `self` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row counts disagree.
+    pub fn matmul_at_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "row counts must agree (({}x{})ᵀ · {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize_zeroed(self.cols, rhs.cols);
+        let rc = rhs.cols;
+        // Block the output rows so each ~25 KiB stripe of `out` stays
+        // cache-resident across the whole shared dimension, and walk the
+        // shared dimension four rows at a time so each output row is
+        // loaded and stored once per group instead of once per term.
+        // Neither change reorders any output element's accumulation:
+        // terms still arrive in ascending `k`, skipping exact-zero `self`
+        // elements (the four-term update falls back to the skipping scalar
+        // loop whenever a zero is present).
+        let mut ib = 0;
+        while ib < self.cols {
+            let i_end = (ib + Self::MATMUL_K_BLOCK).min(self.cols);
+            let mut k = 0;
+            while k + 4 <= self.rows {
+                let a0 = &self.data[k * self.cols..(k + 1) * self.cols];
+                let a1 = &self.data[(k + 1) * self.cols..(k + 2) * self.cols];
+                let a2 = &self.data[(k + 2) * self.cols..(k + 3) * self.cols];
+                let a3 = &self.data[(k + 3) * self.cols..(k + 4) * self.cols];
+                let b0 = &rhs.data[k * rc..(k + 1) * rc];
+                let b1 = &rhs.data[(k + 1) * rc..(k + 2) * rc];
+                let b2 = &rhs.data[(k + 2) * rc..(k + 3) * rc];
+                let b3 = &rhs.data[(k + 3) * rc..(k + 4) * rc];
+                for i in ib..i_end {
+                    let (c0, c1, c2, c3) = (a0[i], a1[i], a2[i], a3[i]);
+                    let out_row = &mut out.data[i * rc..(i + 1) * rc];
+                    if c0 != 0.0 && c1 != 0.0 && c2 != 0.0 && c3 != 0.0 {
+                        for ((((o, &v0), &v1), &v2), &v3) in
+                            out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                        {
+                            *o = *o + c0 * v0 + c1 * v1 + c2 * v2 + c3 * v3;
+                        }
+                    } else {
+                        for &(c, b) in &[(c0, b0), (c1, b1), (c2, b2), (c3, b3)] {
+                            if c == 0.0 {
+                                continue;
+                            }
+                            for (o, &v) in out_row.iter_mut().zip(b) {
+                                *o += c * v;
+                            }
+                        }
+                    }
+                }
+                k += 4;
+            }
+            while k < self.rows {
+                let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+                let rhs_row = &rhs.data[k * rc..(k + 1) * rc];
+                for (i, &a) in a_row.iter().enumerate().take(i_end).skip(ib) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[i * rc..(i + 1) * rc];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                        *o += a * b;
+                    }
+                }
+                k += 1;
+            }
+            ib = i_end;
+        }
+    }
+
     /// The transpose.
     #[must_use]
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose into `out` (resized to fit).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize_zeroed(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
+    }
+
+    /// Reshapes to `rows × cols` with every element set to zero, reusing
+    /// the existing allocation when it is large enough.
+    pub(crate) fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies the listed rows of `self` into `out`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    pub(crate) fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        assert!(!indices.is_empty(), "need at least one row");
+        out.resize_zeroed(indices.len(), self.cols);
+        for (r, &i) in indices.iter().enumerate() {
+            assert!(i < self.rows, "row out of range");
+            out.data[r * self.cols..(r + 1) * self.cols]
+                .copy_from_slice(&self.data[i * self.cols..(i + 1) * self.cols]);
+        }
     }
 
     /// Element-wise addition in place.
@@ -214,6 +475,26 @@ impl Matrix {
         );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a -= b;
+        }
+    }
+
+    /// Fused `self -= factor · rhs`, element-wise.
+    ///
+    /// Bit-identical to scaling a copy of `rhs` by `factor` and then
+    /// subtracting it: both perform one rounding for the product and one
+    /// for the subtraction per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub_scaled_assign(&mut self, rhs: &Matrix, factor: f64) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= factor * b;
         }
     }
 

@@ -10,8 +10,17 @@ use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
 use crate::dataset::Dataset;
-use crate::layer::Dense;
+use crate::layer::{Dense, DenseGradients, Velocity};
 use crate::matrix::Matrix;
+
+/// Gradient shards each mini-batch is cut into by
+/// [`Network::train_parallel`].
+///
+/// The shard plan depends only on the batch, never on the worker count, and
+/// shard gradients are always reduced in ascending shard order — that fixed
+/// reduction order is what makes the trained weights bit-identical at any
+/// thread count.
+const GRAD_SHARDS: usize = 8;
 
 /// Builder for a [`Network`].
 #[derive(Debug, Clone)]
@@ -126,6 +135,40 @@ pub struct Network {
     layers: Vec<Dense>,
 }
 
+/// Reusable forward/backward buffers for one training worker.
+///
+/// Everything the hot loop needs lives here, so a whole training run
+/// performs no per-batch heap allocation once the buffers have grown to
+/// their steady-state sizes.
+struct TrainScratch {
+    /// `activations[0]` holds the gathered batch inputs; `activations[i+1]`
+    /// holds layer `i`'s post-activation output.
+    activations: Vec<Matrix>,
+    /// Gathered batch targets.
+    targets: Matrix,
+    /// Transposed-weights scratch, resized per layer.
+    wt: Matrix,
+    /// Pre-activation gradient scratch.
+    delta: Matrix,
+    /// `∂L/∂(layer output)`, rotated down the stack during backprop.
+    grad: Matrix,
+    /// Per-layer gradient buffers.
+    grads: Vec<DenseGradients>,
+}
+
+impl TrainScratch {
+    fn new(net: &Network) -> Self {
+        TrainScratch {
+            activations: vec![Matrix::zeros(1, 1); net.layers.len() + 1],
+            targets: Matrix::zeros(1, 1),
+            wt: Matrix::zeros(1, 1),
+            delta: Matrix::zeros(1, 1),
+            grad: Matrix::zeros(1, 1),
+            grads: net.layers.iter().map(Dense::zero_gradients).collect(),
+        }
+    }
+}
+
 impl Network {
     /// Input dimension.
     #[must_use]
@@ -184,6 +227,75 @@ impl Network {
     /// `epochs` or `batch_size` is zero, or when the learning rate is not
     /// strictly positive.
     pub fn train(&mut self, data: &Dataset, config: &TrainConfig, rng: &mut SimRng) -> TrainReport {
+        self.check_train_args(data, config);
+        let n = data.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut epoch_losses = Vec::with_capacity(config.epochs);
+        let mut velocities: Vec<Velocity> = self.layers.iter().map(Dense::zero_velocity).collect();
+        let mut scratch = TrainScratch::new(self);
+        for _ in 0..config.epochs {
+            if config.shuffle {
+                rng.shuffle(&mut order);
+            }
+            for chunk in order.chunks(config.batch_size) {
+                self.train_batch(data, chunk, config, &mut velocities, &mut scratch);
+            }
+            epoch_losses.push(self.mse_scratch(data, &mut scratch));
+        }
+        TrainReport { epoch_losses }
+    }
+
+    /// Trains like [`Network::train`], computing each mini-batch's gradient
+    /// in parallel over `GRAD_SHARDS` data shards.
+    ///
+    /// The shard plan and the reduction order are fixed functions of the
+    /// batch alone, so the trained weights are **bit-identical for every
+    /// `threads` value** — parallelism changes wall-clock, never the
+    /// result. (The shard-wise reduction groups floating-point additions
+    /// differently from the sequential path, so the weights differ in the
+    /// last bits from [`Network::train`] — deterministically so.)
+    ///
+    /// # Panics
+    ///
+    /// As [`Network::train`], plus `threads` must be positive.
+    pub fn train_parallel(
+        &mut self,
+        data: &Dataset,
+        config: &TrainConfig,
+        rng: &mut SimRng,
+        threads: usize,
+    ) -> TrainReport {
+        self.check_train_args(data, config);
+        assert!(threads > 0, "need at least one worker");
+        let n = data.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut epoch_losses = Vec::with_capacity(config.epochs);
+        let mut velocities: Vec<Velocity> = self.layers.iter().map(Dense::zero_velocity).collect();
+        let mut scratches: Vec<TrainScratch> =
+            (0..GRAD_SHARDS).map(|_| TrainScratch::new(self)).collect();
+        let mut total: Vec<DenseGradients> =
+            self.layers.iter().map(Dense::zero_gradients).collect();
+        for _ in 0..config.epochs {
+            if config.shuffle {
+                rng.shuffle(&mut order);
+            }
+            for chunk in order.chunks(config.batch_size) {
+                self.parallel_batch(
+                    data,
+                    chunk,
+                    config,
+                    &mut velocities,
+                    &mut scratches,
+                    &mut total,
+                    threads,
+                );
+            }
+            epoch_losses.push(self.mse_scratch(data, &mut scratches[0]));
+        }
+        TrainReport { epoch_losses }
+    }
+
+    fn check_train_args(&self, data: &Dataset, config: &TrainConfig) {
         assert_eq!(data.feature_dim(), self.input_dim(), "feature dim mismatch");
         assert_eq!(data.target_dim(), self.output_dim(), "target dim mismatch");
         assert!(config.epochs > 0, "epochs must be positive");
@@ -193,59 +305,186 @@ impl Network {
             (0.0..1.0).contains(&config.momentum),
             "momentum must be in [0, 1)"
         );
+    }
 
-        let n = data.len();
-        let mut order: Vec<usize> = (0..n).collect();
-        let mut epoch_losses = Vec::with_capacity(config.epochs);
-        let mut velocities: Vec<crate::layer::Velocity> =
-            self.layers.iter().map(Dense::zero_velocity).collect();
-        for _ in 0..config.epochs {
-            if config.shuffle {
-                rng.shuffle(&mut order);
-            }
-            for chunk in order.chunks(config.batch_size) {
-                let batch = data.subset(chunk);
-                self.train_batch(&batch, config, &mut velocities);
-            }
-            epoch_losses.push(self.mse(data));
+    /// Forward pass over the gathered batch in `scratch.activations[0]`,
+    /// filling `scratch.activations[1..]`.
+    fn forward_scratch(&self, scratch: &mut TrainScratch) {
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = scratch.activations.split_at_mut(i + 1);
+            layer.forward_into(&head[i], &mut scratch.wt, &mut tail[0]);
         }
-        TrainReport { epoch_losses }
+    }
+
+    /// `∂MSE/∂output` for the current batch:
+    /// `grad = 2/(n·k) · (pred − target)`.
+    fn loss_gradient_scratch(scratch: &mut TrainScratch, batch_n: f64, target_dim: usize) {
+        let pred = scratch.activations.last().expect("non-empty");
+        let scale = 2.0 / (batch_n * target_dim as f64);
+        scratch.grad.resize_zeroed(pred.rows(), pred.cols());
+        for (g, (&p, &t)) in scratch
+            .grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pred.as_slice().iter().zip(scratch.targets.as_slice()))
+        {
+            *g = (p - t) * scale;
+        }
     }
 
     fn train_batch(
         &mut self,
-        batch: &Dataset,
+        data: &Dataset,
+        chunk: &[usize],
         config: &TrainConfig,
-        velocities: &mut [crate::layer::Velocity],
+        velocities: &mut [Velocity],
+        scratch: &mut TrainScratch,
     ) {
-        // Forward, keeping every layer's output.
-        let mut activations: Vec<Matrix> = Vec::with_capacity(self.layers.len() + 1);
-        activations.push(batch.x().clone());
-        for layer in &self.layers {
-            let next = layer.forward(activations.last().expect("non-empty"));
-            activations.push(next);
-        }
+        // Gather the batch, then forward keeping every layer's output.
+        data.x()
+            .gather_rows_into(chunk, &mut scratch.activations[0]);
+        data.y().gather_rows_into(chunk, &mut scratch.targets);
+        self.forward_scratch(scratch);
         // d(MSE)/d(output) = 2/(n·k) · (pred − target); fold constants into
         // the per-batch normalisation.
-        let n = batch.len() as f64;
-        let mut grad = activations.last().expect("non-empty").clone();
-        grad.sub_assign(batch.y());
-        grad.scale(2.0 / (n * batch.target_dim() as f64));
+        Self::loss_gradient_scratch(scratch, chunk.len() as f64, self.output_dim());
         // Backward through the layers.
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
-            let grads = layer.backward(&activations[i], &activations[i + 1], &grad);
-            grad = grads.input.clone();
+            layer.backward_into(
+                &scratch.activations[i],
+                &scratch.activations[i + 1],
+                &scratch.grad,
+                &mut scratch.delta,
+                &mut scratch.grads[i],
+            );
+            // The input gradient becomes the next layer's output gradient —
+            // swap buffers instead of cloning.
+            std::mem::swap(&mut scratch.grad, &mut scratch.grads[i].input);
             if config.momentum > 0.0 {
                 layer.apply_gradients_with_momentum(
-                    &grads,
+                    &scratch.grads[i],
                     config.learning_rate,
                     config.momentum,
                     &mut velocities[i],
                 );
             } else {
-                layer.apply_gradients(&grads, config.learning_rate);
+                layer.apply_gradients(&scratch.grads[i], config.learning_rate);
             }
         }
+    }
+
+    /// One shard's gradient contribution: forward + backward over the
+    /// shard's rows with the loss normalised by the *full* batch size, so
+    /// the shard gradients sum to the whole-batch gradient.
+    fn shard_gradients(
+        &self,
+        data: &Dataset,
+        shard: &[usize],
+        batch_n: f64,
+        scratch: &mut TrainScratch,
+    ) {
+        data.x()
+            .gather_rows_into(shard, &mut scratch.activations[0]);
+        data.y().gather_rows_into(shard, &mut scratch.targets);
+        self.forward_scratch(scratch);
+        Self::loss_gradient_scratch(scratch, batch_n, self.output_dim());
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            layer.backward_into(
+                &scratch.activations[i],
+                &scratch.activations[i + 1],
+                &scratch.grad,
+                &mut scratch.delta,
+                &mut scratch.grads[i],
+            );
+            std::mem::swap(&mut scratch.grad, &mut scratch.grads[i].input);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parallel_batch(
+        &mut self,
+        data: &Dataset,
+        chunk: &[usize],
+        config: &TrainConfig,
+        velocities: &mut [Velocity],
+        scratches: &mut [TrainScratch],
+        total: &mut [DenseGradients],
+        threads: usize,
+    ) {
+        // Fixed shard plan: near-equal contiguous index ranges, a function
+        // of the batch alone.
+        let shards = chunk.len().min(GRAD_SHARDS);
+        let shard_len = chunk.len().div_ceil(shards);
+        let batch_n = chunk.len() as f64;
+        {
+            let net = &*self;
+            let mut jobs: Vec<(&[usize], &mut TrainScratch)> =
+                chunk.chunks(shard_len).zip(scratches.iter_mut()).collect();
+            if threads <= 1 {
+                for (shard, scratch) in &mut jobs {
+                    net.shard_gradients(data, shard, batch_n, scratch);
+                }
+            } else {
+                let per_worker = jobs.len().div_ceil(threads.min(jobs.len()));
+                crossbeam::scope(|scope| {
+                    for worker_jobs in jobs.chunks_mut(per_worker) {
+                        scope.spawn(move |_| {
+                            for (shard, scratch) in worker_jobs.iter_mut() {
+                                net.shard_gradients(data, shard, batch_n, scratch);
+                            }
+                        });
+                    }
+                })
+                .expect("gradient worker panicked");
+            }
+        }
+        // Reduce in ascending shard order — fixed, thread-independent.
+        let used = chunk.chunks(shard_len).count();
+        for (l, tot) in total.iter_mut().enumerate() {
+            let (out_dim, in_dim) = (self.layers[l].output_dim(), self.layers[l].input_dim());
+            tot.weights.resize_zeroed(out_dim, in_dim);
+            tot.bias.clear();
+            tot.bias.resize(out_dim, 0.0);
+            for scratch in &scratches[..used] {
+                tot.weights.add_assign(&scratch.grads[l].weights);
+                for (t, g) in tot.bias.iter_mut().zip(&scratch.grads[l].bias) {
+                    *t += g;
+                }
+            }
+        }
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            if config.momentum > 0.0 {
+                layer.apply_gradients_with_momentum(
+                    &total[i],
+                    config.learning_rate,
+                    config.momentum,
+                    &mut velocities[i],
+                );
+            } else {
+                layer.apply_gradients(&total[i], config.learning_rate);
+            }
+        }
+    }
+
+    /// [`Network::mse`] computed through the scratch buffers — identical
+    /// value, no allocation.
+    fn mse_scratch(&self, data: &Dataset, scratch: &mut TrainScratch) -> f64 {
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = scratch.activations.split_at_mut(i + 1);
+            let input = if i == 0 { data.x() } else { &head[i] };
+            layer.forward_into(input, &mut scratch.wt, &mut tail[0]);
+        }
+        let pred = scratch.activations.last().expect("non-empty");
+        let total: f64 = pred
+            .as_slice()
+            .iter()
+            .zip(data.y().as_slice())
+            .map(|(p, y)| {
+                let d = p - y;
+                d * d
+            })
+            .sum();
+        total / pred.as_slice().len() as f64
     }
 
     /// Serialises the network (weights and topology) to JSON.

@@ -9,6 +9,37 @@ fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
+/// Like [`arb_matrix`] but with exact zeros mixed in, so the blocked
+/// multiply's zero-coefficient skip paths get exercised.
+fn arb_sparse_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    let cell = prop_oneof![Just(0.0f64), -100.0f64..100.0];
+    proptest::collection::vec(cell, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// `matmul` (blocked, eight-wide k groups) must be *bit*-identical to the
+/// naive triple loop it replaced — training digests depend on it.
+fn assert_bits_equal_naive(a: &Matrix, b: &Matrix) -> Result<(), TestCaseError> {
+    let blocked = a.matmul(b);
+    let naive = a.matmul_naive(b);
+    for (i, (x, y)) in blocked
+        .as_slice()
+        .iter()
+        .zip(naive.as_slice().iter())
+        .enumerate()
+    {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {} differs: blocked {} vs naive {}",
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     /// Transposition is an involution.
     #[test]
@@ -49,6 +80,28 @@ proptest! {
         let i = Matrix::identity(5);
         prop_assert_eq!(m.matmul(&i), m.clone());
         prop_assert_eq!(i.matmul(&m), m);
+    }
+
+    /// Bit-identity across the k-block boundary (k = 37 spans two 16-wide
+    /// blocks plus a 5-long remainder, so both the eight-wide group and the
+    /// scalar tail run).
+    #[test]
+    fn blocked_matmul_is_bit_identical_wide(a in arb_sparse_matrix(3, 37), b in arb_sparse_matrix(37, 5)) {
+        assert_bits_equal_naive(&a, &b)?;
+    }
+
+    /// Bit-identity at exact group boundaries (k = 16 is one full block of
+    /// two eight-wide groups, no remainder).
+    #[test]
+    fn blocked_matmul_is_bit_identical_aligned(a in arb_sparse_matrix(4, 16), b in arb_sparse_matrix(16, 8)) {
+        assert_bits_equal_naive(&a, &b)?;
+    }
+
+    /// Bit-identity below the group width (k = 3 never enters the
+    /// eight-wide path at all).
+    #[test]
+    fn blocked_matmul_is_bit_identical_narrow(a in arb_sparse_matrix(5, 3), b in arb_sparse_matrix(3, 4)) {
+        assert_bits_equal_naive(&a, &b)?;
     }
 
     /// Scaling into [0,1] and back is lossless for in-range data.

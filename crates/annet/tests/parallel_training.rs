@@ -1,0 +1,59 @@
+//! Property test pinning data-parallel training to a fixed shard plan:
+//! the trained weights must be *bit*-identical no matter how many worker
+//! threads execute the gradient accumulation.
+
+use annet::{Activation, Dataset, NetworkBuilder, TrainConfig};
+use desim::SimRng;
+use proptest::prelude::*;
+
+/// A small deterministic regression dataset.
+fn dataset(samples: usize, dims: usize, seed: u64) -> Dataset {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(samples);
+    let mut y = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let row: Vec<f64> = (0..dims).map(|_| rng.next_f64()).collect();
+        let t = (row.iter().sum::<f64>() / dims as f64).clamp(0.0, 1.0);
+        x.push(row);
+        y.push(vec![t, 1.0 - t]);
+    }
+    Dataset::from_rows(x, y).expect("aligned rows")
+}
+
+/// Trains a fresh identically-seeded network with `threads` workers and
+/// returns the serialized weights.
+fn weights_after(threads: usize, data: &Dataset, config: &TrainConfig, seed: u64) -> String {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut net = NetworkBuilder::new(4)
+        .dense(8, Activation::Tanh)
+        .dense(2, Activation::Sigmoid)
+        .build(&mut rng);
+    net.train_parallel(data, config, &mut rng, threads);
+    net.to_json().expect("serializable network")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// One, two, and eight workers produce bit-identical trained weights:
+    /// the shard plan, not the thread count, fixes the reduction order.
+    #[test]
+    fn thread_count_does_not_change_weights(
+        seed in 0u64..u64::MAX,
+        batch_size in 1usize..16,
+    ) {
+        let data = dataset(24, 4, seed.wrapping_mul(2).wrapping_add(1));
+        let config = TrainConfig {
+            epochs: 3,
+            learning_rate: 0.4,
+            batch_size,
+            shuffle: true,
+            momentum: 0.1,
+        };
+        let one = weights_after(1, &data, &config, seed);
+        let two = weights_after(2, &data, &config, seed);
+        let eight = weights_after(8, &data, &config, seed);
+        prop_assert_eq!(&one, &two, "1 vs 2 threads diverged");
+        prop_assert_eq!(&one, &eight, "1 vs 8 threads diverged");
+    }
+}

@@ -1,0 +1,294 @@
+//! `perfbase` — the tracked performance baseline.
+//!
+//! Emits `BENCH_sim.json` and `BENCH_train.json` so every PR has a
+//! trajectory to beat:
+//!
+//! * **sim**: wall-clock and msgs/sec for a deterministic sweep grid plus a
+//!   single large run, and the `obs` overhead of a Noop-sink traced run
+//!   versus the untraced path (both must be within noise of each other).
+//! * **train**: wall-clock and epochs/sec for SGD on the paper topology,
+//!   plus a digest of the trained weights so speedups can be shown to
+//!   preserve bit-identical results.
+//!
+//! Both files carry FNV-1a digests of the results; two builds that disagree
+//! on a digest did *not* run the same computation, whatever their speed.
+//!
+//! ```text
+//! perfbase [--smoke] [--out-dir DIR] [--threads N]
+//! ```
+//!
+//! `--smoke` shrinks every workload to a few seconds for CI; the digests
+//! remain deterministic per mode.
+
+use std::time::Instant;
+
+use annet::{Dataset, NetworkBuilder, TrainConfig};
+use desim::{SimDuration, SimRng};
+use kafkasim::config::DeliverySemantics;
+use kafkasim::runtime::KafkaRun;
+use testbed::experiment::ExperimentPoint;
+use testbed::sweep::run_sweep;
+use testbed::Calibration;
+
+/// FNV-1a 64-bit digest of a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Peak resident set size in kilobytes (`VmHWM` from `/proc/self/status`),
+/// or 0 where the proc filesystem is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The deterministic sweep grid: 48 points covering both semantics, loss,
+/// batching, message size, and polling interval.
+fn grid() -> Vec<ExperimentPoint> {
+    let mut points = Vec::new();
+    for semantics in [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+    ] {
+        for &loss in &[0.0, 0.12, 0.25] {
+            for &batch in &[1usize, 6] {
+                for &m in &[100u64, 400] {
+                    for &poll_ms in &[0u64, 60] {
+                        points.push(ExperimentPoint {
+                            message_size: m,
+                            delay: SimDuration::from_millis(50),
+                            loss_rate: loss,
+                            semantics,
+                            batch_size: batch,
+                            poll_interval: SimDuration::from_millis(poll_ms),
+                            message_timeout: SimDuration::from_millis(2_000),
+                            ..ExperimentPoint::default()
+                        });
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+/// A deterministic synthetic regression dataset shaped like the paper's
+/// training data: `dims` scaled features in `[0, 1]`, two smooth targets.
+fn synth_dataset(samples: usize, dims: usize, seed: u64) -> Dataset {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(samples);
+    let mut y = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let row: Vec<f64> = (0..dims).map(|_| rng.next_f64()).collect();
+        let s: f64 = row.iter().sum::<f64>() / dims as f64;
+        let t0 = (s * std::f64::consts::PI).sin().abs();
+        let t1 = (row[0] * 0.7 + row[dims - 1] * 0.3).clamp(0.0, 1.0);
+        x.push(row);
+        y.push(vec![t0, t1]);
+    }
+    Dataset::from_rows(x, y).expect("aligned synthetic rows")
+}
+
+struct SimNumbers {
+    mode: &'static str,
+    threads: usize,
+    points: usize,
+    n_messages: u64,
+    sweep_wall_s: f64,
+    sweep_msgs_per_sec: f64,
+    results_digest: u64,
+    single_run_msgs: u64,
+    single_run_wall_s: f64,
+    single_run_msgs_per_sec: f64,
+    obs_untraced_wall_s: f64,
+    obs_noop_wall_s: f64,
+    obs_overhead_ratio: f64,
+}
+
+fn bench_sim(smoke: bool, threads: usize) -> SimNumbers {
+    let cal = Calibration::paper();
+    let points = grid();
+    let n_messages: u64 = if smoke { 200 } else { 4_000 };
+
+    let start = Instant::now();
+    let results = run_sweep(&points, &cal, n_messages, 99, threads);
+    let sweep_wall_s = start.elapsed().as_secs_f64();
+    let json = serde_json::to_string(&results).expect("results serialize");
+    let results_digest = fnv1a(json.as_bytes());
+
+    // One big single-threaded full-load run: raw simulator throughput.
+    let single_run_msgs: u64 = if smoke { 2_000 } else { 60_000 };
+    let point = ExperimentPoint {
+        batch_size: 8,
+        poll_interval: SimDuration::ZERO,
+        loss_rate: 0.02,
+        delay: SimDuration::from_millis(20),
+        ..ExperimentPoint::default()
+    };
+    let start = Instant::now();
+    let single = point.run(&cal, single_run_msgs, 7);
+    let single_run_wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(single.report.n_source, single_run_msgs);
+
+    // obs overhead: untraced execute vs Noop-sink traced execute must be
+    // within noise of each other once event construction is gated off.
+    let obs_msgs: u64 = if smoke { 2_000 } else { 30_000 };
+    let spec = point.to_run_spec(&cal, obs_msgs);
+    let start = Instant::now();
+    let untraced = KafkaRun::new(spec.clone(), 11).execute();
+    let obs_untraced_wall_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let (noop, _) = KafkaRun::new(spec, 11).execute_traced(Box::new(obs::NoopSink));
+    let obs_noop_wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        untraced.report, noop.report,
+        "Noop-sink run must match untraced run exactly"
+    );
+
+    SimNumbers {
+        mode: if smoke { "smoke" } else { "full" },
+        threads,
+        points: points.len(),
+        n_messages,
+        sweep_wall_s,
+        sweep_msgs_per_sec: (points.len() as u64 * n_messages) as f64 / sweep_wall_s,
+        results_digest,
+        single_run_msgs,
+        single_run_wall_s,
+        single_run_msgs_per_sec: single_run_msgs as f64 / single_run_wall_s,
+        obs_untraced_wall_s,
+        obs_noop_wall_s,
+        obs_overhead_ratio: obs_noop_wall_s / obs_untraced_wall_s,
+    }
+}
+
+struct TrainNumbers {
+    mode: &'static str,
+    samples: usize,
+    epochs: usize,
+    wall_s: f64,
+    epochs_per_sec: f64,
+    final_mse: f64,
+    weights_digest: u64,
+}
+
+fn bench_train(smoke: bool) -> TrainNumbers {
+    let dims = ExperimentPoint::FEATURES;
+    let samples = if smoke { 64 } else { 512 };
+    let epochs = if smoke { 3 } else { 40 };
+    let data = synth_dataset(samples, dims, 42);
+    let mut rng = SimRng::seed_from_u64(17);
+    let mut net = NetworkBuilder::paper_topology(dims, 2).build(&mut rng);
+    let config = TrainConfig {
+        epochs,
+        learning_rate: 0.5,
+        batch_size: 32,
+        shuffle: true,
+        momentum: 0.0,
+    };
+    let start = Instant::now();
+    let report = net.train(&data, &config, &mut rng);
+    let wall_s = start.elapsed().as_secs_f64();
+    let weights_digest = fnv1a(net.to_json().expect("serializable network").as_bytes());
+    TrainNumbers {
+        mode: if smoke { "smoke" } else { "full" },
+        samples,
+        epochs,
+        wall_s,
+        epochs_per_sec: epochs as f64 / wall_s,
+        final_mse: report.final_loss(),
+        weights_digest,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut out_dir = String::from(".");
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out-dir" => out_dir = it.next().expect("--out-dir DIR").clone(),
+            "--threads" => threads = it.next().expect("--threads N").parse().expect("N"),
+            "--smoke" => {}
+            other => {
+                eprintln!("usage: perfbase [--smoke] [--out-dir DIR] [--threads N]; got {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+
+    let sim = bench_sim(smoke, threads);
+    let sim_json = serde_json::json!({
+        "mode": sim.mode,
+        "threads": sim.threads,
+        "sweep": serde_json::json!({
+            "points": sim.points,
+            "n_messages": sim.n_messages,
+            "wall_s": sim.sweep_wall_s,
+            "msgs_per_sec": sim.sweep_msgs_per_sec,
+            "results_digest": format!("{:016x}", sim.results_digest),
+        }),
+        "single_run": serde_json::json!({
+            "n_messages": sim.single_run_msgs,
+            "wall_s": sim.single_run_wall_s,
+            "msgs_per_sec": sim.single_run_msgs_per_sec,
+        }),
+        "obs_overhead": serde_json::json!({
+            "untraced_wall_s": sim.obs_untraced_wall_s,
+            "noop_wall_s": sim.obs_noop_wall_s,
+            "noop_over_untraced": sim.obs_overhead_ratio,
+        }),
+        "peak_rss_kb": peak_rss_kb(),
+    });
+    let sim_path = format!("{out_dir}/BENCH_sim.json");
+    std::fs::write(&sim_path, serde_json::to_string_pretty(&sim_json).unwrap())
+        .expect("write BENCH_sim.json");
+
+    let train = bench_train(smoke);
+    let train_json = serde_json::json!({
+        "mode": train.mode,
+        "samples": train.samples,
+        "epochs": train.epochs,
+        "wall_s": train.wall_s,
+        "epochs_per_sec": train.epochs_per_sec,
+        "final_mse": train.final_mse,
+        "weights_digest": format!("{:016x}", train.weights_digest),
+        "peak_rss_kb": peak_rss_kb(),
+    });
+    let train_path = format!("{out_dir}/BENCH_train.json");
+    std::fs::write(
+        &train_path,
+        serde_json::to_string_pretty(&train_json).unwrap(),
+    )
+    .expect("write BENCH_train.json");
+
+    println!(
+        "sim:   sweep {:.2}s ({:.0} msgs/s, digest {:016x}), single run {:.0} msgs/s, \
+         obs noop/untraced {:.3}",
+        sim.sweep_wall_s,
+        sim.sweep_msgs_per_sec,
+        sim.results_digest,
+        sim.single_run_msgs_per_sec,
+        sim.obs_overhead_ratio
+    );
+    println!(
+        "train: {} epochs in {:.2}s ({:.2} epochs/s, weights {:016x})",
+        train.epochs, train.wall_s, train.epochs_per_sec, train.weights_digest
+    );
+    println!("wrote {sim_path} and {train_path}");
+}

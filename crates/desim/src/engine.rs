@@ -1,15 +1,18 @@
-//! The event scheduler: a virtual clock plus a priority queue of closures.
+//! The event scheduler: a virtual clock plus an index-min queue of closures.
 //!
 //! A [`Simulation`] owns a user-supplied *world* (any type `W`) and a queue
 //! of events. Each event is a boxed `FnOnce(&mut W, &mut Context<W>)`; firing
 //! an event may mutate the world and schedule further events through the
 //! [`Context`]. Events at equal timestamps fire in insertion order, making
 //! every run deterministic.
+//!
+//! Internally the queue is a 4-ary index-min heap over `(time, sequence)`
+//! keys whose payload is a slot index into a slab of pending actions. The
+//! slab gives O(1) cancellation (a tombstone in the slot, no hash set) and
+//! recycles slots through a free list, so steady-state stepping performs no
+//! allocation beyond the boxed closure itself.
 
-use core::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
-
+use crate::minq::MinQueue;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a scheduled event, usable to cancel it before it fires.
@@ -27,31 +30,28 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
 
+impl EventId {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId((u64::from(gen) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> u32 {
+        (self.0 & 0xffff_ffff) as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 type Action<W> = Box<dyn FnOnce(&mut W, &mut Context<W>)>;
 
-struct Scheduled<W> {
-    at: SimTime,
-    id: EventId,
-    action: Action<W>,
-}
-
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.id == other.id
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first,
-        // breaking ties by insertion order (smaller id first).
-        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
-    }
+/// A slab slot holding a pending action. `action` is `None` once the event
+/// has been cancelled (tombstone) or fired; `gen` distinguishes reuses of
+/// the same slot so stale [`EventId`]s cannot cancel unrelated events.
+struct Slot<W> {
+    action: Option<Action<W>>,
+    gen: u32,
 }
 
 /// Scheduling handle passed to every firing event.
@@ -60,9 +60,10 @@ impl<W> Ord for Scheduled<W> {
 /// pending ones, without owning the world borrow.
 pub struct Context<W> {
     now: SimTime,
-    next_id: u64,
-    queue: BinaryHeap<Scheduled<W>>,
-    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    queue: MinQueue<u32>,
+    slots: Vec<Slot<W>>,
+    free: Vec<u32>,
     fired: u64,
 }
 
@@ -80,9 +81,10 @@ impl<W> Context<W> {
     fn new() -> Self {
         Context {
             now: SimTime::ZERO,
-            next_id: 0,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            next_seq: 0,
+            queue: MinQueue::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             fired: 0,
         }
     }
@@ -102,14 +104,24 @@ impl<W> Context<W> {
         F: FnOnce(&mut W, &mut Context<W>) + 'static,
     {
         let at = at.max(self.now);
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.queue.push(Scheduled {
-            at,
-            id,
-            action: Box::new(action),
-        });
-        id
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].action = Some(Box::new(action));
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("fewer than 2^32 pending events");
+                self.slots.push(Slot {
+                    action: Some(Box::new(action)),
+                    gen: 0,
+                });
+                slot
+            }
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(at, seq, slot);
+        EventId::new(slot, self.slots[slot as usize].gen)
     }
 
     /// Schedules `action` to fire `delay` after the current instant.
@@ -122,7 +134,22 @@ impl<W> Context<W> {
 
     /// Cancels a pending event. Has no effect if the event already fired.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+        let slot = id.slot() as usize;
+        if let Some(s) = self.slots.get_mut(slot) {
+            if s.gen == id.gen() {
+                s.action = None;
+            }
+        }
+    }
+
+    /// Frees `slot` after its queue entry has been popped, returning the
+    /// action if the event is still live (not cancelled).
+    fn release(&mut self, slot: u32) -> Option<Action<W>> {
+        let s = &mut self.slots[slot as usize];
+        let action = s.action.take();
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        action
     }
 
     /// Number of events that have fired so far.
@@ -232,16 +259,16 @@ impl<W> Simulation<W> {
     /// Returns `false` when the queue is empty (the clock does not move).
     pub fn step(&mut self) -> bool {
         loop {
-            let Some(ev) = self.ctx.queue.pop() else {
+            let Some((at, slot)) = self.ctx.queue.pop() else {
                 return false;
             };
-            if self.ctx.cancelled.remove(&ev.id) {
-                continue;
-            }
-            debug_assert!(ev.at >= self.ctx.now, "time must be monotone");
-            self.ctx.now = ev.at;
+            let Some(action) = self.ctx.release(slot) else {
+                continue; // cancelled
+            };
+            debug_assert!(at >= self.ctx.now, "time must be monotone");
+            self.ctx.now = at;
             self.ctx.fired += 1;
-            (ev.action)(&mut self.world, &mut self.ctx);
+            action(&mut self.world, &mut self.ctx);
             return true;
         }
     }
@@ -268,11 +295,11 @@ impl<W> Simulation<W> {
             let next_at = loop {
                 match self.ctx.queue.peek() {
                     None => break None,
-                    Some(ev) if self.ctx.cancelled.contains(&ev.id) => {
-                        let ev = self.ctx.queue.pop().expect("peeked event");
-                        self.ctx.cancelled.remove(&ev.id);
+                    Some((_, &slot)) if self.ctx.slots[slot as usize].action.is_none() => {
+                        let (_, slot) = self.ctx.queue.pop().expect("peeked event");
+                        let _ = self.ctx.release(slot);
                     }
-                    Some(ev) => break Some(ev.at),
+                    Some((at, _)) => break Some(at),
                 }
             };
             match next_at {
@@ -414,5 +441,29 @@ mod tests {
         }
         sim.run_until_idle();
         assert_eq!(sim.events_fired(), 5);
+    }
+
+    #[test]
+    fn stale_event_id_cannot_cancel_slot_reuse() {
+        // After an event fires, its slot is recycled; a stale id pointing at
+        // the old generation must not cancel the new occupant.
+        let mut sim = Simulation::new(0u32);
+        let stale = sim.schedule_in(SimDuration::from_millis(1), |w: &mut u32, _| *w += 1);
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 1);
+        let _fresh = sim.schedule_in(SimDuration::from_millis(1), |w: &mut u32, _| *w += 10);
+        sim.cancel(stale); // stale generation: must be a no-op
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 11);
+    }
+
+    #[test]
+    fn double_cancel_is_harmless() {
+        let mut sim = Simulation::new(0u32);
+        let id = sim.schedule_in(SimDuration::from_millis(1), |w: &mut u32, _| *w += 1);
+        sim.cancel(id);
+        sim.cancel(id);
+        sim.run_until_idle();
+        assert_eq!(*sim.world(), 0);
     }
 }

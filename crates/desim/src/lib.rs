@@ -40,12 +40,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod minq;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod typed;
 
 pub use engine::{Context, EventId, Simulation};
 pub use queue::BoundedQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use typed::{EventContext, EventSim, EventWorld};

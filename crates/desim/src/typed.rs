@@ -1,0 +1,348 @@
+//! The typed-event engine: a zero-allocation alternative to [`crate::Simulation`].
+//!
+//! The closure engine boxes every event (`Box<dyn FnOnce>`), which puts one
+//! heap allocation and one indirect call on the hot path of every scheduled
+//! event. For simulations that fire millions of events, that cost dominates.
+//!
+//! [`EventSim`] removes it: the world declares a plain `enum` of its event
+//! kinds ([`EventWorld::Event`]) and a single [`EventWorld::handle`] method
+//! that dispatches on it. Events are stored *by value* inside the 4-ary
+//! index-min queue, so scheduling is a couple of writes into a `Vec` and
+//! firing is a match — no boxes, no virtual calls, no per-event allocation.
+//!
+//! There is deliberately **no cancellation**: models that need to retire a
+//! stale timer guard it with an epoch or flag in the world (the timer fires,
+//! notices its epoch is old, and returns). That keeps the queue free of
+//! tombstone bookkeeping. Determinism contract is identical to the closure
+//! engine: events at equal timestamps fire in insertion order.
+//!
+//! # Example
+//!
+//! ```
+//! use desim::{EventContext, EventSim, EventWorld, SimDuration, SimTime};
+//!
+//! struct Counter { ticks: u32 }
+//! enum Ev { Tick }
+//!
+//! impl EventWorld for Counter {
+//!     type Event = Ev;
+//!     fn handle(&mut self, event: Ev, ctx: &mut EventContext<Ev>) {
+//!         match event {
+//!             Ev::Tick => {
+//!                 self.ticks += 1;
+//!                 if self.ticks < 5 {
+//!                     ctx.schedule_in(SimDuration::from_millis(10), Ev::Tick);
+//!                 }
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = EventSim::new(Counter { ticks: 0 });
+//! sim.schedule_at(SimTime::ZERO, Ev::Tick);
+//! sim.run_until_idle();
+//! assert_eq!(sim.world().ticks, 5);
+//! assert_eq!(sim.now(), SimTime::from_millis(40));
+//! ```
+
+use crate::minq::MinQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A world driven by typed events.
+///
+/// Implementors define an event enum and a dispatch method; the engine owns
+/// the clock and the queue.
+pub trait EventWorld: Sized {
+    /// The event alphabet of this world — typically a plain `enum`.
+    type Event;
+
+    /// Fires one event. The clock has already advanced to the event's
+    /// timestamp; follow-up events are scheduled through `ctx`.
+    fn handle(&mut self, event: Self::Event, ctx: &mut EventContext<Self::Event>);
+}
+
+/// Scheduling handle passed to [`EventWorld::handle`].
+///
+/// Holds the clock and the pending-event queue; generic over the event type
+/// only, so a world can hand it to helper functions without naming itself.
+pub struct EventContext<E> {
+    now: SimTime,
+    next_seq: u64,
+    queue: MinQueue<E>,
+    fired: u64,
+}
+
+impl<E> core::fmt::Debug for EventContext<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventContext")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+impl<E> EventContext<E> {
+    fn new() -> Self {
+        EventContext {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            queue: MinQueue::new(),
+            fired: 0,
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    ///
+    /// Events scheduled in the past fire "now" (at the current clock value),
+    /// after all events already queued for the current instant.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(at, seq, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Number of events that have fired so far.
+    #[must_use]
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A discrete-event simulation over a typed-event world.
+///
+/// The counterpart of [`crate::Simulation`] for worlds that implement
+/// [`EventWorld`]; scheduling and stepping never allocate per event.
+pub struct EventSim<W: EventWorld> {
+    world: W,
+    ctx: EventContext<W::Event>,
+}
+
+impl<W: EventWorld + core::fmt::Debug> core::fmt::Debug for EventSim<W> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventSim")
+            .field("world", &self.world)
+            .field("ctx", &self.ctx)
+            .finish()
+    }
+}
+
+impl<W: EventWorld> EventSim<W> {
+    /// Creates a simulation over `world` with the clock at zero.
+    #[must_use]
+    pub fn new(world: W) -> Self {
+        EventSim {
+            world,
+            ctx: EventContext::new(),
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// Shared access to the world.
+    #[must_use]
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Exclusive access to both the world and the scheduling context —
+    /// needed when setup code must schedule and mutate in one breath.
+    pub fn world_and_ctx(&mut self) -> (&mut W, &mut EventContext<W::Event>) {
+        (&mut self.world, &mut self.ctx)
+    }
+
+    /// Consumes the simulation, returning the world.
+    #[must_use]
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules an event at an absolute instant. See [`EventContext::schedule_at`].
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) {
+        self.ctx.schedule_at(at, event);
+    }
+
+    /// Schedules an event after a delay. See [`EventContext::schedule_in`].
+    pub fn schedule_in(&mut self, delay: SimDuration, event: W::Event) {
+        self.ctx.schedule_in(delay, event);
+    }
+
+    /// Fires the next pending event, advancing the clock to its timestamp.
+    ///
+    /// Returns `false` when the queue is empty (the clock does not move).
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.ctx.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.ctx.now, "time must be monotone");
+        self.ctx.now = at;
+        self.ctx.fired += 1;
+        self.world.handle(event, &mut self.ctx);
+        true
+    }
+
+    /// Runs until no events remain. Returns the number of events fired.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let before = self.ctx.fired;
+        while self.step() {}
+        self.ctx.fired - before
+    }
+
+    /// Runs until the clock would pass `deadline` or the queue drains.
+    ///
+    /// Events stamped exactly at `deadline` still fire; the clock never
+    /// exceeds `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.ctx.fired;
+        while matches!(self.ctx.queue.peek(), Some((at, _)) if at <= deadline) {
+            self.step();
+        }
+        if self.ctx.now < deadline {
+            self.ctx.now = deadline;
+        }
+        self.ctx.fired - before
+    }
+
+    /// Total events fired since construction.
+    #[must_use]
+    pub fn events_fired(&self) -> u64 {
+        self.ctx.events_fired()
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.ctx.pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<u32>,
+        epoch: u32,
+    }
+
+    enum Ev {
+        Mark(u32),
+        Guarded { epoch: u32, value: u32 },
+        Chain,
+    }
+
+    impl EventWorld for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, event: Ev, ctx: &mut EventContext<Ev>) {
+            match event {
+                Ev::Mark(v) => self.seen.push(v),
+                Ev::Guarded { epoch, value } => {
+                    if epoch == self.epoch {
+                        self.seen.push(value);
+                    }
+                }
+                Ev::Chain => {
+                    self.seen.push(ctx.now().as_millis() as u32);
+                    if self.seen.len() < 3 {
+                        ctx.schedule_in(SimDuration::from_millis(10), Ev::Chain);
+                    }
+                }
+            }
+        }
+    }
+
+    fn sim() -> EventSim<Recorder> {
+        EventSim::new(Recorder {
+            seen: Vec::new(),
+            epoch: 0,
+        })
+    }
+
+    #[test]
+    fn events_fire_in_time_order_then_fifo() {
+        let mut s = sim();
+        s.schedule_at(SimTime::from_millis(30), Ev::Mark(3));
+        s.schedule_at(SimTime::from_millis(10), Ev::Mark(1));
+        s.schedule_at(SimTime::from_millis(10), Ev::Mark(2));
+        s.run_until_idle();
+        assert_eq!(s.world().seen, vec![1, 2, 3]);
+        assert_eq!(s.events_fired(), 3);
+    }
+
+    #[test]
+    fn nested_scheduling_advances_clock() {
+        let mut s = sim();
+        s.schedule_at(SimTime::from_millis(5), Ev::Chain);
+        s.run_until_idle();
+        assert_eq!(s.world().seen, vec![5, 15, 25]);
+        assert_eq!(s.now(), SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn epoch_guard_replaces_cancellation() {
+        let mut s = sim();
+        s.schedule_at(SimTime::from_millis(10), Ev::Guarded { epoch: 0, value: 7 });
+        // Bump the epoch before the timer fires: the stale event is a no-op.
+        s.world_mut().epoch = 1;
+        s.run_until_idle();
+        assert!(s.world().seen.is_empty());
+    }
+
+    #[test]
+    fn run_until_semantics_match_closure_engine() {
+        let mut s = sim();
+        for ms in [5u64, 10, 15] {
+            s.schedule_at(SimTime::from_millis(ms), Ev::Mark(ms as u32));
+        }
+        let fired = s.run_until(SimTime::from_millis(10));
+        assert_eq!(fired, 2);
+        assert_eq!(s.world().seen, vec![5, 10]);
+        assert_eq!(s.now(), SimTime::from_millis(10));
+        s.run_until(SimTime::from_millis(60));
+        assert_eq!(s.now(), SimTime::from_millis(60));
+        assert_eq!(s.world().seen, vec![5, 10, 15]);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut s = sim();
+        s.run_until(SimTime::from_millis(20));
+        s.schedule_at(SimTime::from_millis(1), Ev::Chain);
+        assert!(s.step());
+        assert_eq!(s.world().seen, vec![20]);
+    }
+
+    #[test]
+    fn step_returns_false_when_idle() {
+        let mut s = sim();
+        assert!(!s.step());
+    }
+}

@@ -5,8 +5,6 @@
 //! messages in this topic. Finally, we analyze the results by comparing the
 //! unique keys from source data and the messages received by the consumer."
 
-use std::collections::HashMap;
-
 use desim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -27,18 +25,31 @@ pub struct ConsumedRecord {
 }
 
 /// Everything the consumer saw, aggregated per key.
+///
+/// Message keys are the dense sequence numbers the source hands out, so
+/// the per-key aggregates live in plain vectors indexed by key — the audit
+/// does a couple of lookups per message and a hash map would dominate its
+/// cost. A key with `copies_per_key[k] == 0` was never consumed and its
+/// `first_latency[k]` slot is meaningless.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConsumedTopic {
     records: Vec<ConsumedRecord>,
-    copies_per_key: HashMap<MessageKey, u64>,
-    first_latency: HashMap<MessageKey, SimDuration>,
+    copies_per_key: Vec<u64>,
+    first_latency: Vec<SimDuration>,
 }
 
 impl ConsumedTopic {
     /// Reads the whole topic from a cluster.
     #[must_use]
     pub fn read_all(cluster: &Cluster) -> Self {
+        let total: usize = cluster
+            .brokers()
+            .iter()
+            .flat_map(|b| b.logs())
+            .map(|log| log.len())
+            .sum();
         let mut topic = ConsumedTopic::default();
+        topic.records.reserve_exact(total);
         for broker in cluster.brokers() {
             for log in broker.logs() {
                 for record in log.iter() {
@@ -48,12 +59,17 @@ impl ConsumedTopic {
                         offset: record.offset,
                         latency: record.latency(),
                     };
-                    *topic.copies_per_key.entry(record.key).or_insert(0) += 1;
-                    topic
-                        .first_latency
-                        .entry(record.key)
-                        .and_modify(|l| *l = (*l).min(consumed.latency))
-                        .or_insert(consumed.latency);
+                    let k = record.key.0 as usize;
+                    if k >= topic.copies_per_key.len() {
+                        topic.copies_per_key.resize(k + 1, 0);
+                        topic.first_latency.resize(k + 1, SimDuration::ZERO);
+                    }
+                    if topic.copies_per_key[k] == 0 {
+                        topic.first_latency[k] = consumed.latency;
+                    } else {
+                        topic.first_latency[k] = topic.first_latency[k].min(consumed.latency);
+                    }
+                    topic.copies_per_key[k] += 1;
                     topic.records.push(consumed);
                 }
             }
@@ -70,13 +86,21 @@ impl ConsumedTopic {
     /// Number of copies stored for `key` (0 = lost).
     #[must_use]
     pub fn copies(&self, key: MessageKey) -> u64 {
-        self.copies_per_key.get(&key).copied().unwrap_or(0)
+        self.copies_per_key
+            .get(key.0 as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The earliest-copy latency for `key`, if delivered.
     #[must_use]
     pub fn first_latency(&self, key: MessageKey) -> Option<SimDuration> {
-        self.first_latency.get(&key).copied()
+        let k = key.0 as usize;
+        if self.copies_per_key.get(k).copied().unwrap_or(0) == 0 {
+            None
+        } else {
+            Some(self.first_latency[k])
+        }
     }
 
     /// All records read, in partition/offset order per partition.
@@ -88,7 +112,7 @@ impl ConsumedTopic {
     /// Distinct keys observed.
     #[must_use]
     pub fn distinct_keys(&self) -> usize {
-        self.copies_per_key.len()
+        self.copies_per_key.iter().filter(|&&c| c > 0).count()
     }
 }
 

@@ -99,6 +99,7 @@ pub mod cluster;
 pub mod config;
 pub mod consumer;
 pub mod explain;
+mod fasthash;
 pub mod log;
 pub mod message;
 pub mod producer;
@@ -110,6 +111,6 @@ pub mod wire;
 pub use audit::{DeliveryReport, LossReason};
 pub use config::{DeliverySemantics, ProducerConfig};
 pub use explain::{crosscheck, TraceAudit};
-pub use runtime::{KafkaRun, RunOutcome, RunSpec};
+pub use runtime::{KafkaRun, RunArena, RunOutcome, RunSpec};
 pub use source::SourceSpec;
 pub use state::{DeliveryCase, MessageState};

@@ -6,13 +6,14 @@
 //! accounting — can be unit-tested in isolation; [`crate::runtime`] drives
 //! them from the event loop.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use desim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::audit::LossReason;
 use crate::broker::ProduceRecord;
+use crate::fasthash::FastMap;
 use crate::message::{Message, MessageKey};
 
 /// A batch of messages bound for one partition.
@@ -47,23 +48,44 @@ impl PendingBatch {
 
     /// Drops expired messages, returning them.
     pub fn drop_expired(&mut self, now: SimTime) -> Vec<Message> {
-        let (expired, keep): (Vec<Message>, Vec<Message>) =
-            self.messages.iter().partition(|m| m.is_expired(now));
-        self.messages = keep;
+        let mut expired = Vec::new();
+        self.drop_expired_into(now, &mut expired);
         expired
+    }
+
+    /// Drops expired messages in place, appending them to `expired`.
+    ///
+    /// The allocation-free form of [`PendingBatch::drop_expired`]: survivors
+    /// keep their order and the expired messages are appended to `expired`
+    /// in their original order.
+    pub fn drop_expired_into(&mut self, now: SimTime, expired: &mut Vec<Message>) {
+        self.messages.retain(|m| {
+            if m.is_expired(now) {
+                expired.push(*m);
+                false
+            } else {
+                true
+            }
+        });
     }
 
     /// The records a broker stores for this batch.
     #[must_use]
     pub fn to_records(&self) -> Vec<ProduceRecord> {
-        self.messages
-            .iter()
-            .map(|m| ProduceRecord {
-                key: m.key,
-                payload_bytes: m.payload_bytes,
-                created_at: m.created_at,
-            })
-            .collect()
+        let mut records = Vec::new();
+        self.to_records_into(&mut records);
+        records
+    }
+
+    /// Writes the batch's broker records into `out` (cleared first), so a
+    /// caller can reuse one buffer across requests.
+    pub fn to_records_into(&self, out: &mut Vec<ProduceRecord>) {
+        out.clear();
+        out.extend(self.messages.iter().map(|m| ProduceRecord {
+            key: m.key,
+            payload_bytes: m.payload_bytes,
+            created_at: m.created_at,
+        }));
     }
 }
 
@@ -101,7 +123,13 @@ pub struct Accumulator {
     buffered: usize,
     next_batch_id: u64,
     overflowed: u64,
+    /// Retired message buffers, reused for new open batches so the steady
+    /// state allocates nothing per batch.
+    pool: Vec<Vec<Message>>,
 }
+
+/// Most message buffers the accumulator keeps around for reuse.
+const POOL_LIMIT: usize = 256;
 
 impl Accumulator {
     /// Creates an accumulator.
@@ -123,7 +151,34 @@ impl Accumulator {
             buffered: 0,
             next_batch_id: 0,
             overflowed: 0,
+            pool: Vec::new(),
         }
+    }
+
+    /// Returns a retired message buffer to the pool (cleared).
+    fn pool_buf(&mut self, mut buf: Vec<Message>) {
+        if self.pool.len() < POOL_LIMIT {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+
+    /// Returns a dead batch's message buffer to the allocation pool so a
+    /// future open batch can reuse it. Call this wherever a batch's life
+    /// ends (acknowledged, given up, or lost); dropping the batch instead
+    /// is harmless but wastes the buffer.
+    pub fn recycle(&mut self, batch: PendingBatch) {
+        self.pool_buf(batch.messages);
+    }
+
+    /// Seeds the buffer pool (e.g. from a previous run's arena).
+    pub(crate) fn adopt_pool(&mut self, pool: Vec<Vec<Message>>) {
+        self.pool = pool;
+    }
+
+    /// Takes the buffer pool out, for reuse by a later run.
+    pub(crate) fn take_pool(&mut self) -> Vec<Vec<Message>> {
+        std::mem::take(&mut self.pool)
     }
 
     /// Buffered messages (open + ready).
@@ -174,11 +229,16 @@ impl Accumulator {
             self.overflowed += 1;
             return Err(message);
         }
+        let batch_size = self.batch_size;
+        let pool = &mut self.pool;
         let slot = &mut self.open[partition as usize];
-        let open = slot.get_or_insert_with(|| OpenBatch {
-            messages: Vec::with_capacity(self.batch_size),
-            opened_at: now,
-        });
+        if slot.is_none() {
+            *slot = Some(OpenBatch {
+                messages: pool.pop().unwrap_or_else(|| Vec::with_capacity(batch_size)),
+                opened_at: now,
+            });
+        }
+        let open = slot.as_mut().expect("slot was just filled");
         open.messages.push(message);
         self.buffered += 1;
         if open.messages.len() >= self.batch_size {
@@ -190,6 +250,7 @@ impl Accumulator {
     fn seal(&mut self, partition: usize, _now: SimTime) {
         if let Some(open) = self.open[partition].take() {
             if open.messages.is_empty() {
+                self.pool_buf(open.messages);
                 return;
             }
             let id = self.next_batch_id;
@@ -234,10 +295,11 @@ impl Accumulator {
         expired: &mut Vec<Message>,
     ) -> Option<PendingBatch> {
         while let Some(mut batch) = self.ready.pop_front() {
-            let dropped = batch.drop_expired(now);
-            self.buffered -= dropped.len();
-            expired.extend(dropped);
+            let before = expired.len();
+            batch.drop_expired_into(now, expired);
+            self.buffered -= expired.len() - before;
             if batch.messages.is_empty() {
+                self.pool_buf(batch.messages);
                 continue;
             }
             self.buffered -= batch.messages.len();
@@ -265,28 +327,41 @@ impl Accumulator {
     /// fires even when the sender is blocked.
     pub fn expire_all(&mut self, now: SimTime) -> Vec<Message> {
         let mut expired = Vec::new();
+        let mut emptied: Vec<Vec<Message>> = Vec::new();
         for slot in &mut self.open {
             if let Some(open) = slot {
-                let (dead, keep): (Vec<Message>, Vec<Message>) =
-                    open.messages.iter().partition(|m| m.is_expired(now));
-                self.buffered -= dead.len();
-                expired.extend(dead);
-                open.messages = keep;
+                let before = expired.len();
+                open.messages.retain(|m| {
+                    if m.is_expired(now) {
+                        expired.push(*m);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                self.buffered -= expired.len() - before;
                 if open.messages.is_empty() {
-                    *slot = None;
+                    if let Some(open) = slot.take() {
+                        emptied.push(open.messages);
+                    }
                 }
             }
         }
-        let mut keep = VecDeque::with_capacity(self.ready.len());
-        for mut batch in self.ready.drain(..) {
-            let dead = batch.drop_expired(now);
-            self.buffered -= dead.len();
-            expired.extend(dead);
-            if !batch.messages.is_empty() {
-                keep.push_back(batch);
+        let buffered = &mut self.buffered;
+        self.ready.retain_mut(|batch| {
+            let before = expired.len();
+            batch.drop_expired_into(now, &mut expired);
+            *buffered -= expired.len() - before;
+            if batch.messages.is_empty() {
+                emptied.push(std::mem::take(&mut batch.messages));
+                false
+            } else {
+                true
             }
+        });
+        for buf in emptied {
+            self.pool_buf(buf);
         }
-        self.ready = keep;
         expired
     }
 }
@@ -307,9 +382,9 @@ pub struct InFlightRequest {
 /// Table of in-flight requests keyed by request id.
 #[derive(Debug, Clone, Default)]
 pub struct InFlightTable {
-    requests: HashMap<u64, InFlightRequest>,
+    requests: FastMap<u64, InFlightRequest>,
     timeouts: BTreeSet<(SimTime, u64)>,
-    per_conn: HashMap<usize, usize>,
+    per_conn: FastMap<usize, usize>,
 }
 
 impl InFlightTable {

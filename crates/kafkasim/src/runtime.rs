@@ -23,12 +23,14 @@
 //!   request whose original *was* persisted (the ack was lost or late)
 //!   appends the batch again — duplicates, the paper's Case 5 (Fig. 8).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use desim::{Context, SimDuration, SimRng, SimTime, Simulation};
+use desim::{EventContext, EventSim, EventWorld, SimDuration, SimRng, SimTime};
 use netsim::channel::SendRecordError;
-use netsim::{ChannelConfig, ChannelEvent, ConditionTimeline, DuplexChannel, Endpoint};
+use netsim::{
+    ChannelConfig, ChannelEvent, ConditionTimeline, DuplexChannel, Endpoint, NetCondition,
+};
 use obs::{LossCause, MetricsSummary, NoopSink, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +39,7 @@ use crate::broker::{BrokerId, ProduceRecord};
 use crate::cluster::{Cluster, ClusterSpec, ReplicationDelta};
 use crate::config::{DeliverySemantics, ProducerConfig};
 use crate::consumer::ConsumedTopic;
+use crate::fasthash::{FastMap, FastSet};
 use crate::message::{Message, MessageKey};
 use crate::producer::{Accumulator, InFlightRequest, InFlightTable, Ledger, PendingBatch};
 use crate::source::SourceSpec;
@@ -321,7 +324,7 @@ pub struct BrokerStats {
 }
 
 /// The result of a run: the audit report plus low-level statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// The paper-style reliability report.
     pub report: DeliveryReport,
@@ -371,6 +374,104 @@ struct PendingAck {
     required: u64,
 }
 
+/// The run's event alphabet for the typed engine ([`desim::EventSim`]).
+///
+/// Each variant replaces what used to be a boxed closure: scheduling is now
+/// a plain enum write into the event queue, so the hot loop allocates
+/// nothing per event. Stale timers (sender kicks, linger wakes, connection
+/// wakes, request timeouts) are retired by the guard flags in [`World`]
+/// rather than by cancellation, exactly as before.
+enum Event {
+    /// Pull the next message from the source.
+    PollSource,
+    /// Periodic expiry sweep and termination check.
+    Housekeeping,
+    /// A NetEm breakpoint: apply a new network condition to every link.
+    SetCondition(NetCondition),
+    /// A scheduled (§V) producer reconfiguration.
+    ApplyConfig(Box<ProducerConfig>),
+    /// Broker `ci` crashes until `until`.
+    OutageStart { ci: usize, until: SimTime },
+    /// The controller notices broker `ci` is dead and moves leadership.
+    Failover { ci: usize },
+    /// Broker `ci`'s outage window ended.
+    BrokerUp { ci: usize },
+    /// One follower-fetch round.
+    ReplicationTick,
+    /// One online-controller observation window boundary.
+    OnlineTick,
+    /// The sender CPU became free; look for work.
+    SenderKick,
+    /// An open batch lingered out.
+    LingerWake,
+    /// Serialisation of `batch` finished; put it on the wire.
+    Dispatch(PendingBatch),
+    /// `req_id`'s response deadline passed.
+    RequestTimeout { req_id: u64 },
+    /// Connection `ci` may accept blocked batches again.
+    DrainBlocked { ci: usize },
+    /// Connection `ci`'s transport has queued work due now.
+    ConnWake { ci: usize },
+    /// Broker-side append of a processed request. `via_teardown` marks
+    /// requests that arrived while their connection was being torn down
+    /// (no response possible).
+    Append {
+        ci: usize,
+        id: u64,
+        info: RequestInfo,
+        via_teardown: bool,
+    },
+}
+
+impl EventWorld for World {
+    type Event = Event;
+
+    fn handle(&mut self, event: Event, ctx: &mut Ctx) {
+        match event {
+            Event::PollSource => poll_source(self, ctx),
+            Event::Housekeeping => housekeeping(self, ctx),
+            Event::SetCondition(cond) => {
+                let now = ctx.now();
+                for conn in &mut self.conns {
+                    conn.channel.set_condition(cond, now);
+                }
+            }
+            Event::ApplyConfig(cfg) => apply_config(self, ctx, *cfg),
+            Event::OutageStart { ci, until } => on_outage_start(self, ctx, ci, until),
+            Event::Failover { ci } => on_failover(self, ctx, ci),
+            Event::BrokerUp { ci } => on_broker_up(self, ctx, ci),
+            Event::ReplicationTick => replication_tick(self, ctx),
+            Event::OnlineTick => online_tick(self, ctx),
+            Event::SenderKick => {
+                self.sender_kick_scheduled = false;
+                kick_sender(self, ctx);
+            }
+            Event::LingerWake => {
+                self.linger_wake_at = None;
+                kick_sender(self, ctx);
+            }
+            Event::Dispatch(batch) => {
+                dispatch_batch(self, ctx, batch);
+                kick_sender(self, ctx);
+            }
+            Event::RequestTimeout { req_id } => on_request_timeout(self, ctx, req_id),
+            Event::DrainBlocked { ci } => drain_blocked(self, ctx, ci),
+            Event::ConnWake { ci } => {
+                if self.conns[ci].wake_at.is_some_and(|s| s <= ctx.now()) {
+                    self.conns[ci].wake_at = None;
+                }
+                pump_conn(self, ctx, ci);
+            }
+            Event::Append {
+                ci,
+                id,
+                info,
+                via_teardown,
+            } => do_append(self, ctx, ci, id, info, via_teardown),
+        }
+    }
+}
+
 struct World {
     cfg: ProducerConfig,
     wire: WireFormat,
@@ -380,8 +481,8 @@ struct World {
     partition_conn: Vec<usize>,
     accumulator: Accumulator,
     in_flight: InFlightTable,
-    amo_outstanding: HashMap<u64, (usize, PendingBatch)>,
-    requests: HashMap<u64, RequestInfo>,
+    amo_outstanding: FastMap<u64, (usize, PendingBatch)>,
+    requests: FastMap<u64, RequestInfo>,
     ledger: Ledger,
     rng: SimRng,
     next_key: u64,
@@ -402,8 +503,19 @@ struct World {
     last_activity: SimTime,
     housekeep_interval: SimDuration,
     trace: Box<dyn TraceSink>,
+    /// Cached `trace.enabled()` — one virtual call at construction instead
+    /// of one per trace site per event.
+    trace_on: bool,
     conn_epochs: Vec<u32>,
-    appended_keys: HashSet<u64>,
+    appended_keys: FastSet<u64>,
+    /// Scratch buffer for expired-message sweeps (reused, never freed).
+    msg_scratch: Vec<Message>,
+    /// Scratch buffer for draining channel events (reused, never freed).
+    chan_events: Vec<ChannelEvent>,
+    /// Retired record buffers for [`RequestInfo::records`] reuse.
+    rec_pool: Vec<Vec<ProduceRecord>>,
+    /// Scratch deque for rebuilding blocked queues in housekeeping.
+    deque_scratch: VecDeque<PendingBatch>,
 }
 
 impl World {
@@ -432,7 +544,7 @@ impl World {
         cause: LossCause,
         batch: Option<u64>,
     ) {
-        if !self.trace.enabled() {
+        if !self.trace_on {
             return;
         }
         for m in messages {
@@ -444,9 +556,42 @@ impl World {
             });
         }
     }
+
+    /// A cleared record buffer, reused from the pool when possible.
+    fn take_rec_buf(&mut self) -> Vec<ProduceRecord> {
+        self.rec_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a request's record buffer to the pool.
+    fn recycle_records(&mut self, mut records: Vec<ProduceRecord>) {
+        if self.rec_pool.len() < 256 {
+            records.clear();
+            self.rec_pool.push(records);
+        }
+    }
 }
 
-type Ctx = Context<World>;
+type Ctx = EventContext<Event>;
+
+/// Reusable allocation pools threaded across runs.
+///
+/// A single run recycles its message and record buffers internally; an
+/// arena carries those pools *between* runs, so a sweep worker executing
+/// many experiment points allocates its buffers once. Pass it to
+/// [`KafkaRun::execute_pooled`]; a fresh arena is equivalent to none.
+#[derive(Debug, Default)]
+pub struct RunArena {
+    msg_bufs: Vec<Vec<Message>>,
+    rec_bufs: Vec<Vec<ProduceRecord>>,
+}
+
+impl RunArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        RunArena::default()
+    }
+}
 
 /// One executable experiment.
 ///
@@ -478,6 +623,18 @@ impl KafkaRun {
         self.execute_traced(Box::new(NoopSink)).0
     }
 
+    /// Executes the run untraced, drawing buffers from (and returning them
+    /// to) `arena` so repeated runs on one thread reuse their allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation — call [`RunSpec::validate`]
+    /// first when the spec comes from untrusted input.
+    #[must_use]
+    pub fn execute_pooled(self, arena: &mut RunArena) -> RunOutcome {
+        self.execute_traced_with(Box::new(NoopSink), arena).0
+    }
+
     /// Executes the run with `sink` receiving a [`TraceEvent`] for every
     /// hop of every message, and returns the sink alongside the outcome so
     /// its contents (events, metrics) can be inspected.
@@ -491,6 +648,24 @@ impl KafkaRun {
     /// first when the spec comes from untrusted input.
     #[must_use]
     pub fn execute_traced(self, sink: Box<dyn TraceSink>) -> (RunOutcome, Box<dyn TraceSink>) {
+        self.execute_traced_with(sink, &mut RunArena::new())
+    }
+
+    /// [`KafkaRun::execute_traced`] with an explicit buffer arena.
+    ///
+    /// Pooling is observational only: a pooled run takes the exact same
+    /// decisions as an unpooled one with the same spec and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation — call [`RunSpec::validate`]
+    /// first when the spec comes from untrusted input.
+    #[must_use]
+    pub fn execute_traced_with(
+        self,
+        sink: Box<dyn TraceSink>,
+        arena: &mut RunArena,
+    ) -> (RunOutcome, Box<dyn TraceSink>) {
         self.spec.validate().expect("invalid run spec");
         let RunSpec {
             producer,
@@ -529,14 +704,16 @@ impl KafkaRun {
         let partition_conn: Vec<usize> = (0..cluster.partitions())
             .map(|p| cluster.leader_of(p).0 as usize)
             .collect();
-        let accumulator = Accumulator::new(
+        let mut accumulator = Accumulator::new(
             producer.batch_size,
             producer.linger,
             producer.buffer_capacity,
             cluster.partitions(),
         );
+        accumulator.adopt_pool(std::mem::take(&mut arena.msg_bufs));
         let n_messages = source.n_messages;
         let n_conns = conns.len();
+        let trace_on = sink.enabled();
         let world = World {
             cfg: producer,
             wire,
@@ -546,8 +723,8 @@ impl KafkaRun {
             partition_conn,
             accumulator,
             in_flight: InFlightTable::new(),
-            amo_outstanding: HashMap::new(),
-            requests: HashMap::new(),
+            amo_outstanding: FastMap::default(),
+            requests: FastMap::default(),
             ledger: Ledger::new(),
             rng,
             next_key: 0,
@@ -568,24 +745,23 @@ impl KafkaRun {
             last_activity: SimTime::ZERO,
             housekeep_interval: SimDuration::from_millis(100),
             trace: sink,
+            trace_on,
             conn_epochs: vec![0; n_conns],
-            appended_keys: HashSet::new(),
+            appended_keys: FastSet::default(),
+            msg_scratch: Vec::new(),
+            chan_events: Vec::new(),
+            rec_pool: std::mem::take(&mut arena.rec_bufs),
+            deque_scratch: VecDeque::new(),
         };
 
-        let mut sim = Simulation::new(world);
-        sim.schedule_at(SimTime::ZERO, poll_source);
-        sim.schedule_in(SimDuration::from_millis(100), housekeeping);
+        let mut sim = EventSim::new(world);
+        sim.schedule_at(SimTime::ZERO, Event::PollSource);
+        sim.schedule_in(SimDuration::from_millis(100), Event::Housekeeping);
         for (t, cond) in network.breakpoints().iter().skip(1).copied() {
-            sim.schedule_at(t, move |w: &mut World, ctx: &mut Ctx| {
-                for ci in 0..w.conns.len() {
-                    w.conns[ci].channel.set_condition(cond, ctx.now());
-                }
-            });
+            sim.schedule_at(t, Event::SetCondition(cond));
         }
         for (t, cfg) in config_schedule {
-            sim.schedule_at(t, move |w: &mut World, ctx: &mut Ctx| {
-                apply_config(w, ctx, cfg.clone());
-            });
+            sim.schedule_at(t, Event::ApplyConfig(Box::new(cfg)));
         }
         let all_outages: Vec<BrokerOutage> = outages
             .into_iter()
@@ -593,27 +769,25 @@ impl KafkaRun {
             .collect();
         for outage in all_outages {
             let ci = outage.broker.0 as usize;
-            sim.schedule_at(outage.from, move |w: &mut World, ctx: &mut Ctx| {
-                on_outage_start(w, ctx, ci, outage.until);
-            });
+            sim.schedule_at(
+                outage.from,
+                Event::OutageStart {
+                    ci,
+                    until: outage.until,
+                },
+            );
             if let Some(detect) = failover_after {
-                sim.schedule_at(outage.from + detect, move |w: &mut World, ctx: &mut Ctx| {
-                    on_failover(w, ctx, ci);
-                });
+                sim.schedule_at(outage.from + detect, Event::Failover { ci });
             }
-            sim.schedule_at(outage.until, move |w: &mut World, ctx: &mut Ctx| {
-                on_broker_up(w, ctx, ci);
-            });
+            sim.schedule_at(outage.until, Event::BrokerUp { ci });
         }
         if sim.world().cluster.spec().replication.factor > 1 {
             let interval = sim.world().cluster.spec().replication.fetch_interval;
-            sim.schedule_in(interval, replication_tick);
+            sim.schedule_in(interval, Event::ReplicationTick);
         }
 
-        if let Some(online) = sim.world().online.clone() {
-            sim.schedule_in(online.interval, move |w: &mut World, ctx: &mut Ctx| {
-                online_tick(w, ctx);
-            });
+        if let Some(interval) = sim.world().online.as_ref().map(|o| o.interval) {
+            sim.schedule_in(interval, Event::OnlineTick);
         }
         let hard_deadline = SimTime::ZERO + max_duration;
         while sim.now() <= hard_deadline {
@@ -661,7 +835,8 @@ impl KafkaRun {
             let trace = std::mem::replace(&mut world.trace, Box::new(NoopSink));
             (report, metrics, trace)
         };
-        let world = sim.world();
+        let events_fired = sim.events_fired();
+        let mut world = sim.into_world();
         let outcome = RunOutcome {
             report,
             producer: ProducerStats {
@@ -679,7 +854,7 @@ impl KafkaRun {
                 .iter()
                 .map(|c| c.channel.link_stats(Endpoint::A))
                 .collect(),
-            events_fired: sim.events_fired(),
+            events_fired,
             ended_at: world.last_activity,
             records_appended: world
                 .cluster
@@ -689,6 +864,9 @@ impl KafkaRun {
                 .sum(),
             metrics,
         };
+        // Salvage the run's buffer pools for the next run on this arena.
+        arena.msg_bufs = world.accumulator.take_pool();
+        arena.rec_bufs = std::mem::take(&mut world.rec_pool);
         (outcome, trace)
     }
 }
@@ -718,7 +896,7 @@ fn poll_source(w: &mut World, ctx: &mut Ctx) {
         w.sticky_count = 0;
         w.next_partition = (w.next_partition + 1) % w.cluster.partitions();
     }
-    if w.trace.enabled() {
+    if w.trace_on {
         w.trace.record(TraceEvent::Enqueued {
             at: now,
             key: key.0,
@@ -728,7 +906,7 @@ fn poll_source(w: &mut World, ctx: &mut Ctx) {
     }
     if let Err(rejected) = w.accumulator.push(message, partition, now) {
         w.ledger.mark_lost(rejected.key, LossReason::BufferOverflow);
-        if w.trace.enabled() {
+        if w.trace_on {
             w.trace.record(TraceEvent::Expired {
                 at: now,
                 key: rejected.key.0,
@@ -739,7 +917,7 @@ fn poll_source(w: &mut World, ctx: &mut Ctx) {
     }
     kick_sender(w, ctx);
     let gap = w.source.poll_gap(now, payload, &w.cfg.host);
-    ctx.schedule_in(gap, poll_source);
+    ctx.schedule_in(gap, Event::PollSource);
 }
 
 // ---------------------------------------------------------------------------
@@ -751,22 +929,21 @@ fn kick_sender(w: &mut World, ctx: &mut Ctx) {
     if now < w.sender_busy_until {
         if !w.sender_kick_scheduled {
             w.sender_kick_scheduled = true;
-            ctx.schedule_at(w.sender_busy_until, |w: &mut World, ctx: &mut Ctx| {
-                w.sender_kick_scheduled = false;
-                kick_sender(w, ctx);
-            });
+            ctx.schedule_at(w.sender_busy_until, Event::SenderKick);
         }
         return;
     }
     w.accumulator.flush_due(now);
+    let mut expired = std::mem::take(&mut w.msg_scratch);
     loop {
-        let mut expired = Vec::new();
-        let Some(mut batch) = w.accumulator.pop_ready_with_expiry(now, &mut expired) else {
-            w.mark_expired(now, &expired);
+        expired.clear();
+        let picked = w.accumulator.pop_ready_with_expiry(now, &mut expired);
+        w.mark_expired(now, &expired);
+        let Some(mut batch) = picked else {
+            w.msg_scratch = expired;
             schedule_linger_wake(w, ctx);
             return;
         };
-        w.mark_expired(now, &expired);
         let mean = w
             .cfg
             .host
@@ -783,12 +960,14 @@ fn kick_sender(w: &mut World, ctx: &mut Ctx) {
         // The lookahead uses the *mean* service time — the actual duration
         // is not known in advance — and once picked, the batch is
         // committed.
-        let doomed = batch.drop_expired(now + mean);
-        w.mark_expired(now, &doomed);
+        expired.clear();
+        batch.drop_expired_into(now + mean, &mut expired);
+        w.mark_expired(now, &expired);
         if batch.messages.is_empty() {
+            w.accumulator.recycle(batch);
             continue;
         }
-        if w.trace.enabled() {
+        if w.trace_on {
             w.trace.record(TraceEvent::BatchFormed {
                 at: now,
                 batch: batch.id,
@@ -798,10 +977,8 @@ fn kick_sender(w: &mut World, ctx: &mut Ctx) {
             });
         }
         w.sender_busy_until = now + service;
-        ctx.schedule_at(w.sender_busy_until, move |w: &mut World, ctx: &mut Ctx| {
-            dispatch_batch(w, ctx, batch);
-            kick_sender(w, ctx);
-        });
+        ctx.schedule_at(w.sender_busy_until, Event::Dispatch(batch));
+        w.msg_scratch = expired;
         return;
     }
 }
@@ -811,10 +988,7 @@ fn schedule_linger_wake(w: &mut World, ctx: &mut Ctx) {
         let due = deadline.max(ctx.now());
         if w.linger_wake_at.is_none_or(|t| due < t) {
             w.linger_wake_at = Some(due);
-            ctx.schedule_at(due, |w: &mut World, ctx: &mut Ctx| {
-                w.linger_wake_at = None;
-                kick_sender(w, ctx);
-            });
+            ctx.schedule_at(due, Event::LingerWake);
         }
     }
 }
@@ -843,14 +1017,18 @@ fn try_send(
     // even if serialisation ran long. Retry batches re-check the deadline:
     // delivery.timeout covers the whole retry loop.
     if batch.attempts > 0 {
-        let expired = batch.drop_expired(now);
+        let mut expired = std::mem::take(&mut w.msg_scratch);
+        expired.clear();
+        batch.drop_expired_into(now, &mut expired);
         for m in &expired {
             w.ledger.mark_lost(m.key, LossReason::RetriesExhausted);
         }
         w.stats.expired += expired.len() as u64;
         w.trace_losses(now, &expired, LossCause::RetriesExhausted, Some(batch.id));
+        w.msg_scratch = expired;
     }
     if batch.messages.is_empty() {
+        w.accumulator.recycle(batch);
         return Ok(());
     }
     if w.conns[ci].down_until.is_some_and(|u| now < u) {
@@ -878,7 +1056,7 @@ fn try_send(
             if batch.attempts > 1 {
                 w.stats.retries += 1;
             }
-            if w.trace.enabled() {
+            if w.trace_on {
                 let epoch = w.conn_epochs[ci];
                 w.trace.record(TraceEvent::RequestSent {
                     at: now,
@@ -901,11 +1079,13 @@ fn try_send(
                     });
                 }
             }
+            let mut records = w.take_rec_buf();
+            batch.to_records_into(&mut records);
             w.requests.insert(
                 req_id,
                 RequestInfo {
                     partition: batch.partition,
-                    records: batch.to_records(),
+                    records,
                     wants_ack,
                     batch_id: batch.id,
                 },
@@ -921,9 +1101,7 @@ fn try_send(
                         timeout_at,
                     },
                 );
-                ctx.schedule_at(timeout_at, move |w: &mut World, ctx: &mut Ctx| {
-                    on_request_timeout(w, ctx, req_id);
-                });
+                ctx.schedule_at(timeout_at, Event::RequestTimeout { req_id });
             } else {
                 w.amo_outstanding.insert(req_id, (ci, batch));
             }
@@ -932,9 +1110,7 @@ fn try_send(
         }
         Err(SendRecordError::BufferFull { .. }) => Err(batch),
         Err(SendRecordError::Reconnecting { until }) => {
-            ctx.schedule_at(until, move |w: &mut World, ctx: &mut Ctx| {
-                drain_blocked(w, ctx, ci);
-            });
+            ctx.schedule_at(until, Event::DrainBlocked { ci });
             Err(batch)
         }
     }
@@ -961,21 +1137,18 @@ fn sched_conn_wake(w: &mut World, ctx: &mut Ctx, ci: usize) {
         let t = t.max(ctx.now());
         if w.conns[ci].wake_at.is_none_or(|s| t < s) {
             w.conns[ci].wake_at = Some(t);
-            ctx.schedule_at(t, move |w: &mut World, ctx: &mut Ctx| {
-                if w.conns[ci].wake_at.is_some_and(|s| s <= ctx.now()) {
-                    w.conns[ci].wake_at = None;
-                }
-                pump_conn(w, ctx, ci);
-            });
+            ctx.schedule_at(t, Event::ConnWake { ci });
         }
     }
 }
 
 fn pump_conn(w: &mut World, ctx: &mut Ctx, ci: usize) {
     let now = ctx.now();
-    let events = w.conns[ci].channel.advance(now);
+    let mut events = std::mem::take(&mut w.chan_events);
+    events.clear();
+    w.conns[ci].channel.advance_into(now, &mut events);
     let mut drain = false;
-    for ev in events {
+    for &ev in &events {
         match ev {
             ChannelEvent::RecordDelivered {
                 to: Endpoint::B,
@@ -990,7 +1163,7 @@ fn pump_conn(w: &mut World, ctx: &mut Ctx, ci: usize) {
                 if let Some(req) = w.in_flight.complete(id) {
                     w.stats.acks_received += 1;
                     w.last_activity = now;
-                    if w.trace.enabled() {
+                    if w.trace_on {
                         w.trace.record(TraceEvent::AckReceived {
                             at: now,
                             batch: req.batch.id,
@@ -1000,6 +1173,7 @@ fn pump_conn(w: &mut World, ctx: &mut Ctx, ci: usize) {
                             rtt: now.saturating_since(req.sent_at),
                         });
                     }
+                    w.accumulator.recycle(req.batch);
                     drain = true;
                 }
             }
@@ -1013,6 +1187,7 @@ fn pump_conn(w: &mut World, ctx: &mut Ctx, ci: usize) {
             } => flush_responses(w, ctx, ci),
         }
     }
+    w.chan_events = events;
     if drain {
         drain_blocked(w, ctx, ci);
     }
@@ -1025,43 +1200,66 @@ fn on_request_arrived(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
         return; // stale duplicate of an already-processed request
     };
     // The batch's bytes crossed the wire: it is no longer at reset risk.
-    w.amo_outstanding.remove(&id);
+    if let Some((_, batch)) = w.amo_outstanding.remove(&id) {
+        w.accumulator.recycle(batch);
+    }
     let proc = w
         .cluster
         .broker(w.conns[ci].broker)
         .expect("broker exists")
         .processing_time(info.records.len());
-    ctx.schedule_in(proc, move |w: &mut World, ctx: &mut Ctx| {
-        let broker_id = w.conns[ci].broker;
-        let now = ctx.now();
-        let base = w
-            .cluster
-            .broker_mut(broker_id)
-            .expect("broker exists")
-            .append(info.partition, &info.records, now)
-            .expect("partition is led by this broker");
-        w.last_activity = now;
-        trace_appends(w, now, &info, id, base, broker_id, false);
-        if info.wants_ack {
-            let required = base + info.records.len() as u64;
-            if w.cfg.semantics == DeliverySemantics::All
-                && !w.cluster.isr_has(info.partition, required)
-            {
-                // acks=all: hold the response until every in-sync replica
-                // has fetched up to this batch's last offset. The next
-                // replication tick (or an ISR shrink) releases it.
-                w.broker_stats.acks_held += 1;
-                w.pending_acks.push(PendingAck {
-                    conn: ci,
-                    req_id: id,
-                    partition: info.partition,
-                    required,
-                });
-            } else {
-                send_response(w, ctx, ci, id);
-            }
+    ctx.schedule_in(
+        proc,
+        Event::Append {
+            ci,
+            id,
+            info,
+            via_teardown: false,
+        },
+    );
+}
+
+/// Broker-side append of a request whose processing delay elapsed. For a
+/// regular arrival (`via_teardown == false`) the broker then answers (or
+/// holds the answer under `acks=all`); a teardown append persists the
+/// records but can never respond — its connection is gone.
+fn do_append(
+    w: &mut World,
+    ctx: &mut Ctx,
+    ci: usize,
+    id: u64,
+    info: RequestInfo,
+    via_teardown: bool,
+) {
+    let broker_id = w.conns[ci].broker;
+    let now = ctx.now();
+    let base = w
+        .cluster
+        .broker_mut(broker_id)
+        .expect("broker exists")
+        .append(info.partition, &info.records, now)
+        .expect("partition is led by this broker");
+    w.last_activity = now;
+    trace_appends(w, now, &info, id, base, broker_id, via_teardown);
+    if !via_teardown && info.wants_ack {
+        let required = base + info.records.len() as u64;
+        if w.cfg.semantics == DeliverySemantics::All && !w.cluster.isr_has(info.partition, required)
+        {
+            // acks=all: hold the response until every in-sync replica
+            // has fetched up to this batch's last offset. The next
+            // replication tick (or an ISR shrink) releases it.
+            w.broker_stats.acks_held += 1;
+            w.pending_acks.push(PendingAck {
+                conn: ci,
+                req_id: id,
+                partition: info.partition,
+                required,
+            });
+        } else {
+            send_response(w, ctx, ci, id);
         }
-    });
+    }
+    w.recycle_records(info.records);
 }
 
 /// Emits one `BrokerAppend` per record just persisted, tagging the ones
@@ -1077,7 +1275,7 @@ fn trace_appends(
     broker: BrokerId,
     via_teardown: bool,
 ) {
-    if !w.trace.enabled() {
+    if !w.trace_on {
         return;
     }
     for (i, r) in info.records.iter().enumerate() {
@@ -1138,7 +1336,7 @@ fn fail_connection_alo(w: &mut World, ctx: &mut Ctx, ci: usize) {
     let now = ctx.now();
     let report = w.conns[ci].channel.reset(now);
     w.stats.connection_resets += 1;
-    if w.trace.enabled() {
+    if w.trace_on {
         // Under acks=1 nothing is lost in the socket itself: the in-flight
         // batches are requeued, and any that die do so as RetriesExhausted
         // expiries below.
@@ -1153,7 +1351,9 @@ fn fail_connection_alo(w: &mut World, ctx: &mut Ctx, ci: usize) {
     // Responses that were already on the wire still count: those requests
     // completed and must not be retried.
     for id in &report.teardown_delivered_to_a {
-        let _ = w.in_flight.complete(*id);
+        if let Some(req) = w.in_flight.complete(*id) {
+            w.accumulator.recycle(req.batch);
+        }
     }
     // Requests whose bytes reached the broker during teardown are appended
     // there — but the producer never hears back, so it will retry them:
@@ -1163,11 +1363,14 @@ fn fail_connection_alo(w: &mut World, ctx: &mut Ctx, ci: usize) {
     }
     let taken = w.in_flight.take_conn(ci);
     for id in &report.undelivered_from_a {
-        w.requests.remove(id);
+        if let Some(info) = w.requests.remove(id) {
+            w.recycle_records(info.records);
+        }
     }
     w.conns[ci].resp_queue.clear();
     // Requeue newest-first with push_front so the oldest batch (closest to
     // its deadline) ends up at the head of the retry queue.
+    let mut expired = std::mem::take(&mut w.msg_scratch);
     for (_, inflight) in taken.into_iter().rev() {
         let mut batch = inflight.batch;
         if batch.attempts > w.cfg.max_retries {
@@ -1176,21 +1379,25 @@ fn fail_connection_alo(w: &mut World, ctx: &mut Ctx, ci: usize) {
             }
             let given_up = std::mem::take(&mut batch.messages);
             w.trace_losses(now, &given_up, LossCause::RetriesExhausted, Some(batch.id));
+            batch.messages = given_up;
+            w.accumulator.recycle(batch);
             continue;
         }
-        let expired = batch.drop_expired(now);
+        expired.clear();
+        batch.drop_expired_into(now, &mut expired);
         for m in &expired {
             w.ledger.mark_lost(m.key, LossReason::RetriesExhausted);
         }
         w.trace_losses(now, &expired, LossCause::RetriesExhausted, Some(batch.id));
         if !batch.messages.is_empty() {
             w.conns[ci].blocked.push_front(batch);
+        } else {
+            w.accumulator.recycle(batch);
         }
     }
+    w.msg_scratch = expired;
     let reopen = w.conns[ci].channel.open_at();
-    ctx.schedule_at(reopen, move |w: &mut World, ctx: &mut Ctx| {
-        drain_blocked(w, ctx, ci);
-    });
+    ctx.schedule_at(reopen, Event::DrainBlocked { ci });
     sched_conn_wake(w, ctx, ci);
 }
 
@@ -1222,7 +1429,9 @@ fn reset_amo(w: &mut World, ctx: &mut Ctx, ci: usize) {
     w.stats.connection_resets += 1;
     // Requests that crossed the wire during teardown still get persisted.
     for id in report.teardown_delivered_to_b.clone() {
-        w.amo_outstanding.remove(&id);
+        if let Some((_, batch)) = w.amo_outstanding.remove(&id) {
+            w.accumulator.recycle(batch);
+        }
         teardown_append(w, ctx, ci, id);
     }
     let mut lost_keys = Vec::new();
@@ -1230,15 +1439,18 @@ fn reset_amo(w: &mut World, ctx: &mut Ctx, ci: usize) {
         if let Some((_, batch)) = w.amo_outstanding.remove(id) {
             for m in &batch.messages {
                 w.ledger.mark_lost(m.key, LossReason::ConnectionReset);
-                if w.trace.enabled() {
+                if w.trace_on {
                     lost_keys.push(m.key.0);
                 }
             }
             w.stats.reset_losses += batch.messages.len() as u64;
+            w.accumulator.recycle(batch);
         }
-        w.requests.remove(id);
+        if let Some(info) = w.requests.remove(id) {
+            w.recycle_records(info.records);
+        }
     }
-    if w.trace.enabled() {
+    if w.trace_on {
         // The keys that died silently in the torn-down socket: acks=0's
         // loss mode, attributable only through this event.
         w.trace.record(TraceEvent::ConnectionReset {
@@ -1250,9 +1462,7 @@ fn reset_amo(w: &mut World, ctx: &mut Ctx, ci: usize) {
     }
     w.conn_epochs[ci] += 1;
     let reopen = w.conns[ci].channel.open_at();
-    ctx.schedule_at(reopen, move |w: &mut World, ctx: &mut Ctx| {
-        drain_blocked(w, ctx, ci);
-    });
+    ctx.schedule_at(reopen, Event::DrainBlocked { ci });
     sched_conn_wake(w, ctx, ci);
 }
 
@@ -1267,18 +1477,15 @@ fn teardown_append(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
         .broker(w.conns[ci].broker)
         .expect("broker exists")
         .processing_time(info.records.len());
-    ctx.schedule_in(proc, move |w: &mut World, ctx: &mut Ctx| {
-        let broker_id = w.conns[ci].broker;
-        let now = ctx.now();
-        let base = w
-            .cluster
-            .broker_mut(broker_id)
-            .expect("broker exists")
-            .append(info.partition, &info.records, now)
-            .expect("partition is led by this broker");
-        w.last_activity = now;
-        trace_appends(w, now, &info, id, base, broker_id, true);
-    });
+    ctx.schedule_in(
+        proc,
+        Event::Append {
+            ci,
+            id,
+            info,
+            via_teardown: true,
+        },
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -1290,7 +1497,7 @@ fn teardown_append(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
 /// moves).
 fn on_outage_start(w: &mut World, ctx: &mut Ctx, ci: usize, until: SimTime) {
     w.conns[ci].down_until = Some(until);
-    if w.trace.enabled() {
+    if w.trace_on {
         w.trace.record(TraceEvent::BrokerDown {
             at: ctx.now(),
             broker: w.conns[ci].broker.0,
@@ -1312,7 +1519,7 @@ fn on_broker_up(w: &mut World, ctx: &mut Ctx, ci: usize) {
         return; // a later outage window is still in force
     }
     w.conns[ci].down_until = None;
-    if w.trace.enabled() {
+    if w.trace_on {
         w.trace.record(TraceEvent::BrokerUp {
             at: now,
             broker: w.conns[ci].broker.0,
@@ -1354,7 +1561,7 @@ fn on_failover(w: &mut World, ctx: &mut Ctx, ci: usize) {
             // log is broker-caused loss. The mark is pessimistic on
             // purpose: an unacknowledged copy may still be retried to the
             // new leader, and the audit trusts the final log over the mark.
-            let surviving: HashSet<u64> = w
+            let surviving: FastSet<u64> = w
                 .cluster
                 .broker(outcome.leader)
                 .and_then(|b| b.log(partition))
@@ -1368,7 +1575,7 @@ fn on_failover(w: &mut World, ctx: &mut Ctx, ci: usize) {
                     .mark_lost(MessageKey(k), LossReason::LeaderFailover);
             }
             w.broker_stats.lost_to_failover += lost_keys.len() as u64;
-            if w.trace.enabled() {
+            if w.trace_on {
                 w.trace.record(TraceEvent::LeaderElected {
                     at: now,
                     partition,
@@ -1389,7 +1596,7 @@ fn on_failover(w: &mut World, ctx: &mut Ctx, ci: usize) {
             w.cluster.transfer_leadership(partition, to);
             w.partition_conn[p] = target;
             w.broker_stats.failovers += 1;
-            if w.trace.enabled() {
+            if w.trace_on {
                 w.trace.record(TraceEvent::LeaderElected {
                     at: now,
                     partition,
@@ -1433,7 +1640,7 @@ fn replication_tick(w: &mut World, ctx: &mut Ctx) {
                 records,
             } => {
                 w.broker_stats.replica_fetches += 1;
-                if w.trace.enabled() {
+                if w.trace_on {
                     w.trace.record(TraceEvent::ReplicaFetch {
                         at: now,
                         partition,
@@ -1450,7 +1657,7 @@ fn replication_tick(w: &mut World, ctx: &mut Ctx) {
                 isr,
             } => {
                 w.broker_stats.isr_shrinks += 1;
-                if w.trace.enabled() {
+                if w.trace_on {
                     w.trace.record(TraceEvent::IsrShrink {
                         at: now,
                         partition,
@@ -1465,7 +1672,7 @@ fn replication_tick(w: &mut World, ctx: &mut Ctx) {
                 isr,
             } => {
                 w.broker_stats.isr_expands += 1;
-                if w.trace.enabled() {
+                if w.trace_on {
                     w.trace.record(TraceEvent::IsrExpand {
                         at: now,
                         partition,
@@ -1479,7 +1686,7 @@ fn replication_tick(w: &mut World, ctx: &mut Ctx) {
     release_pending_acks(w, ctx);
     if !w.finished {
         let interval = w.cluster.spec().replication.fetch_interval;
-        ctx.schedule_in(interval, replication_tick);
+        ctx.schedule_in(interval, Event::ReplicationTick);
     }
 }
 
@@ -1506,27 +1713,35 @@ fn housekeeping(w: &mut World, ctx: &mut Ctx) {
     let expired = w.accumulator.expire_all(now);
     w.mark_expired(now, &expired);
     // Blocked batches also age out.
+    let mut expired = std::mem::take(&mut w.msg_scratch);
     for ci in 0..w.conns.len() {
-        let mut kept = VecDeque::new();
-        while let Some(mut batch) = w.conns[ci].blocked.pop_front() {
-            let (reason, cause) = if batch.attempts == 0 {
-                (LossReason::ExpiredInBuffer, LossCause::ExpiredInBuffer)
-            } else {
-                (LossReason::RetriesExhausted, LossCause::RetriesExhausted)
-            };
-            let expired = batch.drop_expired(now);
-            for m in &expired {
-                w.ledger.mark_lost(m.key, reason);
+        if !w.conns[ci].blocked.is_empty() {
+            let mut kept = std::mem::take(&mut w.deque_scratch);
+            while let Some(mut batch) = w.conns[ci].blocked.pop_front() {
+                let (reason, cause) = if batch.attempts == 0 {
+                    (LossReason::ExpiredInBuffer, LossCause::ExpiredInBuffer)
+                } else {
+                    (LossReason::RetriesExhausted, LossCause::RetriesExhausted)
+                };
+                expired.clear();
+                batch.drop_expired_into(now, &mut expired);
+                for m in &expired {
+                    w.ledger.mark_lost(m.key, reason);
+                }
+                w.stats.expired += expired.len() as u64;
+                w.trace_losses(now, &expired, cause, Some(batch.id));
+                if !batch.messages.is_empty() {
+                    kept.push_back(batch);
+                } else {
+                    w.accumulator.recycle(batch);
+                }
             }
-            w.stats.expired += expired.len() as u64;
-            w.trace_losses(now, &expired, cause, Some(batch.id));
-            if !batch.messages.is_empty() {
-                kept.push_back(batch);
-            }
+            std::mem::swap(&mut w.conns[ci].blocked, &mut kept);
+            w.deque_scratch = kept;
         }
-        w.conns[ci].blocked = kept;
         amo_stall_check(w, ctx, ci);
     }
+    w.msg_scratch = expired;
     w.accumulator.flush_due(now);
     if !w.accumulator.is_empty() {
         kick_sender(w, ctx);
@@ -1542,7 +1757,7 @@ fn housekeeping(w: &mut World, ctx: &mut Ctx) {
         return; // stop rescheduling: the event queue will drain
     }
     let interval = w.housekeep_interval;
-    ctx.schedule_in(interval, housekeeping);
+    ctx.schedule_in(interval, Event::Housekeeping);
 }
 
 /// One observation-window boundary of the online controller.
@@ -1592,9 +1807,7 @@ fn online_tick(w: &mut World, ctx: &mut Ctx) {
     }
     // Keep observing while work remains.
     if !w.finished {
-        ctx.schedule_in(online.interval, move |w: &mut World, ctx: &mut Ctx| {
-            online_tick(w, ctx);
-        });
+        ctx.schedule_in(online.interval, Event::OnlineTick);
     }
 }
 

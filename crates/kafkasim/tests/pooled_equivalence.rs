@@ -1,0 +1,72 @@
+//! Property test pinning the pooled execution path to the plain one.
+//!
+//! [`KafkaRun::execute_pooled`] reuses buffers from a [`RunArena`] that a
+//! previous run has dirtied; the whole point of the pool is that this must
+//! be unobservable. Here the arena is deliberately pre-soiled by a warm-up
+//! run with a different seed and configuration before every comparison.
+
+use desim::SimDuration;
+use kafkasim::config::{DeliverySemantics, ProducerConfig};
+use kafkasim::runtime::{KafkaRun, RunArena, RunSpec};
+use kafkasim::source::SourceSpec;
+use netsim::{ConditionTimeline, NetCondition};
+use proptest::prelude::*;
+
+fn spec(
+    semantics: DeliverySemantics,
+    batch: usize,
+    n_messages: u64,
+    loss: f64,
+    delay_ms: u64,
+) -> RunSpec {
+    RunSpec {
+        producer: ProducerConfig::builder()
+            .semantics(semantics)
+            .batch_size(batch)
+            .build()
+            .expect("valid producer config"),
+        source: SourceSpec::fixed_rate(n_messages, 200, 500.0),
+        network: ConditionTimeline::constant(NetCondition::new(
+            SimDuration::from_millis(delay_ms),
+            loss,
+        )),
+        ..RunSpec::default()
+    }
+}
+
+fn arb_semantics() -> impl Strategy<Value = DeliverySemantics> {
+    prop_oneof![
+        Just(DeliverySemantics::AtMostOnce),
+        Just(DeliverySemantics::AtLeastOnce),
+        Just(DeliverySemantics::All),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// A pooled run equals a fresh-allocation run outcome-for-outcome,
+    /// even when the arena arrives dirty from an unrelated run.
+    #[test]
+    fn pooled_run_matches_plain_run(
+        semantics in arb_semantics(),
+        batch in 1usize..8,
+        n_messages in 50u64..300,
+        loss in 0.0f64..0.3,
+        delay_ms in 1u64..20,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut arena = RunArena::new();
+        // Soil the arena with a differently-shaped run.
+        let _ = KafkaRun::new(
+            spec(DeliverySemantics::AtLeastOnce, 5, 120, 0.1, 3),
+            seed.wrapping_add(1),
+        )
+        .execute_pooled(&mut arena);
+
+        let s = spec(semantics, batch, n_messages, loss, delay_ms);
+        let plain = KafkaRun::new(s.clone(), seed).execute();
+        let pooled = KafkaRun::new(s, seed).execute_pooled(&mut arena);
+        prop_assert_eq!(plain, pooled);
+    }
+}

@@ -19,15 +19,15 @@
 //! killed socket's buffers. This is the mechanism by which `acks=0`
 //! (at-most-once) producers silently lose data in the paper.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
+use desim::minq::MinQueue;
 use desim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::link::{Link, LinkConfig, LinkOutcome, LinkStats};
 use crate::netem::NetCondition;
-use crate::tcp::{TcpConfig, TcpReceiver, TcpSender, TcpSenderStats};
+use crate::tcp::{Segment, TcpConfig, TcpReceiver, TcpSender, TcpSenderStats};
 
 /// One side of the channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -196,13 +196,16 @@ pub struct DuplexChannel {
     cfg: ChannelConfig,
     links: [Link; 2],
     streams: [Stream; 2],
-    heap: BinaryHeap<Reverse<(u64, u64, u64, Ev)>>,
+    heap: MinQueue<(u64, Ev)>,
     next_seq: u64,
     generation: u64,
     rng: SimRng,
     open_at: SimTime,
     resets: u64,
     last_advance: SimTime,
+    /// Scratch buffer reused by [`DuplexChannel::pump`] so each call avoids
+    /// allocating a fresh segment vector.
+    seg_buf: Vec<Segment>,
 }
 
 impl core::fmt::Debug for DuplexChannel {
@@ -227,29 +230,27 @@ impl DuplexChannel {
                 Stream::new(cfg.tcp.clone(), now),
             ],
             cfg,
-            heap: BinaryHeap::new(),
+            heap: MinQueue::new(),
             next_seq: 0,
             generation: 0,
             rng,
             open_at: now,
             resets: 0,
             last_advance: now,
+            seg_buf: Vec::new(),
         }
     }
 
     fn push(&mut self, at: SimTime, ev: Ev) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap
-            .push(Reverse((at.as_micros(), seq, self.generation, ev)));
+        self.heap.push(at, seq, (self.generation, ev));
     }
 
     /// The earliest instant at which internal state will change, if any.
     #[must_use]
     pub fn next_wakeup(&self) -> Option<SimTime> {
-        self.heap
-            .peek()
-            .map(|Reverse((t, _, _, _))| SimTime::from_micros(*t))
+        self.heap.peek().map(|(t, _)| t)
     }
 
     /// Offers a record of `bytes` from `from` at `now`.
@@ -377,8 +378,8 @@ impl DuplexChannel {
         // Segments already in flight still arrive at the peer before the
         // teardown does: feed them to the receivers, then see which records
         // became contiguous.
-        let events: Vec<_> = self.heap.drain().collect();
-        for Reverse((_, _, generation, ev)) in events {
+        let events: Vec<(u64, Ev)> = self.heap.drain_unordered().collect();
+        for (generation, ev) in events {
             if generation != self.generation {
                 continue;
             }
@@ -420,30 +421,44 @@ impl DuplexChannel {
 
     /// Processes every internal event up to and including `now`.
     ///
-    /// Returns the application-visible events in causal order.
+    /// Returns the application-visible events in causal order. Allocating
+    /// convenience wrapper around [`DuplexChannel::advance_into`].
     ///
     /// # Panics
     ///
     /// Panics if `now` is earlier than a previous `advance` call.
     pub fn advance(&mut self, now: SimTime) -> Vec<ChannelEvent> {
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    /// Processes every internal event up to and including `now`, appending
+    /// the application-visible events to `out` in causal order.
+    ///
+    /// The caller owns (and typically reuses) `out`; this method never
+    /// clears it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than a previous `advance` call.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<ChannelEvent>) {
         assert!(
             now >= self.last_advance,
             "advance must move forward in time"
         );
         self.last_advance = now;
-        let mut out = Vec::new();
-        while let Some(Reverse((t, _, _, _))) = self.heap.peek() {
-            if SimTime::from_micros(*t) > now {
+        while let Some((t, _)) = self.heap.peek() {
+            if t > now {
                 break;
             }
-            let Reverse((t, _, generation, ev)) = self.heap.pop().expect("peeked");
-            let t = SimTime::from_micros(t);
+            let (t, (generation, ev)) = self.heap.pop().expect("peeked");
             if generation != self.generation {
                 continue;
             }
             match ev {
-                Ev::Seg { dir, seq, len } => self.on_segment(dir, seq, len, t, &mut out),
-                Ev::Ack { dir, ack } => self.on_ack(dir, ack, t, &mut out),
+                Ev::Seg { dir, seq, len } => self.on_segment(dir, seq, len, t, out),
+                Ev::Ack { dir, ack } => self.on_ack(dir, ack, t, out),
                 Ev::Rto { dir, epoch } => {
                     let snd = &mut self.streams[dir].snd;
                     if snd.rto_epoch() == epoch && snd.rto_deadline().is_some_and(|dl| dl <= t) {
@@ -457,7 +472,6 @@ impl DuplexChannel {
                 }
             }
         }
-        out
     }
 
     fn on_segment(
@@ -504,9 +518,13 @@ impl DuplexChannel {
         if now < self.open_at {
             return;
         }
-        let segments = self.streams[dir].snd.emit(now);
+        // Reuse the scratch segment buffer across pump calls; `mem::take`
+        // sidesteps the borrow of `self` while the sender fills it.
+        let mut segments = core::mem::take(&mut self.seg_buf);
+        segments.clear();
+        self.streams[dir].snd.emit_into(now, &mut segments);
         let header = self.cfg.tcp.header_bytes;
-        for seg in segments {
+        for seg in &segments {
             match self.links[dir].transmit(now, seg.len + header, &mut self.rng) {
                 LinkOutcome::Delivered(at) => self.push(
                     at,
@@ -519,6 +537,7 @@ impl DuplexChannel {
                 LinkOutcome::Lost | LinkOutcome::Dropped => {}
             }
         }
+        self.seg_buf = segments;
         // (Re)arm the retransmission timer event if its deadline moved.
         let stream = &self.streams[dir];
         let epoch = stream.snd.rto_epoch();

@@ -20,7 +20,8 @@
 //! [`TcpReceiver::on_segment`]. The [`crate::channel`] module wires a pair of
 //! these into a full-duplex connection.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use desim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -116,13 +117,19 @@ struct SegMeta {
 }
 
 /// The sending half of a TCP connection.
+///
+/// Outstanding segments live in a `VecDeque` kept sorted by start offset:
+/// new data is appended at ever-increasing `snd_nxt`, cumulative ACKs pop
+/// from the front, and the (at most one) partially-acked segment re-enters
+/// at the front. This keeps the per-ACK hot path allocation-free where a
+/// map would rebalance and reallocate.
 #[derive(Debug, Clone)]
 pub struct TcpSender {
     cfg: TcpConfig,
     snd_una: u64,
     snd_nxt: u64,
     app_end: u64,
-    outstanding: BTreeMap<u64, SegMeta>,
+    outstanding: VecDeque<(u64, SegMeta)>,
     retx_queue: VecDeque<u64>,
     cwnd: f64,
     ssthresh: f64,
@@ -151,7 +158,7 @@ impl TcpSender {
             snd_una: 0,
             snd_nxt: 0,
             app_end: 0,
-            outstanding: BTreeMap::new(),
+            outstanding: VecDeque::new(),
             retx_queue: VecDeque::new(),
             cwnd,
             ssthresh,
@@ -266,16 +273,35 @@ impl TcpSender {
         self.rto_epoch += 1;
     }
 
+    /// Index of the outstanding segment starting at `start`, if any.
+    fn outstanding_index(&self, start: u64) -> Option<usize> {
+        let idx = self.outstanding.partition_point(|&(s, _)| s < start);
+        match self.outstanding.get(idx) {
+            Some(&(s, _)) if s == start => Some(idx),
+            _ => None,
+        }
+    }
+
     /// Emits every segment the window currently allows.
+    ///
+    /// Allocating convenience wrapper around [`TcpSender::emit_into`].
+    pub fn emit(&mut self, now: SimTime) -> Vec<Segment> {
+        let mut out = Vec::new();
+        self.emit_into(now, &mut out);
+        out
+    }
+
+    /// Emits every segment the window currently allows, appending to `out`.
     ///
     /// Retransmissions queued by loss recovery are sent first and bypass the
     /// congestion-window check (there is always at least one segment's worth
-    /// of headroom for recovery).
-    pub fn emit(&mut self, now: SimTime) -> Vec<Segment> {
-        let mut out = Vec::new();
+    /// of headroom for recovery). The caller owns (and typically reuses)
+    /// `out`; this method never clears it.
+    pub fn emit_into(&mut self, now: SimTime, out: &mut Vec<Segment>) {
         // Retransmissions first.
         while let Some(start) = self.retx_queue.pop_front() {
-            if let Some(meta) = self.outstanding.get_mut(&start) {
+            if let Some(idx) = self.outstanding_index(start) {
+                let meta = &mut self.outstanding[idx].1;
                 meta.retransmitted = true;
                 meta.sent_at = now;
                 out.push(Segment {
@@ -291,14 +317,16 @@ impl TcpSender {
         let window = self.cwnd.floor().max(1.0) as usize;
         while self.snd_nxt < self.app_end && self.outstanding.len() < window {
             let len = (self.app_end - self.snd_nxt).min(self.cfg.mss);
-            self.outstanding.insert(
+            // `snd_nxt` exceeds every outstanding start, so appending keeps
+            // the deque sorted.
+            self.outstanding.push_back((
                 self.snd_nxt,
                 SegMeta {
                     end: self.snd_nxt + len,
                     sent_at: now,
                     retransmitted: false,
                 },
-            );
+            ));
             out.push(Segment {
                 seq: self.snd_nxt,
                 len,
@@ -310,7 +338,6 @@ impl TcpSender {
         if !self.outstanding.is_empty() && self.rto_deadline.is_none() {
             self.set_rto_deadline(Some(now + self.rto));
         }
-        out
     }
 
     /// Processes a cumulative acknowledgement up to byte `ack`.
@@ -320,14 +347,19 @@ impl TcpSender {
         if ack > self.snd_una {
             self.stats.bytes_acked += ack - self.snd_una;
             self.snd_una = ack;
-            // Drop fully-acked segments; sample RTT per Karn's algorithm.
-            let remaining = self.outstanding.split_off(&ack);
-            let acked = core::mem::replace(&mut self.outstanding, remaining);
+            // Drop fully-acked segments from the front; sample RTT per
+            // Karn's algorithm. Segments are disjoint, so at most one is
+            // partially covered and it re-enters at the front (still the
+            // smallest start).
             let mut rtt_sample: Option<SimDuration> = None;
-            for (_, meta) in acked {
+            while let Some(&(start, _)) = self.outstanding.front() {
+                if start >= ack {
+                    break;
+                }
+                let (_, meta) = self.outstanding.pop_front().expect("front exists");
                 if meta.end > ack {
-                    // Partially covered segment: keep it outstanding.
-                    self.outstanding.insert(ack, SegMeta { ..meta });
+                    self.outstanding.push_front((ack, meta));
+                    break;
                 } else if !meta.retransmitted {
                     let s = now.saturating_since(meta.sent_at);
                     rtt_sample = Some(rtt_sample.map_or(s, |r: SimDuration| r.max(s)));
@@ -345,7 +377,7 @@ impl TcpSender {
                     self.cwnd = self.ssthresh;
                 } else {
                     // NewReno partial ACK: retransmit the next hole.
-                    if self.outstanding.contains_key(&ack) {
+                    if matches!(self.outstanding.front(), Some(&(s, _)) if s == ack) {
                         self.retx_queue.push_front(ack);
                     }
                 }

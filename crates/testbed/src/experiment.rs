@@ -10,7 +10,7 @@ use desim::{SimDuration, SimTime};
 use kafkasim::audit::DeliveryReport;
 use kafkasim::broker::BrokerId;
 use kafkasim::config::{DeliverySemantics, ProducerConfig};
-use kafkasim::runtime::{BrokerFault, KafkaRun, ProducerStats, RunSpec};
+use kafkasim::runtime::{BrokerFault, KafkaRun, ProducerStats, RunArena, RunSpec};
 use kafkasim::source::{RateSpec, SizeSpec, SourceSpec};
 use netsim::{ConditionTimeline, NetCondition};
 use serde::{Deserialize, Serialize};
@@ -180,8 +180,33 @@ impl ExperimentPoint {
     /// Runs the experiment with `n_messages` source messages.
     #[must_use]
     pub fn run(&self, cal: &Calibration, n_messages: u64, seed: u64) -> ExperimentResult {
-        self.run_traced(cal, n_messages, seed, Box::new(obs::NoopSink))
-            .0
+        self.run_pooled(cal, n_messages, seed, &mut RunArena::new())
+    }
+
+    /// Runs the experiment untraced, drawing run buffers from `arena`.
+    ///
+    /// A sweep worker that executes many points passes one arena through
+    /// all of them, so the steady state allocates nothing per run. The
+    /// result is bit-identical to [`ExperimentPoint::run`] with the same
+    /// seed — pooling is observational only.
+    #[must_use]
+    pub fn run_pooled(
+        &self,
+        cal: &Calibration,
+        n_messages: u64,
+        seed: u64,
+        arena: &mut RunArena,
+    ) -> ExperimentResult {
+        let spec = self.to_run_spec(cal, n_messages);
+        let outcome = KafkaRun::new(spec, seed).execute_pooled(arena);
+        ExperimentResult {
+            point: self.clone(),
+            p_loss: outcome.report.p_loss(),
+            p_dup: outcome.report.p_dup(),
+            report: outcome.report,
+            producer: outcome.producer,
+            seed,
+        }
     }
 
     /// Runs the experiment with a trace sink attached to the simulated

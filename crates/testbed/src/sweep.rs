@@ -5,10 +5,15 @@
 //! simulation, so they fan out over worker threads. Results come back in
 //! the input order regardless of completion order, keeping downstream
 //! processing deterministic.
+//!
+//! Work is split by *chunked ownership*: the grid is cut into one
+//! contiguous chunk per worker, each worker owns its chunk's result vector
+//! outright (no shared slots, no locks), and the chunks are concatenated
+//! in order at the end. Each worker also threads one [`RunArena`] through
+//! its runs, so per-run buffers are allocated once per worker instead of
+//! once per point.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use kafkasim::runtime::RunArena;
 
 use crate::calibration::Calibration;
 use crate::experiment::{ExperimentPoint, ExperimentResult};
@@ -16,7 +21,8 @@ use crate::experiment::{ExperimentPoint, ExperimentResult};
 /// Runs every point, in parallel, with `threads` workers.
 ///
 /// Each point gets a deterministic seed derived from `base_seed` and its
-/// index, so a sweep is reproducible regardless of thread interleaving.
+/// index, so a sweep is reproducible regardless of thread count and
+/// interleaving.
 ///
 /// # Panics
 ///
@@ -33,28 +39,38 @@ pub fn run_sweep(
     if points.is_empty() {
         return Vec::new();
     }
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<ExperimentResult>>> =
-        (0..points.len()).map(|_| Mutex::new(None)).collect();
     let workers = threads.min(points.len());
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
-                }
-                let seed = derive_seed(base_seed, i as u64);
-                let result = points[i].run(cal, n_messages, seed);
-                *results[i].lock() = Some(result);
-            });
-        }
+    let chunk_len = points.len().div_ceil(workers);
+    let chunks: Vec<Vec<ExperimentResult>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = points
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(w, slice)| {
+                scope.spawn(move |_| {
+                    let mut arena = RunArena::new();
+                    let offset = w * chunk_len;
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, point)| {
+                            let seed = derive_seed(base_seed, (offset + j) as u64);
+                            point.run_pooled(cal, n_messages, seed, &mut arena)
+                        })
+                        .collect::<Vec<ExperimentResult>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("worker panicked");
+    let mut results = Vec::with_capacity(points.len());
+    for chunk in chunks {
+        results.extend(chunk);
+    }
     results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
-        .collect()
 }
 
 /// The seed used for point `index` of a sweep rooted at `base_seed`.
@@ -127,6 +143,22 @@ mod tests {
             .map(|(i, p)| p.run(&cal, 100, derive_seed(3, i as u64)))
             .collect();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn sweep_with_more_threads_than_points_preserves_order() {
+        let cal = Calibration::paper();
+        let points = grid(3);
+        let parallel = run_sweep(&points, &cal, 100, 7, 8);
+        let sequential: Vec<ExperimentResult> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.run(&cal, 100, derive_seed(7, i as u64)))
+            .collect();
+        assert_eq!(parallel, sequential);
+        for (p, r) in points.iter().zip(&parallel) {
+            assert_eq!(&r.point, p);
+        }
     }
 
     #[test]
