@@ -21,10 +21,28 @@ echo "== perf baseline (smoke) =="
 # the same parser the tooling uses.
 cargo build --release -q -p bench --bin perfbase
 target/release/perfbase --smoke --out-dir target/bench-smoke
-for f in target/bench-smoke/BENCH_sim.json target/bench-smoke/BENCH_train.json; do
+for f in target/bench-smoke/BENCH_sim.json target/bench-smoke/BENCH_train.json \
+         target/bench-smoke/BENCH_infer.json; do
     [ -s "$f" ] || { echo "missing bench output: $f" >&2; exit 1; }
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f" \
         || { echo "malformed bench output: $f" >&2; exit 1; }
 done
+# The inference baseline must carry the digest fields the A/B comparison
+# and the bit-identity pins key on, plus all three timing sections.
+python3 - target/bench-smoke/BENCH_infer.json <<'EOF' \
+    || { echo "BENCH_infer.json schema check failed" >&2; exit 1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("mode", "rows", "reps", "scalar", "batched", "cached",
+            "predictions_digest", "planner"):
+    assert key in d, f"missing key: {key}"
+for section in ("scalar", "batched", "cached"):
+    assert "predictions_per_sec" in d[section], f"missing {section} rate"
+assert "speedup_over_scalar" in d["batched"], "missing batched speedup"
+assert "hit_rate" in d["cached"], "missing cache hit rate"
+assert "planner_digest" in d["planner"], "missing planner digest"
+int(d["predictions_digest"], 16)
+int(d["planner"]["planner_digest"], 16)
+EOF
 
 echo "CI green."

@@ -126,6 +126,29 @@ impl Dense {
         }
     }
 
+    /// [`Dense::forward_into`] through the branch-free dense product
+    /// ([`Matrix::matmul_dense_into`]) — the inference hot path.
+    ///
+    /// Bit-identical to [`Dense::forward_into`] for finite weights and
+    /// inputs (see the kernel's documentation for the argument); the
+    /// activations of a trained network are dense, so the zero-skipping
+    /// blocked kernel only costs here, it never pays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width differs from the layer's input dimension.
+    pub fn forward_dense_into(&self, input: &Matrix, wt: &mut Matrix, out: &mut Matrix) {
+        assert_eq!(input.cols(), self.input_dim(), "input width mismatch");
+        self.weights.transpose_into(wt);
+        input.matmul_dense_into(wt, out);
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (o, b) in row.iter_mut().zip(&self.bias) {
+                *o = self.activation.apply(*o + b);
+            }
+        }
+    }
+
     /// Backward pass.
     ///
     /// * `input` — the batch fed to [`Dense::forward`];

@@ -143,7 +143,7 @@ impl Matrix {
     }
 
     /// Mutable view of the flat row-major data.
-    pub(crate) fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
 
@@ -252,6 +252,133 @@ impl Matrix {
                 }
             }
             kb = k_end;
+        }
+    }
+
+    /// Branch-free matrix product `out ← self · rhs` for dense (finite,
+    /// mostly non-zero) operands — the inference hot path.
+    ///
+    /// Bit-identical to [`Matrix::matmul_into`] for finite inputs: every
+    /// output element accumulates its `k` terms in the same ascending
+    /// order (the blocked kernel's eight-term update is a left-to-right
+    /// chain, i.e. the same sequential sum), and since the accumulator
+    /// starts at `+0.0` and IEEE round-to-nearest never produces `-0.0`
+    /// from a sum of distinct values, adding a `±0.0` term where the
+    /// blocked kernel skips an exact-zero `self` element cannot change any
+    /// bit. Dropping the zero test (and the eightfold indexed loads that
+    /// defeat auto-vectorisation) lets the inner saxpy loop vectorise,
+    /// which is what the batched inference path needs. The only divergence
+    /// is non-finite weights (`0 · ∞`, `0 · NaN`), where the skipping
+    /// kernel would hide the poison — inputs no trained network produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul_dense_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree ({}x{} · {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize_zeroed(self.rows, rhs.cols);
+        let rc = rhs.cols;
+        // Every slice below is re-sliced to exactly `rc` elements so the
+        // `j < rc` loop bound proves all the indexed accesses in bounds —
+        // the inner loops compile branch-free and vectorise. Pairing output
+        // rows halves the rhs traffic (each loaded rhs value feeds two
+        // accumulators). Each output element accumulates its k terms in
+        // ascending order (the eight-term left-to-right chain associates
+        // exactly like eight sequential `+=`s), matching the blocked
+        // kernel's order, so pairing rows cannot change any bit.
+        let mut i = 0;
+        while i + 2 <= self.rows {
+            let a0 = &self.data[i * self.cols..(i + 1) * self.cols];
+            let a1 = &self.data[(i + 1) * self.cols..(i + 2) * self.cols];
+            let (o0, o1) = out.data[i * rc..(i + 2) * rc].split_at_mut(rc);
+            let o0 = &mut o0[..rc];
+            let o1 = &mut o1[..rc];
+            let mut k = 0;
+            while k + 8 <= self.cols {
+                let c0: &[f64; 8] = a0[k..k + 8].try_into().unwrap();
+                let c1: &[f64; 8] = a1[k..k + 8].try_into().unwrap();
+                let b0 = &rhs.data[k * rc..][..rc];
+                let b1 = &rhs.data[(k + 1) * rc..][..rc];
+                let b2 = &rhs.data[(k + 2) * rc..][..rc];
+                let b3 = &rhs.data[(k + 3) * rc..][..rc];
+                let b4 = &rhs.data[(k + 4) * rc..][..rc];
+                let b5 = &rhs.data[(k + 5) * rc..][..rc];
+                let b6 = &rhs.data[(k + 6) * rc..][..rc];
+                let b7 = &rhs.data[(k + 7) * rc..][..rc];
+                for j in 0..rc {
+                    o0[j] = o0[j]
+                        + c0[0] * b0[j]
+                        + c0[1] * b1[j]
+                        + c0[2] * b2[j]
+                        + c0[3] * b3[j]
+                        + c0[4] * b4[j]
+                        + c0[5] * b5[j]
+                        + c0[6] * b6[j]
+                        + c0[7] * b7[j];
+                    o1[j] = o1[j]
+                        + c1[0] * b0[j]
+                        + c1[1] * b1[j]
+                        + c1[2] * b2[j]
+                        + c1[3] * b3[j]
+                        + c1[4] * b4[j]
+                        + c1[5] * b5[j]
+                        + c1[6] * b6[j]
+                        + c1[7] * b7[j];
+                }
+                k += 8;
+            }
+            while k < self.cols {
+                let a0k = a0[k];
+                let a1k = a1[k];
+                let rhs_row = &rhs.data[k * rc..][..rc];
+                for j in 0..rc {
+                    o0[j] += a0k * rhs_row[j];
+                    o1[j] += a1k * rhs_row[j];
+                }
+                k += 1;
+            }
+            i += 2;
+        }
+        while i < self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rc..][..rc];
+            let mut k = 0;
+            while k + 8 <= self.cols {
+                let c: &[f64; 8] = a_row[k..k + 8].try_into().unwrap();
+                let b0 = &rhs.data[k * rc..][..rc];
+                let b1 = &rhs.data[(k + 1) * rc..][..rc];
+                let b2 = &rhs.data[(k + 2) * rc..][..rc];
+                let b3 = &rhs.data[(k + 3) * rc..][..rc];
+                let b4 = &rhs.data[(k + 4) * rc..][..rc];
+                let b5 = &rhs.data[(k + 5) * rc..][..rc];
+                let b6 = &rhs.data[(k + 6) * rc..][..rc];
+                let b7 = &rhs.data[(k + 7) * rc..][..rc];
+                for j in 0..rc {
+                    out_row[j] = out_row[j]
+                        + c[0] * b0[j]
+                        + c[1] * b1[j]
+                        + c[2] * b2[j]
+                        + c[3] * b3[j]
+                        + c[4] * b4[j]
+                        + c[5] * b5[j]
+                        + c[6] * b6[j]
+                        + c[7] * b7[j];
+                }
+                k += 8;
+            }
+            while k < self.cols {
+                let a = a_row[k];
+                let rhs_row = &rhs.data[k * rc..][..rc];
+                for j in 0..rc {
+                    out_row[j] += a * rhs_row[j];
+                }
+                k += 1;
+            }
+            i += 1;
         }
     }
 
@@ -423,7 +550,11 @@ impl Matrix {
 
     /// Reshapes to `rows × cols` with every element set to zero, reusing
     /// the existing allocation when it is large enough.
-    pub(crate) fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
         self.rows = rows;
         self.cols = cols;

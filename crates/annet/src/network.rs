@@ -169,6 +169,40 @@ impl TrainScratch {
     }
 }
 
+/// Reusable buffers for batched inference.
+///
+/// [`Network::predict_batch_into`] ping-pongs activations between two
+/// buffers and reuses a third for the transposed weights, so a scratch
+/// kept across calls makes repeated inference allocation-free once the
+/// buffers have grown to their steady-state sizes.
+#[derive(Debug, Clone)]
+pub struct InferScratch {
+    /// Ping-pong activation buffers; which one holds the final output
+    /// depends on the layer-count parity.
+    ping: Matrix,
+    pong: Matrix,
+    /// Transposed-weights scratch, resized per layer.
+    wt: Matrix,
+}
+
+impl InferScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        InferScratch {
+            ping: Matrix::zeros(1, 1),
+            pong: Matrix::zeros(1, 1),
+            wt: Matrix::zeros(1, 1),
+        }
+    }
+}
+
+impl Default for InferScratch {
+    fn default() -> Self {
+        InferScratch::new()
+    }
+}
+
 impl Network {
     /// Input dimension.
     #[must_use]
@@ -196,27 +230,75 @@ impl Network {
     #[must_use]
     pub fn predict(&self, input: &[f64]) -> Vec<f64> {
         let x = Matrix::from_rows(&[input]);
-        self.predict_batch(&x).row(0).to_vec()
+        let mut scratch = InferScratch::new();
+        self.predict_batch_into(&x, &mut scratch).row(0).to_vec()
     }
 
     /// Predicts outputs for a batch (`n × in` → `n × out`).
+    ///
+    /// Thin wrapper over [`Network::predict_batch_into`] with a throwaway
+    /// scratch; hot paths should hold an [`InferScratch`] and call that
+    /// method directly.
     #[must_use]
     pub fn predict_batch(&self, inputs: &Matrix) -> Matrix {
-        let mut a = inputs.clone();
-        for layer in &self.layers {
-            a = layer.forward(&a);
+        let mut scratch = InferScratch::new();
+        self.predict_batch_into(inputs, &mut scratch).clone()
+    }
+
+    /// Allocation-free batched forward pass (`n × in` → `n × out`).
+    ///
+    /// The whole batch flows through one [`Dense::forward_into`] chain —
+    /// one transpose and one blocked matmul per layer, amortised over all
+    /// `n` rows. Activations ping-pong between the scratch's two buffers,
+    /// so a warm scratch makes the call allocation-free. The returned
+    /// reference points into `scratch` and is valid until its next use.
+    ///
+    /// Bit-identical to [`Network::predict_batch`] (which is a wrapper
+    /// over this method), and row `i` of the result is bit-identical to
+    /// `self.predict(row_i)`: the blocked matmul computes every output row
+    /// independently with a fixed ascending-`k` accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.cols()` differs from the input dimension.
+    pub fn predict_batch_into<'s>(
+        &self,
+        inputs: &Matrix,
+        scratch: &'s mut InferScratch,
+    ) -> &'s Matrix {
+        let (first, rest) = self.layers.split_first().expect("non-empty");
+        first.forward_dense_into(inputs, &mut scratch.wt, &mut scratch.ping);
+        let mut output_in_ping = true;
+        for layer in rest {
+            if output_in_ping {
+                layer.forward_dense_into(&scratch.ping, &mut scratch.wt, &mut scratch.pong);
+            } else {
+                layer.forward_dense_into(&scratch.pong, &mut scratch.wt, &mut scratch.ping);
+            }
+            output_in_ping = !output_in_ping;
         }
-        a
+        if output_in_ping {
+            &scratch.ping
+        } else {
+            &scratch.pong
+        }
     }
 
     /// Mean-squared-error loss over a dataset.
     #[must_use]
     pub fn mse(&self, data: &Dataset) -> f64 {
-        let pred = self.predict_batch(data.x());
-        let mut diff = pred;
-        diff.sub_assign(data.y());
-        let n = diff.as_slice().len() as f64;
-        diff.as_slice().iter().map(|d| d * d).sum::<f64>() / n
+        let mut scratch = InferScratch::new();
+        let pred = self.predict_batch_into(data.x(), &mut scratch);
+        let n = pred.as_slice().len() as f64;
+        pred.as_slice()
+            .iter()
+            .zip(data.y().as_slice())
+            .map(|(p, y)| {
+                let d = p - y;
+                d * d
+            })
+            .sum::<f64>()
+            / n
     }
 
     /// Trains with mini-batch SGD, returning the per-epoch loss trace.

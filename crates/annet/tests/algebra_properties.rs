@@ -104,6 +104,22 @@ proptest! {
         assert_bits_equal_naive(&a, &b)?;
     }
 
+    /// The branch-free dense product (inference hot path) is bit-identical
+    /// to the blocked zero-skipping product, even with exact zeros mixed
+    /// into both operands: starting from a `+0.0` accumulator, adding a
+    /// `±0.0` term is a bitwise no-op, so skip vs add cannot diverge.
+    /// Nine rows exercise both the four-row register block and the row
+    /// tail; k = 37 exercises the eight-wide k groups and the scalar tail.
+    #[test]
+    fn dense_matmul_is_bit_identical_to_blocked(a in arb_sparse_matrix(9, 37), b in arb_sparse_matrix(37, 5)) {
+        let blocked = a.matmul(&b);
+        let mut dense = Matrix::zeros(1, 1);
+        a.matmul_dense_into(&b, &mut dense);
+        for (i, (x, y)) in dense.as_slice().iter().zip(blocked.as_slice()).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "element {} differs: dense {} vs blocked {}", i, x, y);
+        }
+    }
+
     /// Scaling into [0,1] and back is lossless for in-range data.
     #[test]
     fn scaler_round_trips(values in proptest::collection::vec(0.0f64..1_000.0, 1..20)) {

@@ -1,7 +1,7 @@
 //! `perfbase` — the tracked performance baseline.
 //!
-//! Emits `BENCH_sim.json` and `BENCH_train.json` so every PR has a
-//! trajectory to beat:
+//! Emits `BENCH_sim.json`, `BENCH_train.json` and `BENCH_infer.json` so
+//! every PR has a trajectory to beat:
 //!
 //! * **sim**: wall-clock and msgs/sec for a deterministic sweep grid plus a
 //!   single large run, and the `obs` overhead of a Noop-sink traced run
@@ -9,8 +9,13 @@
 //! * **train**: wall-clock and epochs/sec for SGD on the paper topology,
 //!   plus a digest of the trained weights so speedups can be shown to
 //!   preserve bit-identical results.
+//! * **infer**: predictions/sec through the paper-topology reliability
+//!   model via the scalar, batched, and memo-cached paths (interleaved
+//!   A/B/C rounds), plus greedy and grid planner replans/sec. One digest
+//!   covers all three prediction paths — they are asserted bit-identical
+//!   before it is written.
 //!
-//! Both files carry FNV-1a digests of the results; two builds that disagree
+//! All files carry FNV-1a digests of the results; two builds that disagree
 //! on a digest did *not* run the same computation, whatever their speed.
 //!
 //! ```text
@@ -24,9 +29,15 @@ use std::time::Instant;
 
 use annet::{Dataset, NetworkBuilder, TrainConfig};
 use desim::{SimDuration, SimRng};
+use kafka_predict::kpi::KpiModel;
+use kafka_predict::model::{ReliabilityModel, Topology};
+use kafka_predict::online::{CachedPredictor, PredictionCache};
+use kafka_predict::recommend::{Recommender, SearchSpace};
+use kafka_predict::{Features, Predictor};
 use kafkasim::config::DeliverySemantics;
 use kafkasim::runtime::KafkaRun;
 use testbed::experiment::ExperimentPoint;
+use testbed::scenarios::KpiWeights;
 use testbed::sweep::run_sweep;
 use testbed::Calibration;
 
@@ -213,6 +224,171 @@ fn bench_train(smoke: bool) -> TrainNumbers {
     }
 }
 
+/// Deterministic feature rows shaped like planner candidates: every axis
+/// inside its Fig. 3 range, all three semantics represented.
+fn infer_workload(n: usize, seed: u64) -> Vec<Features> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let semantics = [
+        DeliverySemantics::AtMostOnce,
+        DeliverySemantics::AtLeastOnce,
+        DeliverySemantics::All,
+    ];
+    (0..n)
+        .map(|i| Features {
+            message_size: 50 + (rng.next_f64() * 950.0) as u64,
+            timeliness_ms: rng.next_f64() * 5_000.0,
+            delay_ms: rng.next_f64() * 200.0,
+            loss_rate: rng.next_f64() * 0.5,
+            semantics: semantics[i % semantics.len()],
+            batch_size: 1 + (rng.next_f64() * 9.0) as usize,
+            poll_interval_ms: rng.next_f64() * 90.0,
+            message_timeout_ms: 200.0 + rng.next_f64() * 2_800.0,
+            ..Features::default()
+        })
+        .collect()
+}
+
+/// FNV-1a over the raw bits of a prediction vector, in row order.
+fn predictions_digest(preds: &[kafka_predict::Prediction]) -> u64 {
+    let mut bytes = Vec::with_capacity(preds.len() * 16);
+    for p in preds {
+        bytes.extend_from_slice(&p.p_loss.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&p.p_dup.to_bits().to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+struct InferNumbers {
+    mode: &'static str,
+    rows: usize,
+    reps: usize,
+    scalar_wall_s: f64,
+    batched_wall_s: f64,
+    cached_wall_s: f64,
+    scalar_preds_per_sec: f64,
+    batched_preds_per_sec: f64,
+    cached_preds_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    predictions_digest: u64,
+    greedy_replans: usize,
+    greedy_replans_per_sec: f64,
+    grid_replans: usize,
+    grid_replans_per_sec: f64,
+    grid_threads: usize,
+    planner_digest: u64,
+}
+
+fn bench_infer(smoke: bool, threads: usize) -> InferNumbers {
+    let rows = if smoke { 128 } else { 512 };
+    let reps = if smoke { 4 } else { 40 };
+    let workload = infer_workload(rows, 23);
+    let mut rng = SimRng::seed_from_u64(5);
+    let model = ReliabilityModel::new(Topology::Paper, &mut rng);
+
+    // Interleaved A/B/C rounds: each repetition times all three paths back
+    // to back, so drift (thermal, scheduler) hits them equally.
+    let cache = PredictionCache::new(8_192);
+    let cached = CachedPredictor::new(&model, &cache);
+    let mut scalar_wall_s = 0.0;
+    let mut batched_wall_s = 0.0;
+    let mut cached_wall_s = 0.0;
+    let mut digest: Option<u64> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let scalar: Vec<_> = workload.iter().map(|f| model.predict(f)).collect();
+        scalar_wall_s += start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let batched = model.predict_batch(&workload);
+        batched_wall_s += start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let memoised = cached.predict_batch(&workload);
+        cached_wall_s += start.elapsed().as_secs_f64();
+
+        let d = predictions_digest(&scalar);
+        assert_eq!(
+            d,
+            predictions_digest(&batched),
+            "batched predictions must be bit-identical to scalar"
+        );
+        assert_eq!(
+            d,
+            predictions_digest(&memoised),
+            "cached predictions must be bit-identical to scalar"
+        );
+        if let Some(prev) = digest {
+            assert_eq!(prev, d, "repetitions must be deterministic");
+        }
+        digest = Some(d);
+    }
+    let stats = cache.stats();
+    let total_preds = (rows * reps) as f64;
+
+    // Planner replans: distinct network conditions drive the same search a
+    // controller would run per interval. The digest pins the recommended
+    // configurations, so planner speedups are provably behaviour-preserving.
+    let cal = Calibration::paper();
+    let kpi = KpiModel::from_calibration(&cal);
+    let weights = KpiWeights::paper_default();
+    let recommender = Recommender::new(&kpi, &model, SearchSpace::default());
+    let greedy_replans = if smoke { 3 } else { 12 };
+    let grid_replans = if smoke { 1 } else { 3 };
+    let starts: Vec<Features> = (0..greedy_replans.max(grid_replans))
+        .map(|i| Features {
+            message_size: 200,
+            delay_ms: 10.0 + 15.0 * i as f64,
+            loss_rate: 0.04 * i as f64,
+            semantics: DeliverySemantics::AtLeastOnce,
+            batch_size: 1,
+            poll_interval_ms: 0.0,
+            message_timeout_ms: 2_000.0,
+            ..Features::default()
+        })
+        .collect();
+    let mut planner_bytes = Vec::new();
+    let start = Instant::now();
+    for s in starts.iter().take(greedy_replans) {
+        let rec = recommender.recommend(s, &weights, 0.9);
+        planner_bytes.extend_from_slice(&rec.gamma.to_bits().to_le_bytes());
+        planner_bytes.extend_from_slice(&(rec.features.batch_size as u64).to_le_bytes());
+        planner_bytes.extend_from_slice(&rec.features.message_timeout_ms.to_bits().to_le_bytes());
+    }
+    let greedy_wall_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for s in starts.iter().take(grid_replans) {
+        let rec = recommender.recommend_grid(s, &weights, 0.9, threads);
+        planner_bytes.extend_from_slice(&rec.gamma.to_bits().to_le_bytes());
+        planner_bytes.extend_from_slice(&(rec.features.batch_size as u64).to_le_bytes());
+        planner_bytes.extend_from_slice(&rec.features.message_timeout_ms.to_bits().to_le_bytes());
+    }
+    let grid_wall_s = start.elapsed().as_secs_f64();
+
+    InferNumbers {
+        mode: if smoke { "smoke" } else { "full" },
+        rows,
+        reps,
+        scalar_wall_s,
+        batched_wall_s,
+        cached_wall_s,
+        scalar_preds_per_sec: total_preds / scalar_wall_s,
+        batched_preds_per_sec: total_preds / batched_wall_s,
+        cached_preds_per_sec: total_preds / cached_wall_s,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_hit_rate: stats.hit_rate(),
+        predictions_digest: digest.expect("at least one repetition"),
+        greedy_replans,
+        greedy_replans_per_sec: greedy_replans as f64 / greedy_wall_s,
+        grid_replans,
+        grid_replans_per_sec: grid_replans as f64 / grid_wall_s,
+        grid_threads: threads,
+        planner_digest: fnv1a(&planner_bytes),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -277,6 +453,46 @@ fn main() {
     )
     .expect("write BENCH_train.json");
 
+    let infer = bench_infer(smoke, threads);
+    let infer_json = serde_json::json!({
+        "mode": infer.mode,
+        "rows": infer.rows,
+        "reps": infer.reps,
+        "scalar": serde_json::json!({
+            "wall_s": infer.scalar_wall_s,
+            "predictions_per_sec": infer.scalar_preds_per_sec,
+        }),
+        "batched": serde_json::json!({
+            "wall_s": infer.batched_wall_s,
+            "predictions_per_sec": infer.batched_preds_per_sec,
+            "speedup_over_scalar": infer.batched_preds_per_sec / infer.scalar_preds_per_sec,
+        }),
+        "cached": serde_json::json!({
+            "wall_s": infer.cached_wall_s,
+            "predictions_per_sec": infer.cached_preds_per_sec,
+            "speedup_over_scalar": infer.cached_preds_per_sec / infer.scalar_preds_per_sec,
+            "hits": infer.cache_hits,
+            "misses": infer.cache_misses,
+            "hit_rate": infer.cache_hit_rate,
+        }),
+        "predictions_digest": format!("{:016x}", infer.predictions_digest),
+        "planner": serde_json::json!({
+            "greedy_replans": infer.greedy_replans,
+            "greedy_replans_per_sec": infer.greedy_replans_per_sec,
+            "grid_replans": infer.grid_replans,
+            "grid_replans_per_sec": infer.grid_replans_per_sec,
+            "grid_threads": infer.grid_threads,
+            "planner_digest": format!("{:016x}", infer.planner_digest),
+        }),
+        "peak_rss_kb": peak_rss_kb(),
+    });
+    let infer_path = format!("{out_dir}/BENCH_infer.json");
+    std::fs::write(
+        &infer_path,
+        serde_json::to_string_pretty(&infer_json).unwrap(),
+    )
+    .expect("write BENCH_infer.json");
+
     println!(
         "sim:   sweep {:.2}s ({:.0} msgs/s, digest {:016x}), single run {:.0} msgs/s, \
          obs noop/untraced {:.3}",
@@ -290,5 +506,23 @@ fn main() {
         "train: {} epochs in {:.2}s ({:.2} epochs/s, weights {:016x})",
         train.epochs, train.wall_s, train.epochs_per_sec, train.weights_digest
     );
-    println!("wrote {sim_path} and {train_path}");
+    println!(
+        "infer: scalar {:.0}/s, batched {:.0}/s ({:.1}x), cached {:.0}/s ({:.1}x, \
+         hit rate {:.1}%), digest {:016x}",
+        infer.scalar_preds_per_sec,
+        infer.batched_preds_per_sec,
+        infer.batched_preds_per_sec / infer.scalar_preds_per_sec,
+        infer.cached_preds_per_sec,
+        infer.cached_preds_per_sec / infer.scalar_preds_per_sec,
+        infer.cache_hit_rate * 100.0,
+        infer.predictions_digest
+    );
+    println!(
+        "plan:  greedy {:.1} replans/s, grid {:.2} replans/s ({} threads, digest {:016x})",
+        infer.greedy_replans_per_sec,
+        infer.grid_replans_per_sec,
+        infer.grid_threads,
+        infer.planner_digest
+    );
+    println!("wrote {sim_path}, {train_path} and {infer_path}");
 }

@@ -34,7 +34,12 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_out = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--quick" => effort = Effort::quick(),
+            "--quick" => {
+                let grid = effort.grid_planner;
+                effort = Effort::quick();
+                effort.grid_planner = grid;
+            }
+            "--grid" => effort.grid_planner = true,
             "--paper-ann" => paper_ann = true,
             "--json" => json = true,
             "--messages" => {
@@ -68,7 +73,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|broker-faults|ablation-transport|ablation-jitter|trace|all> \
-     [--messages N] [--quick] [--paper-ann] [--seed S] [--threads T] [--json] [--data FILE] [--save-data FILE] [--trace-out FILE.jsonl]"
+     [--messages N] [--quick] [--grid] [--paper-ann] [--seed S] [--threads T] [--json] [--data FILE] [--save-data FILE] [--trace-out FILE.jsonl]"
         .to_string()
 }
 
@@ -473,10 +478,6 @@ fn ext_online(effort: Effort, json: bool) {
     );
     let rows = figures::ext_online(trained.model.clone(), effort);
     if json {
-        let rows: Vec<_> = rows
-            .iter()
-            .map(|(label, r)| serde_json::json!({"mode": label, "report": r}))
-            .collect();
         println!(
             "{}",
             serde_json::to_string_pretty(&rows).expect("serialisable")
@@ -488,15 +489,36 @@ fn ext_online(effort: Effort, json: bool) {
         "{:<36} {:>8} {:>8} {:>10} {:>9}",
         "mode", "R_l", "R_d", "switches", "stale"
     );
-    for (label, r) in rows {
+    for row in &rows {
+        let r = &row.report;
         println!(
             "{:<36} {:>7.2}% {:>7.2}% {:>10} {:>8.2}%",
-            label,
+            row.mode,
             r.r_loss * 100.0,
             r.r_dup * 100.0,
             r.config_switches,
             r.stale_fraction * 100.0
         );
+    }
+    for row in &rows {
+        if let Some(m) = &row.planner_metrics {
+            let hits = m.counters.get("planner-cache-hit").copied().unwrap_or(0);
+            let misses = m.counters.get("planner-cache-miss").copied().unwrap_or(0);
+            let evicts = m.counters.get("planner-cache-evict").copied().unwrap_or(0);
+            let replans = m.counters.get("planner-replan").copied().unwrap_or(0);
+            let total = hits + misses;
+            let rate = if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            };
+            println!(
+                "\n{} planner cache: {replans} replans, {hits} hits / {misses} misses \
+                 ({:.1}% hit rate), {evicts} evictions",
+                row.mode,
+                rate * 100.0
+            );
+        }
     }
     println!();
 }

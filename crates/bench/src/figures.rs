@@ -28,6 +28,11 @@ pub struct Effort {
     pub threads: usize,
     /// Base seed.
     pub seed: u64,
+    /// Plan with the exhaustive batched grid scan instead of the paper's
+    /// greedy stepwise search (Table II / EXT-3). Off by default — the
+    /// greedy search is the paper's method; the grid is the optimality
+    /// reference.
+    pub grid_planner: bool,
 }
 
 impl Effort {
@@ -38,6 +43,7 @@ impl Effort {
             messages: 2_000,
             threads: num_threads(),
             seed: 42,
+            grid_planner: false,
         }
     }
 
@@ -48,6 +54,19 @@ impl Effort {
             messages: 20_000,
             threads: num_threads(),
             seed: 42,
+            grid_planner: false,
+        }
+    }
+
+    /// The planner mode this effort selects.
+    #[must_use]
+    pub fn planner_mode(&self) -> PlannerMode {
+        if self.grid_planner {
+            PlannerMode::Grid {
+                threads: self.threads,
+            }
+        } else {
+            PlannerMode::Greedy
         }
     }
 }
@@ -440,7 +459,8 @@ pub fn table2(predictor: &dyn Predictor, effort: Effort) -> Vec<Table2Row> {
                 interval,
                 effort.seed,
             );
-            let planner = ModelPlanner::new(predictor, &cal, SearchSpace::default());
+            let planner = ModelPlanner::new(predictor, &cal, SearchSpace::default())
+                .with_mode(effort.planner_mode());
             let dynamic = run_scenario(&scenario, &trace, &planner, &cal, n, interval, effort.seed);
             Table2Row {
                 scenario: scenario.name.clone(),
@@ -892,22 +912,35 @@ pub fn prediction_overlay(effort: Effort, paper_scale: bool) -> (Vec<Series>, f6
     (series, abs_err / n_err as f64)
 }
 
+/// One EXT-3 control-mode row: the run outcome plus, for the online
+/// controller, its self-reported planner metrics (memo-cache hits, misses,
+/// evictions and replan count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtOnlineRow {
+    /// Control-mode label.
+    pub mode: String,
+    /// The run outcome.
+    pub report: DynamicRunReport,
+    /// Controller-exported metrics; `None` for the offline modes, which
+    /// have no controller.
+    pub planner_metrics: Option<obs::MetricsSummary>,
+}
+
 /// EXT-3 — *online* dynamic configuration (the paper's deferred future
 /// work).
 ///
 /// Compares three control modes on the same unstable network and workload:
 /// the static default, the §V offline planner (network known), and the
 /// online feedback controller (network estimated from producer counters).
-/// Returns `(label, DynamicRunReport)` rows.
+/// The online row carries the controller's planner metrics — the
+/// memo-cache hit/miss/evict counters show how much inference the cache
+/// saved across replan intervals.
 #[must_use]
-pub fn ext_online(
-    model: ReliabilityModel,
-    effort: Effort,
-) -> Vec<(String, testbed::dynamic::DynamicRunReport)> {
+pub fn ext_online(model: ReliabilityModel, effort: Effort) -> Vec<ExtOnlineRow> {
     use kafka_predict::online::OnlineModelController;
     use kafkasim::runtime::OnlineSpec;
     use std::sync::Arc;
-    use testbed::dynamic::{run_scenario_online, StaticPlanner};
+    use testbed::dynamic::{run_scenario_online_traced, StaticPlanner};
 
     let cal = Calibration::paper();
     let trace = fig9(effort.seed).timeline;
@@ -922,9 +955,9 @@ pub fn ext_online(
     let mut rows = Vec::new();
 
     let default_cfg = testbed::dynamic::default_static_config(&cal);
-    rows.push((
-        "static default".to_string(),
-        testbed::dynamic::run_scenario(
+    rows.push(ExtOnlineRow {
+        mode: "static default".to_string(),
+        report: testbed::dynamic::run_scenario(
             &scenario,
             &trace,
             &StaticPlanner(default_cfg.clone()),
@@ -933,13 +966,24 @@ pub fn ext_online(
             interval,
             effort.seed,
         ),
-    ));
+        planner_metrics: None,
+    });
 
-    let offline = ModelPlanner::new(&model, &cal, SearchSpace::default());
-    rows.push((
-        "offline dynamic (network known)".to_string(),
-        testbed::dynamic::run_scenario(&scenario, &trace, &offline, &cal, n, interval, effort.seed),
-    ));
+    let offline =
+        ModelPlanner::new(&model, &cal, SearchSpace::default()).with_mode(effort.planner_mode());
+    rows.push(ExtOnlineRow {
+        mode: "offline dynamic (network known)".to_string(),
+        report: testbed::dynamic::run_scenario(
+            &scenario,
+            &trace,
+            &offline,
+            &cal,
+            n,
+            interval,
+            effort.seed,
+        ),
+        planner_metrics: None,
+    });
 
     // The online controller sees only the producer's own statistics; it
     // owns its copy of the model (the runtime may consult it from a shared
@@ -953,21 +997,23 @@ pub fn ext_online(
         scenario.mean_size(),
         scenario.timeliness.as_secs_f64() * 1e3,
     );
-    rows.push((
-        "online dynamic (network estimated)".to_string(),
-        run_scenario_online(
-            &scenario,
-            &trace,
-            default_cfg,
-            OnlineSpec {
-                interval: SimDuration::from_secs(30),
-                controller: Arc::new(controller),
-            },
-            &cal,
-            n,
-            effort.seed,
-        ),
-    ));
+    let (report, metrics) = run_scenario_online_traced(
+        &scenario,
+        &trace,
+        default_cfg,
+        OnlineSpec {
+            interval: SimDuration::from_secs(30),
+            controller: Arc::new(controller),
+        },
+        &cal,
+        n,
+        effort.seed,
+    );
+    rows.push(ExtOnlineRow {
+        mode: "online dynamic (network estimated)".to_string(),
+        report,
+        planner_metrics: Some(metrics),
+    });
     rows
 }
 

@@ -113,8 +113,32 @@ impl Features {
     #[must_use]
     pub fn scaled_head_vector(&self) -> Vec<f64> {
         let mut v = self.head_vector();
-        Features::scaler().transform_row(&mut v);
+        self.write_scaled_head_vector(&Features::scaler(), &mut v);
         v
+    }
+
+    /// Writes the scaled per-head vector into `out` without allocating.
+    ///
+    /// `scaler` must be [`Features::scaler`] (callers hold it so batched
+    /// inference builds no scaler per row); the written values are
+    /// bit-identical to [`Features::scaled_head_vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != Features::HEAD_INPUTS`.
+    pub fn write_scaled_head_vector(&self, scaler: &MinMaxScaler, out: &mut [f64]) {
+        assert_eq!(out.len(), Self::HEAD_INPUTS, "output slice width mismatch");
+        out[0] = self.message_size as f64;
+        out[1] = self.timeliness_ms;
+        out[2] = self.delay_ms;
+        out[3] = self.loss_rate;
+        out[4] = self.batch_size as f64;
+        out[5] = self.poll_interval_ms;
+        out[6] = self.message_timeout_ms;
+        out[7] = f64::from(self.replication_factor);
+        out[8] = self.fault_downtime_ms;
+        out[9] = f64::from(u8::from(self.allow_unclean));
+        scaler.transform_row(out);
     }
 
     /// Validates the features against the Fig. 3 ranges (loss rate and
@@ -229,6 +253,23 @@ mod tests {
         assert!(v.iter().all(|x| (0.0..=1.0).contains(x)));
         assert_eq!(v[0], 1.0);
         assert!((v[3] - 0.38).abs() < 1e-12, "L scales by 1/0.5");
+    }
+
+    #[test]
+    fn write_scaled_matches_allocating_path() {
+        let f = Features {
+            message_size: 777,
+            loss_rate: 0.27,
+            delay_ms: 133.0,
+            ..Features::default()
+        };
+        let scaler = Features::scaler();
+        let mut out = [0.0; Features::HEAD_INPUTS];
+        f.write_scaled_head_vector(&scaler, &mut out);
+        let alloc = f.scaled_head_vector();
+        for (a, b) in out.iter().zip(&alloc) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

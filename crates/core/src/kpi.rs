@@ -14,7 +14,7 @@ use testbed::scenarios::KpiWeights;
 use testbed::Calibration;
 
 use crate::features::Features;
-use crate::model::Predictor;
+use crate::model::{Prediction, Predictor};
 
 /// The four KPI ingredients for one configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,7 +75,15 @@ impl KpiModel {
     /// the reliability pair.
     #[must_use]
     pub fn inputs(&self, predictor: &dyn Predictor, features: &Features) -> KpiInputs {
-        let prediction = predictor.predict(features);
+        self.inputs_with(predictor.predict(features), features)
+    }
+
+    /// Computes the four ingredients from an already-obtained reliability
+    /// `prediction` (the batched-inference path: predict once per batch,
+    /// score each row with this method). Bit-identical to
+    /// [`KpiModel::inputs`] given the prediction for `features`.
+    #[must_use]
+    pub fn inputs_with(&self, prediction: Prediction, features: &Features) -> KpiInputs {
         let rate = self.arrival_rate(features);
         let wire = wire_bytes_per_message(
             features.message_size as f64,
@@ -104,6 +112,20 @@ impl KpiModel {
         weights: &KpiWeights,
     ) -> f64 {
         let i = self.inputs(predictor, features);
+        weights.gamma(i.phi, i.mu, i.p_loss, i.p_dup)
+    }
+
+    /// Evaluates `γ` from an already-obtained reliability prediction.
+    /// Bit-identical to [`KpiModel::gamma`] given the prediction for
+    /// `features`.
+    #[must_use]
+    pub fn gamma_with(
+        &self,
+        prediction: Prediction,
+        features: &Features,
+        weights: &KpiWeights,
+    ) -> f64 {
+        let i = self.inputs_with(prediction, features);
         weights.gamma(i.phi, i.mu, i.p_loss, i.p_dup)
     }
 }

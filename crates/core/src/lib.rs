@@ -75,8 +75,10 @@ pub mod prelude {
     pub use crate::features::Features;
     pub use crate::kpi::{KpiInputs, KpiModel};
     pub use crate::model::{Prediction, Predictor, ReliabilityModel};
-    pub use crate::online::{NetworkEstimator, OnlineModelController};
-    pub use crate::planner::ModelPlanner;
+    pub use crate::online::{
+        CacheStats, CachedPredictor, NetworkEstimator, OnlineModelController, PredictionCache,
+    };
+    pub use crate::planner::{ModelPlanner, PlannerMode};
     pub use crate::recommend::{Recommendation, Recommender, SearchSpace};
     pub use crate::train::{quick_grid, train_model, TrainOptions, TrainedModel};
     pub use testbed::calibration::Calibration;

@@ -8,7 +8,10 @@
 //! head with two (`P̂_l`, `P̂_d`). Both take the seven scaled numeric
 //! features; the semantics feature selects the head.
 
-use annet::{Network, NetworkBuilder};
+use std::cell::RefCell;
+
+use annet::network::InferScratch;
+use annet::{Matrix, MinMaxScaler, Network, NetworkBuilder};
 use desim::SimRng;
 use kafkasim::config::DeliverySemantics;
 use serde::{Deserialize, Serialize};
@@ -29,17 +32,38 @@ pub struct Prediction {
 ///
 /// The trained [`ReliabilityModel`] is the primary implementor; tests and
 /// the recommender accept any implementor (e.g. closures wrapped in
-/// [`FnPredictor`]).
-pub trait Predictor {
+/// [`FnPredictor`]). `Sync` is a supertrait so the parallel grid scan can
+/// share one predictor across worker threads.
+pub trait Predictor: Sync {
     /// Predicts `(P̂_l, P̂_d)` for the given features.
     fn predict(&self, features: &Features) -> Prediction;
+
+    /// Predicts a whole batch of feature rows at once.
+    ///
+    /// # Contract
+    ///
+    /// * **Ordering** — the result has exactly `features.len()` entries
+    ///   and `result[i]` is the prediction for `features[i]`; implementors
+    ///   must never reorder, drop, or deduplicate rows.
+    /// * **Batch == scalar** — `result[i]` must be *bit-identical* to
+    ///   `self.predict(&features[i])`; batching is a throughput
+    ///   optimisation, never a semantic change. The default implementation
+    ///   guarantees this by looping scalar [`Predictor::predict`];
+    ///   overrides (such as [`ReliabilityModel`]'s single-matmul-chain
+    ///   path) must preserve it.
+    /// * **Panics** — implementations panic exactly when the equivalent
+    ///   scalar calls would (e.g. on out-of-domain features); an empty
+    ///   batch returns an empty vector and never panics.
+    fn predict_batch(&self, features: &[Features]) -> Vec<Prediction> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
 }
 
 /// Wraps a plain function as a [`Predictor`] (handy in tests and for
 /// oracle comparisons).
 pub struct FnPredictor<F: Fn(&Features) -> Prediction>(pub F);
 
-impl<F: Fn(&Features) -> Prediction> Predictor for FnPredictor<F> {
+impl<F: Fn(&Features) -> Prediction + Sync> Predictor for FnPredictor<F> {
     fn predict(&self, features: &Features) -> Prediction {
         (self.0)(features)
     }
@@ -141,6 +165,36 @@ impl ReliabilityModel {
     }
 }
 
+/// Reusable buffers for [`ReliabilityModel::predict_batch`]: the gathered
+/// per-head input matrix, the network scratch, the fixed feature scaler,
+/// and the index list of each head's rows.
+struct BatchScratch {
+    inputs: Matrix,
+    infer: InferScratch,
+    scaler: MinMaxScaler,
+    rows: Vec<usize>,
+}
+
+thread_local! {
+    /// `ReliabilityModel` derives `Clone`/`PartialEq`/serde, so it cannot
+    /// carry its own scratch; a thread-local keeps batched inference
+    /// allocation-free after warm-up without poisoning those derives.
+    static BATCH_SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch {
+        inputs: Matrix::zeros(1, 1),
+        infer: InferScratch::new(),
+        scaler: Features::scaler(),
+        rows: Vec::new(),
+    });
+}
+
+/// The fixed head-dispatch order for batched prediction (an internal
+/// detail: outputs are scattered back to input order regardless).
+const HEAD_ORDER: [DeliverySemantics; 3] = [
+    DeliverySemantics::AtMostOnce,
+    DeliverySemantics::AtLeastOnce,
+    DeliverySemantics::All,
+];
+
 impl Predictor for ReliabilityModel {
     fn predict(&self, features: &Features) -> Prediction {
         let x = features.scaled_head_vector();
@@ -160,6 +214,59 @@ impl Predictor for ReliabilityModel {
                 }
             }
         }
+    }
+
+    /// Batched inference: rows are grouped per semantics head, each group
+    /// flows through **one** forward chain (one transpose + one blocked
+    /// matmul per layer for the whole group), and the outputs are
+    /// scattered back to input order. The blocked matmul computes every
+    /// output row independently with a fixed accumulation order, so each
+    /// row is bit-identical to the scalar [`Predictor::predict`] path.
+    fn predict_batch(&self, features: &[Features]) -> Vec<Prediction> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![
+            Prediction {
+                p_loss: 0.0,
+                p_dup: 0.0,
+            };
+            features.len()
+        ];
+        BATCH_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            for semantics in HEAD_ORDER {
+                scratch.rows.clear();
+                scratch
+                    .rows
+                    .extend((0..features.len()).filter(|&i| features[i].semantics == semantics));
+                if scratch.rows.is_empty() {
+                    continue;
+                }
+                scratch
+                    .inputs
+                    .resize_zeroed(scratch.rows.len(), Features::HEAD_INPUTS);
+                for (r, &i) in scratch.rows.iter().enumerate() {
+                    features[i]
+                        .write_scaled_head_vector(&scratch.scaler, scratch.inputs.row_mut(r));
+                }
+                let pred = self
+                    .head(semantics)
+                    .predict_batch_into(&scratch.inputs, &mut scratch.infer);
+                for (r, &i) in scratch.rows.iter().enumerate() {
+                    let row = pred.row(r);
+                    out[i] = Prediction {
+                        p_loss: row[0],
+                        p_dup: if semantics == DeliverySemantics::AtMostOnce {
+                            0.0
+                        } else {
+                            row[1]
+                        },
+                    };
+                }
+            }
+        });
+        out
     }
 }
 
@@ -212,6 +319,64 @@ mod tests {
                 assert!((0.0..=1.0).contains(&p.p_dup));
             }
         }
+    }
+
+    #[test]
+    fn batched_predictions_match_scalar_bitwise() {
+        let mut rng = SimRng::seed_from_u64(21);
+        let m = ReliabilityModel::new(Topology::Compact, &mut rng);
+        let mut batch = Vec::new();
+        for (i, semantics) in [
+            DeliverySemantics::AtLeastOnce,
+            DeliverySemantics::AtMostOnce,
+            DeliverySemantics::All,
+            DeliverySemantics::AtLeastOnce,
+            DeliverySemantics::AtMostOnce,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            batch.push(Features {
+                semantics,
+                loss_rate: 0.05 * i as f64,
+                delay_ms: 10.0 + 30.0 * i as f64,
+                batch_size: 1 + i,
+                ..Features::default()
+            });
+        }
+        let batched = m.predict_batch(&batch);
+        assert_eq!(batched.len(), batch.len());
+        for (f, b) in batch.iter().zip(&batched) {
+            let s = m.predict(f);
+            assert_eq!(b.p_loss.to_bits(), s.p_loss.to_bits());
+            assert_eq!(b.p_dup.to_bits(), s.p_dup.to_bits());
+        }
+        // Second call reuses the warm thread-local scratch.
+        let again = m.predict_batch(&batch);
+        assert_eq!(batched, again);
+        assert!(m.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn default_predict_batch_loops_scalar() {
+        let p = FnPredictor(|f: &Features| Prediction {
+            p_loss: f.loss_rate,
+            p_dup: 0.5,
+        });
+        let batch = [
+            Features {
+                loss_rate: 0.1,
+                ..Features::default()
+            },
+            Features {
+                loss_rate: 0.2,
+                ..Features::default()
+            },
+        ];
+        let out = p.predict_batch(&batch);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].p_loss, 0.1);
+        assert_eq!(out[1].p_loss, 0.2);
     }
 
     #[test]

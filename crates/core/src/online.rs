@@ -8,17 +8,21 @@
 //! the producer's own observable statistics (retry fraction, transport RTT)
 //! and re-runs the stepwise KPI search on the estimate at every window.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use kafkasim::config::ProducerConfig;
+use kafkasim::fasthash::FastMap;
 use kafkasim::runtime::{OnlineController, WindowStats};
+use obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use testbed::scenarios::KpiWeights;
 use testbed::Calibration;
 
 use crate::features::Features;
 use crate::kpi::KpiModel;
-use crate::model::Predictor;
+use crate::model::{Prediction, Predictor};
 use crate::recommend::{Recommender, SearchSpace};
 
 /// Exponentially-weighted estimator of the network condition from
@@ -66,6 +70,248 @@ impl NetworkEstimator {
     }
 }
 
+/// Quantum for the loss-rate axis of [`CacheKey`]: 0.1 percentage points.
+/// Coarse enough that a converged estimator lands repeatedly in the same
+/// cell across replan intervals, far finer than any loss difference that
+/// would change a plan.
+const LOSS_QUANTUM: f64 = 1e-3;
+
+/// Quantum for every millisecond-valued axis of [`CacheKey`]: 0.1 ms.
+const MS_QUANTUM: f64 = 0.1;
+
+/// A [`Features`] value quantized onto the memo-cache lattice.
+///
+/// Exact fields stay exact; float fields round to their quantum, so
+/// near-identical planner queries (successive network estimates that
+/// differ in the noise) share a cell. All search-lattice values (batch,
+/// timeout, poll steps) sit far apart relative to the quanta, so two
+/// *distinct* candidates of one planning problem never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    message_size: u64,
+    timeliness: i64,
+    delay: i64,
+    loss: i64,
+    semantics: u8,
+    batch_size: usize,
+    poll: i64,
+    timeout: i64,
+    replication_factor: u32,
+    fault: i64,
+    allow_unclean: bool,
+}
+
+impl CacheKey {
+    fn quantize(f: &Features) -> Self {
+        let q = |x: f64, quantum: f64| (x / quantum).round() as i64;
+        CacheKey {
+            message_size: f.message_size,
+            timeliness: q(f.timeliness_ms, MS_QUANTUM),
+            delay: q(f.delay_ms, MS_QUANTUM),
+            loss: q(f.loss_rate, LOSS_QUANTUM),
+            semantics: f.semantics as u8,
+            batch_size: f.batch_size,
+            poll: q(f.poll_interval_ms, MS_QUANTUM),
+            timeout: q(f.message_timeout_ms, MS_QUANTUM),
+            replication_factor: f.replication_factor,
+            fault: q(f.fault_downtime_ms, MS_QUANTUM),
+            allow_unclean: f.allow_unclean,
+        }
+    }
+}
+
+/// A snapshot of the cache's traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the model.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 for an untouched cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded memo cache of reliability predictions, keyed by quantized
+/// [`Features`] and persisting across replan intervals.
+///
+/// FIFO eviction keeps the implementation deterministic; the capacity is
+/// generous relative to a planning problem's candidate count, so eviction
+/// only matters when the network estimate wanders across many cells.
+/// Lookups and insertions are thread-safe (single mutex — the map
+/// operations are two orders of magnitude cheaper than the inference they
+/// shortcut).
+#[derive(Debug)]
+pub struct PredictionCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    map: FastMap<CacheKey, Prediction>,
+    order: VecDeque<CacheKey>,
+}
+
+impl PredictionCache {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        PredictionCache {
+            inner: Mutex::new(CacheInner {
+                map: FastMap::default(),
+                order: VecDeque::new(),
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `features` up, counting the hit or miss.
+    pub fn get(&self, features: &Features) -> Option<Prediction> {
+        let key = CacheKey::quantize(features);
+        let found = self
+            .inner
+            .lock()
+            .expect("cache lock")
+            .map
+            .get(&key)
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a prediction, evicting the oldest entry at capacity.
+    pub fn insert(&self, features: &Features, prediction: Prediction) {
+        let key = CacheKey::quantize(features);
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key, prediction).is_none() {
+            inner.order.push_back(key);
+            if inner.order.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// The current traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("cache lock").map.len(),
+        }
+    }
+
+    /// Publishes the traffic counters into a metrics registry under
+    /// `planner-cache-hit` / `planner-cache-miss` / `planner-cache-evict`.
+    pub fn export_metrics(&self, registry: &mut MetricsRegistry) {
+        let stats = self.stats();
+        registry.add_to_counter("planner-cache-hit", stats.hits);
+        registry.add_to_counter("planner-cache-miss", stats.misses);
+        registry.add_to_counter("planner-cache-evict", stats.evictions);
+    }
+}
+
+/// Wraps a predictor with a [`PredictionCache`].
+///
+/// Scalar lookups memoise one row at a time; batched lookups split the
+/// batch into hits and misses and run **one** inner `predict_batch` over
+/// the misses only. Rows of one batch that share a quantization cell
+/// resolve to the first such row's prediction — exactly what sequential
+/// scalar calls through the cache would produce.
+pub struct CachedPredictor<'a> {
+    inner: &'a dyn Predictor,
+    cache: &'a PredictionCache,
+}
+
+impl<'a> CachedPredictor<'a> {
+    /// Couples `inner` with `cache`.
+    #[must_use]
+    pub fn new(inner: &'a dyn Predictor, cache: &'a PredictionCache) -> Self {
+        CachedPredictor { inner, cache }
+    }
+}
+
+impl Predictor for CachedPredictor<'_> {
+    fn predict(&self, features: &Features) -> Prediction {
+        if let Some(hit) = self.cache.get(features) {
+            return hit;
+        }
+        let prediction = self.inner.predict(features);
+        self.cache.insert(features, prediction);
+        prediction
+    }
+
+    fn predict_batch(&self, features: &[Features]) -> Vec<Prediction> {
+        let mut out: Vec<Option<Prediction>> = vec![None; features.len()];
+        let mut missed_keys: Vec<CacheKey> = Vec::new();
+        let mut missed_rows: Vec<usize> = Vec::new();
+        for (i, f) in features.iter().enumerate() {
+            if let Some(hit) = self.cache.get(f) {
+                out[i] = Some(hit);
+            } else {
+                let key = CacheKey::quantize(f);
+                if !missed_keys.contains(&key) {
+                    missed_keys.push(key);
+                    missed_rows.push(i);
+                }
+            }
+        }
+        if !missed_rows.is_empty() {
+            let missed: Vec<Features> = missed_rows.iter().map(|&i| features[i]).collect();
+            let fresh = self.inner.predict_batch(&missed);
+            for (&i, p) in missed_rows.iter().zip(&fresh) {
+                self.cache.insert(&features[i], *p);
+            }
+            for (i, slot) in out.iter_mut().enumerate() {
+                if slot.is_none() {
+                    let key = CacheKey::quantize(&features[i]);
+                    let pos = missed_keys
+                        .iter()
+                        .position(|k| *k == key)
+                        .expect("every miss was predicted");
+                    *slot = Some(fresh[pos]);
+                }
+            }
+        }
+        out.into_iter()
+            .map(|p| p.expect("every row resolved"))
+            .collect()
+    }
+}
+
 /// The online controller: estimator + predictor + stepwise KPI search.
 ///
 /// Owns its predictor (the runtime shares controllers across threads), so
@@ -81,7 +327,14 @@ pub struct OnlineModelController<P> {
     message_size: u64,
     timeliness_ms: f64,
     estimator: Mutex<NetworkEstimator>,
+    cache: PredictionCache,
+    replans: AtomicU64,
 }
+
+/// Memo-cache capacity of [`OnlineModelController`]: a planning problem
+/// evaluates at most a few hundred distinct candidates per interval, so
+/// this comfortably holds many intervals' worth of network-estimate cells.
+const CONTROLLER_CACHE_CAPACITY: usize = 4096;
 
 impl<P: Predictor + Send + Sync> OnlineModelController<P> {
     /// Creates a controller for a stream of `message_size`-byte messages
@@ -111,6 +364,8 @@ impl<P: Predictor + Send + Sync> OnlineModelController<P> {
             message_size,
             timeliness_ms,
             estimator: Mutex::new(NetworkEstimator::new(0.5)),
+            cache: PredictionCache::new(CONTROLLER_CACHE_CAPACITY),
+            replans: AtomicU64::new(0),
         }
     }
 
@@ -118,6 +373,13 @@ impl<P: Predictor + Send + Sync> OnlineModelController<P> {
     #[must_use]
     pub fn estimate(&self) -> NetworkEstimator {
         *self.estimator.lock().expect("estimator lock")
+    }
+
+    /// Traffic counters of the prediction memo cache, which persists
+    /// across replan intervals.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 }
 
@@ -139,7 +401,9 @@ impl<P: Predictor + Send + Sync> OnlineController for OnlineModelController<P> {
             message_timeout_ms: current.message_timeout.as_secs_f64() * 1e3,
             ..Features::default()
         };
-        let recommender = Recommender::new(&self.kpi, &self.predictor, self.space.clone());
+        self.replans.fetch_add(1, Ordering::Relaxed);
+        let cached = CachedPredictor::new(&self.predictor, &self.cache);
+        let recommender = Recommender::new(&self.kpi, &cached, self.space.clone());
         let rec = recommender.recommend(&start, &self.weights, self.gamma_requirement);
         let mut cfg = rec
             .features
@@ -148,6 +412,11 @@ impl<P: Predictor + Send + Sync> OnlineController for OnlineModelController<P> {
         // Keep the current retry budget: the search space does not tune it.
         cfg.max_retries = current.max_retries.max(self.cal.max_retries);
         Some(cfg)
+    }
+
+    fn export_metrics(&self, registry: &mut MetricsRegistry) {
+        self.cache.export_metrics(registry);
+        registry.add_to_counter("planner-replan", self.replans.load(Ordering::Relaxed));
     }
 }
 
@@ -262,5 +531,107 @@ mod tests {
         let base = ProducerConfig::default();
         let _ = c.decide(&window(100, 50, Some(100.0)), &base);
         assert!(c.estimate().loss > 0.1);
+    }
+
+    fn feat(loss: f64, batch: usize) -> Features {
+        Features {
+            loss_rate: loss,
+            batch_size: batch,
+            semantics: DeliverySemantics::AtLeastOnce,
+            ..Features::default()
+        }
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_evictions() {
+        let cache = PredictionCache::new(2);
+        let p = Prediction {
+            p_loss: 0.25,
+            p_dup: 0.0,
+        };
+        assert!(cache.get(&feat(0.1, 1)).is_none());
+        cache.insert(&feat(0.1, 1), p);
+        assert_eq!(cache.get(&feat(0.1, 1)), Some(p));
+        // Within half a quantum of the stored loss rate: same cell.
+        assert_eq!(cache.get(&feat(0.1 + LOSS_QUANTUM / 4.0, 1)), Some(p));
+        // Two more distinct cells displace the first (FIFO, capacity 2).
+        cache.insert(&feat(0.2, 1), p);
+        cache.insert(&feat(0.3, 1), p);
+        assert!(cache.get(&feat(0.1, 1)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_predictor_batch_matches_sequential_scalar() {
+        let inner = FnPredictor(|f: &Features| Prediction {
+            p_loss: (f.loss_rate * 3.0).min(1.0),
+            p_dup: 0.01 * f.batch_size as f64,
+        });
+        let rows: Vec<Features> = vec![
+            feat(0.05, 1),
+            feat(0.10, 4),
+            feat(0.05, 1), // same cell as row 0 within one batch
+            feat(0.20, 8),
+        ];
+        let scalar_cache = PredictionCache::new(64);
+        let scalar = CachedPredictor::new(&inner, &scalar_cache);
+        let want: Vec<Prediction> = rows.iter().map(|f| scalar.predict(f)).collect();
+
+        let batch_cache = PredictionCache::new(64);
+        let batched = CachedPredictor::new(&inner, &batch_cache);
+        let got = batched.predict_batch(&rows);
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.p_loss.to_bits(), g.p_loss.to_bits());
+            assert_eq!(w.p_dup.to_bits(), g.p_dup.to_bits());
+        }
+        // The duplicate row hit in cache (scalar path) / deduped (batch
+        // path): both report exactly one hit and three misses.
+        assert_eq!(scalar_cache.stats().hits, 1);
+        assert_eq!(batch_cache.stats().hits, 0);
+        assert_eq!(batch_cache.stats().entries, 3);
+        // A second identical batch is answered entirely from cache.
+        let again = batched.predict_batch(&rows);
+        assert_eq!(batch_cache.stats().hits, rows.len() as u64);
+        for (w, g) in want.iter().zip(&again) {
+            assert_eq!(w.p_loss.to_bits(), g.p_loss.to_bits());
+        }
+    }
+
+    #[test]
+    fn controller_reuses_cache_across_replans_and_exports_metrics() {
+        let c = controller();
+        let base = ProducerConfig {
+            semantics: DeliverySemantics::AtLeastOnce,
+            ..ProducerConfig::default()
+        };
+        // Repeated identical windows converge the estimator; once the
+        // estimate settles into a quantization cell, further replans
+        // revisit the same candidates and hit the memo cache.
+        let mut cfg = base;
+        let mut replans = 0u64;
+        for _ in 0..12 {
+            cfg = c.decide(&window(100, 0, Some(4.0)), &cfg).unwrap();
+            replans += 1;
+        }
+        let warm = c.cache_stats();
+        assert!(warm.misses > 0, "a cold cache must miss");
+        let _ = c.decide(&window(100, 0, Some(4.0)), &cfg);
+        replans += 1;
+        let after = c.cache_stats();
+        assert!(
+            after.hits > warm.hits,
+            "steady-state replans must hit the memo cache: {after:?}"
+        );
+        assert_eq!(after.misses, warm.misses, "no new cells at steady state");
+        let mut registry = MetricsRegistry::default();
+        c.export_metrics(&mut registry);
+        assert_eq!(registry.counter("planner-cache-hit"), after.hits);
+        assert_eq!(registry.counter("planner-cache-miss"), after.misses);
+        assert_eq!(registry.counter("planner-replan"), replans);
     }
 }

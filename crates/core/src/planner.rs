@@ -17,6 +17,21 @@ use crate::kpi::KpiModel;
 use crate::model::Predictor;
 use crate::recommend::{Recommender, SearchSpace};
 
+/// How [`ModelPlanner`] searches the configuration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerMode {
+    /// The paper's stepwise greedy search ([`Recommender::recommend`]).
+    #[default]
+    Greedy,
+    /// The exhaustive batched grid scan
+    /// ([`Recommender::recommend_grid`]) over the given worker count.
+    Grid {
+        /// Worker threads for the sharded scan (the result is
+        /// bit-identical for every value).
+        threads: usize,
+    },
+}
+
 /// A [`ConfigPlanner`] backed by a reliability [`Predictor`] and the
 /// weighted-KPI stepwise search.
 pub struct ModelPlanner<'a> {
@@ -24,10 +39,11 @@ pub struct ModelPlanner<'a> {
     kpi: KpiModel,
     cal: Calibration,
     space: SearchSpace,
+    mode: PlannerMode,
 }
 
 impl<'a> ModelPlanner<'a> {
-    /// Creates a planner.
+    /// Creates a planner using the default greedy stepwise search.
     ///
     /// # Panics
     ///
@@ -40,7 +56,28 @@ impl<'a> ModelPlanner<'a> {
             kpi: KpiModel::from_calibration(cal),
             cal: cal.clone(),
             space,
+            mode: PlannerMode::default(),
         }
+    }
+
+    /// Switches the search mode (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a grid mode specifies zero threads.
+    #[must_use]
+    pub fn with_mode(mut self, mode: PlannerMode) -> Self {
+        if let PlannerMode::Grid { threads } = mode {
+            assert!(threads > 0, "grid mode needs at least one worker");
+        }
+        self.mode = mode;
+        self
+    }
+
+    /// The active search mode.
+    #[must_use]
+    pub fn mode(&self) -> PlannerMode {
+        self.mode
     }
 
     /// The starting features the search begins from for `scenario` under
@@ -89,7 +126,17 @@ impl ConfigPlanner for ModelPlanner<'_> {
     fn plan(&self, scenario: &ApplicationScenario, condition: NetCondition) -> ProducerConfig {
         let start = self.start_features(scenario, condition);
         let recommender = Recommender::new(&self.kpi, self.predictor, self.space.clone());
-        let rec = recommender.recommend(&start, &scenario.weights, scenario.gamma_requirement);
+        let rec = match self.mode {
+            PlannerMode::Greedy => {
+                recommender.recommend(&start, &scenario.weights, scenario.gamma_requirement)
+            }
+            PlannerMode::Grid { threads } => recommender.recommend_grid(
+                &start,
+                &scenario.weights,
+                scenario.gamma_requirement,
+                threads,
+            ),
+        };
         self.to_config(&rec.features)
     }
 }
@@ -144,6 +191,27 @@ mod tests {
             lossy.batch_size,
             clean.batch_size
         );
+    }
+
+    #[test]
+    fn grid_mode_plans_are_valid_and_thread_invariant() {
+        let cal = Calibration::paper();
+        let oracle = oracle();
+        let space = SearchSpace {
+            timeout_step_ms: 1600.0,
+            poll_step_ms: 50.0,
+            ..SearchSpace::default()
+        };
+        let scenario = ApplicationScenario::web_access_records();
+        let cond = NetCondition::new(SimDuration::from_millis(60), 0.12);
+        let single = ModelPlanner::new(&oracle, &cal, space.clone())
+            .with_mode(PlannerMode::Grid { threads: 1 });
+        let many =
+            ModelPlanner::new(&oracle, &cal, space).with_mode(PlannerMode::Grid { threads: 4 });
+        let cfg1 = single.plan(&scenario, cond);
+        let cfg4 = many.plan(&scenario, cond);
+        cfg1.validate().unwrap();
+        assert_eq!(cfg1, cfg4, "grid plans must not depend on thread count");
     }
 
     #[test]

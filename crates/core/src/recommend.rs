@@ -17,6 +17,10 @@ use crate::features::Features;
 use crate::kpi::KpiModel;
 use crate::model::Predictor;
 
+/// One shard of grid candidates plus the slot its best lands in:
+/// `(shard index, candidates, per-shard best (global index, γ))`.
+type ShardJob<'g> = (usize, &'g [Features], &'g mut Option<(usize, f64)>);
+
 /// The tunable-parameter ranges the search may move within.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchSpace {
@@ -123,8 +127,26 @@ impl<'a> Recommender<'a> {
         self.kpi.gamma(self.predictor, features, weights)
     }
 
-    /// Every single-step neighbour of `f` within the space.
+    /// Every single-step neighbour of `f` within the space, deduplicated:
+    /// distinct moves can land on the same configuration (e.g. a clamped
+    /// move coinciding with another axis's step), and the recommender must
+    /// never score the same `Features` twice in one step. The first
+    /// occurrence wins, so the candidate order is stable.
     fn neighbours(&self, f: &Features) -> Vec<Features> {
+        let mut out = self.raw_neighbours(f);
+        let mut seen = 0;
+        for i in 0..out.len() {
+            if !out[..seen].contains(&out[i]) {
+                out[seen] = out[i];
+                seen += 1;
+            }
+        }
+        out.truncate(seen);
+        out
+    }
+
+    /// The neighbour moves before deduplication.
+    fn raw_neighbours(&self, f: &Features) -> Vec<Features> {
         let s = &self.space;
         let mut out = Vec::with_capacity(7);
         if f.batch_size + s.batch_step <= s.batch.1 {
@@ -186,6 +208,12 @@ impl<'a> Recommender<'a> {
 
     /// Runs the stepwise search from `start` until γ meets `requirement`
     /// or no neighbour improves γ any further.
+    ///
+    /// Each step scores all neighbours through one
+    /// [`Predictor::predict_batch`] call — for the ANN-backed predictor
+    /// that is one matmul chain per step instead of one per candidate.
+    /// By the `predict_batch` contract the result is bit-identical to the
+    /// scalar greedy search ([`Recommender::recommend_reference`]).
     #[must_use]
     pub fn recommend(
         &self,
@@ -205,12 +233,15 @@ impl<'a> Recommender<'a> {
             };
         }
         while steps < self.space.max_steps {
-            // Greedy: take the best single-parameter move.
+            // Greedy: take the best single-parameter move, scoring the
+            // whole neighbourhood in one batched forward pass.
+            let candidates = self.neighbours(&current);
+            let predictions = self.predictor.predict_batch(&candidates);
             let mut best: Option<(Features, f64)> = None;
-            for candidate in self.neighbours(&current) {
-                let g = self.gamma(&candidate, weights);
+            for (candidate, prediction) in candidates.iter().zip(predictions) {
+                let g = self.kpi.gamma_with(prediction, candidate, weights);
                 if best.as_ref().is_none_or(|(_, bg)| g > *bg) {
-                    best = Some((candidate, g));
+                    best = Some((*candidate, g));
                 }
             }
             let Some((next, next_gamma)) = best else {
@@ -236,6 +267,234 @@ impl<'a> Recommender<'a> {
             gamma: current_gamma,
             meets_requirement: false,
             steps,
+        }
+    }
+
+    /// The pre-batching scalar greedy search, kept as the reference the
+    /// property tests pin [`Recommender::recommend`] against bit for bit.
+    /// Prefer [`Recommender::recommend`]; this path calls the predictor
+    /// once per candidate.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn recommend_reference(
+        &self,
+        start: &Features,
+        weights: &KpiWeights,
+        requirement: f64,
+    ) -> Recommendation {
+        let mut current = *start;
+        let mut current_gamma = self.gamma(&current, weights);
+        let mut steps = 0;
+        if current_gamma >= requirement {
+            return Recommendation {
+                features: current,
+                gamma: current_gamma,
+                meets_requirement: true,
+                steps,
+            };
+        }
+        while steps < self.space.max_steps {
+            let mut best: Option<(Features, f64)> = None;
+            for candidate in self.neighbours(&current) {
+                let g = self.gamma(&candidate, weights);
+                if best.as_ref().is_none_or(|(_, bg)| g > *bg) {
+                    best = Some((candidate, g));
+                }
+            }
+            let Some((next, next_gamma)) = best else {
+                break;
+            };
+            if next_gamma <= current_gamma {
+                break;
+            }
+            current = next;
+            current_gamma = next_gamma;
+            steps += 1;
+            if current_gamma >= requirement {
+                return Recommendation {
+                    features: current,
+                    gamma: current_gamma,
+                    meets_requirement: true,
+                    steps,
+                };
+            }
+        }
+        Recommendation {
+            features: current,
+            gamma: current_gamma,
+            meets_requirement: false,
+            steps,
+        }
+    }
+
+    /// Enumerates the full configuration grid of the space, in the fixed
+    /// scan order (semantics → batch → timeout → poll; every value is
+    /// `lo + i·step`, never a running sum, so the lattice is exact). All
+    /// non-searched fields come from `start`; semantics covers all three
+    /// values only when the space allows switching.
+    fn grid(&self, start: &Features) -> Vec<Features> {
+        let s = &self.space;
+        let axis = |lo: f64, hi: f64, step: f64| -> Vec<f64> {
+            let mut vals = Vec::new();
+            let mut i = 0u32;
+            loop {
+                let v = lo + f64::from(i) * step;
+                if v > hi {
+                    break;
+                }
+                vals.push(v);
+                i += 1;
+            }
+            vals
+        };
+        let batches: Vec<usize> = (s.batch.0..=s.batch.1).step_by(s.batch_step).collect();
+        let timeouts = axis(s.timeout_ms.0, s.timeout_ms.1, s.timeout_step_ms);
+        let polls = axis(s.poll_ms.0, s.poll_ms.1, s.poll_step_ms);
+        let semantics: Vec<DeliverySemantics> = if s.allow_semantics_switch {
+            vec![
+                DeliverySemantics::AtMostOnce,
+                DeliverySemantics::AtLeastOnce,
+                DeliverySemantics::All,
+            ]
+        } else {
+            vec![start.semantics]
+        };
+        let mut grid =
+            Vec::with_capacity(semantics.len() * batches.len() * timeouts.len() * polls.len());
+        for &sem in &semantics {
+            for &batch_size in &batches {
+                for &message_timeout_ms in &timeouts {
+                    for &poll_interval_ms in &polls {
+                        grid.push(Features {
+                            semantics: sem,
+                            batch_size,
+                            message_timeout_ms,
+                            poll_interval_ms,
+                            ..*start
+                        });
+                    }
+                }
+            }
+        }
+        grid
+    }
+
+    /// Candidates per evaluation shard of [`Recommender::recommend_grid`].
+    ///
+    /// The shard plan is a function of the grid alone — like the training
+    /// path's gradient shards, it never depends on the worker count, and
+    /// shard results are reduced in ascending shard order, which is what
+    /// makes the recommendation bit-identical at any thread count.
+    pub const GRID_SHARD: usize = 512;
+
+    /// Exhaustively scans the full `SearchSpace` grid with batched
+    /// inference and returns the γ-maximal configuration (the first one in
+    /// scan order on exact ties).
+    ///
+    /// Unlike the stepwise [`Recommender::recommend`], this cannot get
+    /// stuck in a local optimum; in exchange it evaluates every lattice
+    /// point, so [`Recommendation::steps`] reports the number of
+    /// configurations scored. Non-searched feature fields are taken from
+    /// `start`; note the scan is restricted to the lattice, so a `start`
+    /// lying off-lattice is *not* itself a candidate. Shards of
+    /// [`Self::GRID_SHARD`] candidates are distributed over `threads`
+    /// workers; the result is **bit-identical for every `threads` value**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn recommend_grid(
+        &self,
+        start: &Features,
+        weights: &KpiWeights,
+        requirement: f64,
+        threads: usize,
+    ) -> Recommendation {
+        assert!(threads > 0, "need at least one worker");
+        let grid = self.grid(start);
+        let shards: Vec<&[Features]> = grid.chunks(Self::GRID_SHARD).collect();
+        // (global index, γ) of each shard's best candidate.
+        let mut bests: Vec<Option<(usize, f64)>> = vec![None; shards.len()];
+        let eval_shard = |shard_no: usize, shard: &[Features]| -> Option<(usize, f64)> {
+            let predictions = self.predictor.predict_batch(shard);
+            let mut best: Option<(usize, f64)> = None;
+            for (j, (candidate, prediction)) in shard.iter().zip(predictions).enumerate() {
+                let g = self.kpi.gamma_with(prediction, candidate, weights);
+                if best.is_none_or(|(_, bg)| g > bg) {
+                    best = Some((shard_no * Self::GRID_SHARD + j, g));
+                }
+            }
+            best
+        };
+        if threads <= 1 {
+            for (shard_no, (shard, slot)) in shards.iter().zip(bests.iter_mut()).enumerate() {
+                *slot = eval_shard(shard_no, shard);
+            }
+        } else {
+            let mut jobs: Vec<ShardJob<'_>> = shards
+                .iter()
+                .zip(bests.iter_mut())
+                .enumerate()
+                .map(|(shard_no, (shard, slot))| (shard_no, *shard, slot))
+                .collect();
+            let per_worker = jobs.len().div_ceil(threads.min(jobs.len()));
+            crossbeam::scope(|scope| {
+                for worker_jobs in jobs.chunks_mut(per_worker) {
+                    scope.spawn(move |_| {
+                        for (shard_no, shard, slot) in worker_jobs.iter_mut() {
+                            **slot = eval_shard(*shard_no, shard);
+                        }
+                    });
+                }
+            })
+            .expect("grid worker panicked");
+        }
+        // Reduce in ascending shard order — fixed, thread-independent.
+        let (best_idx, best_gamma) = bests
+            .into_iter()
+            .flatten()
+            .fold(None::<(usize, f64)>, |acc, (i, g)| {
+                if acc.is_none_or(|(_, bg)| g > bg) {
+                    Some((i, g))
+                } else {
+                    acc
+                }
+            })
+            .expect("grid is never empty");
+        Recommendation {
+            features: grid[best_idx],
+            gamma: best_gamma,
+            meets_requirement: best_gamma >= requirement,
+            steps: grid.len(),
+        }
+    }
+
+    /// Scalar sequential version of [`Recommender::recommend_grid`], kept
+    /// as the reference the property tests pin the sharded batched scan
+    /// against bit for bit.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn recommend_grid_reference(
+        &self,
+        start: &Features,
+        weights: &KpiWeights,
+        requirement: f64,
+    ) -> Recommendation {
+        let grid = self.grid(start);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, candidate) in grid.iter().enumerate() {
+            let g = self.gamma(candidate, weights);
+            if best.is_none_or(|(_, bg)| g > bg) {
+                best = Some((i, g));
+            }
+        }
+        let (best_idx, best_gamma) = best.expect("grid is never empty");
+        Recommendation {
+            features: grid[best_idx],
+            gamma: best_gamma,
+            meets_requirement: best_gamma >= requirement,
+            steps: grid.len(),
         }
     }
 }
@@ -353,6 +612,110 @@ mod tests {
             ..SearchSpace::default()
         };
         assert!(space.validate().is_err());
+    }
+
+    #[test]
+    fn batched_recommend_matches_reference() {
+        let (kpi, space) = recommender_fixture();
+        let oracle = oracle();
+        let rec = Recommender::new(&kpi, &oracle, space);
+        for loss in [0.0, 0.1, 0.3, 0.45] {
+            let start = Features {
+                loss_rate: loss,
+                batch_size: 2,
+                ..Features::default()
+            };
+            let batched = rec.recommend(&start, &KpiWeights::paper_default(), 0.9);
+            let reference = rec.recommend_reference(&start, &KpiWeights::paper_default(), 0.9);
+            assert_eq!(batched.features, reference.features);
+            assert_eq!(batched.gamma.to_bits(), reference.gamma.to_bits());
+            assert_eq!(batched.steps, reference.steps);
+            assert_eq!(batched.meets_requirement, reference.meets_requirement);
+        }
+    }
+
+    #[test]
+    fn neighbours_are_deduplicated() {
+        let (kpi, space) = recommender_fixture();
+        let oracle = oracle();
+        let rec = Recommender::new(&kpi, &oracle, space);
+        for start in [
+            Features::default(),
+            Features {
+                batch_size: 10,
+                poll_interval_ms: 0.0,
+                message_timeout_ms: 5_000.0,
+                ..Features::default()
+            },
+        ] {
+            let n = rec.neighbours(&start);
+            for (i, a) in n.iter().enumerate() {
+                assert!(
+                    !n[..i].contains(a),
+                    "duplicate candidate at position {i}: {a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_scan_is_thread_invariant_and_matches_reference() {
+        let (kpi, mut space) = recommender_fixture();
+        // Shrink the lattice so the test stays fast but still spans
+        // several shards' worth of structure.
+        space.timeout_step_ms = 1_600.0;
+        space.poll_step_ms = 50.0;
+        let oracle = oracle();
+        let rec = Recommender::new(&kpi, &oracle, space);
+        let start = Features {
+            loss_rate: 0.2,
+            ..Features::default()
+        };
+        let weights = KpiWeights::paper_default();
+        let reference = rec.recommend_grid_reference(&start, &weights, 0.9);
+        for threads in [1, 2, 8] {
+            let got = rec.recommend_grid(&start, &weights, 0.9, threads);
+            assert_eq!(got.features, reference.features, "{threads} threads");
+            assert_eq!(got.gamma.to_bits(), reference.gamma.to_bits());
+            assert_eq!(got.steps, reference.steps);
+        }
+    }
+
+    #[test]
+    fn grid_beats_or_matches_greedy() {
+        let (kpi, space) = recommender_fixture();
+        let oracle = oracle();
+        let rec = Recommender::new(&kpi, &oracle, space);
+        let start = Features {
+            loss_rate: 0.3,
+            ..Features::default()
+        };
+        let weights = KpiWeights::paper_default();
+        let greedy = rec.recommend(&start, &weights, 2.0); // unreachable → best effort
+        let grid = rec.recommend_grid(&start, &weights, 2.0, 2);
+        assert!(
+            grid.gamma >= greedy.gamma,
+            "exhaustive scan can never do worse: {} vs {}",
+            grid.gamma,
+            greedy.gamma
+        );
+    }
+
+    #[test]
+    fn grid_respects_semantics_lock() {
+        let (kpi, mut space) = recommender_fixture();
+        space.allow_semantics_switch = false;
+        space.timeout_step_ms = 2_400.0;
+        space.poll_step_ms = 100.0;
+        let oracle = oracle();
+        let rec = Recommender::new(&kpi, &oracle, space);
+        let start = Features {
+            semantics: DeliverySemantics::AtMostOnce,
+            loss_rate: 0.2,
+            ..Features::default()
+        };
+        let out = rec.recommend_grid(&start, &KpiWeights::paper_default(), 0.9, 2);
+        assert_eq!(out.features.semantics, DeliverySemantics::AtMostOnce);
     }
 
     #[test]

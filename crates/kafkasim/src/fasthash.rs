@@ -19,19 +19,19 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// A `HashMap` keyed through [`FxHasher`].
-pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// A `HashSet` keyed through [`FxHasher`].
-pub(crate) type FastSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
 /// `pi * 2^61`, an odd constant with well-mixed bits.
 const SEED: u64 = 0x517c_c1b7_2722_0a95;
 
 /// Multiply-xor hasher: each 8-byte word is rotated into the state and
-/// multiplied by [`SEED`]. Not collision-resistant against adversarial
+/// multiplied by `SEED` (π·2⁶¹). Not collision-resistant against adversarial
 /// keys — only for keys the simulation itself generates.
 #[derive(Default)]
-pub(crate) struct FxHasher {
+pub struct FxHasher {
     state: u64,
 }
 

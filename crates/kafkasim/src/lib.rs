@@ -99,7 +99,7 @@ pub mod cluster;
 pub mod config;
 pub mod consumer;
 pub mod explain;
-mod fasthash;
+pub mod fasthash;
 pub mod log;
 pub mod message;
 pub mod producer;

@@ -92,6 +92,14 @@ pub trait OnlineController: Send + Sync {
     /// Returns the configuration for the next window, or `None` to keep
     /// the current one.
     fn decide(&self, stats: &WindowStats, current: &ProducerConfig) -> Option<ProducerConfig>;
+
+    /// Adds the controller's own counters (planner caches, replan tallies,
+    /// …) to a metrics registry after a run. The default exports nothing;
+    /// controllers with internal state override this so their bookkeeping
+    /// shows up next to the trace-derived metrics.
+    fn export_metrics(&self, registry: &mut obs::MetricsRegistry) {
+        let _ = registry;
+    }
 }
 
 /// Online-control settings for a run.

@@ -140,6 +140,13 @@ impl MetricsRegistry {
         self.outstanding.set(at, self.outstanding_now);
     }
 
+    /// Adds `n` to a named counter, creating it at zero first. This is the
+    /// door for non-trace sources (planner caches, controllers) to publish
+    /// their tallies next to the trace-derived metrics.
+    pub fn add_to_counter(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
     /// A counter by name (event kinds like `"broker-append"`, loss counters
     /// like `"lost-expired-in-buffer"`). Zero when never bumped.
     #[must_use]

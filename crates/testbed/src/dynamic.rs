@@ -207,6 +207,30 @@ pub fn run_scenario_online(
     }
 }
 
+/// Like [`run_scenario_online`], but additionally collects the
+/// controller's self-reported metrics (planner memo-cache hits, misses and
+/// evictions, replan count — whatever the controller's
+/// `export_metrics` publishes) into an [`obs::MetricsSummary`].
+///
+/// The controller is shared with the runtime through the [`OnlineSpec`]'s
+/// `Arc`, so its counters reflect the whole run at the point of export.
+#[must_use]
+pub fn run_scenario_online_traced(
+    scenario: &ApplicationScenario,
+    network: &ConditionTimeline,
+    initial: ProducerConfig,
+    online: OnlineSpec,
+    cal: &Calibration,
+    n_messages: u64,
+    seed: u64,
+) -> (DynamicRunReport, obs::MetricsSummary) {
+    let controller = std::sync::Arc::clone(&online.controller);
+    let report = run_scenario_online(scenario, network, initial, online, cal, n_messages, seed);
+    let mut registry = obs::MetricsRegistry::new();
+    controller.export_metrics(&mut registry);
+    (report, registry.summary())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +317,56 @@ mod tests {
         assert_eq!(r.delivered_once + r.lost + r.duplicated, r.n_source);
         assert!((0.0..=1.0).contains(&report.r_loss));
         assert!((0.0..=1.0).contains(&report.r_dup));
+    }
+
+    /// A controller that never reconfigures but counts its invocations
+    /// and publishes them through `export_metrics`.
+    struct CountingController(std::sync::atomic::AtomicU64);
+
+    impl kafkasim::runtime::OnlineController for CountingController {
+        fn decide(
+            &self,
+            _stats: &kafkasim::runtime::WindowStats,
+            _current: &ProducerConfig,
+        ) -> Option<ProducerConfig> {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            None
+        }
+
+        fn export_metrics(&self, registry: &mut obs::MetricsRegistry) {
+            registry.add_to_counter(
+                "test-decides",
+                self.0.load(std::sync::atomic::Ordering::Relaxed),
+            );
+        }
+    }
+
+    #[test]
+    fn traced_online_run_surfaces_controller_metrics() {
+        let cal = Calibration::paper();
+        let scenario = ApplicationScenario::web_access_records();
+        let network = short_trace(9);
+        let online = OnlineSpec {
+            interval: SimDuration::from_secs(30),
+            controller: std::sync::Arc::new(CountingController(std::sync::atomic::AtomicU64::new(
+                0,
+            ))),
+        };
+        let (report, metrics) = run_scenario_online_traced(
+            &scenario,
+            &network,
+            default_static_config(&cal),
+            online,
+            &cal,
+            300,
+            17,
+        );
+        assert_eq!(
+            report.report.n_source, 300,
+            "the run itself must be unaffected by tracing"
+        );
+        let decides = metrics.counters.get("test-decides").copied().unwrap_or(0);
+        assert!(decides > 0, "controller metrics must reach the summary");
     }
 
     #[test]

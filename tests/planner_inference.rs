@@ -1,0 +1,136 @@
+//! Property-based pins for the batched inference and planner paths: the
+//! fast paths introduced for the Eq. 2 hot loop must be *bit-identical*
+//! to the scalar implementations they replaced, for arbitrary
+//! configurations, networks, and model seeds.
+
+use desim::{SimDuration, SimRng};
+use kafka_predict::kpi::KpiModel;
+use kafka_predict::model::Topology;
+use kafka_predict::recommend::{Recommender, SearchSpace};
+use kafka_predict::{Features, Predictor, ReliabilityModel};
+use kafkasim::config::DeliverySemantics;
+use proptest::prelude::*;
+use testbed::experiment::ExperimentPoint;
+use testbed::scenarios::KpiWeights;
+use testbed::Calibration;
+
+fn arb_semantics() -> impl Strategy<Value = DeliverySemantics> {
+    prop_oneof![
+        Just(DeliverySemantics::AtMostOnce),
+        Just(DeliverySemantics::AtLeastOnce),
+        Just(DeliverySemantics::All),
+    ]
+}
+
+fn arb_features() -> impl Strategy<Value = Features> {
+    (
+        50u64..1_000, // message size
+        0u64..200,    // delay ms
+        0u32..40,     // loss percent
+        arb_semantics(),
+        1usize..10,    // batch
+        0u64..120,     // poll ms
+        300u64..4_000, // timeout ms
+    )
+        .prop_map(|(m, d, l, semantics, b, poll, t_o)| {
+            Features::from(&ExperimentPoint {
+                message_size: m,
+                timeliness: None,
+                delay: SimDuration::from_millis(d),
+                loss_rate: f64::from(l) / 100.0,
+                semantics,
+                batch_size: b,
+                poll_interval: SimDuration::from_millis(poll),
+                message_timeout: SimDuration::from_millis(t_o),
+                ..ExperimentPoint::default()
+            })
+        })
+}
+
+fn model(seed: u64) -> ReliabilityModel {
+    let mut rng = SimRng::seed_from_u64(seed);
+    ReliabilityModel::new(Topology::Paper, &mut rng)
+}
+
+/// A deliberately coarse space so the exhaustive grid stays small enough
+/// for property testing (4 × 4 × 3 × 3 = 144 candidates per case).
+fn coarse_space() -> SearchSpace {
+    SearchSpace {
+        batch: (1, 10),
+        batch_step: 3,
+        timeout_ms: (200.0, 5_000.0),
+        timeout_step_ms: 1_600.0,
+        poll_ms: (0.0, 200.0),
+        poll_step_ms: 100.0,
+        allow_semantics_switch: true,
+        max_steps: 64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// `predict_batch` is bit-identical to calling `predict` per row —
+    /// the contract every batched consumer (planner, grid scan, cache)
+    /// relies on.
+    #[test]
+    fn predict_batch_matches_scalar_bitwise(
+        feats in proptest::collection::vec(arb_features(), 1..40),
+        seed in 0u64..500,
+    ) {
+        let model = model(seed);
+        let batched = model.predict_batch(&feats);
+        prop_assert_eq!(batched.len(), feats.len());
+        for (i, (f, b)) in feats.iter().zip(&batched).enumerate() {
+            let s = model.predict(f);
+            prop_assert_eq!(s.p_loss.to_bits(), b.p_loss.to_bits(), "row {} p_loss", i);
+            prop_assert_eq!(s.p_dup.to_bits(), b.p_dup.to_bits(), "row {} p_dup", i);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The batched stepwise search selects the same configuration, γ (bit
+    /// for bit), and step count as the scalar greedy search it replaced.
+    #[test]
+    fn batched_greedy_matches_scalar_reference(
+        start in arb_features(),
+        seed in 0u64..500,
+        requirement in 0.0f64..1.2,
+    ) {
+        let model = model(seed);
+        let kpi = KpiModel::from_calibration(&Calibration::paper());
+        let rec = Recommender::new(&kpi, &model, SearchSpace::default());
+        let weights = KpiWeights::paper_default();
+        let fast = rec.recommend(&start, &weights, requirement);
+        let reference = rec.recommend_reference(&start, &weights, requirement);
+        prop_assert_eq!(fast.gamma.to_bits(), reference.gamma.to_bits());
+        prop_assert_eq!(fast.features, reference.features);
+        prop_assert_eq!(fast.meets_requirement, reference.meets_requirement);
+        prop_assert_eq!(fast.steps, reference.steps);
+    }
+
+    /// The sharded exhaustive grid scan returns the same answer for any
+    /// worker count, and matches the scalar sequential scan bit for bit.
+    #[test]
+    fn grid_scan_is_thread_invariant(
+        start in arb_features(),
+        seed in 0u64..500,
+        requirement in 0.0f64..1.2,
+    ) {
+        let model = model(seed);
+        let kpi = KpiModel::from_calibration(&Calibration::paper());
+        let rec = Recommender::new(&kpi, &model, coarse_space());
+        let weights = KpiWeights::paper_default();
+        let reference = rec.recommend_grid_reference(&start, &weights, requirement);
+        for threads in [1usize, 2, 8] {
+            let got = rec.recommend_grid(&start, &weights, requirement, threads);
+            prop_assert_eq!(got.gamma.to_bits(), reference.gamma.to_bits(), "threads {}", threads);
+            prop_assert_eq!(got.features, reference.features, "threads {}", threads);
+            prop_assert_eq!(got.meets_requirement, reference.meets_requirement);
+            prop_assert_eq!(got.steps, reference.steps);
+        }
+    }
+}
