@@ -15,6 +15,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== scenario corpus (parse + validate + builtin pin) =="
+# Every committed scenarios/*.toml must parse, validate, and stay in sync
+# with the built-in corpus the named repro targets resolve to.
+cargo build --release -q -p bench --bin repro
+target/release/repro validate-scenarios scenarios
+
 echo "== perf baseline (smoke) =="
 # The tracked perf baseline must keep producing well-formed BENCH files.
 # Smoke mode shrinks the workloads to seconds; the JSON is validated with

@@ -1,20 +1,29 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures from declarative
+//! scenario documents.
 //!
 //! ```text
 //! repro <target> [--messages N] [--quick] [--paper-ann] [--seed S] [--json]
+//! repro run-spec FILE.toml [flags...]      # run any scenario document
+//! repro list-scenarios [DIR]               # list the corpus
+//! repro validate-scenarios [DIR]           # parse + pin the corpus
+//! repro export-scenarios DIR               # write the built-in corpus
 //!
 //! targets:
 //!   fig4 fig5 fig6 fig7 fig8 fig9 collection ann kpi table1 table2 all
 //! ```
 //!
-//! Every target prints the same rows/series the paper reports; `--json`
-//! dumps machine-readable output instead.
+//! Every named target resolves to its built-in scenario (`spec::builtin`)
+//! and runs through the same executor as `run-spec`; `--json` dumps
+//! machine-readable output instead.
 
+use std::path::Path;
+
+use bench::exec;
 use bench::figures::{self, Effort};
 use bench::render;
+use spec::{ExperimentSpec, Spec};
 
 struct Args {
-    target: String,
     effort: Effort,
     paper_ann: bool,
     json: bool,
@@ -23,16 +32,17 @@ struct Args {
     trace_out: Option<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
-    let target = args.next().ok_or_else(usage)?;
+fn parse_args() -> Result<(String, Option<String>, Args), String> {
+    let mut argv = std::env::args().skip(1);
+    let target = argv.next().ok_or_else(usage)?;
+    let mut operand = None;
     let mut effort = Effort::full();
     let mut paper_ann = false;
     let mut json = false;
     let mut data = None;
     let mut save_data = None;
     let mut trace_out = None;
-    while let Some(flag) = args.next() {
+    while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--quick" => {
                 let grid = effort.grid_planner;
@@ -43,179 +53,217 @@ fn parse_args() -> Result<Args, String> {
             "--paper-ann" => paper_ann = true,
             "--json" => json = true,
             "--messages" => {
-                let v = args.next().ok_or("--messages needs a value")?;
+                let v = argv.next().ok_or("--messages needs a value")?;
                 effort.messages = v.parse().map_err(|_| format!("bad message count {v}"))?;
             }
             "--seed" => {
-                let v = args.next().ok_or("--seed needs a value")?;
+                let v = argv.next().ok_or("--seed needs a value")?;
                 effort.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
             }
             "--threads" => {
-                let v = args.next().ok_or("--threads needs a value")?;
+                let v = argv.next().ok_or("--threads needs a value")?;
                 effort.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
             }
-            "--data" => data = Some(args.next().ok_or("--data needs a path")?),
-            "--save-data" => save_data = Some(args.next().ok_or("--save-data needs a path")?),
-            "--trace-out" => trace_out = Some(args.next().ok_or("--trace-out needs a path")?),
+            "--data" => data = Some(argv.next().ok_or("--data needs a path")?),
+            "--save-data" => save_data = Some(argv.next().ok_or("--save-data needs a path")?),
+            "--trace-out" => trace_out = Some(argv.next().ok_or("--trace-out needs a path")?),
+            other if !other.starts_with("--") && operand.is_none() => {
+                operand = Some(other.to_string());
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    Ok(Args {
+    Ok((
         target,
-        effort,
-        paper_ann,
-        json,
-        data,
-        save_data,
-        trace_out,
-    })
+        operand,
+        Args {
+            effort,
+            paper_ann,
+            json,
+            data,
+            save_data,
+            trace_out,
+        },
+    ))
 }
 
 fn usage() -> String {
     "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|broker-faults|ablation-transport|ablation-jitter|trace|all> \
-     [--messages N] [--quick] [--grid] [--paper-ann] [--seed S] [--threads T] [--json] [--data FILE] [--save-data FILE] [--trace-out FILE.jsonl]"
+     [--messages N] [--quick] [--grid] [--paper-ann] [--seed S] [--threads T] [--json] [--data FILE] [--save-data FILE] [--trace-out FILE.jsonl]\n\
+     \x20      repro run-spec FILE.{toml|json} [flags as above]\n\
+     \x20      repro list-scenarios [DIR]\n\
+     \x20      repro validate-scenarios [DIR]\n\
+     \x20      repro export-scenarios DIR"
         .to_string()
 }
 
 fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
+    let (target, operand, args) = match parse_args() {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
         }
     };
-    let all = args.target == "all";
-    let mut matched = false;
-    let mut run = |name: &str, f: &mut dyn FnMut()| {
-        if all || args.target == name {
-            matched = true;
-            f();
+    match target.as_str() {
+        "list-scenarios" => list_scenarios(operand.as_deref()),
+        "validate-scenarios" => validate_scenarios(operand.as_deref().unwrap_or("scenarios")),
+        "export-scenarios" => {
+            let Some(dir) = operand else {
+                eprintln!("export-scenarios needs a directory\n{}", usage());
+                std::process::exit(2);
+            };
+            export_scenarios(&dir);
+        }
+        "run-spec" => {
+            let Some(file) = operand else {
+                eprintln!("run-spec needs a scenario file\n{}", usage());
+                std::process::exit(2);
+            };
+            let doc = match spec::io::load(Path::new(&file)) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            run_document(&doc, &args);
+        }
+        "all" => {
+            for doc in spec::builtin::all() {
+                run_document(&doc, &args);
+            }
+        }
+        name => match Spec::builtin(name) {
+            Some(doc) => run_document(&doc, &args),
+            None => {
+                eprintln!("unknown target {name}\n{}", usage());
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-corpus subcommands
+// ---------------------------------------------------------------------------
+
+/// Loads every `*.toml` scenario in `dir`, sorted by file name. Exits
+/// with an error message naming the offending file on the first failure.
+fn load_dir(dir: &str) -> Vec<Spec> {
+    let mut paths: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            std::process::exit(1);
         }
     };
+    paths.sort();
+    paths
+        .iter()
+        .map(|path| match spec::io::load(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                std::process::exit(1);
+            }
+        })
+        .collect()
+}
 
-    run("table1", &mut || table1(args.json));
-    run("collection", &mut || collection(args.json));
-    run("fig4", &mut || {
-        series(
-            "Fig. 4: P_l vs message size M (D=100ms, L=19%, full load)",
-            "M (bytes)",
-            "P_l",
-            &figures::fig4(args.effort),
-            args.json,
-        );
-    });
-    run("fig5", &mut || {
-        series(
-            "Fig. 5: P_l vs message timeout T_o (no faults, near-saturated load)",
-            "T_o (ms)",
-            "P_l",
-            &figures::fig5(args.effort),
-            args.json,
-        );
-    });
-    run("fig6", &mut || {
-        series(
-            "Fig. 6: P_l vs polling interval delta (T_o=500ms, no faults)",
-            "delta (ms)",
-            "P_l",
-            &figures::fig6(args.effort),
-            args.json,
-        );
-    });
-    run("fig7", &mut || {
-        series(
-            "Fig. 7: P_l vs packet loss L, batch sizes x semantics",
-            "L",
-            "P_l",
-            &figures::fig7(args.effort),
-            args.json,
-        );
-    });
-    run("fig8", &mut || {
-        series(
-            "Fig. 8: P_d vs batch size B (at-least-once)",
-            "B",
-            "P_d",
-            &figures::fig8(args.effort),
-            args.json,
-        );
-    });
-    run("fig9", &mut || fig9(args.effort.seed, args.json));
-    run("ann", &mut || {
-        ann(
-            args.effort,
-            args.paper_ann,
-            args.json,
-            args.data.as_deref(),
-            args.save_data.as_deref(),
-        )
-    });
-    run("kpi", &mut || kpi(args.json));
-    run("table2", &mut || {
-        table2(args.effort, args.paper_ann, args.json)
-    });
-    run("overlay", &mut || {
-        let (series_data, mae) = figures::prediction_overlay(args.effort, args.paper_ann);
-        series(
-            "Figs. 4-6 overlay: measured vs ANN-predicted P_l on the Fig. 4 sweep",
-            "M (bytes)",
-            "P_l",
-            &series_data,
-            args.json,
-        );
-        if !args.json {
-            println!("overlay MAE vs fresh measurements: {mae:.4}\n");
+fn list_scenarios(dir: Option<&str>) {
+    let dir = dir.unwrap_or("scenarios");
+    let (source, docs) = if Path::new(dir).is_dir() {
+        (format!("from {dir}/"), load_dir(dir))
+    } else {
+        ("built-in".to_string(), spec::builtin::all())
+    };
+    println!("{} scenarios ({source}):", docs.len());
+    for doc in &docs {
+        println!("  {:<20} {}", doc.name, doc.description);
+    }
+}
+
+/// Parses and validates every committed scenario, then pins the corpus
+/// against the built-in definitions: every built-in must be present and
+/// equal. Exits non-zero on any failure — this is the CI gate.
+fn validate_scenarios(dir: &str) {
+    let docs = load_dir(dir);
+    println!("parsed and validated {} scenarios from {dir}/", docs.len());
+    let mut failures = 0;
+    for builtin in spec::builtin::all() {
+        match docs.iter().find(|d| d.name == builtin.name) {
+            Some(doc) if *doc == builtin => println!("  {:<20} matches the built-in", doc.name),
+            Some(_) => {
+                eprintln!(
+                    "  {:<20} DIFFERS from the built-in (re-run `repro export-scenarios {dir}`)",
+                    builtin.name
+                );
+                failures += 1;
+            }
+            None => {
+                eprintln!("  {:<20} MISSING from {dir}/", builtin.name);
+                failures += 1;
+            }
         }
-    });
-    run("sensitivity", &mut || sensitivity(args.effort, args.json));
-    run("ext-outage", &mut || {
-        series(
-            "EXT-1: P_l vs broker outage duration (1 of 3 brokers down)",
-            "outage (s)",
-            "P_l",
-            &figures::ext_broker_outage(args.effort),
-            args.json,
-        );
-    });
-    run("ext-online", &mut || ext_online(args.effort, args.json));
-    run("ext-retries", &mut || {
-        series(
-            "EXT-2: P_l vs retry budget tau_r (L=25%, D=100ms)",
-            "tau_r",
-            "P_l",
-            &figures::ext_retry_strategy(args.effort),
-            args.json,
-        );
-    });
-    run("broker-faults", &mut || {
-        broker_faults(args.effort, args.json)
-    });
-    run("ablation-transport", &mut || {
-        series(
-            "ABL-1: early retransmit vs classic Reno (fire-and-forget, full load)",
-            "L",
-            "P_l",
-            &figures::ablation_early_retransmit(args.effort),
-            args.json,
-        );
-    });
-    run("ablation-jitter", &mut || {
-        series(
-            "ABL-2: service-time jitter and the T_o loss tail",
-            "T_o (ms)",
-            "P_l",
-            &figures::ablation_service_jitter(args.effort),
-            args.json,
-        );
-    });
-    run("trace", &mut || {
-        trace_demo(args.json, args.trace_out.as_deref())
-    });
+    }
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) out of sync with the built-in corpus");
+        std::process::exit(1);
+    }
+    println!("scenario corpus is in sync with the built-in definitions");
+}
 
-    if !matched {
-        eprintln!("unknown target {}\n{}", args.target, usage());
-        std::process::exit(2);
+fn export_scenarios(dir: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        std::process::exit(1);
+    }
+    let docs = spec::builtin::all();
+    for doc in &docs {
+        let path = format!("{dir}/{}.toml", doc.name);
+        if let Err(e) = std::fs::write(&path, spec::io::to_toml_string(doc)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("wrote {} scenarios to {dir}/", docs.len());
+}
+
+// ---------------------------------------------------------------------------
+// Running one document
+// ---------------------------------------------------------------------------
+
+fn run_document(doc: &Spec, args: &Args) {
+    match &doc.experiment {
+        ExperimentSpec::Table1(cases) => table1(doc, cases, args.json),
+        ExperimentSpec::Collection(design) => collection(doc, design, args.json),
+        ExperimentSpec::Sweep(sweep) => series(
+            &doc.title,
+            &sweep.x_label,
+            &sweep.metric,
+            &exec::sweep(sweep, args.effort),
+            args.json,
+        ),
+        ExperimentSpec::NetworkTrace(trace) => fig9(doc, trace, args.effort.seed, args.json),
+        ExperimentSpec::Train(train) => ann(doc, train, args),
+        ExperimentSpec::KpiGrid(grid) => kpi(doc, grid, args.json),
+        ExperimentSpec::Table2(table) => table2(doc, table, args),
+        ExperimentSpec::Overlay(overlay) => {
+            let (series_data, mae) = exec::overlay(overlay, args.effort, args.paper_ann);
+            series(&doc.title, "M (bytes)", "P_l", &series_data, args.json);
+            if !args.json {
+                println!("overlay MAE vs fresh measurements: {mae:.4}\n");
+            }
+        }
+        ExperimentSpec::Sensitivity(sens) => sensitivity(doc, sens, args),
+        ExperimentSpec::BrokerFaultMatrix(matrix) => broker_faults(doc, matrix, args),
+        ExperimentSpec::Online(online) => ext_online(doc, online, args),
+        ExperimentSpec::TraceDemo(demo) => trace_demo(doc, demo, args),
     }
 }
 
@@ -230,8 +278,8 @@ fn series(title: &str, x: &str, metric: &str, data: &[figures::Series], json: bo
     }
 }
 
-fn table1(json: bool) {
-    let rows = figures::table1();
+fn table1(doc: &Spec, cases: &spec::Table1Spec, json: bool) {
+    let rows = exec::table1(cases);
     if json {
         let rows: Vec<_> = rows
             .iter()
@@ -245,7 +293,7 @@ fn table1(json: bool) {
         );
         return;
     }
-    println!("== Table I: message delivery cases (verified against the state machine) ==");
+    println!("== {} ==", doc.title);
     for (case, path, ok) in rows {
         println!(
             "{case}: {path:<42} {}",
@@ -255,8 +303,8 @@ fn table1(json: bool) {
     println!();
 }
 
-fn collection(json: bool) {
-    let (normal, abnormal, broker_faults) = figures::collection_summary();
+fn collection(doc: &Spec, design: &spec::CollectionDesign, json: bool) {
+    let (normal, abnormal, broker_faults) = exec::collection_sizes(design);
     if json {
         println!(
             "{}",
@@ -268,23 +316,23 @@ fn collection(json: bool) {
         );
         return;
     }
-    println!("== Fig. 3: training-data collection design ==");
+    println!("== {} ==", doc.title);
     println!("normal cases   (D < 200ms, L = 0): {normal} experiment points");
     println!("abnormal cases (faults injected):  {abnormal} experiment points");
     println!("broker faults  (beyond the paper): {broker_faults} experiment points");
     println!();
 }
 
-fn broker_faults(effort: Effort, json: bool) {
-    let rows = figures::ext_broker_faults(effort);
-    if json {
+fn broker_faults(doc: &Spec, matrix: &spec::BrokerFaultMatrixSpec, args: &Args) {
+    let rows = exec::broker_fault_matrix(matrix, args.effort);
+    if args.json {
         println!(
             "{}",
             serde_json::to_string_pretty(&rows).expect("serialisable")
         );
         return;
     }
-    println!("== EXT-4: broker faults — loss and duplication by acks x failure scenario ==");
+    println!("== {} ==", doc.title);
     println!(
         "{:<9} {:<17} {:>8} {:>8} {:>6} {:>14} {:>15}",
         "acks", "scenario", "P_l", "P_d", "lost", "broker-caused", "elections(c/u)"
@@ -309,8 +357,8 @@ fn broker_faults(effort: Effort, json: bool) {
     );
 }
 
-fn fig9(seed: u64, json: bool) {
-    let trace = figures::fig9(seed);
+fn fig9(doc: &Spec, spec: &spec::NetworkTraceSpec, seed: u64, json: bool) {
+    let trace = exec::network_trace(spec, seed);
     if json {
         println!(
             "{}",
@@ -318,7 +366,7 @@ fn fig9(seed: u64, json: bool) {
         );
         return;
     }
-    println!("== Fig. 9: network connection in the dynamic-configuration experiment ==");
+    println!("== {} ==", doc.title);
     println!(
         "{:>8} {:>10} {:>8} {:>6}",
         "t (s)", "delay(ms)", "loss", "state"
@@ -340,6 +388,7 @@ fn fig9(seed: u64, json: bool) {
 }
 
 fn training_results(
+    design: &spec::CollectionDesign,
     effort: Effort,
     data: Option<&str>,
     save_data: Option<&str>,
@@ -347,15 +396,14 @@ fn training_results(
     use testbed::dataset::ResultSet;
     use testbed::Calibration;
     if let Some(path) = data {
-        let set = ResultSet::load_for(std::path::Path::new(path), &Calibration::paper())
-            .unwrap_or_else(|e| {
-                eprintln!("failed to load {path}: {e}");
-                std::process::exit(1);
-            });
+        let set = ResultSet::load_for(Path::new(path), &Calibration::paper()).unwrap_or_else(|e| {
+            eprintln!("failed to load {path}: {e}");
+            std::process::exit(1);
+        });
         eprintln!("loaded {} cached results from {path}", set.results.len());
         return set.results;
     }
-    let results = figures::collect_training_results(effort);
+    let results = exec::collect_training(design, effort);
     if let Some(path) = save_data {
         let set = ResultSet::new(
             Calibration::paper(),
@@ -363,7 +411,7 @@ fn training_results(
             effort.seed,
             results.clone(),
         );
-        if let Err(e) = set.save(std::path::Path::new(path)) {
+        if let Err(e) = set.save(Path::new(path)) {
             eprintln!("failed to save {path}: {e}");
         } else {
             eprintln!("saved {} results to {path}", results.len());
@@ -372,10 +420,15 @@ fn training_results(
     results
 }
 
-fn ann(effort: Effort, paper_scale: bool, json: bool, data: Option<&str>, save_data: Option<&str>) {
-    let results = training_results(effort, data, save_data);
-    let trained = figures::train_on(&results, paper_scale, effort.seed);
-    if json {
+fn ann(doc: &Spec, train: &spec::TrainSpec, args: &Args) {
+    let results = training_results(
+        &train.collection,
+        args.effort,
+        args.data.as_deref(),
+        args.save_data.as_deref(),
+    );
+    let trained = figures::train_on(&results, args.paper_ann, args.effort.seed);
+    if args.json {
         println!(
             "{}",
             serde_json::json!({
@@ -385,7 +438,7 @@ fn ann(effort: Effort, paper_scale: bool, json: bool, data: Option<&str>, save_d
         );
         return;
     }
-    println!("== ANN prediction accuracy (paper: MAE < 0.02) ==");
+    println!("== {} ==", doc.title);
     let mut heads = vec![
         ("at-most-once", trained.amo),
         ("at-least-once", trained.alo),
@@ -402,9 +455,9 @@ fn ann(effort: Effort, paper_scale: bool, json: bool, data: Option<&str>, save_d
     println!("worst-head MAE: {:.4}\n", trained.worst_mae());
 }
 
-fn kpi(json: bool) {
+fn kpi(doc: &Spec, grid: &spec::KpiGridSpec, json: bool) {
     let predictor = figures::heuristic_predictor();
-    let rows = figures::kpi_sweep(&predictor);
+    let rows = exec::kpi_grid(grid, &predictor);
     if json {
         let rows: Vec<_> = rows
             .iter()
@@ -416,40 +469,23 @@ fn kpi(json: bool) {
         );
         return;
     }
-    println!("== Eq. 2: weighted KPI gamma (D=100ms, L=13%, default weights) ==");
+    println!("== {} ==", doc.title);
     for (label, gamma) in rows {
         println!("{label:>24}: gamma = {gamma:.3}");
     }
     println!();
 }
 
-fn sensitivity(effort: Effort, json: bool) {
-    use desim::SimDuration;
-    use kafkasim::config::DeliverySemantics;
-    use testbed::experiment::ExperimentPoint;
-    use testbed::sensitivity::analyze;
-    use testbed::Calibration;
-    let base = ExperimentPoint {
-        message_size: 200,
-        timeliness: None,
-        delay: SimDuration::from_millis(100),
-        loss_rate: 0.20,
-        semantics: DeliverySemantics::AtLeastOnce,
-        batch_size: 2,
-        poll_interval: SimDuration::from_millis(70),
-        message_timeout: SimDuration::from_millis(1_000),
-        ..ExperimentPoint::default()
-    };
-    let cal = Calibration::paper();
-    let rows = analyze(&base, &cal, effort.messages, effort.seed, effort.threads);
-    if json {
+fn sensitivity(doc: &Spec, spec: &spec::SensitivitySpec, args: &Args) {
+    let rows = exec::sensitivity(spec, args.effort);
+    if args.json {
         println!(
             "{}",
             serde_json::to_string_pretty(&rows).expect("serialisable")
         );
         return;
     }
-    println!("== Sec. III-D sensitivity analysis: +/-50% perturbations around a lossy baseline ==");
+    println!("== {} ==", doc.title);
     println!(
         "{:<24} {:>9} {:>9} {:>9} {:>9} {:>10}",
         "feature", "P_l -50%", "P_l base", "P_l +50%", "impact", "selected?"
@@ -462,29 +498,34 @@ fn sensitivity(effort: Effort, json: bool) {
             r.base_p_loss * 100.0,
             r.up_p_loss * 100.0,
             r.impact() * 100.0,
-            if r.is_selected(0.01) { "yes" } else { "no" }
+            if r.is_selected(spec.threshold) {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!();
 }
 
-fn ext_online(effort: Effort, json: bool) {
-    eprintln!("ext-online: training the prediction model first...");
-    let results = figures::collect_training_results(effort);
-    let trained = figures::train_on(&results, false, effort.seed);
+fn ext_online(doc: &Spec, spec: &spec::OnlineCompareSpec, args: &Args) {
+    eprintln!("{}: training the prediction model first...", doc.name);
+    let results = figures::collect_training_results(args.effort);
+    let trained = figures::train_on(&results, false, args.effort.seed);
     eprintln!(
-        "ext-online: model trained (worst-head MAE {:.4}); running control modes...",
+        "{}: model trained (worst-head MAE {:.4}); running control modes...",
+        doc.name,
         trained.worst_mae()
     );
-    let rows = figures::ext_online(trained.model.clone(), effort);
-    if json {
+    let rows = exec::online_compare(spec, trained.model.clone(), args.effort);
+    if args.json {
         println!(
             "{}",
             serde_json::to_string_pretty(&rows).expect("serialisable")
         );
         return;
     }
-    println!("== EXT-3: online vs offline dynamic configuration (web access records) ==");
+    println!("== {} ==", doc.title);
     println!(
         "{:<36} {:>8} {:>8} {:>10} {:>9}",
         "mode", "R_l", "R_d", "switches", "stale"
@@ -523,65 +564,23 @@ fn ext_online(effort: Effort, json: bool) {
     println!();
 }
 
-/// The `trace` target: runs the two canonical reliability-failure
-/// scenarios with full lifecycle tracing, reconstructs a per-message
-/// timeline from the events, and cross-checks it against the audit so
-/// every lost and duplicated message is shown with its cause. With
-/// `--trace-out base.jsonl`, each scenario's event stream is written to
-/// `base-amo.jsonl` / `base-alo.jsonl` and re-parsed to verify the
-/// round-trip.
-fn trace_demo(json: bool, trace_out: Option<&str>) {
-    use desim::SimDuration;
-    use kafkasim::config::{DeliverySemantics, ProducerConfig};
-    use kafkasim::runtime::{KafkaRun, RunSpec};
-    use kafkasim::source::SourceSpec;
-    use netsim::{ConditionTimeline, NetCondition};
+/// The trace-demo targets: runs the spec's reliability-failure scenarios
+/// with full lifecycle tracing, reconstructs a per-message timeline from
+/// the events, and cross-checks it against the audit so every lost and
+/// duplicated message is shown with its cause. With `--trace-out
+/// base.jsonl`, each scenario's event stream is written to
+/// `base-<tag>.jsonl` and re-parsed to verify the round-trip.
+fn trace_demo(doc: &Spec, demo: &spec::TraceDemoSpec, args: &Args) {
+    use kafkasim::runtime::KafkaRun;
     use obs::{JsonlSink, MessageFate, RingBufferSink, TimelineReport, TraceSink};
 
-    let lossy = {
-        let mut spec = RunSpec {
-            source: SourceSpec::fixed_rate(1_000, 200, 500.0),
-            ..RunSpec::default()
-        };
-        spec.producer = ProducerConfig::builder()
-            .semantics(DeliverySemantics::AtMostOnce)
-            .message_timeout(SimDuration::from_millis(2_000))
-            .build()
-            .expect("valid config");
-        spec.network =
-            ConditionTimeline::constant(NetCondition::new(SimDuration::from_millis(100), 0.30));
-        spec
-    };
-    let duplicating = {
-        let mut spec = RunSpec {
-            source: SourceSpec::fixed_rate(2_000, 200, 500.0),
-            ..RunSpec::default()
-        };
-        spec.producer = ProducerConfig::builder()
-            .semantics(DeliverySemantics::AtLeastOnce)
-            .request_timeout(SimDuration::from_millis(400))
-            .message_timeout(SimDuration::from_millis(5_000))
-            .build()
-            .expect("valid config");
-        spec.network =
-            ConditionTimeline::constant(NetCondition::new(SimDuration::from_millis(150), 0.25));
-        spec
-    };
-    let scenarios = [
-        ("amo", "acks=0, D=100ms, L=30% (silent loss)", lossy, 3u64),
-        (
-            "alo",
-            "acks=1, D=150ms, L=25%, request timeout 400ms (duplicates)",
-            duplicating,
-            5u64,
-        ),
-    ];
-
+    let json = args.json;
+    let trace_out = args.trace_out.as_deref();
     if !json {
-        println!("== Message-lifecycle traces: every P_l / P_d count explained ==");
+        println!("== {} ==", doc.title);
     }
     let mut rows = Vec::new();
-    for (tag, label, spec, seed) in scenarios {
+    for (tag, label, spec, seed) in exec::trace_runs(demo) {
         let (outcome, mut sink) =
             KafkaRun::new(spec, seed).execute_traced(Box::new(RingBufferSink::new(1 << 22)));
         let events = sink.drain();
@@ -589,7 +588,7 @@ fn trace_demo(json: bool, trace_out: Option<&str>) {
         let audit = kafkasim::crosscheck(&outcome.report, &timeline);
 
         let written = trace_out.map(|base| {
-            let path = derive_trace_path(base, tag);
+            let path = derive_trace_path(base, &tag);
             let file = std::fs::File::create(&path)
                 .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
             let mut jsonl = JsonlSink::new(std::io::BufWriter::new(file));
@@ -696,15 +695,16 @@ fn indent(text: &str) -> String {
         .join("\n")
 }
 
-fn table2(effort: Effort, paper_ann: bool, json: bool) {
-    eprintln!("table2: training the prediction model first...");
-    let trained = figures::ann_accuracy(effort, paper_ann);
+fn table2(doc: &Spec, spec: &spec::Table2Spec, args: &Args) {
+    eprintln!("{}: training the prediction model first...", doc.name);
+    let trained = figures::ann_accuracy(args.effort, args.paper_ann);
     eprintln!(
-        "table2: model trained (worst-head MAE {:.4}); running scenarios...",
+        "{}: model trained (worst-head MAE {:.4}); running scenarios...",
+        doc.name,
         trained.worst_mae()
     );
-    let rows = figures::table2(&trained.model, effort);
-    if json {
+    let rows = exec::table2(spec, &trained.model, args.effort);
+    if args.json {
         println!(
             "{}",
             serde_json::to_string_pretty(&rows).expect("serialisable")

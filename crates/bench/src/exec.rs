@@ -1,0 +1,511 @@
+//! The spec executor: materialises a declarative [`spec::Spec`] into the
+//! figure/table data the `repro` binary prints.
+//!
+//! Every function here consumes one [`spec::ExperimentSpec`] variant and
+//! produces the same plain-data output type the legacy hand-wired
+//! builders returned, so spec-driven runs are bit-identical to the
+//! pre-spec code paths (the equivalence tests pin this).
+
+use desim::{SimDuration, SimRng, SimTime};
+use kafka_predict::prelude::*;
+use kafkasim::broker::BrokerId;
+use kafkasim::config::ProducerConfig;
+use kafkasim::runtime::{BrokerFault, BrokerOutage, KafkaRun, RunSpec};
+use kafkasim::source::SourceSpec;
+use kafkasim::LossReason;
+use netsim::trace::{generate_trace, NetworkTrace};
+use netsim::{ConditionTimeline, NetCondition};
+use spec::{
+    BrokerFaultMatrixSpec, CollectionDesign, KpiGridSpec, NetworkTraceSpec, OnlineCompareSpec,
+    OverlaySpec, SensitivitySpec, SweepAxis, SweepMode, SweepSpec, Table1Spec, Table2Spec,
+    TraceDemoSpec, TraceScenarioSpec,
+};
+use testbed::dynamic::{default_static_config, run_scenario, StaticPlanner};
+use testbed::scenarios::ApplicationScenario;
+use testbed::sensitivity::SensitivityRow;
+use testbed::sweep::run_sweep;
+use testbed::ExperimentResult;
+
+use crate::figures::{
+    train_on, BrokerFaultRow, Effort, ExtOnlineRow, Series, SeriesPoint, Table2Row,
+};
+
+/// Table I — replays every scripted transition path through the
+/// executable state machine and reports whether it lands in its declared
+/// case.
+///
+/// # Panics
+///
+/// Panics when a scripted path contains an illegal transition.
+#[must_use]
+pub fn table1(spec: &Table1Spec) -> Vec<(kafkasim::state::DeliveryCase, String, bool)> {
+    use kafkasim::state::StateMachine;
+    spec.cases
+        .iter()
+        .map(|case| {
+            let mut sm = StateMachine::new();
+            for &t in &case.transitions {
+                sm.apply(t).expect("scripted path is legal");
+            }
+            (case.case, case.path.clone(), sm.case() == Some(case.case))
+        })
+        .collect()
+}
+
+/// Fig. 3 — grid sizes per case family of the collection design.
+#[must_use]
+pub fn collection_sizes(design: &CollectionDesign) -> (usize, usize, usize) {
+    design.sizes()
+}
+
+/// Runs the full collection design, producing the training set.
+#[must_use]
+pub fn collect_training(design: &CollectionDesign, effort: Effort) -> Vec<ExperimentResult> {
+    let points = design.all_points();
+    let cal = Calibration::paper();
+    run_sweep(&points, &cal, effort.messages, effort.seed, effort.threads)
+}
+
+/// Fig. 9 — generates the unstable-network trace from the spec's
+/// generator parameters.
+///
+/// # Panics
+///
+/// Panics when the generator configuration is invalid (validated specs
+/// never are).
+#[must_use]
+pub fn network_trace(spec: &NetworkTraceSpec, seed: u64) -> NetworkTrace {
+    generate_trace(&spec.trace, &mut SimRng::seed_from_u64(seed)).expect("trace config is valid")
+}
+
+/// Figs. 4–8, EXT-1/2, ABL-1/2 — runs a swept reliability figure.
+///
+/// [`SweepMode::Parallel`] runs each series through
+/// [`testbed::sweep::run_sweep`] (per-point derived seeds, worker
+/// threads); [`SweepMode::FixedSeed`] runs one sequential [`KafkaRun`]
+/// per point with the base seed, applying the run-spec level overrides
+/// (retry budget, request timeout, broker outage, calibration switches)
+/// the parallel path cannot express.
+#[must_use]
+pub fn sweep(spec: &SweepSpec, effort: Effort) -> Vec<Series> {
+    match spec.mode {
+        SweepMode::Parallel => sweep_parallel(spec, effort),
+        SweepMode::FixedSeed => sweep_fixed_seed(spec, effort),
+    }
+}
+
+fn sweep_parallel(spec: &SweepSpec, effort: Effort) -> Vec<Series> {
+    let cal = Calibration::paper();
+    let xs = spec.axis.xs();
+    spec.series
+        .iter()
+        .enumerate()
+        .map(|(series_idx, series)| {
+            let points: Vec<_> = (0..spec.axis.len())
+                .map(|idx| spec.point_at(series_idx, idx))
+                .collect();
+            let results = run_sweep(&points, &cal, effort.messages, effort.seed, effort.threads);
+            Series {
+                label: series.label.clone(),
+                points: xs
+                    .iter()
+                    .zip(results)
+                    .map(|(&x, r)| SeriesPoint {
+                        x,
+                        p_loss: r.p_loss,
+                        p_dup: r.p_dup,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+fn sweep_fixed_seed(spec: &SweepSpec, effort: Effort) -> Vec<Series> {
+    let n = spec
+        .max_messages
+        .map_or(effort.messages, |cap| effort.messages.min(cap));
+    let xs = spec.axis.xs();
+    spec.series
+        .iter()
+        .enumerate()
+        .map(|(series_idx, series)| {
+            let mut cal = Calibration::paper();
+            if let Some(early) = series.early_retransmit {
+                cal.channel.tcp.early_retransmit = early;
+            }
+            if let Some(jitter) = series.jittered_service {
+                cal.host.jittered_service = jitter;
+            }
+            let points = (0..spec.axis.len())
+                .map(|idx| {
+                    let point = spec.point_at(series_idx, idx);
+                    let mut run = point.to_run_spec(&cal, n);
+                    match &spec.axis {
+                        SweepAxis::RetryBudget(v) => run.producer.max_retries = v[idx],
+                        SweepAxis::OutageSecs(v) if v[idx] > 0 => {
+                            let site = spec.outage.expect("validated OutageSecs axes have a site");
+                            run.outages = vec![BrokerOutage {
+                                broker: BrokerId(site.broker),
+                                from: SimTime::from_secs(site.start_s),
+                                until: SimTime::from_secs(site.start_s + v[idx]),
+                            }];
+                            run.failover_after = series.failover_s.map(SimDuration::from_secs);
+                        }
+                        _ => {}
+                    }
+                    if let Some(rt) = series.request_timeout_ms {
+                        run.producer.request_timeout = SimDuration::from_millis(rt);
+                    }
+                    let outcome = KafkaRun::new(run, effort.seed).execute();
+                    SeriesPoint {
+                        x: xs[idx],
+                        p_loss: outcome.report.p_loss(),
+                        p_dup: outcome.report.p_dup(),
+                    }
+                })
+                .collect();
+            Series {
+                label: series.label.clone(),
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Eq. 2 — γ across the spec's semantics × batch grid at its fixed lossy
+/// operating point.
+#[must_use]
+pub fn kpi_grid(spec: &KpiGridSpec, predictor: &dyn Predictor) -> Vec<(String, f64)> {
+    let cal = Calibration::paper();
+    let kpi = KpiModel::from_calibration(&cal);
+    let base = &spec.base;
+    let mut rows = Vec::new();
+    for &semantics in &spec.semantics {
+        for &b in &spec.batch_sizes {
+            let f = Features {
+                message_size: base.message_size,
+                timeliness_ms: base.timeliness_ms.map_or(0.0, |t| t as f64),
+                delay_ms: base.delay_ms as f64,
+                loss_rate: base.loss_rate,
+                semantics,
+                batch_size: b,
+                poll_interval_ms: base.poll_interval_ms as f64,
+                message_timeout_ms: base.message_timeout_ms as f64,
+                replication_factor: base.replication_factor,
+                fault_downtime_ms: base.fault_downtime_ms as f64,
+                allow_unclean: base.allow_unclean,
+            };
+            let gamma = kpi.gamma(predictor, &f, &spec.weights);
+            rows.push((format!("{semantics}, B={b}"), gamma));
+        }
+    }
+    rows
+}
+
+/// Messages needed to span the trace at the scenario's mean rate.
+fn messages_for(scenario: &ApplicationScenario, trace: &ConditionTimeline) -> u64 {
+    let horizon = trace.last_change().saturating_since(SimTime::ZERO);
+    let mean_rate = scenario.rate_timeline.iter().map(|(_, r)| *r).sum::<f64>()
+        / scenario.rate_timeline.len().max(1) as f64;
+    ((horizon.as_secs_f64() * mean_rate) as u64).max(100)
+}
+
+fn search_space(grid: &spec::ConfigGrid) -> SearchSpace {
+    SearchSpace::try_from(grid).expect("validated specs carry a usable planner grid")
+}
+
+/// Table II — static default vs model-planned dynamic configuration per
+/// application scenario, over the spec's generated network.
+#[must_use]
+pub fn table2(spec: &Table2Spec, predictor: &dyn Predictor, effort: Effort) -> Vec<Table2Row> {
+    let cal = Calibration::paper();
+    let trace = network_trace(
+        &NetworkTraceSpec {
+            trace: spec.trace.clone(),
+        },
+        effort.seed,
+    )
+    .timeline;
+    let interval = SimDuration::from_secs(spec.plan_interval_s);
+    spec.scenarios
+        .iter()
+        .map(|scenario| {
+            let n = messages_for(scenario, &trace);
+            let default = run_scenario(
+                scenario,
+                &trace,
+                &StaticPlanner(default_static_config(&cal)),
+                &cal,
+                n,
+                interval,
+                effort.seed,
+            );
+            let planner = ModelPlanner::new(predictor, &cal, search_space(&spec.grid))
+                .with_mode(effort.planner_mode());
+            let dynamic = run_scenario(scenario, &trace, &planner, &cal, n, interval, effort.seed);
+            Table2Row {
+                scenario: scenario.name.clone(),
+                weights: scenario.weights,
+                default,
+                dynamic,
+            }
+        })
+        .collect()
+}
+
+/// Figs. 4–6 overlay — trains on the spec's collection design, then
+/// compares fresh-seed measurements with the model's predictions on the
+/// evaluation sweep. Returns the series plus the overlay MAE.
+#[must_use]
+pub fn overlay(spec: &OverlaySpec, effort: Effort, paper_scale: bool) -> (Vec<Series>, f64) {
+    let results = collect_training(&spec.collection, effort);
+    let trained = train_on(&results, paper_scale, effort.seed);
+    let cal = Calibration::paper();
+    let mut series = Vec::new();
+    let mut abs_err = 0.0;
+    let mut n_err = 0usize;
+    for &semantics in &spec.semantics {
+        let points: Vec<_> = spec
+            .sizes
+            .iter()
+            .map(|&m| {
+                let mut p = spec.base.to_point();
+                p.message_size = m;
+                p.semantics = semantics;
+                p
+            })
+            .collect();
+        // Fresh seeds: these measurements are new "test data".
+        let measured = run_sweep(
+            &points,
+            &cal,
+            effort.messages,
+            effort.seed.wrapping_add(spec.seed_offset),
+            effort.threads,
+        );
+        series.push(Series {
+            label: format!("measured, {semantics}"),
+            points: spec
+                .sizes
+                .iter()
+                .zip(&measured)
+                .map(|(&m, r)| SeriesPoint {
+                    x: m as f64,
+                    p_loss: r.p_loss,
+                    p_dup: r.p_dup,
+                })
+                .collect(),
+        });
+        series.push(Series {
+            label: format!("predicted, {semantics}"),
+            points: spec
+                .sizes
+                .iter()
+                .zip(&measured)
+                .map(|(&m, r)| {
+                    let p = trained.model.predict(&Features::from(&r.point));
+                    abs_err += (p.p_loss - r.p_loss).abs();
+                    n_err += 1;
+                    SeriesPoint {
+                        x: m as f64,
+                        p_loss: p.p_loss,
+                        p_dup: p.p_dup,
+                    }
+                })
+                .collect(),
+        });
+    }
+    (series, abs_err / n_err as f64)
+}
+
+/// §III-D — the ±50 % feature-sensitivity report around the spec's base
+/// point.
+#[must_use]
+pub fn sensitivity(spec: &SensitivitySpec, effort: Effort) -> Vec<SensitivityRow> {
+    let cal = Calibration::paper();
+    testbed::sensitivity::analyze(
+        &spec.base.to_point(),
+        &cal,
+        effort.messages,
+        effort.seed,
+        effort.threads,
+    )
+}
+
+/// EXT-4 — runs the full `acks` × failure-scenario matrix.
+///
+/// # Panics
+///
+/// Panics when a spec's producer settings do not form a valid
+/// configuration (validated specs always do).
+#[must_use]
+pub fn broker_fault_matrix(spec: &BrokerFaultMatrixSpec, effort: Effort) -> Vec<BrokerFaultRow> {
+    let n = effort.messages.min(spec.max_messages);
+    let mut rows = Vec::new();
+    for acks in &spec.acks {
+        for scenario in &spec.scenarios {
+            let mut run = RunSpec {
+                source: SourceSpec::fixed_rate(n, spec.message_size, spec.rate_hz),
+                ..RunSpec::default()
+            };
+            run.cluster.partitions = spec.partitions;
+            run.cluster.replication.factor = scenario.replication_factor;
+            if let Some(ms) = scenario.lag_time_max_ms {
+                run.cluster.replication.lag_time_max = SimDuration::from_millis(ms);
+            }
+            if let Some(records) = scenario.max_fetch_records {
+                run.cluster.replication.max_fetch_records = records;
+            }
+            run.cluster.replication.allow_unclean = scenario.allow_unclean;
+            run.producer = ProducerConfig::builder()
+                .semantics(acks.semantics)
+                .message_timeout(SimDuration::from_millis(spec.message_timeout_ms))
+                .max_in_flight(spec.max_in_flight)
+                .build()
+                .expect("valid producer config");
+            for fault in &scenario.faults {
+                run.faults.push(BrokerFault::crash(
+                    BrokerId(fault.broker),
+                    SimTime::from_millis(fault.at_ms),
+                    SimDuration::from_millis(fault.down_ms),
+                ));
+            }
+            run.failover_after = scenario.failover_after_ms.map(SimDuration::from_millis);
+            let outcome = KafkaRun::new(run, effort.seed).execute();
+            rows.push(BrokerFaultRow {
+                acks: acks.label.clone(),
+                scenario: scenario.name.clone(),
+                p_loss: outcome.report.p_loss(),
+                p_dup: outcome.report.p_dup(),
+                lost: outcome.report.lost,
+                broker_caused: outcome
+                    .report
+                    .loss_reasons
+                    .get(&LossReason::LeaderFailover)
+                    .copied()
+                    .unwrap_or(0),
+                clean_elections: outcome.brokers.clean_elections,
+                unclean_elections: outcome.brokers.unclean_elections,
+            });
+        }
+    }
+    rows
+}
+
+/// EXT-3 — static default vs offline planner vs online feedback
+/// controller on the spec's scenario and generated network.
+#[must_use]
+pub fn online_compare(
+    spec: &OnlineCompareSpec,
+    model: ReliabilityModel,
+    effort: Effort,
+) -> Vec<ExtOnlineRow> {
+    use kafkasim::runtime::OnlineSpec;
+    use std::sync::Arc;
+    use testbed::dynamic::run_scenario_online_traced;
+
+    let cal = Calibration::paper();
+    let trace = network_trace(
+        &NetworkTraceSpec {
+            trace: spec.trace.clone(),
+        },
+        effort.seed,
+    )
+    .timeline;
+    let scenario = &spec.scenario;
+    let n = messages_for(scenario, &trace);
+    let interval = SimDuration::from_secs(spec.plan_interval_s);
+    let mut rows = Vec::new();
+
+    let default_cfg = default_static_config(&cal);
+    rows.push(ExtOnlineRow {
+        mode: "static default".to_string(),
+        report: run_scenario(
+            scenario,
+            &trace,
+            &StaticPlanner(default_cfg.clone()),
+            &cal,
+            n,
+            interval,
+            effort.seed,
+        ),
+        planner_metrics: None,
+    });
+
+    let offline =
+        ModelPlanner::new(&model, &cal, search_space(&spec.grid)).with_mode(effort.planner_mode());
+    rows.push(ExtOnlineRow {
+        mode: "offline dynamic (network known)".to_string(),
+        report: run_scenario(scenario, &trace, &offline, &cal, n, interval, effort.seed),
+        planner_metrics: None,
+    });
+
+    // The online controller sees only the producer's own statistics; it
+    // owns its copy of the model (the runtime may consult it from a shared
+    // handle).
+    let controller = OnlineModelController::new(
+        model.clone(),
+        &cal,
+        search_space(&spec.grid),
+        scenario.weights,
+        scenario.gamma_requirement,
+        scenario.mean_size(),
+        scenario.timeliness.as_secs_f64() * 1e3,
+    );
+    let (report, metrics) = run_scenario_online_traced(
+        scenario,
+        &trace,
+        default_cfg,
+        OnlineSpec {
+            interval: SimDuration::from_secs(spec.online_interval_s),
+            controller: Arc::new(controller),
+        },
+        &cal,
+        n,
+        effort.seed,
+    );
+    rows.push(ExtOnlineRow {
+        mode: "online dynamic (network estimated)".to_string(),
+        report,
+        planner_metrics: Some(metrics),
+    });
+    rows
+}
+
+/// Builds the [`RunSpec`] of one traced demo scenario.
+///
+/// # Panics
+///
+/// Panics when the scenario's producer settings do not form a valid
+/// configuration (validated specs always do).
+#[must_use]
+pub fn trace_run_spec(scenario: &TraceScenarioSpec) -> RunSpec {
+    let mut run = RunSpec {
+        source: SourceSpec::fixed_rate(scenario.messages, scenario.message_size, scenario.rate_hz),
+        ..RunSpec::default()
+    };
+    let mut producer = ProducerConfig::builder().semantics(scenario.semantics);
+    if let Some(rt) = scenario.request_timeout_ms {
+        producer = producer.request_timeout(SimDuration::from_millis(rt));
+    }
+    run.producer = producer
+        .message_timeout(SimDuration::from_millis(scenario.message_timeout_ms))
+        .build()
+        .expect("valid producer config");
+    run.network = ConditionTimeline::constant(NetCondition::new(
+        SimDuration::from_millis(scenario.delay_ms),
+        scenario.loss_rate,
+    ));
+    run
+}
+
+/// Accessor so callers holding only a [`TraceDemoSpec`] can iterate its
+/// runs in declaration order.
+#[must_use]
+pub fn trace_runs(spec: &TraceDemoSpec) -> Vec<(String, String, RunSpec, u64)> {
+    spec.scenarios
+        .iter()
+        .map(|s| (s.tag.clone(), s.label.clone(), trace_run_spec(s), s.seed))
+        .collect()
+}

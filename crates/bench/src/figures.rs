@@ -1,23 +1,24 @@
 //! One experiment definition per paper table/figure.
 //!
-//! Every function returns plain data (series of points) so the `repro`
-//! binary, the Criterion benches, and the integration tests all share the
-//! same definitions. `n_messages` scales precision: the paper uses 10⁶ per
-//! point; the defaults here use fewer for tractable sweeps (see
-//! `EXPERIMENTS.md` for the precision discussion).
+//! Every definition lives in the declarative scenario corpus
+//! ([`spec::builtin`], mirrored by the committed `scenarios/*.toml`
+//! files); the functions here look the scenario up by name and hand it to
+//! the executor ([`crate::exec`]), so the `repro` binary, the Criterion
+//! benches, and the integration tests all share the same definitions.
+//! `n_messages` scales precision: the paper uses 10⁶ per point; the
+//! defaults here use fewer for tractable sweeps (see `EXPERIMENTS.md` for
+//! the precision discussion).
 
-use desim::{SimDuration, SimRng, SimTime};
 use kafka_predict::prelude::*;
 use kafkasim::config::DeliverySemantics;
 use kafkasim::state::DeliveryCase;
-use netsim::trace::{generate_trace, NetworkTrace, TraceConfig};
-use netsim::ConditionTimeline;
+use netsim::trace::NetworkTrace;
 use serde::{Deserialize, Serialize};
-use testbed::collection::CollectionDesign;
-use testbed::dynamic::{default_static_config, run_scenario, DynamicRunReport, StaticPlanner};
-use testbed::experiment::ExperimentPoint;
-use testbed::scenarios::{ApplicationScenario, KpiWeights};
-use testbed::sweep::run_sweep;
+use spec::{ExperimentSpec, Spec};
+use testbed::dynamic::DynamicRunReport;
+use testbed::scenarios::KpiWeights;
+
+use crate::exec;
 
 /// How hard to work: trades precision for wall-clock time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,22 +98,16 @@ pub struct Series {
     pub points: Vec<SeriesPoint>,
 }
 
-fn sweep_series(label: &str, points: Vec<(f64, ExperimentPoint)>, effort: Effort) -> Series {
-    let cal = Calibration::paper();
-    let xs: Vec<f64> = points.iter().map(|(x, _)| *x).collect();
-    let eps: Vec<ExperimentPoint> = points.into_iter().map(|(_, p)| p).collect();
-    let results = run_sweep(&eps, &cal, effort.messages, effort.seed, effort.threads);
-    Series {
-        label: label.to_string(),
-        points: xs
-            .into_iter()
-            .zip(results)
-            .map(|(x, r)| SeriesPoint {
-                x,
-                p_loss: r.p_loss,
-                p_dup: r.p_dup,
-            })
-            .collect(),
+/// Looks up a built-in scenario, panicking on a corpus/name mismatch —
+/// the callers below only name scenarios the corpus defines.
+fn builtin(name: &str) -> Spec {
+    Spec::builtin(name).unwrap_or_else(|| panic!("{name} is a built-in scenario"))
+}
+
+fn builtin_sweep(name: &str, effort: Effort) -> Vec<Series> {
+    match builtin(name).experiment {
+        ExperimentSpec::Sweep(sweep) => exec::sweep(&sweep, effort),
+        _ => unreachable!("{name} is a sweep scenario"),
     }
 }
 
@@ -121,35 +116,7 @@ fn sweep_series(label: &str, points: Vec<(f64, ExperimentPoint)>, effort: Effort
 /// producer, no batching.
 #[must_use]
 pub fn fig4(effort: Effort) -> Vec<Series> {
-    let sizes = [50u64, 100, 150, 200, 300, 400, 500, 700, 1000];
-    [
-        DeliverySemantics::AtMostOnce,
-        DeliverySemantics::AtLeastOnce,
-    ]
-    .into_iter()
-    .map(|semantics| {
-        let points = sizes
-            .iter()
-            .map(|&m| {
-                (
-                    m as f64,
-                    ExperimentPoint {
-                        message_size: m,
-                        timeliness: None,
-                        delay: SimDuration::from_millis(100),
-                        loss_rate: 0.19,
-                        semantics,
-                        batch_size: 1,
-                        poll_interval: SimDuration::ZERO, // full load
-                        message_timeout: SimDuration::from_millis(2_000),
-                        ..ExperimentPoint::default()
-                    },
-                )
-            })
-            .collect();
-        sweep_series(&semantics.to_string(), points, effort)
-    })
-    .collect()
+    builtin_sweep("fig4", effort)
 }
 
 /// Fig. 5 — `P_l` vs message timeout `T_o` (ms) under full load with **no**
@@ -160,70 +127,14 @@ pub fn fig4(effort: Effort) -> Vec<Series> {
 /// governs the loss tail, as in the paper's figure.
 #[must_use]
 pub fn fig5(effort: Effort) -> Vec<Series> {
-    let timeouts = [200u64, 400, 600, 800, 1000, 1250, 1500, 2000, 2500, 3000];
-    [
-        DeliverySemantics::AtMostOnce,
-        DeliverySemantics::AtLeastOnce,
-    ]
-    .into_iter()
-    .map(|semantics| {
-        let points = timeouts
-            .iter()
-            .map(|&t| {
-                (
-                    t as f64,
-                    ExperimentPoint {
-                        message_size: 620,
-                        timeliness: None,
-                        delay: SimDuration::from_millis(1),
-                        loss_rate: 0.0,
-                        semantics,
-                        batch_size: 1,
-                        poll_interval: SimDuration::ZERO, // full load
-                        message_timeout: SimDuration::from_millis(t),
-                        ..ExperimentPoint::default()
-                    },
-                )
-            })
-            .collect();
-        sweep_series(&semantics.to_string(), points, effort)
-    })
-    .collect()
+    builtin_sweep("fig5", effort)
 }
 
 /// Fig. 6 — `P_l` vs polling interval `δ` (ms) with `T_o = 500 ms`, no
 /// faults, small messages (the overload regime: > 45 % loss at δ = 0).
 #[must_use]
 pub fn fig6(effort: Effort) -> Vec<Series> {
-    let deltas = [0u64, 10, 20, 30, 40, 50, 60, 70, 80, 90];
-    [
-        DeliverySemantics::AtMostOnce,
-        DeliverySemantics::AtLeastOnce,
-    ]
-    .into_iter()
-    .map(|semantics| {
-        let points = deltas
-            .iter()
-            .map(|&d| {
-                (
-                    d as f64,
-                    ExperimentPoint {
-                        message_size: 100,
-                        timeliness: None,
-                        delay: SimDuration::from_millis(1),
-                        loss_rate: 0.0,
-                        semantics,
-                        batch_size: 1,
-                        poll_interval: SimDuration::from_millis(d),
-                        message_timeout: SimDuration::from_millis(500),
-                        ..ExperimentPoint::default()
-                    },
-                )
-            })
-            .collect();
-        sweep_series(&semantics.to_string(), points, effort)
-    })
-    .collect()
+    builtin_sweep("fig6", effort)
 }
 
 /// Fig. 7 — `P_l` vs packet loss rate `L` for batch sizes `B ∈ {1..10}`
@@ -231,96 +142,49 @@ pub fn fig6(effort: Effort) -> Vec<Series> {
 /// the paper).
 #[must_use]
 pub fn fig7(effort: Effort) -> Vec<Series> {
-    let losses = [
-        0.0, 0.02, 0.05, 0.08, 0.10, 0.13, 0.16, 0.20, 0.25, 0.30, 0.40, 0.50,
-    ];
-    let batches = [1usize, 2, 4, 6, 8, 10];
-    let mut series = Vec::new();
-    for semantics in [
-        DeliverySemantics::AtMostOnce,
-        DeliverySemantics::AtLeastOnce,
-    ] {
-        for &b in &batches {
-            let points = losses
-                .iter()
-                .map(|&l| {
-                    (
-                        l,
-                        ExperimentPoint {
-                            message_size: 200,
-                            timeliness: None,
-                            delay: SimDuration::from_millis(100),
-                            loss_rate: l,
-                            semantics,
-                            batch_size: b,
-                            poll_interval: SimDuration::from_millis(70),
-                            message_timeout: SimDuration::from_millis(2_000),
-                            ..ExperimentPoint::default()
-                        },
-                    )
-                })
-                .collect();
-            series.push(sweep_series(&format!("B={b}, {semantics}"), points, effort));
-        }
-    }
-    series
+    builtin_sweep("fig7", effort)
 }
 
 /// Fig. 8 — `P_d` vs batch size `B` under at-least-once, for several
 /// injected loss rates.
 #[must_use]
 pub fn fig8(effort: Effort) -> Vec<Series> {
-    let batches = [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10];
-    let losses = [0.05, 0.10, 0.15, 0.20];
-    losses
-        .iter()
-        .map(|&l| {
-            let points = batches
-                .iter()
-                .map(|&b| {
-                    (
-                        b as f64,
-                        ExperimentPoint {
-                            message_size: 200,
-                            timeliness: None,
-                            delay: SimDuration::from_millis(100),
-                            loss_rate: l,
-                            semantics: DeliverySemantics::AtLeastOnce,
-                            batch_size: b,
-                            poll_interval: SimDuration::from_millis(70),
-                            message_timeout: SimDuration::from_millis(2_000),
-                            ..ExperimentPoint::default()
-                        },
-                    )
-                })
-                .collect();
-            sweep_series(&format!("L={:.0}%", l * 100.0), points, effort)
-        })
-        .collect()
+    builtin_sweep("fig8", effort)
 }
 
 /// Fig. 9 — the unstable network of the dynamic-configuration experiment:
 /// Pareto delay + Gilbert–Elliott loss, sampled every 10 s for 10 min.
 #[must_use]
 pub fn fig9(seed: u64) -> NetworkTrace {
-    generate_trace(&TraceConfig::default(), &mut SimRng::seed_from_u64(seed))
-        .expect("default config is valid")
+    match builtin("fig9").experiment {
+        ExperimentSpec::NetworkTrace(trace) => exec::network_trace(&trace, seed),
+        _ => unreachable!("fig9 is a network-trace scenario"),
+    }
+}
+
+/// The collection design shared by the training experiments (`ann`,
+/// `overlay`, `table2`, `ext-online`): the `ann` scenario's grids.
+fn training_design() -> spec::CollectionDesign {
+    match builtin("ann").experiment {
+        ExperimentSpec::Train(train) => train.collection,
+        _ => unreachable!("ann is a training scenario"),
+    }
 }
 
 /// Fig. 3 — the training-data collection design: grid sizes per case
 /// family (normal, abnormal, broker-fault).
 #[must_use]
 pub fn collection_summary() -> (usize, usize, usize) {
-    CollectionDesign::default().sizes()
+    match builtin("collection").experiment {
+        ExperimentSpec::Collection(design) => exec::collection_sizes(&design),
+        _ => unreachable!("collection is a collection scenario"),
+    }
 }
 
 /// Runs the full Fig. 3 collection design, producing the training set.
 #[must_use]
 pub fn collect_training_results(effort: Effort) -> Vec<testbed::ExperimentResult> {
-    let design = CollectionDesign::default();
-    let points = design.all_points();
-    let cal = Calibration::paper();
-    run_sweep(&points, &cal, effort.messages, effort.seed, effort.threads)
+    exec::collect_training(&training_design(), effort)
 }
 
 /// Trains the model on collected results (paper topology or compact).
@@ -355,72 +219,20 @@ pub fn ann_accuracy(effort: Effort, paper_scale: bool) -> TrainedModel {
 /// using a trained (or synthetic) predictor.
 #[must_use]
 pub fn kpi_sweep(predictor: &dyn Predictor) -> Vec<(String, f64)> {
-    let cal = Calibration::paper();
-    let kpi = KpiModel::from_calibration(&cal);
-    let weights = KpiWeights::paper_default();
-    let mut rows = Vec::new();
-    for semantics in [
-        DeliverySemantics::AtMostOnce,
-        DeliverySemantics::AtLeastOnce,
-    ] {
-        for b in [1usize, 2, 4, 8] {
-            let f = Features {
-                message_size: 200,
-                delay_ms: 100.0,
-                loss_rate: 0.13,
-                semantics,
-                batch_size: b,
-                poll_interval_ms: 70.0,
-                message_timeout_ms: 2_000.0,
-                ..Features::default()
-            };
-            let gamma = kpi.gamma(predictor, &f, &weights);
-            rows.push((format!("{semantics}, B={b}"), gamma));
-        }
+    match builtin("kpi").experiment {
+        ExperimentSpec::KpiGrid(grid) => exec::kpi_grid(&grid, predictor),
+        _ => unreachable!("kpi is a KPI-grid scenario"),
     }
-    rows
 }
 
 /// Table I — exhaustive enumeration of the five delivery cases with their
 /// transition paths, verified against the executable state machine.
 #[must_use]
-pub fn table1() -> Vec<(DeliveryCase, &'static str, bool)> {
-    use kafkasim::state::{StateMachine, Transition};
-    let scripted: [(DeliveryCase, &'static str, Vec<Transition>); 5] = [
-        (DeliveryCase::Case1, "I", vec![Transition::I]),
-        (DeliveryCase::Case2, "II", vec![Transition::II]),
-        (
-            DeliveryCase::Case3,
-            "II -> tau_r*III",
-            vec![Transition::II, Transition::III, Transition::III],
-        ),
-        (
-            DeliveryCase::Case4,
-            "II -> tau_r*III -> IV",
-            vec![Transition::II, Transition::III, Transition::IV],
-        ),
-        (
-            DeliveryCase::Case5,
-            "II -> tau_r*III -> IV -> V -> tau_d*VI",
-            vec![
-                Transition::II,
-                Transition::III,
-                Transition::IV,
-                Transition::V,
-                Transition::VI,
-            ],
-        ),
-    ];
-    scripted
-        .into_iter()
-        .map(|(case, path, transitions)| {
-            let mut sm = StateMachine::new();
-            for t in transitions {
-                sm.apply(t).expect("scripted path is legal");
-            }
-            (case, path, sm.case() == Some(case))
-        })
-        .collect()
+pub fn table1() -> Vec<(DeliveryCase, String, bool)> {
+    match builtin("table1").experiment {
+        ExperimentSpec::Table1(cases) => exec::table1(&cases),
+        _ => unreachable!("table1 is a Table I scenario"),
+    }
 }
 
 /// One Table II cell pair: default vs dynamic for a scenario.
@@ -443,41 +255,10 @@ pub struct Table2Row {
 /// a synthetic predictor).
 #[must_use]
 pub fn table2(predictor: &dyn Predictor, effort: Effort) -> Vec<Table2Row> {
-    let cal = Calibration::paper();
-    let trace = fig9(effort.seed).timeline;
-    let interval = SimDuration::from_secs(60);
-    ApplicationScenario::table2()
-        .into_iter()
-        .map(|scenario| {
-            let n = messages_for(&scenario, &trace);
-            let default = run_scenario(
-                &scenario,
-                &trace,
-                &StaticPlanner(default_static_config(&cal)),
-                &cal,
-                n,
-                interval,
-                effort.seed,
-            );
-            let planner = ModelPlanner::new(predictor, &cal, SearchSpace::default())
-                .with_mode(effort.planner_mode());
-            let dynamic = run_scenario(&scenario, &trace, &planner, &cal, n, interval, effort.seed);
-            Table2Row {
-                scenario: scenario.name.clone(),
-                weights: scenario.weights,
-                default,
-                dynamic,
-            }
-        })
-        .collect()
-}
-
-/// Messages needed to span the trace at the scenario's mean rate.
-fn messages_for(scenario: &ApplicationScenario, trace: &ConditionTimeline) -> u64 {
-    let horizon = trace.last_change().saturating_since(SimTime::ZERO);
-    let mean_rate = scenario.rate_timeline.iter().map(|(_, r)| *r).sum::<f64>()
-        / scenario.rate_timeline.len().max(1) as f64;
-    ((horizon.as_secs_f64() * mean_rate) as u64).max(100)
+    match builtin("table2").experiment {
+        ExperimentSpec::Table2(spec) => exec::table2(&spec, predictor, effort),
+        _ => unreachable!("table2 is a Table II scenario"),
+    }
 }
 
 /// A simple simulation-independent predictor for harness runs that skip
@@ -517,68 +298,7 @@ pub fn heuristic_predictor() -> impl Predictor {
 /// with and without leader failover (detection delay 1 s).
 #[must_use]
 pub fn ext_broker_outage(effort: Effort) -> Vec<Series> {
-    use kafkasim::broker::BrokerId;
-    use kafkasim::runtime::{BrokerOutage, KafkaRun};
-
-    let cal = Calibration::paper();
-    let durations = [0u64, 5, 10, 20, 30];
-    let variants: [(&str, DeliverySemantics, Option<SimDuration>); 3] = [
-        (
-            "at-most-once, no failover",
-            DeliverySemantics::AtMostOnce,
-            None,
-        ),
-        (
-            "at-least-once, no failover",
-            DeliverySemantics::AtLeastOnce,
-            None,
-        ),
-        (
-            "at-least-once, failover 1s",
-            DeliverySemantics::AtLeastOnce,
-            Some(SimDuration::from_secs(1)),
-        ),
-    ];
-    variants
-        .into_iter()
-        .map(|(label, semantics, failover)| {
-            let points = durations
-                .iter()
-                .map(|&secs| {
-                    let point = ExperimentPoint {
-                        message_size: 200,
-                        timeliness: None,
-                        delay: SimDuration::from_millis(5),
-                        loss_rate: 0.0,
-                        semantics,
-                        batch_size: 1,
-                        poll_interval: SimDuration::from_millis(60),
-                        message_timeout: SimDuration::from_millis(1_000),
-                        ..ExperimentPoint::default()
-                    };
-                    let mut spec = point.to_run_spec(&cal, effort.messages.min(5_000));
-                    if secs > 0 {
-                        spec.outages = vec![BrokerOutage {
-                            broker: BrokerId(0),
-                            from: SimTime::from_secs(10),
-                            until: SimTime::from_secs(10 + secs),
-                        }];
-                        spec.failover_after = failover;
-                    }
-                    let outcome = KafkaRun::new(spec, effort.seed).execute();
-                    SeriesPoint {
-                        x: secs as f64,
-                        p_loss: outcome.report.p_loss(),
-                        p_dup: outcome.report.p_dup(),
-                    }
-                })
-                .collect();
-            Series {
-                label: label.to_string(),
-                points,
-            }
-        })
-        .collect()
+    builtin_sweep("ext-outage", effort)
 }
 
 /// One cell of the EXT-4 broker-fault matrix: a full run at one `acks`
@@ -619,75 +339,10 @@ pub struct BrokerFaultRow {
 /// the audit pins those losses on the broker, not the network.
 #[must_use]
 pub fn ext_broker_faults(effort: Effort) -> Vec<BrokerFaultRow> {
-    use kafkasim::broker::BrokerId;
-    use kafkasim::config::ProducerConfig;
-    use kafkasim::runtime::{BrokerFault, KafkaRun, RunSpec};
-    use kafkasim::source::SourceSpec;
-    use kafkasim::LossReason;
-
-    let n = effort.messages.min(3_000);
-    let spec_for = |semantics: DeliverySemantics, scenario: &str| -> RunSpec {
-        let mut spec = RunSpec {
-            source: SourceSpec::fixed_rate(n, 200, 100.0),
-            ..RunSpec::default()
-        };
-        spec.cluster.partitions = 1;
-        spec.cluster.replication.factor = 3;
-        spec.producer = ProducerConfig::builder()
-            .semantics(semantics)
-            .message_timeout(SimDuration::from_millis(2_500))
-            .max_in_flight(64)
-            .build()
-            .expect("valid producer config");
-        if scenario == "unclean failover" {
-            // Keep the sole follower lagging and out of the ISR.
-            spec.cluster.replication.factor = 2;
-            spec.cluster.replication.lag_time_max = SimDuration::from_millis(200);
-            spec.cluster.replication.max_fetch_records = 1;
-            spec.cluster.replication.allow_unclean = true;
-            spec.faults.push(BrokerFault::crash(
-                BrokerId(1),
-                SimTime::from_millis(100),
-                SimDuration::from_millis(1_400),
-            ));
-        }
-        if scenario != "no fault" {
-            spec.faults.push(BrokerFault::crash(
-                BrokerId(0),
-                SimTime::from_millis(2_115),
-                SimDuration::from_secs(5),
-            ));
-            spec.failover_after = Some(SimDuration::from_millis(500));
-        }
-        spec
-    };
-
-    let mut rows = Vec::new();
-    for (acks, semantics) in [
-        ("acks=0", DeliverySemantics::AtMostOnce),
-        ("acks=1", DeliverySemantics::AtLeastOnce),
-        ("acks=all", DeliverySemantics::All),
-    ] {
-        for scenario in ["no fault", "clean failover", "unclean failover"] {
-            let outcome = KafkaRun::new(spec_for(semantics, scenario), effort.seed).execute();
-            rows.push(BrokerFaultRow {
-                acks: acks.to_string(),
-                scenario: scenario.to_string(),
-                p_loss: outcome.report.p_loss(),
-                p_dup: outcome.report.p_dup(),
-                lost: outcome.report.lost,
-                broker_caused: outcome
-                    .report
-                    .loss_reasons
-                    .get(&LossReason::LeaderFailover)
-                    .copied()
-                    .unwrap_or(0),
-                clean_elections: outcome.brokers.clean_elections,
-                unclean_elections: outcome.brokers.unclean_elections,
-            });
-        }
+    match builtin("broker-faults").experiment {
+        ExperimentSpec::BrokerFaultMatrix(matrix) => exec::broker_fault_matrix(&matrix, effort),
+        _ => unreachable!("broker-faults is a fault-matrix scenario"),
     }
-    rows
 }
 
 /// EXT-2 — the retry strategy (the paper: "we do not make a deep dive into
@@ -697,44 +352,7 @@ pub fn ext_broker_faults(effort: Effort) -> Vec<BrokerFaultRow> {
 /// per request timeout, under a fixed lossy condition.
 #[must_use]
 pub fn ext_retry_strategy(effort: Effort) -> Vec<Series> {
-    use kafkasim::runtime::KafkaRun;
-    let cal = Calibration::paper();
-    let budgets = [0u32, 1, 2, 3, 5, 8];
-    let timeouts_ms = [400u64, 1_000, 2_000];
-    timeouts_ms
-        .into_iter()
-        .map(|rt| {
-            let points = budgets
-                .iter()
-                .map(|&retries| {
-                    let point = ExperimentPoint {
-                        message_size: 200,
-                        timeliness: None,
-                        delay: SimDuration::from_millis(100),
-                        loss_rate: 0.25,
-                        semantics: DeliverySemantics::AtLeastOnce,
-                        batch_size: 2,
-                        poll_interval: SimDuration::from_millis(70),
-                        message_timeout: SimDuration::from_millis(4_000),
-                        ..ExperimentPoint::default()
-                    };
-                    let mut spec = point.to_run_spec(&cal, effort.messages.min(8_000));
-                    spec.producer.max_retries = retries;
-                    spec.producer.request_timeout = SimDuration::from_millis(rt);
-                    let outcome = KafkaRun::new(spec, effort.seed).execute();
-                    SeriesPoint {
-                        x: retries as f64,
-                        p_loss: outcome.report.p_loss(),
-                        p_dup: outcome.report.p_dup(),
-                    }
-                })
-                .collect();
-            Series {
-                label: format!("request timeout {rt}ms"),
-                points,
-            }
-        })
-        .collect()
+    builtin_sweep("ext-retries", effort)
 }
 
 /// ABL-1 — transport ablation: RFC 5827 early retransmit on vs off.
@@ -744,49 +362,7 @@ pub fn ext_retry_strategy(effort: Effort) -> Vec<Series> {
 /// loss rates the paper's testbed handled.
 #[must_use]
 pub fn ablation_early_retransmit(effort: Effort) -> Vec<Series> {
-    use kafkasim::runtime::KafkaRun;
-    let losses = [0.05, 0.10, 0.19, 0.30];
-    [true, false]
-        .into_iter()
-        .map(|early| {
-            let mut cal = Calibration::paper();
-            cal.channel.tcp.early_retransmit = early;
-            let points = losses
-                .iter()
-                .map(|&l| {
-                    // The fire-and-forget, goodput-bound regime of Fig. 4's
-                    // right edge: this is where loss recovery speed decides
-                    // whether the socket backs up into resets.
-                    let point = ExperimentPoint {
-                        message_size: 1_000,
-                        timeliness: None,
-                        delay: SimDuration::from_millis(100),
-                        loss_rate: l,
-                        semantics: DeliverySemantics::AtMostOnce,
-                        batch_size: 1,
-                        poll_interval: SimDuration::ZERO,
-                        message_timeout: SimDuration::from_millis(2_000),
-                        ..ExperimentPoint::default()
-                    };
-                    let spec = point.to_run_spec(&cal, effort.messages.min(8_000));
-                    let outcome = KafkaRun::new(spec, effort.seed).execute();
-                    SeriesPoint {
-                        x: l,
-                        p_loss: outcome.report.p_loss(),
-                        p_dup: outcome.report.p_dup(),
-                    }
-                })
-                .collect();
-            Series {
-                label: if early {
-                    "early retransmit (modern TCP)".into()
-                } else {
-                    "classic 3-dupack Reno".into()
-                },
-                points,
-            }
-        })
-        .collect()
+    builtin_sweep("ablation-transport", effort)
 }
 
 /// ABL-2 — service-jitter ablation: exponential vs deterministic
@@ -797,46 +373,7 @@ pub fn ablation_early_retransmit(effort: Effort) -> Vec<Series> {
 /// containerised producer.
 #[must_use]
 pub fn ablation_service_jitter(effort: Effort) -> Vec<Series> {
-    use kafkasim::runtime::KafkaRun;
-    let timeouts = [200u64, 400, 800, 1500, 3000];
-    [true, false]
-        .into_iter()
-        .map(|jitter| {
-            let mut cal = Calibration::paper();
-            cal.host.jittered_service = jitter;
-            let points = timeouts
-                .iter()
-                .map(|&t| {
-                    let point = ExperimentPoint {
-                        message_size: 620,
-                        timeliness: None,
-                        delay: SimDuration::from_millis(1),
-                        loss_rate: 0.0,
-                        semantics: DeliverySemantics::AtLeastOnce,
-                        batch_size: 1,
-                        poll_interval: SimDuration::ZERO,
-                        message_timeout: SimDuration::from_millis(t),
-                        ..ExperimentPoint::default()
-                    };
-                    let spec = point.to_run_spec(&cal, effort.messages.min(10_000));
-                    let outcome = KafkaRun::new(spec, effort.seed).execute();
-                    SeriesPoint {
-                        x: t as f64,
-                        p_loss: outcome.report.p_loss(),
-                        p_dup: outcome.report.p_dup(),
-                    }
-                })
-                .collect();
-            Series {
-                label: if jitter {
-                    "exponential service (default)".into()
-                } else {
-                    "deterministic service".into()
-                },
-                points,
-            }
-        })
-        .collect()
+    builtin_sweep("ablation-jitter", effort)
 }
 
 /// Figs. 4–6 overlay — the paper's figures compare *predicted* curves with
@@ -845,71 +382,10 @@ pub fn ablation_service_jitter(effort: Effort) -> Vec<Series> {
 /// trained model's predictions.
 #[must_use]
 pub fn prediction_overlay(effort: Effort, paper_scale: bool) -> (Vec<Series>, f64) {
-    let trained = ann_accuracy(effort, paper_scale);
-    let sizes = [50u64, 100, 150, 200, 300, 400, 500, 700, 1000];
-    let cal = Calibration::paper();
-    let mut series = Vec::new();
-    let mut abs_err = 0.0;
-    let mut n_err = 0usize;
-    for semantics in [
-        DeliverySemantics::AtMostOnce,
-        DeliverySemantics::AtLeastOnce,
-    ] {
-        let points: Vec<ExperimentPoint> = sizes
-            .iter()
-            .map(|&m| ExperimentPoint {
-                message_size: m,
-                timeliness: None,
-                delay: SimDuration::from_millis(100),
-                loss_rate: 0.19,
-                semantics,
-                batch_size: 1,
-                poll_interval: SimDuration::ZERO,
-                message_timeout: SimDuration::from_millis(2_000),
-                ..ExperimentPoint::default()
-            })
-            .collect();
-        // Fresh seeds: these measurements are new "test data".
-        let measured = run_sweep(
-            &points,
-            &cal,
-            effort.messages,
-            effort.seed.wrapping_add(777),
-            effort.threads,
-        );
-        let measured_series = Series {
-            label: format!("measured, {semantics}"),
-            points: sizes
-                .iter()
-                .zip(&measured)
-                .map(|(&m, r)| SeriesPoint {
-                    x: m as f64,
-                    p_loss: r.p_loss,
-                    p_dup: r.p_dup,
-                })
-                .collect(),
-        };
-        let predicted_series = Series {
-            label: format!("predicted, {semantics}"),
-            points: sizes
-                .iter()
-                .zip(&measured)
-                .map(|(&m, r)| {
-                    let p = trained.model.predict(&Features::from(&r.point));
-                    abs_err += (p.p_loss - r.p_loss).abs();
-                    n_err += 1;
-                    SeriesPoint {
-                        x: m as f64,
-                        p_loss: p.p_loss,
-                        p_dup: p.p_dup,
-                    }
-                })
-                .collect(),
-        };
-        series.push(measured_series);
-        series.push(predicted_series);
+    match builtin("overlay").experiment {
+        ExperimentSpec::Overlay(spec) => exec::overlay(&spec, effort, paper_scale),
+        _ => unreachable!("overlay is an overlay scenario"),
     }
-    (series, abs_err / n_err as f64)
 }
 
 /// One EXT-3 control-mode row: the run outcome plus, for the online
@@ -937,84 +413,10 @@ pub struct ExtOnlineRow {
 /// saved across replan intervals.
 #[must_use]
 pub fn ext_online(model: ReliabilityModel, effort: Effort) -> Vec<ExtOnlineRow> {
-    use kafka_predict::online::OnlineModelController;
-    use kafkasim::runtime::OnlineSpec;
-    use std::sync::Arc;
-    use testbed::dynamic::{run_scenario_online_traced, StaticPlanner};
-
-    let cal = Calibration::paper();
-    let trace = fig9(effort.seed).timeline;
-    let scenario = ApplicationScenario::web_access_records();
-    let n = {
-        let horizon = trace.last_change().saturating_since(SimTime::ZERO);
-        let mean_rate = scenario.rate_timeline.iter().map(|(_, r)| *r).sum::<f64>()
-            / scenario.rate_timeline.len().max(1) as f64;
-        ((horizon.as_secs_f64() * mean_rate) as u64).max(100)
-    };
-    let interval = SimDuration::from_secs(60);
-    let mut rows = Vec::new();
-
-    let default_cfg = testbed::dynamic::default_static_config(&cal);
-    rows.push(ExtOnlineRow {
-        mode: "static default".to_string(),
-        report: testbed::dynamic::run_scenario(
-            &scenario,
-            &trace,
-            &StaticPlanner(default_cfg.clone()),
-            &cal,
-            n,
-            interval,
-            effort.seed,
-        ),
-        planner_metrics: None,
-    });
-
-    let offline =
-        ModelPlanner::new(&model, &cal, SearchSpace::default()).with_mode(effort.planner_mode());
-    rows.push(ExtOnlineRow {
-        mode: "offline dynamic (network known)".to_string(),
-        report: testbed::dynamic::run_scenario(
-            &scenario,
-            &trace,
-            &offline,
-            &cal,
-            n,
-            interval,
-            effort.seed,
-        ),
-        planner_metrics: None,
-    });
-
-    // The online controller sees only the producer's own statistics; it
-    // owns its copy of the model (the runtime may consult it from a shared
-    // handle).
-    let controller = OnlineModelController::new(
-        model.clone(),
-        &cal,
-        SearchSpace::default(),
-        scenario.weights,
-        scenario.gamma_requirement,
-        scenario.mean_size(),
-        scenario.timeliness.as_secs_f64() * 1e3,
-    );
-    let (report, metrics) = run_scenario_online_traced(
-        &scenario,
-        &trace,
-        default_cfg,
-        OnlineSpec {
-            interval: SimDuration::from_secs(30),
-            controller: Arc::new(controller),
-        },
-        &cal,
-        n,
-        effort.seed,
-    );
-    rows.push(ExtOnlineRow {
-        mode: "online dynamic (network estimated)".to_string(),
-        report,
-        planner_metrics: Some(metrics),
-    });
-    rows
+    match builtin("ext-online").experiment {
+        ExperimentSpec::Online(spec) => exec::online_compare(&spec, model, effort),
+        _ => unreachable!("ext-online is an online-compare scenario"),
+    }
 }
 
 #[cfg(test)]

@@ -43,17 +43,41 @@ pub struct SearchSpace {
 }
 
 impl Default for SearchSpace {
+    /// The paper's search space, derived from the one grid definition the
+    /// spec layer owns ([`spec::ConfigGrid::planner_default`]) so the
+    /// planner and the scenario files can never disagree about the grid.
     fn default() -> Self {
-        SearchSpace {
-            batch: (1, 10),
-            batch_step: 1,
-            timeout_ms: (200.0, 5_000.0),
-            timeout_step_ms: 400.0,
-            poll_ms: (0.0, 200.0),
-            poll_step_ms: 20.0,
-            allow_semantics_switch: true,
-            max_steps: 64,
-        }
+        SearchSpace::try_from(&spec::ConfigGrid::planner_default())
+            .expect("the planner-default grid uses range axes")
+    }
+}
+
+impl TryFrom<&spec::ConfigGrid> for SearchSpace {
+    type Error = String;
+
+    /// Derives the stepwise search space from a declarative grid. Requires
+    /// every axis to be a [`spec::GridAxis::Range`] — the stepwise search
+    /// moves by a fixed step, which an explicit value list cannot express.
+    fn try_from(grid: &spec::ConfigGrid) -> Result<Self, String> {
+        let range = |axis: &spec::GridAxis, name: &str| {
+            axis.as_range()
+                .ok_or_else(|| format!("{name} axis must be a range for the stepwise search"))
+        };
+        let (b_min, b_max, b_step) = range(&grid.batch, "batch")?;
+        let (t_min, t_max, t_step) = range(&grid.timeout_ms, "timeout_ms")?;
+        let (p_min, p_max, p_step) = range(&grid.poll_ms, "poll_ms")?;
+        let space = SearchSpace {
+            batch: (b_min.round() as usize, b_max.round() as usize),
+            batch_step: b_step.round() as usize,
+            timeout_ms: (t_min, t_max),
+            timeout_step_ms: t_step,
+            poll_ms: (p_min, p_max),
+            poll_step_ms: p_step,
+            allow_semantics_switch: grid.allow_semantics_switch,
+            max_steps: grid.max_steps,
+        };
+        space.validate()?;
+        Ok(space)
     }
 }
 
@@ -731,5 +755,28 @@ mod tests {
         };
         let out = rec.recommend(&start, &KpiWeights::paper_default(), 1.5);
         assert_eq!(out.features.semantics, DeliverySemantics::AtMostOnce);
+    }
+
+    #[test]
+    fn default_space_is_the_paper_grid() {
+        // The derived default must stay pinned to the paper's values — the
+        // planner digests and Table II runs depend on this grid.
+        let space = SearchSpace::default();
+        assert_eq!(space.batch, (1, 10));
+        assert_eq!(space.batch_step, 1);
+        assert_eq!(space.timeout_ms, (200.0, 5_000.0));
+        assert_eq!(space.timeout_step_ms, 400.0);
+        assert_eq!(space.poll_ms, (0.0, 200.0));
+        assert_eq!(space.poll_step_ms, 20.0);
+        assert!(space.allow_semantics_switch);
+        assert_eq!(space.max_steps, 64);
+    }
+
+    #[test]
+    fn value_list_axes_cannot_drive_the_stepwise_search() {
+        let mut grid = spec::ConfigGrid::planner_default();
+        grid.batch = spec::GridAxis::Values(vec![1.0, 4.0]);
+        let err = SearchSpace::try_from(&grid).unwrap_err();
+        assert!(err.contains("batch axis"));
     }
 }

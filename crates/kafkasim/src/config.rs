@@ -247,6 +247,26 @@ impl core::fmt::Display for ConfigError {
     }
 }
 
+impl ConfigError {
+    /// The name of the [`ProducerConfig`] field the error is about.
+    ///
+    /// Spec-layer validation uses this to anchor the message at a full
+    /// field path (`experiment.Sweep.base.batch_size`), keeping producer
+    /// and spec errors consistent.
+    #[must_use]
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::ZeroBatchSize => "batch_size",
+            ConfigError::ZeroMessageTimeout => "message_timeout",
+            ConfigError::ZeroInFlight => "max_in_flight",
+            ConfigError::BufferSmallerThanBatch => "buffer_capacity",
+            ConfigError::ZeroRequestTimeout => "request_timeout",
+            ConfigError::ZeroStallBackoffs => "stall_backoffs",
+            ConfigError::ZeroStallPatience => "stall_patience",
+        }
+    }
+}
+
 impl std::error::Error for ConfigError {}
 
 /// Builder for [`ProducerConfig`].

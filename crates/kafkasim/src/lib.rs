@@ -109,7 +109,7 @@ pub mod state;
 pub mod wire;
 
 pub use audit::{DeliveryReport, LossReason};
-pub use config::{DeliverySemantics, ProducerConfig};
+pub use config::{ConfigError, DeliverySemantics, ProducerConfig};
 pub use explain::{crosscheck, TraceAudit};
 pub use runtime::{KafkaRun, RunArena, RunOutcome, RunSpec};
 pub use source::SourceSpec;

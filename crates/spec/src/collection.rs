@@ -1,4 +1,6 @@
-//! The Fig. 3 training-data collection design.
+//! The Fig. 3 training-data collection design (moved here from
+//! `testbed::collection` so the grids are part of the declarative spec
+//! layer).
 //!
 //! The full feature space grows exponentially, so the paper splits it by
 //! the current network environment:
@@ -11,12 +13,17 @@
 //!   (`D`, `L`) are swept together with batching and semantics.
 //!
 //! Feature ranges follow real-world systems, as the paper prescribes.
+//! The producer-configuration axes (timeouts, polling intervals, batch
+//! sizes) are expressed as [`GridAxis`] — the same axis type the planner
+//! grid uses — so a scenario file states every grid the same way.
 
 use desim::SimDuration;
 use kafkasim::config::DeliverySemantics;
 use serde::{Deserialize, Serialize};
+use testbed::experiment::ExperimentPoint;
 
-use crate::experiment::ExperimentPoint;
+use crate::error::SpecError;
+use crate::grid::GridAxis;
 
 /// Grid over the effective features of the paper's *normal* cases.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,9 +31,9 @@ pub struct NormalCaseGrid {
     /// Message sizes `M` (bytes).
     pub message_sizes: Vec<u64>,
     /// Message timeouts `T_o` (ms).
-    pub message_timeouts_ms: Vec<u64>,
+    pub message_timeouts_ms: GridAxis,
     /// Polling intervals `δ` (ms; 0 = full load).
-    pub poll_intervals_ms: Vec<u64>,
+    pub poll_intervals_ms: GridAxis,
     /// Delivery semantics to cover.
     pub semantics: Vec<DeliverySemantics>,
     /// The healthy baseline delay.
@@ -37,8 +44,8 @@ impl Default for NormalCaseGrid {
     fn default() -> Self {
         NormalCaseGrid {
             message_sizes: vec![50, 100, 200, 400, 700, 1000],
-            message_timeouts_ms: vec![200, 500, 1000, 1500, 2000, 3000],
-            poll_intervals_ms: vec![0, 10, 30, 60, 90],
+            message_timeouts_ms: GridAxis::values_from_u64(&[200, 500, 1000, 1500, 2000, 3000]),
+            poll_intervals_ms: GridAxis::values_from_u64(&[0, 10, 30, 60, 90]),
             semantics: vec![
                 DeliverySemantics::AtMostOnce,
                 DeliverySemantics::AtLeastOnce,
@@ -62,7 +69,7 @@ impl NormalCaseGrid {
         for &semantics in &self.semantics {
             for &m in &self.message_sizes {
                 // Sweep T_o at full load.
-                for &t_o in &self.message_timeouts_ms {
+                for t_o in self.message_timeouts_ms.values_u64() {
                     points.push(ExperimentPoint {
                         message_size: m,
                         timeliness: None,
@@ -76,7 +83,7 @@ impl NormalCaseGrid {
                     });
                 }
                 // Sweep δ at the default timeout.
-                for &delta in &self.poll_intervals_ms {
+                for delta in self.poll_intervals_ms.values_u64() {
                     points.push(ExperimentPoint {
                         message_size: m,
                         timeliness: None,
@@ -93,6 +100,31 @@ impl NormalCaseGrid {
         }
         points
     }
+
+    /// Validates the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] anchored beneath `path`.
+    pub fn validate(&self, path: &str) -> Result<(), SpecError> {
+        if self.message_sizes.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.message_sizes"),
+                "need at least one message size",
+            ));
+        }
+        self.message_timeouts_ms
+            .validate(&format!("{path}.message_timeouts_ms"))?;
+        self.poll_intervals_ms
+            .validate(&format!("{path}.poll_intervals_ms"))?;
+        if self.semantics.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.semantics"),
+                "need at least one delivery semantics",
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Grid over the effective features of the paper's *abnormal* cases.
@@ -105,7 +137,7 @@ pub struct AbnormalCaseGrid {
     /// Injected packet-loss rates `L`.
     pub loss_rates: Vec<f64>,
     /// Batch sizes `B`.
-    pub batch_sizes: Vec<usize>,
+    pub batch_sizes: GridAxis,
     /// Delivery semantics to cover.
     pub semantics: Vec<DeliverySemantics>,
     /// The "proper" polling interval fixed from the normal study (ms).
@@ -123,7 +155,7 @@ impl Default for AbnormalCaseGrid {
             message_sizes: vec![100, 200, 500, 1000],
             delays_ms: vec![50, 100, 200],
             loss_rates: vec![0.02, 0.05, 0.08, 0.10, 0.13, 0.16, 0.19, 0.25, 0.30, 0.40],
-            batch_sizes: vec![1, 2, 4, 6, 8, 10],
+            batch_sizes: GridAxis::values_from_u64(&[1, 2, 4, 6, 8, 10]),
             semantics: vec![
                 DeliverySemantics::AtMostOnce,
                 DeliverySemantics::AtLeastOnce,
@@ -145,6 +177,7 @@ impl AbnormalCaseGrid {
     pub fn points(&self) -> Vec<ExperimentPoint> {
         let mut points = Vec::new();
         let default_size = 200;
+        let batch_sizes = self.batch_sizes.values_usize();
         for &semantics in &self.semantics {
             for &d in &self.delays_ms {
                 for &l in &self.loss_rates {
@@ -156,7 +189,7 @@ impl AbnormalCaseGrid {
                             points.push(full);
                         }
                     }
-                    for &b in &self.batch_sizes {
+                    for &b in &batch_sizes {
                         if b == 1 {
                             continue; // covered by the size axis
                         }
@@ -187,6 +220,46 @@ impl AbnormalCaseGrid {
             message_timeout: SimDuration::from_millis(self.fixed_timeout_ms),
             ..ExperimentPoint::default()
         }
+    }
+
+    /// Validates the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] anchored beneath `path`.
+    pub fn validate(&self, path: &str) -> Result<(), SpecError> {
+        if self.message_sizes.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.message_sizes"),
+                "need at least one message size",
+            ));
+        }
+        if self.delays_ms.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.delays_ms"),
+                "need at least one delay",
+            ));
+        }
+        if self.loss_rates.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.loss_rates"),
+                "need at least one loss rate",
+            ));
+        }
+        if self.loss_rates.iter().any(|l| !(0.0..=1.0).contains(l)) {
+            return Err(SpecError::new(
+                format!("{path}.loss_rates"),
+                "loss rates must be within [0, 1]",
+            ));
+        }
+        self.batch_sizes.validate(&format!("{path}.batch_sizes"))?;
+        if self.semantics.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.semantics"),
+                "need at least one delivery semantics",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -265,6 +338,39 @@ impl BrokerFaultGrid {
         }
         points
     }
+
+    /// Validates the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] anchored beneath `path`.
+    pub fn validate(&self, path: &str) -> Result<(), SpecError> {
+        if self.replication_factors.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.replication_factors"),
+                "need at least one replication factor",
+            ));
+        }
+        if self.replication_factors.contains(&0) {
+            return Err(SpecError::new(
+                format!("{path}.replication_factors"),
+                "replication factors start at 1",
+            ));
+        }
+        if self.downtimes_ms.is_empty() || self.downtimes_ms.contains(&0) {
+            return Err(SpecError::new(
+                format!("{path}.downtimes_ms"),
+                "downtimes must be non-empty and positive",
+            ));
+        }
+        if self.semantics.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.semantics"),
+                "need at least one delivery semantics",
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The complete collection design: the paper's two Fig. 3 grids plus the
@@ -300,6 +406,18 @@ impl CollectionDesign {
             self.broker_faults.points().len(),
         )
     }
+
+    /// Validates all three grids.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] anchored beneath `path`.
+    pub fn validate(&self, path: &str) -> Result<(), SpecError> {
+        self.normal.validate(&format!("{path}.normal"))?;
+        self.abnormal.validate(&format!("{path}.abnormal"))?;
+        self.broker_faults
+            .validate(&format!("{path}.broker_faults"))
+    }
 }
 
 #[cfg(test)]
@@ -327,7 +445,7 @@ mod tests {
         let grid = NormalCaseGrid::default();
         let expected = grid.semantics.len()
             * grid.message_sizes.len()
-            * (grid.message_timeouts_ms.len() + grid.poll_intervals_ms.len());
+            * (grid.message_timeouts_ms.values().len() + grid.poll_intervals_ms.values().len());
         assert_eq!(grid.points().len(), expected);
     }
 
@@ -335,7 +453,8 @@ mod tests {
     fn abnormal_grid_size_is_axes_not_product() {
         let grid = AbnormalCaseGrid::default();
         let size_axes = if grid.include_full_load_axis { 2 } else { 1 };
-        let per_network = grid.message_sizes.len() * size_axes + (grid.batch_sizes.len() - 1);
+        let per_network =
+            grid.message_sizes.len() * size_axes + (grid.batch_sizes.values().len() - 1);
         let expected =
             grid.semantics.len() * grid.delays_ms.len() * grid.loss_rates.len() * per_network;
         assert_eq!(grid.points().len(), expected);
@@ -386,12 +505,27 @@ mod tests {
             message_sizes: vec![200],
             delays_ms: vec![100],
             loss_rates: vec![0.1],
-            batch_sizes: vec![1, 2],
+            batch_sizes: GridAxis::values_from_u64(&[1, 2]),
             semantics: vec![DeliverySemantics::AtLeastOnce],
             include_full_load_axis: false,
             ..AbnormalCaseGrid::default()
         };
         // size axis gives B=1 at M=200; batch axis adds only B=2.
         assert_eq!(grid.points().len(), 2);
+    }
+
+    #[test]
+    fn default_design_validates() {
+        CollectionDesign::default().validate("collection").unwrap();
+    }
+
+    #[test]
+    fn validation_pins_the_offending_axis() {
+        let grid = AbnormalCaseGrid {
+            loss_rates: vec![1.5],
+            ..AbnormalCaseGrid::default()
+        };
+        let err = grid.validate("experiment.Collection.abnormal").unwrap_err();
+        assert_eq!(err.path, "experiment.Collection.abnormal.loss_rates");
     }
 }

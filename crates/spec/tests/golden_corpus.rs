@@ -1,0 +1,88 @@
+//! Golden-file tests over the committed `scenarios/` corpus.
+//!
+//! Every file must parse, validate, carry the name of its file stem, and
+//! be byte-for-byte equal (as a document) to the built-in definition it
+//! mirrors — and the corpus must cover every built-in. `repro
+//! export-scenarios scenarios` regenerates the corpus after a deliberate
+//! change.
+
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn corpus() -> Vec<(PathBuf, spec::Spec)> {
+    let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("scenarios/ directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "scenarios/ must not be empty");
+    paths
+        .into_iter()
+        .map(|p| {
+            let doc = spec::io::load(&p).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (p, doc)
+        })
+        .collect()
+}
+
+#[test]
+fn every_file_parses_and_validates() {
+    for (path, doc) in corpus() {
+        doc.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn file_stems_match_scenario_names() {
+    for (path, doc) in corpus() {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap();
+        assert_eq!(stem, doc.name, "{} is misnamed", path.display());
+    }
+}
+
+#[test]
+fn corpus_matches_builtins_exactly() {
+    let docs = corpus();
+    for builtin in spec::builtin::all() {
+        let found = docs
+            .iter()
+            .find(|(_, d)| d.name == builtin.name)
+            .unwrap_or_else(|| panic!("scenarios/{}.toml is missing", builtin.name));
+        assert_eq!(
+            found.1, builtin,
+            "scenarios/{}.toml drifted from the built-in definition",
+            builtin.name
+        );
+    }
+    assert_eq!(
+        docs.len(),
+        spec::builtin::all().len(),
+        "scenarios/ has files with no built-in counterpart"
+    );
+}
+
+#[test]
+fn corpus_round_trips_through_both_formats() {
+    for (path, doc) in corpus() {
+        let toml = spec::io::to_toml_string(&doc);
+        assert_eq!(
+            spec::io::from_toml_str(&toml).unwrap(),
+            doc,
+            "{}: TOML round-trip",
+            path.display()
+        );
+        let json = spec::io::to_json_string(&doc);
+        assert_eq!(
+            spec::io::from_json_str(&json).unwrap(),
+            doc,
+            "{}: JSON round-trip",
+            path.display()
+        );
+    }
+}

@@ -15,10 +15,6 @@
 //!   paper with a replication factor, an injected broker-crash downtime
 //!   and an unclean-election switch — and its execution.
 //! * [`sweep`] — parallel execution of experiment grids.
-//! * [`collection`] — the Fig. 3 training-data collection design: the
-//!   normal-case and abnormal-case feature grids, plus the
-//!   [`collection::BrokerFaultGrid`] covering broker crashes under
-//!   `acks ∈ {0, 1, all}`.
 //! * [`dataset`] — persistence of collected results with provenance.
 //! * [`sensitivity`] — the §III-D ±50 % feature-selection analysis.
 //! * [`scenarios`] — the three Table II application workloads (social-media
@@ -47,7 +43,6 @@
 #![warn(missing_docs)]
 
 pub mod calibration;
-pub mod collection;
 pub mod dataset;
 pub mod dynamic;
 pub mod experiment;
