@@ -50,5 +50,61 @@ assert "planner_digest" in d["planner"], "missing planner digest"
 int(d["predictions_digest"], 16)
 int(d["planner"]["planner_digest"], 16)
 EOF
+# The simulation baseline must carry its digest plus the interleaved
+# min-of-N obs-overhead measurement, with a ratio inside the sane band
+# perfbase itself asserts (re-checked here against the written file).
+python3 - target/bench-smoke/BENCH_sim.json <<'EOF' \
+    || { echo "BENCH_sim.json schema check failed" >&2; exit 1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("mode", "threads", "sweep", "single_run", "obs_overhead",
+            "peak_rss_kb"):
+    assert key in d, f"missing key: {key}"
+for key in ("points", "n_messages", "wall_s", "msgs_per_sec", "results_digest"):
+    assert key in d["sweep"], f"missing sweep key: {key}"
+for key in ("n_messages", "wall_s", "msgs_per_sec"):
+    assert key in d["single_run"], f"missing single_run key: {key}"
+for key in ("reps", "untraced_wall_s", "noop_wall_s", "noop_over_untraced"):
+    assert key in d["obs_overhead"], f"missing obs_overhead key: {key}"
+int(d["sweep"]["results_digest"], 16)
+assert d["obs_overhead"]["reps"] >= 3, "obs overhead needs min-of-N reps"
+ratio = d["obs_overhead"]["noop_over_untraced"]
+assert 0.75 <= ratio <= 2.5, f"obs overhead ratio {ratio} outside sane band"
+EOF
+# The training baseline must carry the weights digest that pins training
+# speedups to bit-identical results.
+python3 - target/bench-smoke/BENCH_train.json <<'EOF' \
+    || { echo "BENCH_train.json schema check failed" >&2; exit 1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("mode", "samples", "epochs", "wall_s", "epochs_per_sec",
+            "final_mse", "weights_digest", "peak_rss_kb"):
+    assert key in d, f"missing key: {key}"
+int(d["weights_digest"], 16)
+assert d["epochs_per_sec"] > 0, "non-positive training rate"
+EOF
+
+echo "== span profiler (smoke) =="
+# The profiled smoke run must keep emitting a loadable Chrome trace:
+# valid JSON, balanced and well-nested B/E events, monotone timestamps.
+target/release/repro profile --quick --out target/profile-smoke
+python3 - target/profile-smoke/trace.json <<'EOF' \
+    || { echo "Chrome trace validation failed" >&2; exit 1; }
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "trace is not a non-empty array"
+depth, last_ts = 0, 0.0
+for e in events:
+    assert e["ph"] in ("B", "E"), f"unexpected phase {e['ph']}"
+    assert e["ts"] >= last_ts, "timestamps must be non-decreasing"
+    last_ts = e["ts"]
+    depth += 1 if e["ph"] == "B" else -1
+    assert depth >= 0, "E without matching B"
+assert depth == 0, "unbalanced B/E events"
+EOF
+[ -s target/profile-smoke/profile.folded ] \
+    || { echo "missing folded stacks" >&2; exit 1; }
+[ -s target/profile-smoke/windows.csv ] \
+    || { echo "missing windowed KPIs" >&2; exit 1; }
 
 echo "CI green."

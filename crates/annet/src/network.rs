@@ -6,6 +6,7 @@
 //! [`NetworkBuilder::paper_topology`].
 
 use desim::SimRng;
+use obs::Profiler;
 use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
@@ -309,6 +310,27 @@ impl Network {
     /// `epochs` or `batch_size` is zero, or when the learning rate is not
     /// strictly positive.
     pub fn train(&mut self, data: &Dataset, config: &TrainConfig, rng: &mut SimRng) -> TrainReport {
+        self.train_profiled(data, config, rng, &Profiler::disabled())
+    }
+
+    /// Trains like [`Network::train`] with a wall-clock span [`Profiler`]
+    /// attached: each epoch, each mini-batch's forward and backward
+    /// stages, and the per-epoch loss evaluation get their own spans.
+    ///
+    /// Profiling is observational only — the trained weights are
+    /// bit-identical whether the profiler is enabled or disabled (a
+    /// disabled profiler costs one branch per instrumented stage).
+    ///
+    /// # Panics
+    ///
+    /// As [`Network::train`].
+    pub fn train_profiled(
+        &mut self,
+        data: &Dataset,
+        config: &TrainConfig,
+        rng: &mut SimRng,
+        prof: &Profiler,
+    ) -> TrainReport {
         self.check_train_args(data, config);
         let n = data.len();
         let mut order: Vec<usize> = (0..n).collect();
@@ -316,12 +338,14 @@ impl Network {
         let mut velocities: Vec<Velocity> = self.layers.iter().map(Dense::zero_velocity).collect();
         let mut scratch = TrainScratch::new(self);
         for _ in 0..config.epochs {
+            let _epoch_guard = prof.span("annet.epoch");
             if config.shuffle {
                 rng.shuffle(&mut order);
             }
             for chunk in order.chunks(config.batch_size) {
-                self.train_batch(data, chunk, config, &mut velocities, &mut scratch);
+                self.train_batch(data, chunk, config, &mut velocities, &mut scratch, prof);
             }
+            let _eval_guard = prof.span("annet.eval");
             epoch_losses.push(self.mse_scratch(data, &mut scratch));
         }
         TrainReport { epoch_losses }
@@ -347,6 +371,26 @@ impl Network {
         rng: &mut SimRng,
         threads: usize,
     ) -> TrainReport {
+        self.train_parallel_profiled(data, config, rng, threads, &Profiler::disabled())
+    }
+
+    /// Trains like [`Network::train_parallel`] with a wall-clock span
+    /// [`Profiler`] attached. Spans cover whole epochs and the per-epoch
+    /// loss evaluation; the shard workers themselves are not instrumented
+    /// (spans nest in one logical flow, and per-shard timing would
+    /// perturb the hot path the benchmark measures).
+    ///
+    /// # Panics
+    ///
+    /// As [`Network::train_parallel`].
+    pub fn train_parallel_profiled(
+        &mut self,
+        data: &Dataset,
+        config: &TrainConfig,
+        rng: &mut SimRng,
+        threads: usize,
+        prof: &Profiler,
+    ) -> TrainReport {
         self.check_train_args(data, config);
         assert!(threads > 0, "need at least one worker");
         let n = data.len();
@@ -358,6 +402,7 @@ impl Network {
         let mut total: Vec<DenseGradients> =
             self.layers.iter().map(Dense::zero_gradients).collect();
         for _ in 0..config.epochs {
+            let _epoch_guard = prof.span("annet.epoch");
             if config.shuffle {
                 rng.shuffle(&mut order);
             }
@@ -372,6 +417,7 @@ impl Network {
                     threads,
                 );
             }
+            let _eval_guard = prof.span("annet.eval");
             epoch_losses.push(self.mse_scratch(data, &mut scratches[0]));
         }
         TrainReport { epoch_losses }
@@ -421,12 +467,16 @@ impl Network {
         config: &TrainConfig,
         velocities: &mut [Velocity],
         scratch: &mut TrainScratch,
+        prof: &Profiler,
     ) {
+        let forward_guard = prof.span("annet.forward");
         // Gather the batch, then forward keeping every layer's output.
         data.x()
             .gather_rows_into(chunk, &mut scratch.activations[0]);
         data.y().gather_rows_into(chunk, &mut scratch.targets);
         self.forward_scratch(scratch);
+        drop(forward_guard);
+        let _backward_guard = prof.span("annet.backward");
         // d(MSE)/d(output) = 2/(n·k) · (pred − target); fold constants into
         // the per-batch normalisation.
         Self::loss_gradient_scratch(scratch, chunk.len() as f64, self.output_dim());

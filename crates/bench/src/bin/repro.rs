@@ -30,6 +30,7 @@ struct Args {
     data: Option<String>,
     save_data: Option<String>,
     trace_out: Option<String>,
+    out: Option<String>,
 }
 
 fn parse_args() -> Result<(String, Option<String>, Args), String> {
@@ -42,6 +43,7 @@ fn parse_args() -> Result<(String, Option<String>, Args), String> {
     let mut data = None;
     let mut save_data = None;
     let mut trace_out = None;
+    let mut out = None;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--quick" => {
@@ -67,6 +69,7 @@ fn parse_args() -> Result<(String, Option<String>, Args), String> {
             "--data" => data = Some(argv.next().ok_or("--data needs a path")?),
             "--save-data" => save_data = Some(argv.next().ok_or("--save-data needs a path")?),
             "--trace-out" => trace_out = Some(argv.next().ok_or("--trace-out needs a path")?),
+            "--out" => out = Some(argv.next().ok_or("--out needs a directory")?),
             other if !other.starts_with("--") && operand.is_none() => {
                 operand = Some(other.to_string());
             }
@@ -83,6 +86,7 @@ fn parse_args() -> Result<(String, Option<String>, Args), String> {
             data,
             save_data,
             trace_out,
+            out,
         },
     ))
 }
@@ -93,7 +97,9 @@ fn usage() -> String {
      \x20      repro run-spec FILE.{toml|json} [flags as above]\n\
      \x20      repro list-scenarios [DIR]\n\
      \x20      repro validate-scenarios [DIR]\n\
-     \x20      repro export-scenarios DIR"
+     \x20      repro export-scenarios DIR\n\
+     \x20      repro profile [--out DIR] [--seed S] [--messages N]\n\
+     \x20      repro report [SCENARIO|FILE.toml] [--out DIR] [--seed S] [--messages N]"
         .to_string()
 }
 
@@ -115,6 +121,8 @@ fn main() {
             };
             export_scenarios(&dir);
         }
+        "profile" => profile(&args),
+        "report" => report(operand.as_deref(), &args),
         "run-spec" => {
             let Some(file) = operand else {
                 eprintln!("run-spec needs a scenario file\n{}", usage());
@@ -141,6 +149,101 @@ fn main() {
                 std::process::exit(2);
             }
         },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observability subcommands
+// ---------------------------------------------------------------------------
+
+/// `repro profile` — runs the full-stack profiled smoke scenario and
+/// writes the Chrome trace, folded stacks and windowed KPIs.
+fn profile(args: &Args) {
+    let dir = args.out.as_deref().unwrap_or("target/profile");
+    let smoke = bench::report::profile_smoke(args.effort);
+    let written = match bench::report::write_profile(&smoke, Path::new(dir)) {
+        Ok(written) => written,
+        Err(e) => {
+            eprintln!("cannot write profile to {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if args.json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "events": smoke.events,
+                "windows": smoke.windows.rows.len(),
+                "span_paths": smoke.profile.spans.len(),
+                "span_events": smoke.profile.events.len(),
+                "root_total_ns": smoke.profile.root_total_ns(),
+                "files": written,
+            })
+        );
+        return;
+    }
+    println!(
+        "profiled smoke run: {} trace events, {} windows, {} span paths, \
+         {:.1} ms profiled wall-clock (P_l {:.4})",
+        smoke.events,
+        smoke.windows.rows.len(),
+        smoke.profile.spans.len(),
+        smoke.profile.root_total_ns() as f64 / 1e6,
+        smoke.report.p_loss(),
+    );
+    for path in &written {
+        println!("  wrote {path}");
+    }
+    println!("open trace.json at https://ui.perfetto.dev (or chrome://tracing)");
+}
+
+/// `repro report` — generates the self-describing run report for one
+/// scenario (built-in name or document path; defaults to `fig4`, the
+/// scenario whose document carries a `[report]` block).
+fn report(operand: Option<&str>, args: &Args) {
+    let target = operand.unwrap_or("fig4");
+    let doc = if Path::new(target).is_file() {
+        match spec::io::load(Path::new(target)) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{target}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match Spec::builtin(target) {
+            Some(doc) => doc,
+            None => {
+                eprintln!("unknown scenario {target}\n{}", usage());
+                std::process::exit(2);
+            }
+        }
+    };
+    let run_report = match bench::report::generate(&doc, args.effort) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let dir = args.out.as_deref().unwrap_or("target/report");
+    let written = match bench::report::write_report(&run_report, Path::new(dir)) {
+        Ok(written) => written,
+        Err(e) => {
+            eprintln!("cannot write report to {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&run_report.json).expect("report serialises")
+        );
+        return;
+    }
+    print!("{}", run_report.markdown);
+    for path in &written {
+        println!("wrote {path}");
     }
 }
 

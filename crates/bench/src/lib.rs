@@ -34,3 +34,4 @@
 pub mod exec;
 pub mod figures;
 pub mod render;
+pub mod report;

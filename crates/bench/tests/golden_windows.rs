@@ -1,0 +1,46 @@
+//! Golden pin of the fig4 per-window KPI companion.
+//!
+//! `results/fig4_windows.csv` is the committed windowed time-series for
+//! the fig4 scenario's representative run (base point, seed 42, 2000
+//! messages, the 1000 ms windows its `[report]` block declares). The
+//! window recorder is pure over the trace events, so the CSV must be
+//! byte-stable across machines; a diff here means either the simulator's
+//! event stream or the window semantics changed. Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- report fig4 \
+//!     --seed 42 --messages 2000 --out target/report-fig4
+//! cp target/report-fig4/windows.csv results/fig4_windows.csv
+//! ```
+
+use bench::figures::Effort;
+use bench::report;
+use spec::Spec;
+
+#[test]
+fn fig4_windowed_kpis_match_the_committed_golden() {
+    let doc = Spec::builtin("fig4").expect("fig4 is a built-in scenario");
+    assert!(
+        doc.report.is_some(),
+        "fig4's document must carry the [report] block the golden derives from"
+    );
+    let effort = Effort {
+        messages: 2_000,
+        threads: 1,
+        seed: 42,
+        grid_planner: false,
+    };
+    let run_report = report::generate(&doc, effort).expect("fig4 is reportable");
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/fig4_windows.csv"
+    );
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("results/fig4_windows.csv is committed (see module docs to regenerate)");
+    assert_eq!(
+        run_report.windows.to_csv(),
+        golden,
+        "fig4 windowed KPIs drifted from results/fig4_windows.csv; \
+         regenerate it if the change is intended (see module docs)"
+    );
+}

@@ -15,7 +15,7 @@ use std::sync::Mutex;
 use kafkasim::config::ProducerConfig;
 use kafkasim::fasthash::FastMap;
 use kafkasim::runtime::{OnlineController, WindowStats};
-use obs::MetricsRegistry;
+use obs::{MetricsRegistry, Profiler};
 use serde::{Deserialize, Serialize};
 use testbed::scenarios::KpiWeights;
 use testbed::Calibration;
@@ -254,27 +254,45 @@ impl PredictionCache {
 pub struct CachedPredictor<'a> {
     inner: &'a dyn Predictor,
     cache: &'a PredictionCache,
+    prof: Profiler,
 }
 
 impl<'a> CachedPredictor<'a> {
     /// Couples `inner` with `cache`.
     #[must_use]
     pub fn new(inner: &'a dyn Predictor, cache: &'a PredictionCache) -> Self {
-        CachedPredictor { inner, cache }
+        CachedPredictor::with_profiler(inner, cache, Profiler::disabled())
+    }
+
+    /// [`CachedPredictor::new`] with a span profiler attached: cache
+    /// probes and inner-model evaluations of misses get their own spans
+    /// (`core.cache-probe`, `core.predict-miss`).
+    #[must_use]
+    pub fn with_profiler(
+        inner: &'a dyn Predictor,
+        cache: &'a PredictionCache,
+        prof: Profiler,
+    ) -> Self {
+        CachedPredictor { inner, cache, prof }
     }
 }
 
 impl Predictor for CachedPredictor<'_> {
     fn predict(&self, features: &Features) -> Prediction {
+        let _probe_guard = self.prof.span("core.cache-probe");
         if let Some(hit) = self.cache.get(features) {
             return hit;
         }
-        let prediction = self.inner.predict(features);
+        let prediction = {
+            let _miss_guard = self.prof.span("core.predict-miss");
+            self.inner.predict(features)
+        };
         self.cache.insert(features, prediction);
         prediction
     }
 
     fn predict_batch(&self, features: &[Features]) -> Vec<Prediction> {
+        let probe_guard = self.prof.span("core.cache-probe");
         let mut out: Vec<Option<Prediction>> = vec![None; features.len()];
         let mut missed_keys: Vec<CacheKey> = Vec::new();
         let mut missed_rows: Vec<usize> = Vec::new();
@@ -289,7 +307,9 @@ impl Predictor for CachedPredictor<'_> {
                 }
             }
         }
+        drop(probe_guard);
         if !missed_rows.is_empty() {
+            let _miss_guard = self.prof.span("core.predict-miss");
             let missed: Vec<Features> = missed_rows.iter().map(|&i| features[i]).collect();
             let fresh = self.inner.predict_batch(&missed);
             for (&i, p) in missed_rows.iter().zip(&fresh) {
@@ -329,6 +349,7 @@ pub struct OnlineModelController<P> {
     estimator: Mutex<NetworkEstimator>,
     cache: PredictionCache,
     replans: AtomicU64,
+    prof: Profiler,
 }
 
 /// Memo-cache capacity of [`OnlineModelController`]: a planning problem
@@ -366,7 +387,18 @@ impl<P: Predictor + Send + Sync> OnlineModelController<P> {
             estimator: Mutex::new(NetworkEstimator::new(0.5)),
             cache: PredictionCache::new(CONTROLLER_CACHE_CAPACITY),
             replans: AtomicU64::new(0),
+            prof: Profiler::disabled(),
         }
+    }
+
+    /// Attaches a span profiler: every replan gets a `core.replan` span,
+    /// with `core.cache-probe` / `core.predict-miss` children from the
+    /// memo-cached predictor. Profiling is observational only — decisions
+    /// are identical with the profiler enabled, disabled, or absent.
+    #[must_use]
+    pub fn with_profiler(mut self, prof: Profiler) -> Self {
+        self.prof = prof;
+        self
     }
 
     /// The current network estimate (for inspection and tests).
@@ -402,7 +434,9 @@ impl<P: Predictor + Send + Sync> OnlineController for OnlineModelController<P> {
             ..Features::default()
         };
         self.replans.fetch_add(1, Ordering::Relaxed);
-        let cached = CachedPredictor::new(&self.predictor, &self.cache);
+        let _replan_guard = self.prof.span("core.replan");
+        let cached =
+            CachedPredictor::with_profiler(&self.predictor, &self.cache, self.prof.clone());
         let recommender = Recommender::new(&self.kpi, &cached, self.space.clone());
         let rec = recommender.recommend(&start, &self.weights, self.gamma_requirement);
         let mut cfg = rec

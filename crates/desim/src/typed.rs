@@ -230,6 +230,27 @@ impl<W: EventWorld> EventSim<W> {
         self.ctx.fired - before
     }
 
+    /// Fires up to `max_events` events while the clock has not passed
+    /// `deadline`, returning how many fired.
+    ///
+    /// The deadline check mirrors the plain `while now() <= deadline {
+    /// step() }` driver loop: it is applied *before* each step, so the
+    /// last fired event may carry the clock past `deadline` (exactly as
+    /// that loop allows). Calling `run_slice` repeatedly until it
+    /// returns `0` is therefore event-for-event identical to the plain
+    /// loop — the slicing only adds resumption points, which profilers
+    /// and cooperative schedulers use to bound time inside one call.
+    pub fn run_slice(&mut self, deadline: SimTime, max_events: u64) -> u64 {
+        let mut fired = 0;
+        while fired < max_events && self.ctx.now <= deadline {
+            if !self.step() {
+                break;
+            }
+            fired += 1;
+        }
+        fired
+    }
+
     /// Total events fired since construction.
     #[must_use]
     pub fn events_fired(&self) -> u64 {
@@ -344,5 +365,43 @@ mod tests {
     fn step_returns_false_when_idle() {
         let mut s = sim();
         assert!(!s.step());
+    }
+
+    #[test]
+    fn run_slice_matches_plain_step_loop() {
+        let times = [5u64, 10, 15, 20, 40, 41];
+        let deadline = SimTime::from_millis(20);
+
+        // Reference: the plain driver loop.
+        let mut reference = sim();
+        for ms in times {
+            reference.schedule_at(SimTime::from_millis(ms), Ev::Mark(ms as u32));
+        }
+        while reference.now() <= deadline {
+            if !reference.step() {
+                break;
+            }
+        }
+
+        // Sliced: repeated run_slice with a tiny budget.
+        let mut sliced = sim();
+        for ms in times {
+            sliced.schedule_at(SimTime::from_millis(ms), Ev::Mark(ms as u32));
+        }
+        let mut total = 0;
+        loop {
+            let fired = sliced.run_slice(deadline, 2);
+            if fired == 0 {
+                break;
+            }
+            total += fired;
+        }
+
+        assert_eq!(sliced.world().seen, reference.world().seen);
+        assert_eq!(sliced.now(), reference.now());
+        assert_eq!(total, reference.events_fired());
+        // The deadline check happens before each step, so the first event
+        // past the deadline fires (clock at 40), exactly like the loop.
+        assert_eq!(sliced.world().seen, vec![5, 10, 15, 20, 40]);
     }
 }

@@ -31,7 +31,7 @@ use netsim::channel::SendRecordError;
 use netsim::{
     ChannelConfig, ChannelEvent, ConditionTimeline, DuplexChannel, Endpoint, NetCondition,
 };
-use obs::{LossCause, MetricsSummary, NoopSink, TraceEvent, TraceSink};
+use obs::{LossCause, MetricsSummary, NoopSink, Profiler, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::audit::{audit, DeliveryReport, LossReason};
@@ -431,10 +431,46 @@ enum Event {
     },
 }
 
+/// The profiler span each event kind's handler is charged to.
+///
+/// Kinds that share a handler path share a span name, so the profile
+/// groups wall-clock time by *phase* (batch formation, request pump,
+/// replication, election) rather than by raw enum variant.
+fn phase_name(event: &Event) -> &'static str {
+    match event {
+        Event::PollSource => "kafkasim.poll-source",
+        Event::Housekeeping => "kafkasim.housekeeping",
+        Event::SetCondition(_) => "kafkasim.set-condition",
+        Event::ApplyConfig(_) => "kafkasim.apply-config",
+        Event::OutageStart { .. } | Event::BrokerUp { .. } => "kafkasim.fault",
+        Event::Failover { .. } => "kafkasim.election",
+        Event::ReplicationTick => "kafkasim.replication",
+        Event::OnlineTick => "kafkasim.online-tick",
+        Event::SenderKick | Event::LingerWake => "kafkasim.batch-form",
+        Event::Dispatch(_) => "kafkasim.dispatch",
+        Event::RequestTimeout { .. } | Event::DrainBlocked { .. } | Event::ConnWake { .. } => {
+            "kafkasim.request-pump"
+        }
+        Event::Append { .. } => "kafkasim.append",
+    }
+}
+
 impl EventWorld for World {
     type Event = Event;
 
     fn handle(&mut self, event: Event, ctx: &mut Ctx) {
+        if self.prof_on {
+            let _guard = self.prof.span(phase_name(&event));
+            self.dispatch(event, ctx);
+        } else {
+            self.dispatch(event, ctx);
+        }
+    }
+}
+
+impl World {
+    /// The single dispatch point for every scheduled event.
+    fn dispatch(&mut self, event: Event, ctx: &mut Ctx) {
         match event {
             Event::PollSource => poll_source(self, ctx),
             Event::Housekeeping => housekeeping(self, ctx),
@@ -481,6 +517,11 @@ impl EventWorld for World {
 }
 
 struct World {
+    /// Wall-clock span profiler; disabled outside profiled runs.
+    prof: Profiler,
+    /// Cached `prof.is_enabled()` — one branch per event instead of an
+    /// `Option` probe per instrumented site.
+    prof_on: bool,
     cfg: ProducerConfig,
     wire: WireFormat,
     source: SourceSpec,
@@ -659,6 +700,27 @@ impl KafkaRun {
         self.execute_traced_with(sink, &mut RunArena::new())
     }
 
+    /// [`KafkaRun::execute_traced`] with a wall-clock span [`Profiler`]
+    /// attached: the event loop runs in profiled slices and every handler
+    /// is charged to a per-phase span (see the crate's span taxonomy).
+    ///
+    /// Profiling is observational only: a profiled run takes the exact
+    /// same decisions as an unprofiled one with the same spec and seed,
+    /// whether the profiler is enabled or disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation — call [`RunSpec::validate`]
+    /// first when the spec comes from untrusted input.
+    #[must_use]
+    pub fn execute_profiled(
+        self,
+        sink: Box<dyn TraceSink>,
+        prof: Profiler,
+    ) -> (RunOutcome, Box<dyn TraceSink>) {
+        self.execute_profiled_with(sink, &mut RunArena::new(), prof)
+    }
+
     /// [`KafkaRun::execute_traced`] with an explicit buffer arena.
     ///
     /// Pooling is observational only: a pooled run takes the exact same
@@ -674,6 +736,23 @@ impl KafkaRun {
         sink: Box<dyn TraceSink>,
         arena: &mut RunArena,
     ) -> (RunOutcome, Box<dyn TraceSink>) {
+        self.execute_profiled_with(sink, arena, Profiler::disabled())
+    }
+
+    /// [`KafkaRun::execute_profiled`] with an explicit buffer arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation — call [`RunSpec::validate`]
+    /// first when the spec comes from untrusted input.
+    #[must_use]
+    pub fn execute_profiled_with(
+        self,
+        sink: Box<dyn TraceSink>,
+        arena: &mut RunArena,
+        prof: Profiler,
+    ) -> (RunOutcome, Box<dyn TraceSink>) {
+        let setup_guard = prof.span("kafkasim.setup");
         self.spec.validate().expect("invalid run spec");
         let RunSpec {
             producer,
@@ -722,7 +801,10 @@ impl KafkaRun {
         let n_messages = source.n_messages;
         let n_conns = conns.len();
         let trace_on = sink.enabled();
+        let prof_on = prof.is_enabled();
         let world = World {
+            prof: prof.clone(),
+            prof_on,
             cfg: producer,
             wire,
             source,
@@ -798,12 +880,30 @@ impl KafkaRun {
             sim.schedule_in(interval, Event::OnlineTick);
         }
         let hard_deadline = SimTime::ZERO + max_duration;
-        while sim.now() <= hard_deadline {
-            if !sim.step() {
-                break;
+        drop(setup_guard);
+        if prof_on {
+            // Identical event-for-event to the plain loop below (see
+            // `EventSim::run_slice`), but each slice of the loop gets its
+            // own span so the trace shows event-loop occupancy over time.
+            const SLICE_EVENTS: u64 = 4096;
+            loop {
+                let fired = {
+                    let _guard = prof.span("desim.run-slice");
+                    sim.run_slice(hard_deadline, SLICE_EVENTS)
+                };
+                if fired == 0 {
+                    break;
+                }
+            }
+        } else {
+            while sim.now() <= hard_deadline {
+                if !sim.step() {
+                    break;
+                }
             }
         }
 
+        let audit_guard = prof.span("kafkasim.audit");
         let (report, metrics, trace) = {
             let world = sim.world_mut();
             let topic = ConsumedTopic::read_all(&world.cluster);
@@ -875,6 +975,7 @@ impl KafkaRun {
         // Salvage the run's buffer pools for the next run on this arena.
         arena.msg_bufs = world.accumulator.take_pool();
         arena.rec_bufs = std::mem::take(&mut world.rec_pool);
+        drop(audit_guard);
         (outcome, trace)
     }
 }
@@ -1811,6 +1912,21 @@ fn online_tick(w: &mut World, ctx: &mut Ctx) {
         if new_cfg != w.cfg && new_cfg.validate().is_ok() {
             w.stats.online_reconfigurations += 1;
             apply_config(w, ctx, new_cfg);
+        }
+    }
+    if w.trace_on {
+        // Interleave the controller's cumulative counters (planner cache
+        // hits/misses, replans) into the trace so windowed recorders can
+        // difference them per window. Observational only: nothing about
+        // the run's decisions depends on these events.
+        let mut reg = obs::MetricsRegistry::new();
+        online.controller.export_metrics(&mut reg);
+        for (name, value) in reg.counters() {
+            w.trace.record(TraceEvent::CounterSample {
+                at: now,
+                name: name.clone(),
+                value: *value,
+            });
         }
     }
     // Keep observing while work remains.

@@ -289,6 +289,18 @@ pub enum TraceEvent {
         /// The restarted broker.
         broker: u32,
     },
+    /// A periodic sample of a named cumulative counter from a non-trace
+    /// source (the planner cache, the online controller), interleaved
+    /// into the event stream so windowed recorders can difference it
+    /// per window. `value` is the counter's cumulative total at `at`.
+    CounterSample {
+        /// Sampling instant.
+        at: SimTime,
+        /// Counter name (e.g. `"planner-cache-hit"`).
+        name: String,
+        /// Cumulative counter value at `at`.
+        value: u64,
+    },
 }
 
 impl TraceEvent {
@@ -310,7 +322,8 @@ impl TraceEvent {
             | TraceEvent::IsrExpand { at, .. }
             | TraceEvent::LeaderElected { at, .. }
             | TraceEvent::BrokerDown { at, .. }
-            | TraceEvent::BrokerUp { at, .. } => *at,
+            | TraceEvent::BrokerUp { at, .. }
+            | TraceEvent::CounterSample { at, .. } => *at,
         }
     }
 
@@ -333,6 +346,7 @@ impl TraceEvent {
             TraceEvent::LeaderElected { .. } => "leader-elected",
             TraceEvent::BrokerDown { .. } => "broker-down",
             TraceEvent::BrokerUp { .. } => "broker-up",
+            TraceEvent::CounterSample { .. } => "counter-sample",
         }
     }
 
@@ -529,6 +543,9 @@ impl core::fmt::Display for TraceEvent {
             }
             TraceEvent::BrokerDown { broker, .. } => write!(f, "{t} broker {broker} crashed"),
             TraceEvent::BrokerUp { broker, .. } => write!(f, "{t} broker {broker} restarted"),
+            TraceEvent::CounterSample { name, value, .. } => {
+                write!(f, "{t} counter {name} = {value}")
+            }
         }
     }
 }
@@ -668,5 +685,157 @@ mod tests {
             let back: TraceEvent = serde_json::from_str(&line).unwrap();
             assert_eq!(&back, ev);
         }
+    }
+
+    /// One instance of every variant, with every `Option` and `Vec`
+    /// field exercised in both empty and populated forms where cheap.
+    fn one_of_each_variant() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Enqueued {
+                at: SimTime::from_millis(1),
+                key: 10,
+                partition: 0,
+                deadline: SimTime::from_millis(501),
+            },
+            TraceEvent::Expired {
+                at: SimTime::from_millis(2),
+                key: 11,
+                cause: LossCause::RetriesExhausted,
+                batch: Some(3),
+            },
+            TraceEvent::BatchFormed {
+                at: SimTime::from_millis(3),
+                batch: 3,
+                partition: 1,
+                keys: vec![10, 11],
+                bytes: 400,
+            },
+            TraceEvent::RequestSent {
+                at: SimTime::from_millis(4),
+                batch: 3,
+                request: 7,
+                conn: 1,
+                epoch: 2,
+                attempt: 1,
+                records: 2,
+                bytes: 400,
+            },
+            TraceEvent::AckReceived {
+                at: SimTime::from_millis(5),
+                batch: 3,
+                request: 7,
+                conn: 1,
+                epoch: 2,
+                rtt: SimDuration::from_millis(80),
+            },
+            TraceEvent::Retry {
+                at: SimTime::from_millis(6),
+                batch: 3,
+                request: 8,
+                conn: 1,
+                epoch: 2,
+                attempt: 2,
+            },
+            TraceEvent::ConnectionReset {
+                at: SimTime::from_millis(7),
+                conn: 1,
+                epoch: 2,
+                lost_keys: vec![12, 13],
+            },
+            TraceEvent::BrokerAppend {
+                at: SimTime::from_millis(8),
+                batch: 3,
+                request: 7,
+                broker: 0,
+                partition: 1,
+                key: 10,
+                offset: 42,
+                latency: SimDuration::from_millis(90),
+                duplicate: false,
+                via_teardown: true,
+            },
+            TraceEvent::ConsumerRead {
+                at: SimTime::from_millis(9),
+                key: 10,
+                partition: 1,
+                offset: 42,
+                latency: SimDuration::from_millis(95),
+            },
+            TraceEvent::ReplicaFetch {
+                at: SimTime::from_millis(10),
+                partition: 1,
+                leader: 0,
+                follower: 2,
+                from_offset: 40,
+                records: 3,
+            },
+            TraceEvent::IsrShrink {
+                at: SimTime::from_millis(11),
+                partition: 1,
+                broker: 2,
+                isr: vec![0, 1],
+            },
+            TraceEvent::IsrExpand {
+                at: SimTime::from_millis(12),
+                partition: 1,
+                broker: 2,
+                isr: vec![0, 1, 2],
+            },
+            TraceEvent::LeaderElected {
+                at: SimTime::from_millis(13),
+                partition: 1,
+                leader: 1,
+                clean: false,
+                truncated_keys: vec![14, 14, 15],
+                lost_keys: vec![14],
+            },
+            TraceEvent::BrokerDown {
+                at: SimTime::from_millis(14),
+                broker: 0,
+            },
+            TraceEvent::BrokerUp {
+                at: SimTime::from_millis(15),
+                broker: 0,
+            },
+            TraceEvent::CounterSample {
+                at: SimTime::from_millis(16),
+                name: "planner-cache-hit".to_string(),
+                value: 37,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_parse_jsonl() {
+        let events = one_of_each_variant();
+        // One distinct variant per entry: this test must grow with the
+        // enum, so a missing variant fails loudly here.
+        let kinds: std::collections::BTreeSet<&str> = events.iter().map(TraceEvent::kind).collect();
+        assert_eq!(
+            kinds.len(),
+            16,
+            "update one_of_each_variant() for new TraceEvent variants"
+        );
+
+        let mut jsonl = String::new();
+        for ev in &events {
+            jsonl.push_str(&serde_json::to_string(ev).unwrap());
+            jsonl.push('\n');
+        }
+        let back = crate::sink::parse_jsonl(&jsonl).expect("all variants parse back");
+        assert_eq!(back, events);
+
+        // Option fields must also survive in their `None` form.
+        let none_batch = TraceEvent::Expired {
+            at: SimTime::from_millis(2),
+            key: 11,
+            cause: LossCause::ExpiredInBuffer,
+            batch: None,
+        };
+        let line = serde_json::to_string(&none_batch).unwrap();
+        assert_eq!(
+            crate::sink::parse_jsonl(&line).expect("None batch parses"),
+            vec![none_batch]
+        );
     }
 }

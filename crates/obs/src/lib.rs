@@ -20,6 +20,12 @@
 //! 3. **A per-message timeline reconstructor** ([`TimelineReport`]) that
 //!    replays a recorded trace and attributes every lost or duplicated
 //!    message to a traced cause.
+//! 4. **A hierarchical span profiler** ([`Profiler`]) for *wall-clock*
+//!    attribution — zero-cost when disabled, exporting Chrome trace-event
+//!    JSON (Perfetto-loadable) and folded flamegraph stacks — and a
+//!    **windowed KPI recorder** ([`WindowSeries`]) that folds a recorded
+//!    trace into per-simulated-time-window throughput, p99 latency,
+//!    in-flight bytes, ISR size and planner cache hit rate.
 //!
 //! # How events map onto the paper's loss and duplication cases
 //!
@@ -84,10 +90,14 @@
 
 pub mod event;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod timeline;
+pub mod window;
 
 pub use event::{LossCause, TraceEvent};
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSink, MetricsSummary};
+pub use profile::{Profiler, SpanEvent, SpanGuard, SpanProfile, SpanStat};
 pub use sink::{parse_jsonl, JsonlSink, NoopSink, RingBufferSink, TraceSink};
 pub use timeline::{DupCause, MessageFate, MessageTimeline, TimelineReport};
+pub use window::{WindowRow, WindowSeries};

@@ -124,6 +124,11 @@ impl MetricsRegistry {
                         .or_insert(0) += lost_keys.len() as u64;
                 }
             }
+            TraceEvent::CounterSample { name, value, .. } => {
+                // Samples carry the source's cumulative total, so the
+                // registry keeps the latest value rather than summing.
+                self.counters.insert(name.clone(), *value);
+            }
             TraceEvent::RequestSent { .. }
             | TraceEvent::Retry { .. }
             | TraceEvent::ConsumerRead { .. }

@@ -148,7 +148,8 @@ impl TimelineReport {
                 | TraceEvent::IsrShrink { .. }
                 | TraceEvent::IsrExpand { .. }
                 | TraceEvent::BrokerDown { .. }
-                | TraceEvent::BrokerUp { .. } => {}
+                | TraceEvent::BrokerUp { .. }
+                | TraceEvent::CounterSample { .. } => {}
             }
         }
 

@@ -1,0 +1,132 @@
+//! Property tests of the span profiler's structural guarantees: any
+//! LIFO-disciplined sequence of span opens and closes yields a snapshot
+//! whose recorded events are well-nested, time-monotone, and consistent
+//! with the exact aggregates.
+
+use obs::Profiler;
+use proptest::prelude::*;
+
+/// Names for generated spans; a small pool forces path reuse so the
+/// interner's (parent, name) keying gets exercised.
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// Replays a script of open (`true`) / close (`false`) operations with
+/// an explicit guard stack, skipping closes on an empty stack. Returns
+/// how many spans were closed (opens left on the stack at the end drop
+/// in LIFO order and close too).
+fn replay(prof: &Profiler, script: &[(bool, u8)]) -> usize {
+    let mut guards = Vec::new();
+    let mut closed = 0;
+    for &(open, name) in script {
+        if open {
+            guards.push(prof.span(NAMES[name as usize % NAMES.len()]));
+        } else if guards.pop().is_some() {
+            closed += 1;
+        }
+    }
+    closed + guards.len()
+}
+
+proptest! {
+    /// Every recorded span closes no earlier than it opens, and the
+    /// snapshot records exactly the spans the script closed.
+    #[test]
+    fn events_are_time_ordered_and_complete(
+        script in proptest::collection::vec(
+            (proptest::bool::ANY, 0u8..4), 1..80),
+    ) {
+        let prof = Profiler::enabled();
+        let closed = replay(&prof, &script);
+        let snap = prof.snapshot();
+        prop_assert_eq!(snap.events.len(), closed);
+        prop_assert_eq!(snap.dropped, 0);
+        for ev in &snap.events {
+            prop_assert!(ev.end_ns >= ev.start_ns, "span {} closes before it opens", ev.path);
+        }
+    }
+
+    /// Recorded spans form a laminar family: any two either nest or are
+    /// disjoint — intervals never partially overlap. Ties need care: a
+    /// parent and child may share both endpoints on a fast machine, in
+    /// which case depth decides containment.
+    #[test]
+    fn events_are_well_nested(
+        script in proptest::collection::vec(
+            (proptest::bool::ANY, 0u8..4), 1..60),
+    ) {
+        let prof = Profiler::enabled();
+        replay(&prof, &script);
+        let snap = prof.snapshot();
+        for (i, a) in snap.events.iter().enumerate() {
+            for b in &snap.events[i + 1..] {
+                let disjoint = a.end_ns <= b.start_ns || b.end_ns <= a.start_ns;
+                let a_in_b = b.start_ns <= a.start_ns && a.end_ns <= b.end_ns && a.depth > b.depth;
+                let b_in_a = a.start_ns <= b.start_ns && b.end_ns <= a.end_ns && b.depth > a.depth;
+                prop_assert!(
+                    disjoint || a_in_b || b_in_a,
+                    "spans {} [{}, {}] and {} [{}, {}] partially overlap",
+                    a.path, a.start_ns, a.end_ns, b.path, b.start_ns, b.end_ns
+                );
+            }
+        }
+    }
+
+    /// The Chrome trace export of any script is balanced (every `E` has
+    /// a matching earlier `B`) and its timestamps are non-decreasing —
+    /// exactly what Perfetto requires of a single-threaded track.
+    #[test]
+    fn chrome_trace_is_balanced_and_monotone(
+        script in proptest::collection::vec(
+            (proptest::bool::ANY, 0u8..4), 1..60),
+    ) {
+        let prof = Profiler::enabled();
+        replay(&prof, &script);
+        let trace = prof.snapshot().to_chrome_trace();
+        let value: serde::Value = serde_json::from_str(&trace).expect("trace parses");
+        let serde::Value::Seq(items) = value else {
+            panic!("chrome trace is not an array");
+        };
+        let mut depth = 0i64;
+        let mut last_ts = f64::MIN;
+        for item in &items {
+            let serde::Value::Map(m) = item else { panic!("event is not an object") };
+            let Some((_, serde::Value::Str(ph))) = m.iter().find(|(k, _)| k == "ph") else {
+                panic!("missing ph");
+            };
+            let ts = match m.iter().find(|(k, _)| k == "ts") {
+                Some((_, serde::Value::Float(f))) => *f,
+                Some((_, serde::Value::UInt(u))) => *u as f64,
+                other => panic!("missing or non-numeric ts: {other:?}"),
+            };
+            prop_assert!(ts >= last_ts, "timestamps must be non-decreasing");
+            last_ts = ts;
+            match ph.as_str() {
+                "B" => depth += 1,
+                "E" => depth -= 1,
+                other => panic!("unexpected phase {other}"),
+            }
+            prop_assert!(depth >= 0, "E without matching B");
+        }
+        prop_assert_eq!(depth, 0, "unbalanced B/E events");
+    }
+
+    /// Aggregates stay consistent with the events: per-path call counts
+    /// match the recorded instances, self time never exceeds total time,
+    /// and each path's total equals the sum of its recorded durations.
+    #[test]
+    fn aggregates_match_events(
+        script in proptest::collection::vec(
+            (proptest::bool::ANY, 0u8..4), 1..80),
+    ) {
+        let prof = Profiler::enabled();
+        replay(&prof, &script);
+        let snap = prof.snapshot();
+        for stat in &snap.spans {
+            prop_assert!(stat.self_ns <= stat.total_ns);
+            let instances: Vec<_> = snap.events.iter().filter(|e| e.path == stat.path).collect();
+            prop_assert_eq!(instances.len() as u64, stat.calls, "calls mismatch for {}", &stat.path);
+            let total: u64 = instances.iter().map(|e| e.end_ns - e.start_ns).sum();
+            prop_assert_eq!(total, stat.total_ns, "total mismatch for {}", &stat.path);
+        }
+    }
+}

@@ -15,8 +15,8 @@ use crate::collection::CollectionDesign;
 use crate::document::{
     AcksLevelSpec, BrokerFaultMatrixSpec, DeliveryCaseSpec, ExperimentSpec, FaultScenarioSpec,
     FaultSpec, KpiGridSpec, NetworkTraceSpec, OnlineCompareSpec, OutageSite, OverlaySpec,
-    SensitivitySpec, SeriesSpec, Spec, SweepAxis, SweepMode, SweepSpec, Table1Spec, Table2Spec,
-    TraceDemoSpec, TraceScenarioSpec, TrainSpec,
+    ReportSpec, SensitivitySpec, SeriesSpec, Spec, SweepAxis, SweepMode, SweepSpec, Table1Spec,
+    Table2Spec, TraceDemoSpec, TraceScenarioSpec, TrainSpec,
 };
 use crate::grid::ConfigGrid;
 use crate::point::PointSpec;
@@ -91,6 +91,7 @@ fn table1() -> Spec {
                 ),
             ],
         }),
+        report: None,
     }
 }
 
@@ -100,6 +101,7 @@ fn collection() -> Spec {
         title: "Fig. 3: training-data collection design".into(),
         description: "Grid sizes of the normal/abnormal/broker-fault training-data design.".into(),
         experiment: ExperimentSpec::Collection(CollectionDesign::default()),
+        report: None,
     }
 }
 
@@ -129,6 +131,11 @@ fn fig4() -> Spec {
             max_messages: None,
             outage: None,
         }),
+        report: Some(ReportSpec {
+            window_ms: 1_000,
+            profile: true,
+            timeline: true,
+        }),
     }
 }
 
@@ -157,6 +164,7 @@ fn fig5() -> Spec {
             max_messages: None,
             outage: None,
         }),
+        report: None,
     }
 }
 
@@ -183,6 +191,7 @@ fn fig6() -> Spec {
             max_messages: None,
             outage: None,
         }),
+        report: None,
     }
 }
 
@@ -220,6 +229,7 @@ fn fig7() -> Spec {
             max_messages: None,
             outage: None,
         }),
+        report: None,
     }
 }
 
@@ -258,6 +268,7 @@ fn fig8() -> Spec {
             max_messages: None,
             outage: None,
         }),
+        report: None,
     }
 }
 
@@ -271,6 +282,7 @@ fn fig9() -> Spec {
         experiment: ExperimentSpec::NetworkTrace(NetworkTraceSpec {
             trace: TraceConfig::default(),
         }),
+        report: None,
     }
 }
 
@@ -282,6 +294,7 @@ fn ann() -> Spec {
         experiment: ExperimentSpec::Train(TrainSpec {
             collection: CollectionDesign::default(),
         }),
+        report: None,
     }
 }
 
@@ -306,6 +319,7 @@ fn kpi() -> Spec {
             ],
             batch_sizes: vec![1, 2, 4, 8],
         }),
+        report: None,
     }
 }
 
@@ -322,6 +336,7 @@ fn table2() -> Spec {
             plan_interval_s: 60,
             grid: ConfigGrid::planner_default(),
         }),
+        report: None,
     }
 }
 
@@ -348,6 +363,7 @@ fn overlay() -> Spec {
             ],
             seed_offset: 777,
         }),
+        report: None,
     }
 }
 
@@ -369,6 +385,7 @@ fn sensitivity() -> Spec {
             },
             threshold: 0.01,
         }),
+        report: None,
     }
 }
 
@@ -404,6 +421,7 @@ fn ext_outage() -> Spec {
                 start_s: 10,
             }),
         }),
+        report: None,
     }
 }
 
@@ -421,6 +439,7 @@ fn ext_online() -> Spec {
             online_interval_s: 30,
             grid: ConfigGrid::planner_default(),
         }),
+        report: None,
     }
 }
 
@@ -461,6 +480,7 @@ fn ext_retries() -> Spec {
             max_messages: Some(8_000),
             outage: None,
         }),
+        report: None,
     }
 }
 
@@ -534,6 +554,7 @@ fn broker_faults() -> Spec {
                 },
             ],
         }),
+        report: None,
     }
 }
 
@@ -578,6 +599,7 @@ fn ablation_transport() -> Spec {
             max_messages: Some(8_000),
             outage: None,
         }),
+        report: None,
     }
 }
 
@@ -620,6 +642,7 @@ fn ablation_jitter() -> Spec {
             max_messages: Some(10_000),
             outage: None,
         }),
+        report: None,
     }
 }
 
@@ -660,6 +683,7 @@ fn trace() -> Spec {
                 },
             ],
         }),
+        report: None,
     }
 }
 

@@ -30,6 +30,10 @@ pub struct Spec {
     pub description: String,
     /// The experiment itself.
     pub experiment: ExperimentSpec,
+    /// Optional run-report block: how `repro report` should window and
+    /// profile a representative run of this scenario. Absent in most
+    /// scenarios (the TOML omits the `[report]` table entirely).
+    pub report: Option<ReportSpec>,
 }
 
 impl Spec {
@@ -55,7 +59,42 @@ impl Spec {
         if self.title.is_empty() {
             return Err(SpecError::new("title", "scenario title must not be empty"));
         }
+        if let Some(report) = &self.report {
+            report.validate("report")?;
+        }
         self.experiment.validate()
+    }
+}
+
+/// How `repro report` turns one representative run of a scenario into a
+/// self-describing artifact: the KPI window length, whether to attach
+/// the wall-clock span profiler, and whether to include per-message
+/// timeline attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportSpec {
+    /// Simulated-time KPI window length, milliseconds.
+    pub window_ms: u64,
+    /// Attach the span profiler and embed its summary in the report.
+    pub profile: bool,
+    /// Reconstruct per-message timelines and embed loss/duplication
+    /// attribution in the report.
+    pub timeline: bool,
+}
+
+impl ReportSpec {
+    /// Validates the block under `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] whose `path` names the offending field.
+    pub fn validate(&self, path: &str) -> Result<(), SpecError> {
+        if self.window_ms == 0 {
+            return Err(SpecError::new(
+                format!("{path}.window_ms"),
+                "window length must be positive",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -868,6 +907,7 @@ mod tests {
             title: "unit test".into(),
             description: String::new(),
             experiment,
+            report: None,
         }
     }
 

@@ -56,8 +56,8 @@ pub use collection::{AbnormalCaseGrid, BrokerFaultGrid, CollectionDesign, Normal
 pub use document::{
     AcksLevelSpec, BrokerFaultMatrixSpec, DeliveryCaseSpec, ExperimentSpec, FaultScenarioSpec,
     FaultSpec, KpiGridSpec, NetworkTraceSpec, OnlineCompareSpec, OutageSite, OverlaySpec,
-    SensitivitySpec, SeriesSpec, Spec, SweepAxis, SweepMode, SweepSpec, Table1Spec, Table2Spec,
-    TraceDemoSpec, TraceScenarioSpec, TrainSpec,
+    ReportSpec, SensitivitySpec, SeriesSpec, Spec, SweepAxis, SweepMode, SweepSpec, Table1Spec,
+    Table2Spec, TraceDemoSpec, TraceScenarioSpec, TrainSpec,
 };
 pub use error::{LoadError, SpecError};
 pub use grid::{ConfigGrid, GridAxis};

@@ -153,6 +153,7 @@ fn sweep_doc() -> impl Strategy<Value = Spec> {
                     max_messages,
                     outage: None,
                 }),
+                report: None,
             },
         )
 }
@@ -163,6 +164,7 @@ fn sensitivity_doc() -> impl Strategy<Value = Spec> {
         title: "Property-generated sensitivity analysis".to_string(),
         description: String::new(),
         experiment: ExperimentSpec::Sensitivity(SensitivitySpec { base, threshold }),
+        report: None,
     })
 }
 

@@ -231,6 +231,68 @@ pub fn run_scenario_online_traced(
     (report, registry.summary())
 }
 
+/// Like [`run_scenario_online`], but with full observability attached:
+/// `sink` receives every trace event of the run (so timelines, metrics
+/// and per-window KPI series can be derived from it afterwards) and
+/// `prof` records wall-clock spans across the simulator, the planner and
+/// the memo cache. Pass a disabled profiler for a plain traced run.
+///
+/// Returns the run report, the sink (with whatever it retained), and the
+/// controller's self-reported metrics summary.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn run_scenario_online_profiled(
+    scenario: &ApplicationScenario,
+    network: &ConditionTimeline,
+    initial: ProducerConfig,
+    online: OnlineSpec,
+    cal: &Calibration,
+    n_messages: u64,
+    seed: u64,
+    sink: Box<dyn obs::TraceSink>,
+    prof: obs::Profiler,
+) -> (
+    DynamicRunReport,
+    Box<dyn obs::TraceSink>,
+    obs::MetricsSummary,
+) {
+    let controller = std::sync::Arc::clone(&online.controller);
+    let horizon = network.last_change();
+    let spec = RunSpec {
+        producer: initial,
+        cluster: cal.cluster.clone(),
+        source: scenario.source(n_messages),
+        network: network.clone(),
+        channel: cal.channel.clone(),
+        wire: cal.wire,
+        config_schedule: Vec::new(),
+        max_duration: horizon.saturating_since(SimTime::ZERO) + SimDuration::from_secs(600),
+        outages: Vec::new(),
+        faults: Vec::new(),
+        failover_after: None,
+        online: Some(online),
+    };
+    let (outcome, sink) = KafkaRun::new(spec, seed).execute_profiled(sink, prof);
+    let delivered = outcome.report.delivered_once + outcome.report.duplicated;
+    let stale_fraction = if delivered == 0 {
+        0.0
+    } else {
+        outcome.report.stale as f64 / delivered as f64
+    };
+    let report = DynamicRunReport {
+        scenario: scenario.name.clone(),
+        r_loss: outcome.report.p_loss(),
+        r_dup: outcome.report.p_dup(),
+        stale_fraction,
+        config_switches: outcome.producer.online_reconfigurations as usize,
+        report: outcome.report,
+        producer: outcome.producer,
+    };
+    let mut registry = obs::MetricsRegistry::new();
+    controller.export_metrics(&mut registry);
+    (report, sink, registry.summary())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
