@@ -9,7 +9,7 @@
 //! repro export-scenarios DIR               # write the built-in corpus
 //!
 //! targets:
-//!   fig4 fig5 fig6 fig7 fig8 fig9 collection ann kpi table1 table2 all
+//!   fig4 fig5 fig6 fig7 fig8 fig9 collection ann kpi table1 table2 fleet all
 //! ```
 //!
 //! Every named target resolves to its built-in scenario (`spec::builtin`)
@@ -92,7 +92,7 @@ fn parse_args() -> Result<(String, Option<String>, Args), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|broker-faults|ablation-transport|ablation-jitter|trace|all> \
+    "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|broker-faults|ablation-transport|ablation-jitter|trace|fleet|all> \
      [--messages N] [--quick] [--grid] [--paper-ann] [--seed S] [--threads T] [--json] [--data FILE] [--save-data FILE] [--trace-out FILE.jsonl]\n\
      \x20      repro run-spec FILE.{toml|json} [flags as above]\n\
      \x20      repro list-scenarios [DIR]\n\
@@ -367,7 +367,67 @@ fn run_document(doc: &Spec, args: &Args) {
         ExperimentSpec::BrokerFaultMatrix(matrix) => broker_faults(doc, matrix, args),
         ExperimentSpec::Online(online) => ext_online(doc, online, args),
         ExperimentSpec::TraceDemo(demo) => trace_demo(doc, demo, args),
+        ExperimentSpec::Fleet(fleet) => fleet_report(doc, fleet, args),
     }
+}
+
+fn fleet_report(doc: &Spec, fleet: &spec::FleetSpec, args: &Args) {
+    let rows = exec::fleet(fleet, args.effort);
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialisable")
+        );
+        return;
+    }
+    println!("== {} ==", doc.title);
+    println!(
+        "{} producers, {} partitions, {} consumers ({} assignor), {} scripted churn events, {}s",
+        fleet.producers,
+        fleet.partitions,
+        fleet.consumers,
+        fleet.assignor.name(),
+        fleet.churn.len(),
+        fleet.duration_s
+    );
+    for row in &rows {
+        let loss_pct = if row.produced == 0 {
+            0.0
+        } else {
+            100.0 * row.lost as f64 / row.produced as f64
+        };
+        println!(
+            "\n-- {} --  skew {:.2}  produced {}  delivered {}  lost {} ({:.2}%)  duplicated {}",
+            row.strategy, row.skew, row.produced, row.delivered, row.lost, loss_pct, row.duplicated
+        );
+        println!(
+            "   rebalances {} (moved {} partitions, {} group trace events)",
+            row.rebalances, row.moved_partitions, row.group_trace_events
+        );
+        println!(
+            "   {:<22} {:>9} {:>10} {:>10} {:>8} {:>8} {:>7} {:>6}  met",
+            "class", "producers", "produced", "delivered", "P_l", "P_d", "gamma", "req"
+        );
+        for c in &row.classes {
+            println!(
+                "   {:<22} {:>9} {:>10} {:>10} {:>8.4} {:>8.4} {:>7.3} {:>6.2}  {}",
+                c.class,
+                c.producers,
+                c.produced,
+                c.delivered,
+                c.p_loss,
+                c.p_dup,
+                c.gamma,
+                c.gamma_requirement,
+                if c.gamma_met { "yes" } else { "NO" }
+            );
+        }
+    }
+    println!(
+        "\nkeyed routing concentrates heavy tenants (skew > 1 means a hot\n\
+         partition); each membership change pauses and re-reads the moved\n\
+         partitions, which shows up as duplicates in the windowed KPIs.\n"
+    );
 }
 
 fn series(title: &str, x: &str, metric: &str, data: &[figures::Series], json: bool) {

@@ -10,15 +10,17 @@ use desim::{SimDuration, SimRng, SimTime};
 use kafka_predict::prelude::*;
 use kafkasim::broker::BrokerId;
 use kafkasim::config::ProducerConfig;
+use kafkasim::fleet::{ChurnEvent, FleetConfig, FleetRun, Population, PopulationEntry};
 use kafkasim::runtime::{BrokerFault, BrokerOutage, KafkaRun, RunSpec};
 use kafkasim::source::SourceSpec;
 use kafkasim::LossReason;
 use netsim::trace::{generate_trace, NetworkTrace};
 use netsim::{ConditionTimeline, NetCondition};
+use obs::{RingBufferSink, TraceEvent};
 use spec::{
-    BrokerFaultMatrixSpec, CollectionDesign, KpiGridSpec, NetworkTraceSpec, OnlineCompareSpec,
-    OverlaySpec, SensitivitySpec, SweepAxis, SweepMode, SweepSpec, Table1Spec, Table2Spec,
-    TraceDemoSpec, TraceScenarioSpec,
+    BrokerFaultMatrixSpec, CollectionDesign, FleetSpec, KpiGridSpec, NetworkTraceSpec,
+    OnlineCompareSpec, OverlaySpec, SensitivitySpec, SweepAxis, SweepMode, SweepSpec, Table1Spec,
+    Table2Spec, TraceDemoSpec, TraceScenarioSpec,
 };
 use testbed::dynamic::{default_static_config, run_scenario, StaticPlanner};
 use testbed::scenarios::ApplicationScenario;
@@ -27,7 +29,8 @@ use testbed::sweep::run_sweep;
 use testbed::ExperimentResult;
 
 use crate::figures::{
-    train_on, BrokerFaultRow, Effort, ExtOnlineRow, Series, SeriesPoint, Table2Row,
+    train_on, BrokerFaultRow, Effort, ExtOnlineRow, FleetClassRow, FleetStrategyRow, Series,
+    SeriesPoint, Table2Row,
 };
 
 /// Table I — replays every scripted transition path through the
@@ -507,5 +510,134 @@ pub fn trace_runs(spec: &TraceDemoSpec) -> Vec<(String, String, RunSpec, u64)> {
     spec.scenarios
         .iter()
         .map(|s| (s.tag.clone(), s.label.clone(), trace_run_spec(s), s.seed))
+        .collect()
+}
+
+/// Fleet figure — runs the same producer population and consumer group
+/// under every requested partitioning strategy, recording partition
+/// skew, rebalance storms, and per-class reliability.
+///
+/// The spec fixes the fleet's scale (the committed `scenarios/fleet.toml`
+/// runs 1200 producers across three Table II stream types); the effort
+/// level contributes only the seed, so `--quick` and full runs exercise
+/// the identical fleet.
+///
+/// # Panics
+///
+/// Panics when the spec fails its own validation invariants (validated
+/// specs never do).
+#[must_use]
+pub fn fleet(spec: &FleetSpec, effort: Effort) -> Vec<FleetStrategyRow> {
+    let entries: Vec<PopulationEntry> = spec
+        .population
+        .iter()
+        .map(|e| {
+            let scenario =
+                ApplicationScenario::by_slug(&e.class).expect("validated stream-class slug");
+            PopulationEntry {
+                class: scenario.stream_class(e.rate_hz),
+                weight: e.weight,
+            }
+        })
+        .collect();
+    let population = Population::new(entries).expect("validated population mix");
+    let duration = SimDuration::from_secs(spec.duration_s);
+    let churn: Vec<ChurnEvent> = spec
+        .churn
+        .iter()
+        .map(|c| ChurnEvent {
+            at: SimTime::ZERO + SimDuration::from_secs(c.at_s),
+            action: c.action,
+            member: c.member,
+        })
+        .collect();
+
+    spec.partitioners
+        .iter()
+        .map(|&strategy| {
+            let cfg = FleetConfig {
+                producers: spec.producers,
+                partitions: spec.partitions,
+                strategy,
+                population: population.clone(),
+                initial_consumers: spec.consumers,
+                assignor: spec.assignor,
+                churn: churn.clone(),
+                duration,
+                window: SimDuration::from_millis(spec.window_ms),
+                partition_capacity_hz: spec.partition_capacity_hz,
+                base_loss: spec.base_loss,
+                rebalance_pause: SimDuration::from_millis(spec.rebalance_pause_ms),
+            };
+            let run = FleetRun::new(cfg, effort.seed);
+            let (outcome, mut sink) = run.execute_traced(Box::new(RingBufferSink::new(8192)));
+            let group_trace_events = sink
+                .drain()
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        TraceEvent::ConsumerJoined { .. }
+                            | TraceEvent::ConsumerLeft { .. }
+                            | TraceEvent::PartitionsAssigned { .. }
+                    )
+                })
+                .count() as u64;
+            let gammas = fleet_gammas(
+                &outcome,
+                spec.partitions,
+                spec.partition_capacity_hz,
+                duration,
+            );
+            let classes = outcome
+                .classes
+                .iter()
+                .zip(&gammas)
+                .map(|(c, g)| {
+                    debug_assert_eq!(c.class, g.class);
+                    let appended = c.delivered + c.duplicated;
+                    FleetClassRow {
+                        class: c.class.clone(),
+                        producers: c.producers,
+                        produced: c.produced,
+                        delivered: c.delivered,
+                        lost_network: c.lost_network,
+                        lost_overload: c.lost_overload,
+                        duplicated: c.duplicated,
+                        p_loss: if c.produced == 0 {
+                            0.0
+                        } else {
+                            (c.lost_network + c.lost_overload) as f64 / c.produced as f64
+                        },
+                        p_dup: if appended == 0 {
+                            0.0
+                        } else {
+                            c.duplicated as f64 / appended as f64
+                        },
+                        gamma: g.gamma,
+                        gamma_requirement: g.requirement,
+                        gamma_met: g.met(),
+                    }
+                })
+                .collect();
+            FleetStrategyRow {
+                strategy: strategy.name().to_string(),
+                skew: outcome.skew(),
+                produced: outcome.totals.produced,
+                delivered: outcome.totals.delivered,
+                lost: outcome.totals.lost(),
+                duplicated: outcome.totals.duplicated,
+                rebalances: outcome.rebalances.len() as u64,
+                moved_partitions: outcome
+                    .rebalances
+                    .iter()
+                    .map(|r| r.moved.len() as u64)
+                    .sum(),
+                group_trace_events,
+                partition_appends: outcome.partition_appends.clone(),
+                classes,
+                windows: outcome.windows,
+            }
+        })
         .collect()
 }

@@ -345,6 +345,76 @@ pub fn ext_broker_faults(effort: Effort) -> Vec<BrokerFaultRow> {
     }
 }
 
+/// One tenant class of a fleet run under one partitioning strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetClassRow {
+    /// Stream-class slug.
+    pub class: String,
+    /// Producers apportioned to the class.
+    pub producers: u64,
+    /// Messages the class emitted.
+    pub produced: u64,
+    /// First copies appended.
+    pub delivered: u64,
+    /// Network losses.
+    pub lost_network: u64,
+    /// Partition-overload losses.
+    pub lost_overload: u64,
+    /// Duplicate deliveries (rebalance re-reads).
+    pub duplicated: u64,
+    /// `P_l` of the class.
+    pub p_loss: f64,
+    /// `P_d` of the class.
+    pub p_dup: f64,
+    /// Eq. 2 γ of the class (fleet proxies, see `kafka_predict::fleet_gammas`).
+    pub gamma: f64,
+    /// Table II γ requirement of the class.
+    pub gamma_requirement: f64,
+    /// Whether the class met its requirement.
+    pub gamma_met: bool,
+}
+
+/// One partitioning strategy's full fleet result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetStrategyRow {
+    /// Strategy label (`round-robin`, `key-hash`, `locality`).
+    pub strategy: String,
+    /// Partition skew: hottest partition's appends over the mean.
+    pub skew: f64,
+    /// Fleet totals: messages produced.
+    pub produced: u64,
+    /// Fleet totals: first copies appended.
+    pub delivered: u64,
+    /// Fleet totals: messages lost (all causes).
+    pub lost: u64,
+    /// Fleet totals: duplicate deliveries.
+    pub duplicated: u64,
+    /// Rebalances during the run.
+    pub rebalances: u64,
+    /// Partitions that changed owner, summed over all rebalances (the
+    /// storm size).
+    pub moved_partitions: u64,
+    /// Consumer-group trace events (`consumer-joined` + `consumer-left`
+    /// + `partitions-assigned`) the run emitted.
+    pub group_trace_events: u64,
+    /// First-copy appends per partition (the skew histogram).
+    pub partition_appends: Vec<u64>,
+    /// Per-class rows, population declaration order.
+    pub classes: Vec<FleetClassRow>,
+    /// The windowed per-tenant KPI series.
+    pub windows: obs::TenantSeries,
+}
+
+/// Fleet figure — partition skew and rebalance storms across partitioning
+/// strategies (see `scenarios/fleet.toml`).
+#[must_use]
+pub fn fleet(effort: Effort) -> Vec<FleetStrategyRow> {
+    match builtin("fleet").experiment {
+        ExperimentSpec::Fleet(spec) => exec::fleet(&spec, effort),
+        _ => unreachable!("fleet is a fleet scenario"),
+    }
+}
+
 /// EXT-2 — the retry strategy (the paper: "we do not make a deep dive into
 /// the retry strategy").
 ///

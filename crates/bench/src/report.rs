@@ -331,6 +331,7 @@ fn variant_name(e: &ExperimentSpec) -> &'static str {
         ExperimentSpec::BrokerFaultMatrix(_) => "BrokerFaultMatrix",
         ExperimentSpec::Online(_) => "Online",
         ExperimentSpec::TraceDemo(_) => "TraceDemo",
+        ExperimentSpec::Fleet(_) => "Fleet",
     }
 }
 

@@ -7,10 +7,12 @@
 //! `(0.3, 0.3, 0.3, 0.1)` "since duplicated messages can be tolerated by
 //! most applications due to idempotent mechanism".
 
+use desim::SimDuration;
+use kafkasim::fleet::FleetOutcome;
 use perfmodel::bandwidth::{utilisation, wire_bytes_per_message};
 use perfmodel::ServiceModel;
 use serde::{Deserialize, Serialize};
-use testbed::scenarios::KpiWeights;
+use testbed::scenarios::{ApplicationScenario, KpiWeights};
 use testbed::Calibration;
 
 use crate::features::Features;
@@ -130,10 +132,110 @@ impl KpiModel {
     }
 }
 
+/// The Eq. 2 KPI of one fleet tenant class against its Table II
+/// requirement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantGamma {
+    /// Stream-class slug (e.g. `"social-media"`).
+    pub class: String,
+    /// Achieved `γ` of the class over the run.
+    pub gamma: f64,
+    /// The `γ` the class demands (Table II's requirement; `0.8` for
+    /// classes without a Table II entry).
+    pub requirement: f64,
+}
+
+impl TenantGamma {
+    /// Whether the class met its requirement.
+    #[must_use]
+    pub fn met(&self) -> bool {
+        self.gamma >= self.requirement
+    }
+}
+
+/// Evaluates Eq. 2 per tenant class of a fleet run.
+///
+/// The reliability pair is exact — `P_l` and `P_d` come straight from
+/// the class's conserved ledger sums. The performance pair is a *proxy*
+/// (the flow-level fleet engine has no per-class queueing model):
+/// `φ` is the class's share of the topic's aggregate append capacity
+/// (`delivered rate / (partitions × capacity)`), and `μ` is the
+/// fraction of delivered records the consumer group had drained by the
+/// end of the run (`1 − backlog/delivered`, read from the final KPI
+/// window). Both are clamped to `[0, 1]`. EXPERIMENTS.md documents the
+/// caveats.
+///
+/// Classes whose slug matches a Table II scenario use that scenario's
+/// weights and γ requirement; others fall back to the paper's default
+/// weights and a `0.8` requirement.
+///
+/// # Example
+///
+/// ```
+/// use kafka_predict::fleet_gammas;
+/// use kafkasim::fleet::{FleetConfig, FleetRun};
+///
+/// let cfg = FleetConfig::default();
+/// let (capacity, duration, partitions) =
+///     (cfg.partition_capacity_hz, cfg.duration, cfg.partitions);
+/// let outcome = FleetRun::new(cfg, 42).execute();
+/// let gammas = fleet_gammas(&outcome, partitions, capacity, duration);
+/// assert_eq!(gammas.len(), outcome.classes.len());
+/// assert!(gammas.iter().all(|g| (0.0..=1.0).contains(&g.gamma)));
+/// ```
+#[must_use]
+pub fn fleet_gammas(
+    outcome: &FleetOutcome,
+    partitions: u32,
+    partition_capacity_hz: f64,
+    duration: SimDuration,
+) -> Vec<TenantGamma> {
+    let secs = duration.as_secs_f64();
+    let topic_capacity = f64::from(partitions) * partition_capacity_hz;
+    let backlog_end = outcome.windows.rows.last().map_or(0, |r| r.backlog) as f64;
+    let delivered_total = outcome.totals.delivered as f64;
+    let mu = if delivered_total > 0.0 {
+        (1.0 - backlog_end / delivered_total).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    outcome
+        .classes
+        .iter()
+        .map(|c| {
+            let (weights, requirement) = match ApplicationScenario::by_slug(&c.class) {
+                Some(s) => (s.weights, s.gamma_requirement),
+                None => (KpiWeights::paper_default(), 0.8),
+            };
+            let produced = c.produced as f64;
+            let (p_loss, p_dup) = if produced > 0.0 {
+                (
+                    (c.lost_network + c.lost_overload) as f64 / produced,
+                    c.duplicated as f64 / produced,
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            let phi = if secs > 0.0 && topic_capacity > 0.0 {
+                (c.delivered as f64 / secs / topic_capacity).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            TenantGamma {
+                class: c.class.clone(),
+                gamma: weights.gamma(phi, mu, p_loss, p_dup),
+                requirement,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{FnPredictor, Prediction};
+    use kafkasim::fleet::{ClassSummary, FleetTotals};
+    use obs::TenantSeries;
 
     fn oracle() -> FnPredictor<impl Fn(&Features) -> Prediction> {
         FnPredictor(|f: &Features| Prediction {
@@ -210,6 +312,79 @@ mod tests {
         let phi_full = kpi.inputs(&oracle(), &full).phi;
         let phi_throttled = kpi.inputs(&oracle(), &throttled).phi;
         assert!(phi_full >= phi_throttled);
+    }
+
+    fn synthetic_outcome() -> FleetOutcome {
+        FleetOutcome {
+            tenants: vec![],
+            totals: FleetTotals {
+                produced: 1_000,
+                delivered: 950,
+                lost_network: 30,
+                lost_overload: 20,
+                duplicated: 10,
+            },
+            classes: vec![
+                ClassSummary {
+                    class: "social-media".into(),
+                    producers: 10,
+                    produced: 600,
+                    delivered: 570,
+                    lost_network: 20,
+                    lost_overload: 10,
+                    duplicated: 5,
+                },
+                ClassSummary {
+                    class: "bespoke".into(),
+                    producers: 5,
+                    produced: 400,
+                    delivered: 380,
+                    lost_network: 10,
+                    lost_overload: 10,
+                    duplicated: 5,
+                },
+            ],
+            partition_appends: vec![500, 450],
+            rebalances: vec![],
+            windows: TenantSeries::new(SimDuration::from_secs(5)),
+            events_fired: 0,
+        }
+    }
+
+    #[test]
+    fn fleet_gammas_use_table2_requirements_and_exact_reliability() {
+        let out = synthetic_outcome();
+        let gammas = fleet_gammas(&out, 2, 100.0, SimDuration::from_secs(10));
+        assert_eq!(gammas.len(), 2);
+        let social = &gammas[0];
+        assert_eq!(social.class, "social-media");
+        assert_eq!(social.requirement, 0.80);
+        // Exact reliability pair; empty series → zero backlog → μ = 1;
+        // φ = 570 delivered / 10 s / 200 msg/s topic capacity.
+        let w = ApplicationScenario::social_media().weights;
+        let expect = w.gamma(570.0 / 10.0 / 200.0, 1.0, 30.0 / 600.0, 5.0 / 600.0);
+        assert!((social.gamma - expect).abs() < 1e-12);
+        // Unknown class falls back to the defaults.
+        assert_eq!(gammas[1].requirement, 0.8);
+        assert_eq!(gammas[1].met(), gammas[1].gamma >= 0.8);
+    }
+
+    #[test]
+    fn fleet_gammas_are_unit_bounded_on_a_real_run() {
+        use kafkasim::fleet::{FleetConfig, FleetRun};
+        let cfg = FleetConfig::default();
+        let (partitions, cap, dur) = (cfg.partitions, cfg.partition_capacity_hz, cfg.duration);
+        let out = FleetRun::new(cfg, 3).execute();
+        let gammas = fleet_gammas(&out, partitions, cap, dur);
+        assert!(!gammas.is_empty());
+        for g in &gammas {
+            assert!(
+                (0.0..=1.0).contains(&g.gamma),
+                "{}: γ = {}",
+                g.class,
+                g.gamma
+            );
+        }
     }
 
     #[test]

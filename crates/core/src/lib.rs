@@ -73,7 +73,7 @@ pub mod train;
 /// Convenient glob import of the main types.
 pub mod prelude {
     pub use crate::features::Features;
-    pub use crate::kpi::{KpiInputs, KpiModel};
+    pub use crate::kpi::{fleet_gammas, KpiInputs, KpiModel, TenantGamma};
     pub use crate::model::{Prediction, Predictor, ReliabilityModel};
     pub use crate::online::{
         CacheStats, CachedPredictor, NetworkEstimator, OnlineModelController, PredictionCache,
@@ -85,5 +85,6 @@ pub mod prelude {
 }
 
 pub use features::Features;
+pub use kpi::{fleet_gammas, TenantGamma};
 pub use model::{Prediction, Predictor, ReliabilityModel};
 pub use train::{train_model, TrainOptions, TrainedModel};

@@ -1,0 +1,903 @@
+//! The fleet event engine: N producers → partitioned topic → consumer
+//! group, with per-tenant reliability accounting.
+//!
+//! This engine deliberately does **not** instantiate N copies of the
+//! protocol-level [`crate::runtime::KafkaRun`] — at 10³–10⁶ producers
+//! that would be millions of batch/ack events per second of simulated
+//! time. Instead it models the fleet at the *flow* level on the same
+//! [`desim`] event loop: producers emit deterministic Poisson-free
+//! (rate × elapsed, fractional carry) message counts per flush, a
+//! pluggable [`Partitioner`] routes every message, per-partition token
+//! buckets bound append throughput (the *How Fast Can We Insert?*
+//! envelope), and a [`GroupCoordinator`] rebalances consumer ownership
+//! under join/leave churn. Loss is attributed per tenant to either the
+//! network (`base_loss` Bernoulli per message, per-tenant forked RNG) or
+//! partition overload (bucket exhausted); duplicates arise when a
+//! partition changes owner and the new consumer re-reads uncommitted
+//! records under at-least-once — modelled as one duplicate per append to
+//! a moved partition during its re-read window.
+//!
+//! **Conservation invariants** (pinned by the workspace proptests): for
+//! every tenant, `produced == delivered + lost` and
+//! `lost == lost_network + lost_overload`; summing any ledger column
+//! over tenants equals the fleet-level total. All state lives in plain
+//! `Vec`s indexed by tenant/partition/class and all randomness comes
+//! from per-tenant forks of one master [`SimRng`], so a `(config, seed)`
+//! pair replays bit-identically.
+
+use desim::{EventContext, EventSim, EventWorld, SimDuration, SimRng, SimTime};
+use obs::{NoopSink, Profiler, TenantSeries, TenantWindowRow, TraceEvent, TraceSink};
+use serde::{Deserialize, Serialize};
+
+use super::group::{Assignor, GroupCoordinator};
+use super::partition::{PartitionStrategy, Partitioner};
+use super::population::Population;
+
+/// Producers flush accumulated messages on this cadence.
+const FLUSH_INTERVAL: SimDuration = SimDuration::from_millis(200);
+/// Consumer drain cadence.
+const CONSUME_TICK: SimDuration = SimDuration::from_millis(100);
+/// Token-bucket burst window: a partition can absorb this many seconds
+/// of its sustained capacity at once.
+const BURST_SECS: f64 = 0.25;
+/// A consumer drains an owned partition at this multiple of the
+/// partition's append capacity (it must outrun producers to ever catch
+/// up after a pause).
+const DRAIN_FACTOR: f64 = 2.0;
+
+/// What a churn event does to the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnAction {
+    /// The member joins the group.
+    Join,
+    /// The member leaves the group.
+    Leave,
+}
+
+/// One scripted membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// When the change happens (must fall strictly inside the run).
+    pub at: SimTime,
+    /// Join or leave.
+    pub action: ChurnAction,
+    /// The consumer member id.
+    pub member: u32,
+}
+
+/// Full fleet-run description.
+///
+/// # Example
+///
+/// ```
+/// use desim::SimDuration;
+/// use kafkasim::fleet::{
+///     Assignor, FleetConfig, PartitionStrategy, Population, PopulationEntry, StreamClass,
+/// };
+/// use kafkasim::source::SizeSpec;
+///
+/// let cfg = FleetConfig {
+///     producers: 100,
+///     partitions: 8,
+///     strategy: PartitionStrategy::KeyHash,
+///     population: Population::new(vec![PopulationEntry {
+///         class: StreamClass {
+///             name: "web-access-records".into(),
+///             size: SizeSpec::Fixed(200),
+///             rate_hz: 1.0,
+///             timeliness: SimDuration::from_secs(30),
+///         },
+///         weight: 1.0,
+///     }])
+///     .unwrap(),
+///     ..FleetConfig::default()
+/// };
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of producers (tenants).
+    pub producers: usize,
+    /// Partitions of the shared topic.
+    pub partitions: u32,
+    /// Partitioning strategy routing tenants to partitions.
+    pub strategy: PartitionStrategy,
+    /// The producer population mix.
+    pub population: Population,
+    /// Consumer-group members present at time zero (ids `0..n`).
+    pub initial_consumers: u32,
+    /// Partition-assignment policy at each rebalance.
+    pub assignor: Assignor,
+    /// Scripted membership changes.
+    pub churn: Vec<ChurnEvent>,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// KPI window length (must divide `duration`).
+    pub window: SimDuration,
+    /// Sustained append capacity of one partition, messages/second.
+    pub partition_capacity_hz: f64,
+    /// Per-message network-loss probability (at-most-once leg).
+    pub base_loss: f64,
+    /// How long a moved partition is paused (consumer hand-off) and
+    /// re-read (duplicate window) after a rebalance.
+    pub rebalance_pause: SimDuration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            producers: 100,
+            partitions: 8,
+            strategy: PartitionStrategy::KeyHash,
+            population: Population::new(vec![super::population::PopulationEntry {
+                class: super::population::StreamClass {
+                    name: "web-access-records".into(),
+                    size: crate::source::SizeSpec::Fixed(200),
+                    rate_hz: 1.0,
+                    timeliness: SimDuration::from_secs(30),
+                },
+                weight: 1.0,
+            }])
+            .expect("default population is valid"),
+            initial_consumers: 4,
+            assignor: Assignor::Sticky,
+            churn: Vec::new(),
+            duration: SimDuration::from_secs(30),
+            window: SimDuration::from_secs(5),
+            partition_capacity_hz: 50.0,
+            base_loss: 0.001,
+            rebalance_pause: SimDuration::from_secs(2),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.producers == 0 {
+            return Err("fleet needs at least one producer".into());
+        }
+        if self.partitions == 0 {
+            return Err("topic needs at least one partition".into());
+        }
+        if self.initial_consumers == 0 {
+            return Err("group needs at least one initial consumer".into());
+        }
+        if self.duration.is_zero() || self.window.is_zero() {
+            return Err("duration and window must be non-zero".into());
+        }
+        if !self
+            .duration
+            .as_micros()
+            .is_multiple_of(self.window.as_micros())
+        {
+            return Err("window must divide duration evenly".into());
+        }
+        if !self.partition_capacity_hz.is_finite() || self.partition_capacity_hz <= 0.0 {
+            return Err("partition capacity must be finite and positive".into());
+        }
+        if !self.base_loss.is_finite() || !(0.0..=1.0).contains(&self.base_loss) {
+            return Err("base loss must be a probability".into());
+        }
+        for (i, c) in self.churn.iter().enumerate() {
+            if c.at == SimTime::ZERO || c.at >= SimTime::ZERO + self.duration {
+                return Err(format!("churn[{i}] must fall strictly inside the run"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-tenant delivery ledger: where every message of one producer went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantLedger {
+    /// Tenant (producer) id.
+    pub tenant: u32,
+    /// Stream-class index into the population.
+    pub class: u16,
+    /// Messages the tenant emitted.
+    pub produced: u64,
+    /// Messages appended to the topic (first copies).
+    pub delivered: u64,
+    /// Messages dropped by the network leg.
+    pub lost_network: u64,
+    /// Messages rejected by a saturated partition.
+    pub lost_overload: u64,
+    /// Duplicate deliveries (rebalance re-reads).
+    pub duplicated: u64,
+}
+
+impl TenantLedger {
+    /// Total messages lost, all causes.
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.lost_network + self.lost_overload
+    }
+}
+
+/// Fleet-level totals (sums of the per-tenant ledgers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FleetTotals {
+    /// Sum of [`TenantLedger::produced`].
+    pub produced: u64,
+    /// Sum of [`TenantLedger::delivered`].
+    pub delivered: u64,
+    /// Sum of [`TenantLedger::lost_network`].
+    pub lost_network: u64,
+    /// Sum of [`TenantLedger::lost_overload`].
+    pub lost_overload: u64,
+    /// Sum of [`TenantLedger::duplicated`].
+    pub duplicated: u64,
+}
+
+impl FleetTotals {
+    /// Total messages lost, all causes.
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.lost_network + self.lost_overload
+    }
+}
+
+/// Per-class rollup of the tenant ledgers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// Class label.
+    pub class: String,
+    /// Producers in the class.
+    pub producers: u64,
+    /// Messages emitted by the class.
+    pub produced: u64,
+    /// First copies appended.
+    pub delivered: u64,
+    /// Network losses.
+    pub lost_network: u64,
+    /// Overload losses.
+    pub lost_overload: u64,
+    /// Duplicate deliveries.
+    pub duplicated: u64,
+}
+
+/// One rebalance as it happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceRecord {
+    /// When the membership change landed.
+    pub at: SimTime,
+    /// Group generation it produced.
+    pub generation: u64,
+    /// Members after the change.
+    pub members: Vec<u32>,
+    /// Partitions that changed owner.
+    pub moved: Vec<u32>,
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// One ledger per tenant, in tenant order.
+    pub tenants: Vec<TenantLedger>,
+    /// Fleet-level totals.
+    pub totals: FleetTotals,
+    /// Per-class rollups, in population declaration order.
+    pub classes: Vec<ClassSummary>,
+    /// First-copy appends per partition (the skew profile).
+    pub partition_appends: Vec<u64>,
+    /// Every rebalance, in time order.
+    pub rebalances: Vec<RebalanceRecord>,
+    /// The windowed per-tenant (per-class cohort) KPI series.
+    pub windows: TenantSeries,
+    /// Events the simulation loop fired.
+    pub events_fired: u64,
+}
+
+impl FleetOutcome {
+    /// Partition skew: hottest partition's appends over the mean.
+    /// `1.0` is perfectly even; `0.0` when nothing was appended.
+    #[must_use]
+    pub fn skew(&self) -> f64 {
+        let max = self.partition_appends.iter().copied().max().unwrap_or(0) as f64;
+        let total: u64 = self.partition_appends.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.partition_appends.len() as f64;
+        max / mean
+    }
+}
+
+/// Per-partition runtime state.
+#[derive(Debug, Clone)]
+struct PartitionState {
+    /// Token bucket: available append tokens.
+    tokens: f64,
+    last_refill: SimTime,
+    /// First-copy appends.
+    appends: u64,
+    /// Records drained by the group.
+    consumed: u64,
+    /// Consumption is paused until this instant (rebalance hand-off).
+    paused_until: SimTime,
+    /// Appends until this instant are re-read by the new owner
+    /// (at-least-once duplicate window).
+    reread_until: SimTime,
+}
+
+/// Per-class accumulator for the open KPI window.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassWindowAcc {
+    produced: u64,
+    delivered: u64,
+    lost: u64,
+    duplicated: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FleetEvent {
+    /// Tenant flushes accumulated messages.
+    Flush(u32),
+    /// Scripted churn entry (index into `FleetConfig::churn`).
+    Churn(u32),
+    /// Group drains owned, unpaused partitions.
+    ConsumeTick,
+    /// Close the open KPI window.
+    WindowClose,
+}
+
+struct FleetWorld {
+    cfg: FleetConfig,
+    end: SimTime,
+    /// Tenant → class index.
+    classes_of: Vec<u16>,
+    /// Per-tenant forked RNG (network-loss Bernoulli draws).
+    rngs: Vec<SimRng>,
+    router: Box<dyn Partitioner>,
+    group: GroupCoordinator,
+    partitions: Vec<PartitionState>,
+    ledgers: Vec<TenantLedger>,
+    last_flush: Vec<SimTime>,
+    carry: Vec<f64>,
+    class_producers: Vec<u64>,
+    class_window: Vec<ClassWindowAcc>,
+    window_idx: u64,
+    window_moved: u64,
+    rebalances: Vec<RebalanceRecord>,
+    series: TenantSeries,
+    trace: Box<dyn TraceSink>,
+    prof: Profiler,
+}
+
+impl FleetWorld {
+    fn rate_of(&self, tenant: u32) -> f64 {
+        self.cfg
+            .population
+            .class(self.classes_of[tenant as usize])
+            .rate_hz
+    }
+
+    fn try_append(&mut self, partition: u32, now: SimTime) -> bool {
+        let cap = self.cfg.partition_capacity_hz;
+        let p = &mut self.partitions[partition as usize];
+        let elapsed = (now - p.last_refill).as_secs_f64();
+        p.tokens = (p.tokens + cap * elapsed).min(cap * BURST_SECS);
+        p.last_refill = now;
+        if p.tokens >= 1.0 {
+            p.tokens -= 1.0;
+            p.appends += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn apply_churn(&mut self, idx: usize, now: SimTime) {
+        let _span = self.prof.span("fleet.rebalance");
+        let ev = self.cfg.churn[idx];
+        let reb = match ev.action {
+            ChurnAction::Join => self.group.join(ev.member),
+            ChurnAction::Leave => self.group.leave(ev.member),
+        };
+        if self.trace.enabled() {
+            let generation = reb
+                .as_ref()
+                .map_or_else(|| self.group.generation(), |r| r.generation);
+            self.trace.record(match ev.action {
+                ChurnAction::Join => TraceEvent::ConsumerJoined {
+                    at: now,
+                    member: ev.member,
+                    generation,
+                },
+                ChurnAction::Leave => TraceEvent::ConsumerLeft {
+                    at: now,
+                    member: ev.member,
+                    generation,
+                },
+            });
+        }
+        let Some(reb) = reb else { return };
+        let until = now + self.cfg.rebalance_pause;
+        for &p in &reb.moved {
+            let st = &mut self.partitions[p as usize];
+            st.paused_until = until;
+            st.reread_until = until;
+        }
+        self.window_moved += reb.moved.len() as u64;
+        if self.trace.enabled() {
+            for (member, parts) in &reb.assignments {
+                let moved = parts.iter().filter(|p| reb.moved.contains(p)).count() as u64;
+                self.trace.record(TraceEvent::PartitionsAssigned {
+                    at: now,
+                    member: *member,
+                    generation: reb.generation,
+                    partitions: parts.clone(),
+                    moved,
+                });
+            }
+        }
+        self.rebalances.push(RebalanceRecord {
+            at: now,
+            generation: reb.generation,
+            members: self.group.members().to_vec(),
+            moved: reb.moved,
+        });
+    }
+
+    fn close_window(&mut self, now: SimTime) {
+        let _span = self.prof.span("fleet.window");
+        let backlog: u64 = self.partitions.iter().map(|p| p.appends - p.consumed).sum();
+        let start = now - self.cfg.window;
+        for (idx, acc) in self.class_window.iter().enumerate() {
+            self.series.push(TenantWindowRow {
+                window: self.window_idx,
+                start_s: start.as_secs_f64(),
+                cohort: self.cfg.population.class(idx as u16).name.clone(),
+                producers: self.class_producers[idx],
+                produced: acc.produced,
+                delivered: acc.delivered,
+                lost: acc.lost,
+                duplicated: acc.duplicated,
+                backlog,
+                moved_partitions: self.window_moved,
+                group_members: self.group.members().len() as u64,
+            });
+        }
+        self.class_window
+            .iter_mut()
+            .for_each(|a| *a = ClassWindowAcc::default());
+        self.window_moved = 0;
+        self.window_idx += 1;
+    }
+}
+
+impl EventWorld for FleetWorld {
+    type Event = FleetEvent;
+
+    fn handle(&mut self, event: FleetEvent, ctx: &mut EventContext<FleetEvent>) {
+        let now = ctx.now();
+        match event {
+            FleetEvent::Flush(tenant) => {
+                let _span = self.prof.span("fleet.flush");
+                let t = tenant as usize;
+                let elapsed = (now - self.last_flush[t]).as_secs_f64();
+                self.last_flush[t] = now;
+                let emitted = self.rate_of(tenant) * elapsed + self.carry[t];
+                let n = emitted.floor() as u64;
+                self.carry[t] = emitted - n as f64;
+                let class = self.classes_of[t];
+                for _ in 0..n {
+                    self.ledgers[t].produced += 1;
+                    self.class_window[class as usize].produced += 1;
+                    if self.rngs[t].bernoulli(self.cfg.base_loss) {
+                        self.ledgers[t].lost_network += 1;
+                        self.class_window[class as usize].lost += 1;
+                        continue;
+                    }
+                    let partition = self.router.route(tenant, class, self.cfg.partitions);
+                    if self.try_append(partition, now) {
+                        self.ledgers[t].delivered += 1;
+                        self.class_window[class as usize].delivered += 1;
+                        if now < self.partitions[partition as usize].reread_until {
+                            self.ledgers[t].duplicated += 1;
+                            self.class_window[class as usize].duplicated += 1;
+                        }
+                    } else {
+                        self.ledgers[t].lost_overload += 1;
+                        self.class_window[class as usize].lost += 1;
+                    }
+                }
+                let next = now + FLUSH_INTERVAL;
+                if next < self.end {
+                    ctx.schedule_at(next, FleetEvent::Flush(tenant));
+                }
+            }
+            FleetEvent::Churn(idx) => self.apply_churn(idx as usize, now),
+            FleetEvent::ConsumeTick => {
+                let _span = self.prof.span("fleet.consume");
+                let drain_per_tick =
+                    (self.cfg.partition_capacity_hz * DRAIN_FACTOR * CONSUME_TICK.as_secs_f64())
+                        .floor() as u64;
+                for p in 0..self.cfg.partitions {
+                    if self.group.owner_of(p).is_none() {
+                        continue;
+                    }
+                    let st = &mut self.partitions[p as usize];
+                    if st.paused_until > now {
+                        continue;
+                    }
+                    let backlog = st.appends - st.consumed;
+                    st.consumed += backlog.min(drain_per_tick);
+                }
+                let next = now + CONSUME_TICK;
+                if next < self.end {
+                    ctx.schedule_at(next, FleetEvent::ConsumeTick);
+                }
+            }
+            FleetEvent::WindowClose => {
+                self.close_window(now);
+                let next = now + self.cfg.window;
+                if next <= self.end {
+                    ctx.schedule_at(next, FleetEvent::WindowClose);
+                }
+            }
+        }
+    }
+}
+
+/// One fleet run: a validated [`FleetConfig`] plus a seed.
+///
+/// # Example
+///
+/// ```
+/// use kafkasim::fleet::{FleetConfig, FleetRun};
+///
+/// let cfg = FleetConfig::default();
+/// let outcome = FleetRun::new(cfg, 42).execute();
+/// let t = &outcome.tenants[0];
+/// assert_eq!(t.produced, t.delivered + t.lost());
+/// assert_eq!(
+///     outcome.totals.produced,
+///     outcome.tenants.iter().map(|t| t.produced).sum::<u64>()
+/// );
+/// ```
+pub struct FleetRun {
+    cfg: FleetConfig,
+    seed: u64,
+}
+
+impl FleetRun {
+    /// Builds a run.
+    ///
+    /// # Panics
+    /// Panics when the config is invalid (validate first for a `Result`).
+    #[must_use]
+    pub fn new(cfg: FleetConfig, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid fleet config: {e}");
+        }
+        FleetRun { cfg, seed }
+    }
+
+    /// Runs untraced and unprofiled.
+    #[must_use]
+    pub fn execute(self) -> FleetOutcome {
+        self.execute_profiled(Box::new(NoopSink), Profiler::disabled())
+            .0
+    }
+
+    /// Runs with trace events delivered to `sink`.
+    pub fn execute_traced(self, sink: Box<dyn TraceSink>) -> (FleetOutcome, Box<dyn TraceSink>) {
+        self.execute_profiled(sink, Profiler::disabled())
+    }
+
+    /// Runs with trace events *and* wall-clock span profiling.
+    pub fn execute_profiled(
+        self,
+        sink: Box<dyn TraceSink>,
+        prof: Profiler,
+    ) -> (FleetOutcome, Box<dyn TraceSink>) {
+        let cfg = self.cfg;
+        let setup = prof.span("fleet.setup");
+        let classes_of = cfg.population.apportion(cfg.producers);
+        let mut master = SimRng::seed_from_u64(self.seed);
+        let rngs: Vec<SimRng> = (0..cfg.producers).map(|_| master.fork()).collect();
+        let router = cfg.strategy.build(cfg.partitions, &cfg.population);
+        let initial: Vec<u32> = (0..cfg.initial_consumers).collect();
+        let group = GroupCoordinator::new(cfg.assignor, cfg.partitions, &initial);
+
+        let mut trace = sink;
+        if trace.enabled() {
+            // Generation-1 assignment, so the trace tells the whole
+            // ownership story from time zero.
+            for &member in group.members() {
+                let partitions = group.partitions_of(member);
+                let moved = partitions.len() as u64;
+                trace.record(TraceEvent::PartitionsAssigned {
+                    at: SimTime::ZERO,
+                    member,
+                    generation: group.generation(),
+                    partitions,
+                    moved,
+                });
+            }
+        }
+
+        let n_classes = cfg.population.entries().len();
+        let mut class_producers = vec![0u64; n_classes];
+        for &c in &classes_of {
+            class_producers[c as usize] += 1;
+        }
+        let ledgers: Vec<TenantLedger> = classes_of
+            .iter()
+            .enumerate()
+            .map(|(t, &class)| TenantLedger {
+                tenant: t as u32,
+                class,
+                produced: 0,
+                delivered: 0,
+                lost_network: 0,
+                lost_overload: 0,
+                duplicated: 0,
+            })
+            .collect();
+        let partitions = vec![
+            PartitionState {
+                tokens: cfg.partition_capacity_hz * BURST_SECS,
+                last_refill: SimTime::ZERO,
+                appends: 0,
+                consumed: 0,
+                paused_until: SimTime::ZERO,
+                reread_until: SimTime::ZERO,
+            };
+            cfg.partitions as usize
+        ];
+
+        let end = SimTime::ZERO + cfg.duration;
+        let world = FleetWorld {
+            end,
+            classes_of,
+            rngs,
+            router,
+            group,
+            partitions,
+            ledgers,
+            last_flush: vec![SimTime::ZERO; cfg.producers],
+            carry: vec![0.0; cfg.producers],
+            class_producers,
+            class_window: vec![ClassWindowAcc::default(); n_classes],
+            window_idx: 0,
+            window_moved: 0,
+            rebalances: Vec::new(),
+            series: TenantSeries::new(cfg.window),
+            trace,
+            prof: prof.clone(),
+            cfg,
+        };
+        let mut sim = EventSim::new(world);
+        // Stagger tenant flushes across the interval so fleet arrivals
+        // spread over time instead of synchronising on one grid point.
+        for t in 0..sim.world().cfg.producers {
+            let phase = (t % 8) as u64 + 1;
+            let first =
+                SimTime::ZERO + SimDuration::from_micros(FLUSH_INTERVAL.as_micros() * phase / 8);
+            sim.schedule_at(first, FleetEvent::Flush(t as u32));
+        }
+        for (i, c) in sim.world().cfg.churn.clone().iter().enumerate() {
+            sim.schedule_at(c.at, FleetEvent::Churn(i as u32));
+        }
+        sim.schedule_at(SimTime::ZERO + CONSUME_TICK, FleetEvent::ConsumeTick);
+        sim.schedule_at(
+            SimTime::ZERO + sim.world().cfg.window,
+            FleetEvent::WindowClose,
+        );
+        drop(setup);
+
+        {
+            let _run = prof.span("fleet.run");
+            sim.run_until_idle();
+        }
+
+        let events_fired = sim.events_fired();
+        let world = sim.into_world();
+        let mut totals = FleetTotals::default();
+        for l in &world.ledgers {
+            totals.produced += l.produced;
+            totals.delivered += l.delivered;
+            totals.lost_network += l.lost_network;
+            totals.lost_overload += l.lost_overload;
+            totals.duplicated += l.duplicated;
+        }
+        let mut classes: Vec<ClassSummary> = world
+            .cfg
+            .population
+            .entries()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ClassSummary {
+                class: e.class.name.clone(),
+                producers: world.class_producers[i],
+                produced: 0,
+                delivered: 0,
+                lost_network: 0,
+                lost_overload: 0,
+                duplicated: 0,
+            })
+            .collect();
+        for l in &world.ledgers {
+            let c = &mut classes[l.class as usize];
+            c.produced += l.produced;
+            c.delivered += l.delivered;
+            c.lost_network += l.lost_network;
+            c.lost_overload += l.lost_overload;
+            c.duplicated += l.duplicated;
+        }
+        (
+            FleetOutcome {
+                tenants: world.ledgers,
+                totals,
+                classes,
+                partition_appends: world.partitions.iter().map(|p| p.appends).collect(),
+                rebalances: world.rebalances,
+                windows: world.series,
+                events_fired,
+            },
+            world.trace,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::population::{PopulationEntry, StreamClass};
+    use super::*;
+    use crate::source::SizeSpec;
+    use obs::RingBufferSink;
+
+    fn small_cfg() -> FleetConfig {
+        FleetConfig {
+            producers: 200,
+            partitions: 8,
+            strategy: PartitionStrategy::KeyHash,
+            population: Population::new(vec![
+                PopulationEntry {
+                    class: StreamClass {
+                        name: "social-media".into(),
+                        size: SizeSpec::Uniform {
+                            low: 120,
+                            high: 400,
+                        },
+                        rate_hz: 1.0,
+                        timeliness: SimDuration::from_secs(2),
+                    },
+                    weight: 0.6,
+                },
+                PopulationEntry {
+                    class: StreamClass {
+                        name: "game-traffic".into(),
+                        size: SizeSpec::Uniform { low: 40, high: 100 },
+                        rate_hz: 2.0,
+                        timeliness: SimDuration::from_millis(300),
+                    },
+                    weight: 0.4,
+                },
+            ])
+            .unwrap(),
+            initial_consumers: 4,
+            assignor: Assignor::Sticky,
+            churn: vec![
+                ChurnEvent {
+                    at: SimTime::from_secs(6),
+                    action: ChurnAction::Join,
+                    member: 4,
+                },
+                ChurnEvent {
+                    at: SimTime::from_secs(12),
+                    action: ChurnAction::Leave,
+                    member: 1,
+                },
+            ],
+            duration: SimDuration::from_secs(20),
+            window: SimDuration::from_secs(5),
+            partition_capacity_hz: 25.0,
+            base_loss: 0.01,
+            rebalance_pause: SimDuration::from_secs(2),
+        }
+    }
+
+    #[test]
+    fn per_tenant_accounting_conserves() {
+        let out = FleetRun::new(small_cfg(), 7).execute();
+        assert!(out.totals.produced > 0);
+        let mut produced = 0u64;
+        let mut delivered = 0u64;
+        let mut lost = 0u64;
+        let mut dup = 0u64;
+        for t in &out.tenants {
+            assert_eq!(t.produced, t.delivered + t.lost(), "tenant {}", t.tenant);
+            produced += t.produced;
+            delivered += t.delivered;
+            lost += t.lost();
+            dup += t.duplicated;
+        }
+        assert_eq!(produced, out.totals.produced);
+        assert_eq!(delivered, out.totals.delivered);
+        assert_eq!(lost, out.totals.lost());
+        assert_eq!(dup, out.totals.duplicated);
+        let class_produced: u64 = out.classes.iter().map(|c| c.produced).sum();
+        assert_eq!(class_produced, out.totals.produced);
+        assert_eq!(
+            out.totals.delivered,
+            out.partition_appends.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn runs_are_bit_identical_at_fixed_seed() {
+        let a = FleetRun::new(small_cfg(), 99).execute();
+        let b = FleetRun::new(small_cfg(), 99).execute();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = FleetRun::new(small_cfg(), 1).execute();
+        let b = FleetRun::new(small_cfg(), 2).execute();
+        assert_ne!(
+            a.totals.lost_network, b.totals.lost_network,
+            "different seeds draw different network losses"
+        );
+    }
+
+    #[test]
+    fn churn_rebalances_and_duplicates_are_visible() {
+        let (out, mut sink) =
+            FleetRun::new(small_cfg(), 7).execute_traced(Box::new(RingBufferSink::new(4096)));
+        assert_eq!(out.rebalances.len(), 2);
+        assert!(!out.rebalances[0].moved.is_empty());
+        assert!(
+            out.totals.duplicated > 0,
+            "moved partitions re-read under at-least-once"
+        );
+        // The duplicates land in the rebalance windows of the series.
+        assert!(out.windows.max_moved_partitions() > 0);
+        let events: Vec<String> = sink.drain().iter().map(|e| e.kind().to_string()).collect();
+        assert!(events.iter().any(|k| k == "consumer-joined"));
+        assert!(events.iter().any(|k| k == "consumer-left"));
+        assert!(events.iter().any(|k| k == "partitions-assigned"));
+    }
+
+    #[test]
+    fn windows_cover_the_whole_run() {
+        let out = FleetRun::new(small_cfg(), 7).execute();
+        // 20 s / 5 s windows × 2 classes.
+        assert_eq!(out.windows.rows.len(), 4 * 2);
+        assert_eq!(out.windows.total_produced(), out.totals.produced);
+    }
+
+    #[test]
+    fn overload_attribution_reacts_to_capacity() {
+        let mut starved = small_cfg();
+        starved.partition_capacity_hz = 5.0;
+        let lean = FleetRun::new(starved, 7).execute();
+        let rich = FleetRun::new(small_cfg(), 7).execute();
+        assert!(lean.totals.lost_overload > rich.totals.lost_overload);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = small_cfg();
+        c.producers = 0;
+        assert!(c.validate().is_err());
+        let mut c = small_cfg();
+        c.window = SimDuration::from_secs(3); // does not divide 20 s
+        assert!(c.validate().is_err());
+        let mut c = small_cfg();
+        c.churn[0].at = SimTime::from_secs(20); // not strictly inside
+        assert!(c.validate().is_err());
+        let mut c = small_cfg();
+        c.base_loss = 1.5;
+        assert!(c.validate().is_err());
+        assert!(small_cfg().validate().is_ok());
+    }
+}

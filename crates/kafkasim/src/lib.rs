@@ -30,7 +30,12 @@
 //! * **observability** — the runtime is instrumented with [`obs`]
 //!   lifecycle trace events ([`runtime::KafkaRun::execute_traced`]), and
 //!   [`explain`] cross-checks a reconstructed trace against the audit so
-//!   every lost or duplicated message has a concrete traced cause.
+//!   every lost or duplicated message has a concrete traced cause;
+//! * a **fleet layer** ([`fleet`]) that scales from one producer to
+//!   populations of thousands: weighted stream-class mixes, pluggable
+//!   partitioners (round-robin / key-hash / locality), consumer groups
+//!   with join/leave churn and range/sticky rebalancing, and per-tenant
+//!   loss/duplication ledgers that sum exactly to the fleet totals.
 //!
 //! # Example
 //!
@@ -100,6 +105,7 @@ pub mod config;
 pub mod consumer;
 pub mod explain;
 pub mod fasthash;
+pub mod fleet;
 pub mod log;
 pub mod message;
 pub mod producer;
@@ -111,6 +117,7 @@ pub mod wire;
 pub use audit::{DeliveryReport, LossReason};
 pub use config::{ConfigError, DeliverySemantics, ProducerConfig};
 pub use explain::{crosscheck, TraceAudit};
+pub use fleet::{FleetConfig, FleetOutcome, FleetRun};
 pub use runtime::{KafkaRun, RunArena, RunOutcome, RunSpec};
 pub use source::SourceSpec;
 pub use state::{DeliveryCase, MessageState};

@@ -289,6 +289,42 @@ pub enum TraceEvent {
         /// The restarted broker.
         broker: u32,
     },
+    /// A consumer joined its group (fleet runs): the join that triggers a
+    /// generation bump and a partition rebalance.
+    ConsumerJoined {
+        /// Join instant.
+        at: SimTime,
+        /// The joining member's id.
+        member: u32,
+        /// The group generation *after* the join's rebalance.
+        generation: u64,
+    },
+    /// A consumer left its group (fleet runs), orphaning its partitions
+    /// until the rebalance reassigns them.
+    ConsumerLeft {
+        /// Leave instant.
+        at: SimTime,
+        /// The departing member's id.
+        member: u32,
+        /// The group generation *after* the leave's rebalance.
+        generation: u64,
+    },
+    /// One member's partition assignment after a group rebalance (fleet
+    /// runs emit one of these per surviving member per rebalance).
+    PartitionsAssigned {
+        /// Assignment instant.
+        at: SimTime,
+        /// The member receiving the assignment.
+        member: u32,
+        /// The group generation this assignment belongs to.
+        generation: u64,
+        /// The partitions the member now owns.
+        partitions: Vec<u32>,
+        /// How many of those partitions changed owner in this rebalance
+        /// (the "storm" size; moved partitions pause consumption and
+        /// re-read under at-least-once, producing duplicates).
+        moved: u64,
+    },
     /// A periodic sample of a named cumulative counter from a non-trace
     /// source (the planner cache, the online controller), interleaved
     /// into the event stream so windowed recorders can difference it
@@ -323,6 +359,9 @@ impl TraceEvent {
             | TraceEvent::LeaderElected { at, .. }
             | TraceEvent::BrokerDown { at, .. }
             | TraceEvent::BrokerUp { at, .. }
+            | TraceEvent::ConsumerJoined { at, .. }
+            | TraceEvent::ConsumerLeft { at, .. }
+            | TraceEvent::PartitionsAssigned { at, .. }
             | TraceEvent::CounterSample { at, .. } => *at,
         }
     }
@@ -346,6 +385,9 @@ impl TraceEvent {
             TraceEvent::LeaderElected { .. } => "leader-elected",
             TraceEvent::BrokerDown { .. } => "broker-down",
             TraceEvent::BrokerUp { .. } => "broker-up",
+            TraceEvent::ConsumerJoined { .. } => "consumer-joined",
+            TraceEvent::ConsumerLeft { .. } => "consumer-left",
+            TraceEvent::PartitionsAssigned { .. } => "partitions-assigned",
             TraceEvent::CounterSample { .. } => "counter-sample",
         }
     }
@@ -543,6 +585,24 @@ impl core::fmt::Display for TraceEvent {
             }
             TraceEvent::BrokerDown { broker, .. } => write!(f, "{t} broker {broker} crashed"),
             TraceEvent::BrokerUp { broker, .. } => write!(f, "{t} broker {broker} restarted"),
+            TraceEvent::ConsumerJoined {
+                member, generation, ..
+            } => write!(f, "{t} consumer {member} joined (generation {generation})"),
+            TraceEvent::ConsumerLeft {
+                member, generation, ..
+            } => write!(f, "{t} consumer {member} left (generation {generation})"),
+            TraceEvent::PartitionsAssigned {
+                member,
+                generation,
+                partitions,
+                moved,
+                ..
+            } => write!(
+                f,
+                "{t} consumer {member} assigned {} partitions in generation {generation} \
+                 ({moved} moved)",
+                partitions.len()
+            ),
             TraceEvent::CounterSample { name, value, .. } => {
                 write!(f, "{t} counter {name} = {value}")
             }
@@ -644,6 +704,38 @@ mod tests {
             assert!(!ev.kind().is_empty());
             assert!(!ev.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn group_events_have_kinds_and_narration() {
+        let joined = TraceEvent::ConsumerJoined {
+            at: SimTime::from_millis(50),
+            member: 8,
+            generation: 2,
+        };
+        assert_eq!(joined.kind(), "consumer-joined");
+        assert_eq!(joined.key(), None);
+        assert!(joined.to_string().contains("consumer 8 joined"));
+
+        let left = TraceEvent::ConsumerLeft {
+            at: SimTime::from_millis(60),
+            member: 2,
+            generation: 3,
+        };
+        assert_eq!(left.kind(), "consumer-left");
+        assert!(left.to_string().contains("generation 3"));
+
+        let assigned = TraceEvent::PartitionsAssigned {
+            at: SimTime::from_millis(60),
+            member: 0,
+            generation: 3,
+            partitions: vec![0, 1, 2, 3],
+            moved: 2,
+        };
+        assert_eq!(assigned.kind(), "partitions-assigned");
+        assert_eq!(assigned.batch(), None);
+        assert!(assigned.to_string().contains("assigned 4 partitions"));
+        assert!(assigned.to_string().contains("2 moved"));
     }
 
     #[test]
@@ -797,6 +889,23 @@ mod tests {
                 at: SimTime::from_millis(15),
                 broker: 0,
             },
+            TraceEvent::ConsumerJoined {
+                at: SimTime::from_millis(17),
+                member: 3,
+                generation: 2,
+            },
+            TraceEvent::ConsumerLeft {
+                at: SimTime::from_millis(18),
+                member: 1,
+                generation: 3,
+            },
+            TraceEvent::PartitionsAssigned {
+                at: SimTime::from_millis(19),
+                member: 3,
+                generation: 3,
+                partitions: vec![0, 1, 4],
+                moved: 2,
+            },
             TraceEvent::CounterSample {
                 at: SimTime::from_millis(16),
                 name: "planner-cache-hit".to_string(),
@@ -813,7 +922,7 @@ mod tests {
         let kinds: std::collections::BTreeSet<&str> = events.iter().map(TraceEvent::kind).collect();
         assert_eq!(
             kinds.len(),
-            16,
+            19,
             "update one_of_each_variant() for new TraceEvent variants"
         );
 

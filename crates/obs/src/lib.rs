@@ -100,4 +100,4 @@ pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSink, MetricsSummary
 pub use profile::{Profiler, SpanEvent, SpanGuard, SpanProfile, SpanStat};
 pub use sink::{parse_jsonl, JsonlSink, NoopSink, RingBufferSink, TraceSink};
 pub use timeline::{DupCause, MessageFate, MessageTimeline, TimelineReport};
-pub use window::{WindowRow, WindowSeries};
+pub use window::{TenantSeries, TenantWindowRow, WindowRow, WindowSeries};

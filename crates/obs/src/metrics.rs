@@ -136,7 +136,10 @@ impl MetricsRegistry {
             | TraceEvent::IsrShrink { .. }
             | TraceEvent::IsrExpand { .. }
             | TraceEvent::BrokerDown { .. }
-            | TraceEvent::BrokerUp { .. } => {}
+            | TraceEvent::BrokerUp { .. }
+            | TraceEvent::ConsumerJoined { .. }
+            | TraceEvent::ConsumerLeft { .. }
+            | TraceEvent::PartitionsAssigned { .. } => {}
         }
     }
 

@@ -143,12 +143,15 @@ impl TimelineReport {
                         attach(k, ev);
                     }
                 }
-                // Cluster-level events with no per-message story.
+                // Cluster- and group-level events with no per-message story.
                 TraceEvent::ReplicaFetch { .. }
                 | TraceEvent::IsrShrink { .. }
                 | TraceEvent::IsrExpand { .. }
                 | TraceEvent::BrokerDown { .. }
                 | TraceEvent::BrokerUp { .. }
+                | TraceEvent::ConsumerJoined { .. }
+                | TraceEvent::ConsumerLeft { .. }
+                | TraceEvent::PartitionsAssigned { .. }
                 | TraceEvent::CounterSample { .. } => {}
             }
         }

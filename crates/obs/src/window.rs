@@ -21,6 +21,14 @@
 //! ([`WindowSeries::from_events`]), so any retaining sink — typically
 //! [`crate::RingBufferSink`] — doubles as the recorder's source, and the
 //! computation is a pure, deterministic function of the trace.
+//!
+//! Fleet runs additionally record a **per-tenant windowed KPI series**
+//! ([`TenantSeries`]): one row per (window × tenant cohort) with the
+//! cohort's produced/delivered/lost/duplicated counts plus the
+//! run-wide consumer-group state (backlog, members, partitions moved by
+//! rebalances) sampled at window close. The fleet engine pushes rows
+//! directly (populations are too large to trace per message), so the
+//! series is the windowed view of the per-tenant ledgers.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -267,6 +275,141 @@ impl WindowSeries {
     }
 }
 
+/// KPIs of one tenant cohort over one simulated-time window of a fleet
+/// run.
+///
+/// A *cohort* is the granularity the fleet engine windows tenants at —
+/// one row per stream class per window, so a 1000-producer run stays a
+/// few hundred rows while the per-tenant ledgers keep exact per-producer
+/// attribution. The group columns (`backlog`, `moved_partitions`,
+/// `group_members`) describe the whole run at window close and repeat
+/// across the window's cohort rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantWindowRow {
+    /// Window index (window 0 starts at simulated time zero).
+    pub window: u64,
+    /// Window start, simulated seconds.
+    pub start_s: f64,
+    /// Tenant cohort (stream-class) label.
+    pub cohort: String,
+    /// Producers in the cohort.
+    pub producers: u64,
+    /// Messages the cohort's producers emitted inside the window.
+    pub produced: u64,
+    /// Messages appended (first copy) inside the window.
+    pub delivered: u64,
+    /// Messages lost inside the window (all causes).
+    pub lost: u64,
+    /// Duplicate deliveries created inside the window (rebalance
+    /// re-reads under at-least-once).
+    pub duplicated: u64,
+    /// Run-wide consumer backlog (appended − consumed) at window close.
+    pub backlog: u64,
+    /// Partitions that changed owner inside the window (rebalance storm
+    /// size; `0` in churn-free windows).
+    pub moved_partitions: u64,
+    /// Consumer-group size at window close.
+    pub group_members: u64,
+}
+
+/// The windowed per-tenant KPI series of a fleet run.
+///
+/// # Example
+///
+/// ```
+/// use desim::SimDuration;
+/// use obs::{TenantSeries, TenantWindowRow};
+///
+/// let mut series = TenantSeries::new(SimDuration::from_secs(5));
+/// series.push(TenantWindowRow {
+///     window: 0,
+///     start_s: 0.0,
+///     cohort: "game-traffic".into(),
+///     producers: 240,
+///     produced: 1_200,
+///     delivered: 1_180,
+///     lost: 20,
+///     duplicated: 0,
+///     backlog: 35,
+///     moved_partitions: 0,
+///     group_members: 8,
+/// });
+/// assert_eq!(series.rows.len(), 1);
+/// assert!(series.to_csv().contains("game-traffic"));
+/// assert_eq!(series.max_moved_partitions(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSeries {
+    /// Window length, simulated microseconds.
+    pub window_us: u64,
+    /// Rows in (window, cohort-declaration) order.
+    pub rows: Vec<TenantWindowRow>,
+}
+
+impl TenantSeries {
+    /// Creates an empty series with the given window length.
+    ///
+    /// # Panics
+    /// Panics when `window` is zero.
+    #[must_use]
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window length must be non-zero");
+        TenantSeries {
+            window_us: window.as_micros(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one cohort-window row (fleet engine hook).
+    pub fn push(&mut self, row: TenantWindowRow) {
+        self.rows.push(row);
+    }
+
+    /// Renders the series as CSV with a header row. Floats use six
+    /// decimal places, so equal series render byte-identically.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "window,start_s,cohort,producers,produced,delivered,lost,\
+             duplicated,backlog,moved_partitions,group_members\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.6},{},{},{},{},{},{},{},{},{}\n",
+                r.window,
+                r.start_s,
+                r.cohort,
+                r.producers,
+                r.produced,
+                r.delivered,
+                r.lost,
+                r.duplicated,
+                r.backlog,
+                r.moved_partitions,
+                r.group_members,
+            ));
+        }
+        out
+    }
+
+    /// The largest `moved_partitions` across all windows — non-zero iff
+    /// a rebalance moved ownership mid-run.
+    #[must_use]
+    pub fn max_moved_partitions(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.moved_partitions)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of `produced` across all rows.
+    #[must_use]
+    pub fn total_produced(&self) -> u64 {
+        self.rows.iter().map(|r| r.produced).sum()
+    }
+}
+
 fn mean_isr(sizes: &BTreeMap<u32, u64>) -> f64 {
     if sizes.is_empty() {
         return 0.0;
@@ -401,6 +544,42 @@ mod tests {
         assert!((s.rows[1].cache_hit_rate - 0.7).abs() < 1e-9);
         assert_eq!(s.rows[2].cache_hits, 0);
         assert_eq!(s.rows[2].cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn tenant_series_accumulates_and_renders_csv() {
+        let mut s = TenantSeries::new(SimDuration::from_secs(5));
+        for (w, cohort, moved) in [(0u64, "social-media", 0u64), (1, "social-media", 6)] {
+            s.push(TenantWindowRow {
+                window: w,
+                start_s: w as f64 * 5.0,
+                cohort: cohort.into(),
+                producers: 500,
+                produced: 1_000,
+                delivered: 990,
+                lost: 10,
+                duplicated: if moved > 0 { 42 } else { 0 },
+                backlog: 12,
+                moved_partitions: moved,
+                group_members: 8,
+            });
+        }
+        assert_eq!(s.total_produced(), 2_000);
+        assert_eq!(s.max_moved_partitions(), 6);
+        let csv = s.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("window,start_s,cohort"));
+        assert!(csv.contains("1,5.000000,social-media,500,1000,990,10,42,12,6,8"));
+
+        let json = serde_json::to_string(&s).expect("serialises");
+        let back: TenantSeries = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be non-zero")]
+    fn tenant_series_rejects_zero_windows() {
+        let _ = TenantSeries::new(SimDuration::ZERO);
     }
 
     #[test]

@@ -12,11 +12,14 @@ use netsim::trace::TraceConfig;
 use testbed::scenarios::{ApplicationScenario, KpiWeights};
 
 use crate::collection::CollectionDesign;
+use kafkasim::fleet::{Assignor, ChurnAction, PartitionStrategy};
+
 use crate::document::{
     AcksLevelSpec, BrokerFaultMatrixSpec, DeliveryCaseSpec, ExperimentSpec, FaultScenarioSpec,
-    FaultSpec, KpiGridSpec, NetworkTraceSpec, OnlineCompareSpec, OutageSite, OverlaySpec,
-    ReportSpec, SensitivitySpec, SeriesSpec, Spec, SweepAxis, SweepMode, SweepSpec, Table1Spec,
-    Table2Spec, TraceDemoSpec, TraceScenarioSpec, TrainSpec,
+    FaultSpec, FleetPopulationEntry, FleetSpec, GroupChurnSpec, KpiGridSpec, NetworkTraceSpec,
+    OnlineCompareSpec, OutageSite, OverlaySpec, ReportSpec, SensitivitySpec, SeriesSpec, Spec,
+    SweepAxis, SweepMode, SweepSpec, Table1Spec, Table2Spec, TraceDemoSpec, TraceScenarioSpec,
+    TrainSpec,
 };
 use crate::grid::ConfigGrid;
 use crate::point::PointSpec;
@@ -53,6 +56,7 @@ pub fn all() -> Vec<Spec> {
         ablation_transport(),
         ablation_jitter(),
         trace(),
+        fleet(),
     ]
 }
 
@@ -687,6 +691,64 @@ fn trace() -> Spec {
     }
 }
 
+fn fleet() -> Spec {
+    Spec {
+        name: "fleet".into(),
+        title: "Fleet: 1200 producers x 3 stream types — partition skew and rebalance storms"
+            .into(),
+        description: "A Table II population over a 32-partition topic, swept across round-robin \
+                      / key-hash / locality partitioners, with consumer join+leave churn under \
+                      the sticky assignor and per-tenant loss attribution."
+            .into(),
+        experiment: ExperimentSpec::Fleet(FleetSpec {
+            producers: 1_200,
+            partitions: 32,
+            partitioners: vec![
+                PartitionStrategy::RoundRobin,
+                PartitionStrategy::KeyHash,
+                PartitionStrategy::Locality,
+            ],
+            population: vec![
+                FleetPopulationEntry {
+                    class: "social-media".into(),
+                    weight: 0.5,
+                    rate_hz: 1.0,
+                },
+                FleetPopulationEntry {
+                    class: "web-access-records".into(),
+                    weight: 0.3,
+                    rate_hz: 0.5,
+                },
+                FleetPopulationEntry {
+                    class: "game-traffic".into(),
+                    weight: 0.2,
+                    rate_hz: 2.0,
+                },
+            ],
+            consumers: 8,
+            assignor: Assignor::Sticky,
+            churn: vec![
+                GroupChurnSpec {
+                    at_s: 20,
+                    action: ChurnAction::Join,
+                    member: 8,
+                },
+                GroupChurnSpec {
+                    at_s: 40,
+                    action: ChurnAction::Leave,
+                    member: 2,
+                },
+            ],
+            duration_s: 60,
+            window_ms: 5_000,
+            partition_capacity_hz: 60.0,
+            base_loss: 0.002,
+            rebalance_pause_ms: 2_000,
+        }),
+        report: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,7 +756,7 @@ mod tests {
     #[test]
     fn every_builtin_validates() {
         let specs = all();
-        assert_eq!(specs.len(), 20);
+        assert_eq!(specs.len(), 21);
         for spec in &specs {
             spec.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.name));

@@ -8,6 +8,7 @@
 //! points at the offending TOML key, not at a line number.
 
 use kafkasim::config::DeliverySemantics;
+use kafkasim::fleet::{Assignor, ChurnAction, PartitionStrategy};
 use kafkasim::state::{DeliveryCase, Transition};
 use netsim::trace::TraceConfig;
 use serde::{Deserialize, Serialize};
@@ -126,6 +127,9 @@ pub enum ExperimentSpec {
     Online(OnlineCompareSpec),
     /// Message-lifecycle trace demo (observability walkthrough).
     TraceDemo(TraceDemoSpec),
+    /// Fleet-scale run — producer population × partitioner sweep with
+    /// consumer-group churn.
+    Fleet(FleetSpec),
 }
 
 impl ExperimentSpec {
@@ -148,6 +152,7 @@ impl ExperimentSpec {
             ExperimentSpec::BrokerFaultMatrix(s) => s.validate("experiment.BrokerFaultMatrix"),
             ExperimentSpec::Online(s) => s.validate("experiment.Online"),
             ExperimentSpec::TraceDemo(s) => s.validate("experiment.TraceDemo"),
+            ExperimentSpec::Fleet(s) => s.validate("experiment.Fleet"),
         }
     }
 }
@@ -879,6 +884,164 @@ impl TraceDemoSpec {
                     "message timeout must be positive",
                 ));
             }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet
+// ---------------------------------------------------------------------------
+
+/// One class of the fleet's producer population, referencing a Table II
+/// scenario by slug.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetPopulationEntry {
+    /// Table II scenario slug (`social-media`, `web-access-records`,
+    /// `game-traffic`).
+    pub class: String,
+    /// Relative share of the producer count.
+    pub weight: f64,
+    /// Per-producer emission rate, messages/second.
+    pub rate_hz: f64,
+}
+
+/// One scripted consumer-group membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupChurnSpec {
+    /// Seconds into the run (must fall strictly inside it).
+    pub at_s: u64,
+    /// Join or leave.
+    pub action: ChurnAction,
+    /// Consumer member id.
+    pub member: u32,
+}
+
+/// A fleet-scale experiment: a producer population over a partitioned
+/// topic, swept across partitioning strategies, with consumer-group
+/// churn. Renders as the partition-skew / rebalance-storm figure.
+///
+/// # Example
+///
+/// ```
+/// use spec::Spec;
+///
+/// let doc = Spec::builtin("fleet").unwrap();
+/// doc.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Number of producers (tenants).
+    pub producers: usize,
+    /// Partitions of the shared topic.
+    pub partitions: u32,
+    /// Partitioning strategies to sweep (one fleet run per entry).
+    pub partitioners: Vec<PartitionStrategy>,
+    /// The population mix.
+    pub population: Vec<FleetPopulationEntry>,
+    /// Consumer-group members at time zero.
+    pub consumers: u32,
+    /// Assignment policy at each rebalance.
+    pub assignor: Assignor,
+    /// Scripted membership changes.
+    pub churn: Vec<GroupChurnSpec>,
+    /// Simulated run length, seconds.
+    pub duration_s: u64,
+    /// KPI window length, milliseconds (must divide the duration).
+    pub window_ms: u64,
+    /// Sustained append capacity of one partition, messages/second.
+    pub partition_capacity_hz: f64,
+    /// Per-message network-loss probability.
+    pub base_loss: f64,
+    /// Pause/re-read window after a rebalance, milliseconds.
+    pub rebalance_pause_ms: u64,
+}
+
+impl FleetSpec {
+    fn validate(&self, path: &str) -> Result<(), SpecError> {
+        if self.producers == 0 {
+            return Err(SpecError::new(
+                format!("{path}.producers"),
+                "fleet needs at least one producer",
+            ));
+        }
+        if self.partitions == 0 {
+            return Err(SpecError::new(
+                format!("{path}.partitions"),
+                "topic needs at least one partition",
+            ));
+        }
+        if self.partitioners.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.partitioners"),
+                "sweep needs at least one partitioning strategy",
+            ));
+        }
+        if self.population.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.population"),
+                "population needs at least one class",
+            ));
+        }
+        for (i, e) in self.population.iter().enumerate() {
+            let p = format!("{path}.population[{i}]");
+            if ApplicationScenario::by_slug(&e.class).is_none() {
+                return Err(SpecError::new(
+                    format!("{p}.class"),
+                    "class must name a Table II scenario slug \
+                     (social-media, web-access-records, game-traffic)",
+                ));
+            }
+            if !e.weight.is_finite() || e.weight <= 0.0 {
+                return Err(SpecError::new(
+                    format!("{p}.weight"),
+                    "weight must be finite and positive",
+                ));
+            }
+            if !e.rate_hz.is_finite() || e.rate_hz <= 0.0 {
+                return Err(SpecError::new(
+                    format!("{p}.rate_hz"),
+                    "per-producer rate must be finite and positive",
+                ));
+            }
+        }
+        if self.consumers == 0 {
+            return Err(SpecError::new(
+                format!("{path}.consumers"),
+                "group needs at least one initial consumer",
+            ));
+        }
+        if self.duration_s == 0 || self.window_ms == 0 {
+            return Err(SpecError::new(
+                format!("{path}.duration_s"),
+                "duration and window must be positive",
+            ));
+        }
+        if !(self.duration_s * 1_000).is_multiple_of(self.window_ms) {
+            return Err(SpecError::new(
+                format!("{path}.window_ms"),
+                "window must divide the duration evenly",
+            ));
+        }
+        for (i, c) in self.churn.iter().enumerate() {
+            if c.at_s == 0 || c.at_s >= self.duration_s {
+                return Err(SpecError::new(
+                    format!("{path}.churn[{i}].at_s"),
+                    "churn must fall strictly inside the run",
+                ));
+            }
+        }
+        if !self.partition_capacity_hz.is_finite() || self.partition_capacity_hz <= 0.0 {
+            return Err(SpecError::new(
+                format!("{path}.partition_capacity_hz"),
+                "partition capacity must be finite and positive",
+            ));
+        }
+        if !self.base_loss.is_finite() || !(0.0..=1.0).contains(&self.base_loss) {
+            return Err(SpecError::new(
+                format!("{path}.base_loss"),
+                "loss rate must be within [0, 1]",
+            ));
         }
         Ok(())
     }

@@ -144,6 +144,74 @@ impl ApplicationScenario {
         ]
     }
 
+    /// The scenario's stable kebab-case identifier, used by fleet
+    /// population specs (`scenarios/fleet.toml`) to reference Table II
+    /// classes by name.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use testbed::scenarios::ApplicationScenario;
+    ///
+    /// assert_eq!(ApplicationScenario::social_media().slug(), "social-media");
+    /// ```
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        // Matched on the human-readable name so the three constructors
+        // stay the single source of truth.
+        match self.name.as_str() {
+            "messages from social media" => "social-media",
+            "web server access records" => "web-access-records",
+            "game traffic messages" => "game-traffic",
+            _ => "custom",
+        }
+    }
+
+    /// Looks a Table II scenario up by its [`slug`](Self::slug).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use testbed::scenarios::ApplicationScenario;
+    ///
+    /// let game = ApplicationScenario::by_slug("game-traffic").unwrap();
+    /// assert!(game.mean_size() < 100);
+    /// assert!(ApplicationScenario::by_slug("nope").is_none());
+    /// ```
+    #[must_use]
+    pub fn by_slug(slug: &str) -> Option<ApplicationScenario> {
+        ApplicationScenario::table2()
+            .into_iter()
+            .find(|s| s.slug() == slug)
+    }
+
+    /// Projects the scenario into a fleet [`kafkasim::fleet::StreamClass`] at the given
+    /// per-producer rate.
+    ///
+    /// A Table II scenario describes *one aggregate stream* (its
+    /// `rate_timeline` peaks around 40–55 msg/s); a fleet splits that
+    /// stream across many small producers, so the per-producer rate is a
+    /// separate knob supplied by the fleet spec.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use testbed::scenarios::ApplicationScenario;
+    ///
+    /// let class = ApplicationScenario::social_media().stream_class(1.5);
+    /// assert_eq!(class.name, "social-media");
+    /// assert_eq!(class.rate_hz, 1.5);
+    /// ```
+    #[must_use]
+    pub fn stream_class(&self, rate_hz: f64) -> kafkasim::fleet::StreamClass {
+        kafkasim::fleet::StreamClass {
+            name: self.slug().to_string(),
+            size: self.size,
+            rate_hz,
+            timeliness: self.timeliness,
+        }
+    }
+
     /// The source spec feeding `n_messages` through this workload.
     #[must_use]
     pub fn source(&self, n_messages: u64) -> SourceSpec {
@@ -226,6 +294,18 @@ mod tests {
         for s in ApplicationScenario::table2() {
             s.source(1_000).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn slugs_resolve_round_trip() {
+        for s in ApplicationScenario::table2() {
+            let found = ApplicationScenario::by_slug(s.slug()).unwrap();
+            assert_eq!(found, s);
+        }
+        assert!(ApplicationScenario::by_slug("unknown").is_none());
+        let class = ApplicationScenario::web_access_records().stream_class(0.5);
+        assert_eq!(class.name, "web-access-records");
+        assert_eq!(class.size, ApplicationScenario::web_access_records().size);
     }
 
     #[test]

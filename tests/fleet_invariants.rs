@@ -1,0 +1,291 @@
+//! Fleet-layer invariants: per-tenant accounting must stay conservative
+//! under arbitrary population mixes, partitioning strategies and
+//! consumer-group churn, and fleet runs must be bit-identical in
+//! (config, seed).
+
+use desim::{SimDuration, SimTime};
+use kafkasim::fleet::{
+    Assignor, ChurnAction, ChurnEvent, FleetConfig, FleetRun, PartitionStrategy, Population,
+    PopulationEntry,
+};
+use obs::{RingBufferSink, TraceEvent};
+use proptest::prelude::*;
+use spec::{ExperimentSpec, Spec};
+use testbed::scenarios::ApplicationScenario;
+
+/// Builds the committed `scenarios/fleet.toml` experiment as one
+/// [`FleetConfig`] per partitioning strategy, exactly as the `repro`
+/// executor does.
+fn builtin_fleet_configs() -> Vec<FleetConfig> {
+    let doc = Spec::builtin("fleet").expect("fleet is a built-in scenario");
+    doc.validate().expect("built-in corpus is valid");
+    let ExperimentSpec::Fleet(spec) = doc.experiment else {
+        panic!("fleet resolves to a fleet experiment");
+    };
+    let entries: Vec<PopulationEntry> = spec
+        .population
+        .iter()
+        .map(|e| PopulationEntry {
+            class: ApplicationScenario::by_slug(&e.class)
+                .expect("Table II slug")
+                .stream_class(e.rate_hz),
+            weight: e.weight,
+        })
+        .collect();
+    spec.partitioners
+        .iter()
+        .map(|&strategy| FleetConfig {
+            producers: spec.producers,
+            partitions: spec.partitions,
+            strategy,
+            population: Population::new(entries.clone()).expect("valid mix"),
+            initial_consumers: spec.consumers,
+            assignor: spec.assignor,
+            churn: spec
+                .churn
+                .iter()
+                .map(|c| ChurnEvent {
+                    at: SimTime::ZERO + SimDuration::from_secs(c.at_s),
+                    action: c.action,
+                    member: c.member,
+                })
+                .collect(),
+            duration: SimDuration::from_secs(spec.duration_s),
+            window: SimDuration::from_millis(spec.window_ms),
+            partition_capacity_hz: spec.partition_capacity_hz,
+            base_loss: spec.base_loss,
+            rebalance_pause: SimDuration::from_millis(spec.rebalance_pause_ms),
+        })
+        .collect()
+}
+
+/// The committed fleet scenario satisfies the issue's floor — at least
+/// 1000 producers across at least three stream types — and its per-tenant
+/// ledgers attribute 100% of every tenant's messages.
+#[test]
+fn builtin_fleet_attributes_every_message() {
+    for cfg in builtin_fleet_configs() {
+        assert!(cfg.producers >= 1000, "fleet floor is 1000 producers");
+        assert!(cfg.population.entries().len() >= 3, "three stream types");
+        let outcome = FleetRun::new(cfg, 42).execute();
+        let mut produced = 0;
+        let mut delivered = 0;
+        let mut lost = 0;
+        let mut duplicated = 0;
+        for t in &outcome.tenants {
+            assert_eq!(
+                t.produced,
+                t.delivered + t.lost(),
+                "tenant {} accounting must sum to 100%",
+                t.tenant
+            );
+            produced += t.produced;
+            delivered += t.delivered;
+            lost += t.lost();
+            duplicated += t.duplicated;
+        }
+        assert_eq!(produced, outcome.totals.produced);
+        assert_eq!(delivered, outcome.totals.delivered);
+        assert_eq!(lost, outcome.totals.lost());
+        assert_eq!(duplicated, outcome.totals.duplicated);
+        assert!(outcome.totals.produced > 0, "the fleet produced traffic");
+        assert_eq!(
+            outcome.partition_appends.iter().sum::<u64>(),
+            outcome.totals.delivered,
+            "every first copy lands in exactly one partition"
+        );
+        assert_eq!(outcome.windows.total_produced(), outcome.totals.produced);
+    }
+}
+
+/// The committed fleet scenario is bit-identical across two runs at the
+/// same seed, and diverges at a different seed.
+#[test]
+fn builtin_fleet_is_bit_identical_at_fixed_seed() {
+    for cfg in builtin_fleet_configs() {
+        let a = FleetRun::new(cfg.clone(), 42).execute();
+        let b = FleetRun::new(cfg.clone(), 42).execute();
+        assert_eq!(a, b, "same config + seed must be bit-identical");
+        let c = FleetRun::new(cfg, 43).execute();
+        assert_ne!(a.totals, c.totals, "a different seed perturbs the run");
+    }
+}
+
+/// The scripted churn shows up as consumer-group trace events and in the
+/// windowed per-tenant KPI series: the join and the leave each trigger a
+/// rebalance, moved partitions re-read (duplicates), and the membership
+/// column tracks the group size.
+#[test]
+fn builtin_fleet_rebalances_are_observable() {
+    let cfg = builtin_fleet_configs().remove(0);
+    let members_before = u64::from(cfg.initial_consumers);
+    let (outcome, mut sink) =
+        FleetRun::new(cfg, 42).execute_traced(Box::new(RingBufferSink::new(8192)));
+    assert!(outcome.rebalances.len() >= 2, "join + leave both rebalance");
+
+    let events = sink.drain();
+    let joins = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ConsumerJoined { .. }))
+        .count();
+    let leaves = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ConsumerLeft { .. }))
+        .count();
+    let moved: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::PartitionsAssigned { moved, .. } => Some(*moved),
+            _ => None,
+        })
+        .sum();
+    assert!(joins >= 1, "the scripted join is traced");
+    assert!(leaves >= 1, "the scripted leave is traced");
+    assert!(moved > 0, "rebalances hand partitions over");
+
+    let rows = &outcome.windows.rows;
+    assert!(
+        rows.iter().any(|r| r.moved_partitions > 0),
+        "a rebalance lands inside a KPI window"
+    );
+    assert!(
+        rows.iter().any(|r| r.group_members != members_before),
+        "membership changes are visible in the windowed series"
+    );
+    assert!(
+        outcome.totals.duplicated > 0,
+        "moved partitions re-read, producing duplicates"
+    );
+}
+
+fn arb_strategy() -> impl Strategy<Value = PartitionStrategy> {
+    prop_oneof![
+        Just(PartitionStrategy::RoundRobin),
+        Just(PartitionStrategy::KeyHash),
+        Just(PartitionStrategy::Locality),
+    ]
+}
+
+fn arb_assignor() -> impl Strategy<Value = Assignor> {
+    prop_oneof![Just(Assignor::Range), Just(Assignor::Sticky)]
+}
+
+fn arb_population() -> impl Strategy<Value = Population> {
+    let slugs = ["social-media", "web-access-records", "game-traffic"];
+    proptest::collection::vec((0usize..slugs.len(), 1u32..10, 1u32..40), 1usize..4).prop_map(
+        move |picks| {
+            let entries = picks
+                .into_iter()
+                .map(|(i, weight, rate_decihz)| PopulationEntry {
+                    class: ApplicationScenario::by_slug(slugs[i])
+                        .expect("Table II slug")
+                        .stream_class(f64::from(rate_decihz) / 10.0),
+                    weight: f64::from(weight),
+                })
+                .collect();
+            Population::new(entries).expect("weights and rates are positive")
+        },
+    )
+}
+
+fn arb_fleet_config() -> impl Strategy<Value = FleetConfig> {
+    (
+        20usize..200,
+        2u32..16,
+        arb_strategy(),
+        arb_population(),
+        1u32..6,
+        arb_assignor(),
+        // Raw churn picks: (time inside the run, join?, leave target).
+        // Joins use fresh member ids; leaves target initial members.
+        proptest::collection::vec((1u64..10, proptest::bool::ANY, 0u32..4), 0usize..4),
+    )
+        .prop_map(
+            |(producers, partitions, strategy, population, initial_consumers, assignor, raw)| {
+                let churn = raw
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (at_s, join, member))| ChurnEvent {
+                        at: SimTime::ZERO + SimDuration::from_secs(at_s),
+                        action: if join {
+                            ChurnAction::Join
+                        } else {
+                            ChurnAction::Leave
+                        },
+                        member: if join {
+                            initial_consumers + i as u32
+                        } else {
+                            member % initial_consumers
+                        },
+                    })
+                    .collect();
+                FleetConfig {
+                    producers,
+                    partitions,
+                    strategy,
+                    population,
+                    initial_consumers,
+                    assignor,
+                    churn,
+                    duration: SimDuration::from_secs(10),
+                    window: SimDuration::from_secs(2),
+                    partition_capacity_hz: 20.0,
+                    base_loss: 0.01,
+                    rebalance_pause: SimDuration::from_millis(1500),
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full fleet simulation
+        .. ProptestConfig::default()
+    })]
+
+    /// Per-tenant delivered + lost sums to produced, tenant ledgers sum
+    /// to the fleet totals, and class rollups partition the tenants — for
+    /// *any* population mix, partitioner, assignor and churn schedule.
+    #[test]
+    fn fleet_accounting_is_conservative(cfg in arb_fleet_config(), seed in 0u64..1_000) {
+        let outcome = FleetRun::new(cfg.clone(), seed).execute();
+        let mut produced = 0u64;
+        let mut delivered = 0u64;
+        let mut lost_network = 0u64;
+        let mut lost_overload = 0u64;
+        let mut duplicated = 0u64;
+        for t in &outcome.tenants {
+            prop_assert_eq!(t.produced, t.delivered + t.lost_network + t.lost_overload);
+            produced += t.produced;
+            delivered += t.delivered;
+            lost_network += t.lost_network;
+            lost_overload += t.lost_overload;
+            duplicated += t.duplicated;
+        }
+        prop_assert_eq!(produced, outcome.totals.produced);
+        prop_assert_eq!(delivered, outcome.totals.delivered);
+        prop_assert_eq!(lost_network, outcome.totals.lost_network);
+        prop_assert_eq!(lost_overload, outcome.totals.lost_overload);
+        prop_assert_eq!(duplicated, outcome.totals.duplicated);
+
+        let class_produced: u64 = outcome.classes.iter().map(|c| c.produced).sum();
+        let class_producers: u64 = outcome.classes.iter().map(|c| c.producers).sum();
+        prop_assert_eq!(class_produced, outcome.totals.produced);
+        prop_assert_eq!(class_producers, cfg.producers as u64);
+
+        prop_assert_eq!(
+            outcome.partition_appends.iter().sum::<u64>(),
+            outcome.totals.delivered
+        );
+        prop_assert_eq!(outcome.windows.total_produced(), outcome.totals.produced);
+    }
+
+    /// Fleet runs are bit-for-bit deterministic in (config, seed), churn
+    /// and all.
+    #[test]
+    fn fleet_runs_are_deterministic(cfg in arb_fleet_config(), seed in 0u64..1_000) {
+        let a = FleetRun::new(cfg.clone(), seed).execute();
+        let b = FleetRun::new(cfg, seed).execute();
+        prop_assert_eq!(a, b);
+    }
+}
