@@ -58,7 +58,7 @@ python3 - target/bench-smoke/BENCH_sim.json <<'EOF' \
 import json, sys
 d = json.load(open(sys.argv[1]))
 for key in ("mode", "threads", "sweep", "single_run", "obs_overhead",
-            "peak_rss_kb"):
+            "sharded", "peak_rss_kb"):
     assert key in d, f"missing key: {key}"
 for key in ("points", "n_messages", "wall_s", "msgs_per_sec", "results_digest"):
     assert key in d["sweep"], f"missing sweep key: {key}"
@@ -70,6 +70,16 @@ int(d["sweep"]["results_digest"], 16)
 assert d["obs_overhead"]["reps"] >= 3, "obs overhead needs min-of-N reps"
 ratio = d["obs_overhead"]["noop_over_untraced"]
 assert 0.75 <= ratio <= 2.5, f"obs overhead ratio {ratio} outside sane band"
+# The sharded fleet-engine block: one row per measured thread count, plus
+# the digest that pins all thread counts to one bit-identical outcome.
+for key in ("producers", "duration_s", "reps", "host_cores", "produced",
+            "rows", "results_digest", "speedup_4_over_1"):
+    assert key in d["sharded"], f"missing sharded key: {key}"
+int(d["sharded"]["results_digest"], 16)
+rows = d["sharded"]["rows"]
+assert [r["threads"] for r in rows] == [1, 2, 4, 8], "sharded thread grid"
+for r in rows:
+    assert r["wall_s"] > 0 and r["msgs_per_sec"] > 0, "degenerate sharded row"
 EOF
 # The training baseline must carry the weights digest that pins training
 # speedups to bit-identical results.
@@ -82,6 +92,26 @@ for key in ("mode", "samples", "epochs", "wall_s", "epochs_per_sec",
     assert key in d, f"missing key: {key}"
 int(d["weights_digest"], 16)
 assert d["epochs_per_sec"] > 0, "non-positive training rate"
+EOF
+
+echo "== sharded determinism gate (smoke, 1 vs 4 threads) =="
+# Two full smoke baselines at different worker-thread counts must agree on
+# every results digest: the sweep digest (run_sweep fans points out over a
+# pool) and the sharded fleet digest (the sharded engine's bit-identity
+# contract). A mismatch means thread count leaked into simulation results.
+target/release/perfbase --smoke --threads 1 --out-dir target/bench-smoke-t1
+target/release/perfbase --smoke --threads 4 --out-dir target/bench-smoke-t4
+python3 - target/bench-smoke-t1/BENCH_sim.json target/bench-smoke-t4/BENCH_sim.json <<'EOF' \
+    || { echo "thread-count determinism gate failed" >&2; exit 1; }
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a["sweep"]["results_digest"] == b["sweep"]["results_digest"], (
+    f"sweep digest differs across thread counts: "
+    f"{a['sweep']['results_digest']} vs {b['sweep']['results_digest']}")
+assert a["sharded"]["results_digest"] == b["sharded"]["results_digest"], (
+    f"sharded digest differs across thread counts: "
+    f"{a['sharded']['results_digest']} vs {b['sharded']['results_digest']}")
 EOF
 
 echo "== span profiler (smoke) =="

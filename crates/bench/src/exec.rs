@@ -10,7 +10,9 @@ use desim::{SimDuration, SimRng, SimTime};
 use kafka_predict::prelude::*;
 use kafkasim::broker::BrokerId;
 use kafkasim::config::ProducerConfig;
-use kafkasim::fleet::{ChurnEvent, FleetConfig, FleetRun, Population, PopulationEntry};
+use kafkasim::fleet::{
+    ChurnEvent, FleetConfig, FleetRun, PartitionStrategy, Population, PopulationEntry,
+};
 use kafkasim::runtime::{BrokerFault, BrokerOutage, KafkaRun, RunSpec};
 use kafkasim::source::SourceSpec;
 use kafkasim::LossReason;
@@ -522,6 +524,15 @@ pub fn trace_runs(spec: &TraceDemoSpec) -> Vec<(String, String, RunSpec, u64)> {
 /// level contributes only the seed, so `--quick` and full runs exercise
 /// the identical fleet.
 ///
+/// Static partitioning strategies run on the sharded engine
+/// ([`FleetRun::execute_sharded_traced`]) with `spec.threads` workers
+/// (falling back to the effort's thread count) — safe for committed
+/// goldens because the sharded outcome is bit-identical to the sequential
+/// engine at any thread count. Round-robin keeps the sequential engine:
+/// its global dealing cursor serialises every flush, so the sharded
+/// round-robin path is a (deterministic) different model and would move
+/// the goldens.
+///
 /// # Panics
 ///
 /// Panics when the spec fails its own validation invariants (validated
@@ -570,9 +581,14 @@ pub fn fleet(spec: &FleetSpec, effort: Effort) -> Vec<FleetStrategyRow> {
                 rebalance_pause: SimDuration::from_millis(spec.rebalance_pause_ms),
             };
             let run = FleetRun::new(cfg, effort.seed);
-            let (outcome, mut sink) = run.execute_traced(Box::new(RingBufferSink::new(8192)));
-            let group_trace_events = sink
-                .drain()
+            let threads = spec.threads.unwrap_or(effort.threads).max(1);
+            let (outcome, events) = if matches!(strategy, PartitionStrategy::RoundRobin) {
+                let (outcome, mut sink) = run.execute_traced(Box::new(RingBufferSink::new(8192)));
+                (outcome, sink.drain())
+            } else {
+                run.execute_sharded_traced(threads)
+            };
+            let group_trace_events = events
                 .iter()
                 .filter(|e| {
                     matches!(

@@ -34,16 +34,16 @@ use super::partition::{PartitionStrategy, Partitioner};
 use super::population::Population;
 
 /// Producers flush accumulated messages on this cadence.
-const FLUSH_INTERVAL: SimDuration = SimDuration::from_millis(200);
+pub(crate) const FLUSH_INTERVAL: SimDuration = SimDuration::from_millis(200);
 /// Consumer drain cadence.
-const CONSUME_TICK: SimDuration = SimDuration::from_millis(100);
+pub(crate) const CONSUME_TICK: SimDuration = SimDuration::from_millis(100);
 /// Token-bucket burst window: a partition can absorb this many seconds
 /// of its sustained capacity at once.
-const BURST_SECS: f64 = 0.25;
+pub(crate) const BURST_SECS: f64 = 0.25;
 /// A consumer drains an owned partition at this multiple of the
 /// partition's append capacity (it must outrun producers to ever catch
 /// up after a pause).
-const DRAIN_FACTOR: f64 = 2.0;
+pub(crate) const DRAIN_FACTOR: f64 = 2.0;
 
 /// What a churn event does to the group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -310,28 +310,103 @@ impl FleetOutcome {
 
 /// Per-partition runtime state.
 #[derive(Debug, Clone)]
-struct PartitionState {
+pub(crate) struct PartitionState {
     /// Token bucket: available append tokens.
-    tokens: f64,
-    last_refill: SimTime,
+    pub(crate) tokens: f64,
+    pub(crate) last_refill: SimTime,
     /// First-copy appends.
-    appends: u64,
+    pub(crate) appends: u64,
     /// Records drained by the group.
-    consumed: u64,
+    pub(crate) consumed: u64,
     /// Consumption is paused until this instant (rebalance hand-off).
-    paused_until: SimTime,
+    pub(crate) paused_until: SimTime,
     /// Appends until this instant are re-read by the new owner
     /// (at-least-once duplicate window).
-    reread_until: SimTime,
+    pub(crate) reread_until: SimTime,
+}
+
+impl PartitionState {
+    /// Fresh-topic state at time zero: a full burst bucket, nothing
+    /// appended, nothing paused.
+    pub(crate) fn fresh(capacity_hz: f64) -> Self {
+        PartitionState {
+            tokens: capacity_hz * BURST_SECS,
+            last_refill: SimTime::ZERO,
+            appends: 0,
+            consumed: 0,
+            paused_until: SimTime::ZERO,
+            reread_until: SimTime::ZERO,
+        }
+    }
+
+    /// Refill the token bucket to `now`, then accept up to `n` appends in
+    /// one step. Returns how many were accepted; the rest are overload.
+    ///
+    /// Bit-identical to `n` sequential single-message attempts at the same
+    /// instant: the refill at equal `now` adds exactly `0.0` tokens (an
+    /// exact no-op), and for token counts in the bucket's range,
+    /// `tokens - 1.0` repeated `k` times equals `tokens - k as f64`
+    /// exactly (1.0 is an integer multiple of the ulp of any f64 in
+    /// `[1, 2^52]`). The coalescing proptest pins this equivalence.
+    pub(crate) fn accept(&mut self, capacity_hz: f64, now: SimTime, n: u64) -> u64 {
+        let elapsed = (now - self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + capacity_hz * elapsed).min(capacity_hz * BURST_SECS);
+        self.last_refill = now;
+        let accepted = n.min(self.tokens as u64);
+        self.tokens -= accepted as f64;
+        self.appends += accepted;
+        accepted
+    }
 }
 
 /// Per-class accumulator for the open KPI window.
 #[derive(Debug, Clone, Copy, Default)]
-struct ClassWindowAcc {
-    produced: u64,
-    delivered: u64,
-    lost: u64,
-    duplicated: u64,
+pub(crate) struct ClassWindowAcc {
+    pub(crate) produced: u64,
+    pub(crate) delivered: u64,
+    pub(crate) lost: u64,
+    pub(crate) duplicated: u64,
+}
+
+/// Fold the per-tenant ledgers into fleet totals and per-class rollups —
+/// shared between the sequential engine and the sharded engine so both
+/// produce byte-identical summaries from equal ledgers.
+pub(crate) fn totals_and_classes(
+    ledgers: &[TenantLedger],
+    class_producers: &[u64],
+    population: &Population,
+) -> (FleetTotals, Vec<ClassSummary>) {
+    let mut totals = FleetTotals::default();
+    for l in ledgers {
+        totals.produced += l.produced;
+        totals.delivered += l.delivered;
+        totals.lost_network += l.lost_network;
+        totals.lost_overload += l.lost_overload;
+        totals.duplicated += l.duplicated;
+    }
+    let mut classes: Vec<ClassSummary> = population
+        .entries()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| ClassSummary {
+            class: e.class.name.clone(),
+            producers: class_producers[i],
+            produced: 0,
+            delivered: 0,
+            lost_network: 0,
+            lost_overload: 0,
+            duplicated: 0,
+        })
+        .collect();
+    for l in ledgers {
+        let c = &mut classes[l.class as usize];
+        c.produced += l.produced;
+        c.delivered += l.delivered;
+        c.lost_network += l.lost_network;
+        c.lost_overload += l.lost_overload;
+        c.duplicated += l.duplicated;
+    }
+    (totals, classes)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -379,17 +454,7 @@ impl FleetWorld {
 
     fn try_append(&mut self, partition: u32, now: SimTime) -> bool {
         let cap = self.cfg.partition_capacity_hz;
-        let p = &mut self.partitions[partition as usize];
-        let elapsed = (now - p.last_refill).as_secs_f64();
-        p.tokens = (p.tokens + cap * elapsed).min(cap * BURST_SECS);
-        p.last_refill = now;
-        if p.tokens >= 1.0 {
-            p.tokens -= 1.0;
-            p.appends += 1;
-            true
-        } else {
-            false
-        }
+        self.partitions[partition as usize].accept(cap, now, 1) == 1
     }
 
     fn apply_churn(&mut self, idx: usize, now: SimTime) {
@@ -562,8 +627,8 @@ impl EventWorld for FleetWorld {
 /// );
 /// ```
 pub struct FleetRun {
-    cfg: FleetConfig,
-    seed: u64,
+    pub(crate) cfg: FleetConfig,
+    pub(crate) seed: u64,
 }
 
 impl FleetRun {
@@ -641,17 +706,8 @@ impl FleetRun {
                 duplicated: 0,
             })
             .collect();
-        let partitions = vec![
-            PartitionState {
-                tokens: cfg.partition_capacity_hz * BURST_SECS,
-                last_refill: SimTime::ZERO,
-                appends: 0,
-                consumed: 0,
-                paused_until: SimTime::ZERO,
-                reread_until: SimTime::ZERO,
-            };
-            cfg.partitions as usize
-        ];
+        let partitions =
+            vec![PartitionState::fresh(cfg.partition_capacity_hz); cfg.partitions as usize];
 
         let end = SimTime::ZERO + cfg.duration;
         let world = FleetWorld {
@@ -700,38 +756,11 @@ impl FleetRun {
 
         let events_fired = sim.events_fired();
         let world = sim.into_world();
-        let mut totals = FleetTotals::default();
-        for l in &world.ledgers {
-            totals.produced += l.produced;
-            totals.delivered += l.delivered;
-            totals.lost_network += l.lost_network;
-            totals.lost_overload += l.lost_overload;
-            totals.duplicated += l.duplicated;
-        }
-        let mut classes: Vec<ClassSummary> = world
-            .cfg
-            .population
-            .entries()
-            .iter()
-            .enumerate()
-            .map(|(i, e)| ClassSummary {
-                class: e.class.name.clone(),
-                producers: world.class_producers[i],
-                produced: 0,
-                delivered: 0,
-                lost_network: 0,
-                lost_overload: 0,
-                duplicated: 0,
-            })
-            .collect();
-        for l in &world.ledgers {
-            let c = &mut classes[l.class as usize];
-            c.produced += l.produced;
-            c.delivered += l.delivered;
-            c.lost_network += l.lost_network;
-            c.lost_overload += l.lost_overload;
-            c.duplicated += l.duplicated;
-        }
+        let (totals, classes) = totals_and_classes(
+            &world.ledgers,
+            &world.class_producers,
+            &world.cfg.population,
+        );
         (
             FleetOutcome {
                 tenants: world.ledgers,

@@ -51,6 +51,7 @@ mod engine;
 mod group;
 mod partition;
 mod population;
+mod sharded;
 
 pub use engine::{
     ChurnAction, ChurnEvent, ClassSummary, FleetConfig, FleetOutcome, FleetRun, FleetTotals,

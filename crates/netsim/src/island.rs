@@ -1,0 +1,171 @@
+//! Topology islands: connected components of the coupling graph, used to
+//! assign simulation state to shards of a parallel engine.
+//!
+//! Two nodes belong to the same **island** when an edge couples them tightly
+//! enough that they must evolve inside one event shard — e.g. a replication
+//! link between two brokers, or a shared controller. Nodes with no coupling
+//! edges form singleton islands and can be advanced fully in parallel (the
+//! fleet workload's partitions, which never talk to each other, are exactly
+//! this case).
+//!
+//! The computation is a plain union-find with path halving and union by
+//! size; ties are broken toward the smaller root id so island numbering is
+//! deterministic. Island ids are then compacted to `0..n_islands` in order
+//! of each island's smallest member, which makes the node→shard assignment
+//! reproducible across processes and independent of edge insertion order.
+
+/// A deterministic node→island assignment for a coupling graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IslandMap {
+    /// `shard_of[node]` is the island (shard) id of `node`, in
+    /// `0..n_islands`.
+    shard_of: Vec<u32>,
+    n_islands: u32,
+}
+
+impl IslandMap {
+    /// Compute islands for `n_nodes` nodes coupled by `edges`.
+    ///
+    /// Self-loops are ignored. Island ids are compacted and ordered by each
+    /// island's smallest node id, so the result is a pure function of the
+    /// *set* of edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge names a node `>= n_nodes`.
+    #[must_use]
+    pub fn compute(n_nodes: usize, edges: &[(u32, u32)]) -> Self {
+        let mut parent: Vec<u32> = (0..n_nodes as u32).collect();
+        let mut size = vec![1u32; n_nodes];
+
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                // Path halving: point x at its grandparent as we walk up.
+                let grand = parent[parent[x as usize] as usize];
+                parent[x as usize] = grand;
+                x = grand;
+            }
+            x
+        }
+
+        for &(a, b) in edges {
+            assert!(
+                (a as usize) < n_nodes && (b as usize) < n_nodes,
+                "edge ({a}, {b}) names a node outside 0..{n_nodes}"
+            );
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra == rb {
+                continue;
+            }
+            // Union by size; on equal sizes keep the smaller root id so the
+            // forest shape is independent of edge order.
+            let (keep, absorb) = if size[ra as usize] > size[rb as usize]
+                || (size[ra as usize] == size[rb as usize] && ra < rb)
+            {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
+            parent[absorb as usize] = keep;
+            size[keep as usize] += size[absorb as usize];
+        }
+
+        // Compact roots to 0..n_islands in order of smallest member, which
+        // is simply ascending node order on first sight of each root.
+        let mut shard_of = vec![0u32; n_nodes];
+        let mut compact: Vec<Option<u32>> = vec![None; n_nodes];
+        let mut next = 0u32;
+        for node in 0..n_nodes as u32 {
+            let root = find(&mut parent, node);
+            let id = *compact[root as usize].get_or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            shard_of[node as usize] = id;
+        }
+        IslandMap {
+            shard_of,
+            n_islands: next,
+        }
+    }
+
+    /// Number of islands (shards).
+    #[must_use]
+    pub fn n_islands(&self) -> usize {
+        self.n_islands as usize
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The island (shard) id of `node`.
+    #[must_use]
+    pub fn shard_of(&self, node: u32) -> u32 {
+        self.shard_of[node as usize]
+    }
+
+    /// The members of each island, in island order; members ascend within
+    /// each island.
+    #[must_use]
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.n_islands as usize];
+        for (node, &island) in self.shard_of.iter().enumerate() {
+            out[island as usize].push(node as u32);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_edges_means_singleton_islands() {
+        let map = IslandMap::compute(4, &[]);
+        assert_eq!(map.n_islands(), 4);
+        for node in 0..4 {
+            assert_eq!(map.shard_of(node), node);
+        }
+    }
+
+    #[test]
+    fn replication_edges_merge_islands() {
+        // Brokers 0-1-2 replicate to each other; 3-4 are a second group;
+        // 5 stands alone.
+        let map = IslandMap::compute(6, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(map.n_islands(), 3);
+        assert_eq!(map.members(), vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn island_ids_are_independent_of_edge_order() {
+        let a = IslandMap::compute(8, &[(6, 7), (0, 3), (3, 5), (1, 2)]);
+        let b = IslandMap::compute(8, &[(1, 2), (3, 5), (0, 3), (7, 6)]);
+        assert_eq!(a, b);
+        // Ids ordered by smallest member: {0,3,5}=0, {1,2}=1, {4}=2, {6,7}=3.
+        assert_eq!(a.shard_of(5), 0);
+        assert_eq!(a.shard_of(2), 1);
+        assert_eq!(a.shard_of(4), 2);
+        assert_eq!(a.shard_of(6), 3);
+    }
+
+    #[test]
+    fn chain_collapses_to_one_island() {
+        let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
+        let map = IslandMap::compute(100, &edges);
+        assert_eq!(map.n_islands(), 1);
+        assert!(map.shard_of.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let map = IslandMap::compute(3, &[(1, 1)]);
+        assert_eq!(map.n_islands(), 3);
+    }
+}

@@ -744,6 +744,7 @@ fn fleet() -> Spec {
             partition_capacity_hz: 60.0,
             base_loss: 0.002,
             rebalance_pause_ms: 2_000,
+            threads: None,
         }),
         report: None,
     }

@@ -955,6 +955,10 @@ pub struct FleetSpec {
     pub base_loss: f64,
     /// Pause/re-read window after a rebalance, milliseconds.
     pub rebalance_pause_ms: u64,
+    /// Worker threads for the sharded fleet engine (absent = use the
+    /// effort's thread count; the outcome is bit-identical at any value).
+    /// Overridable from the command line (`repro --threads`).
+    pub threads: Option<usize>,
 }
 
 impl FleetSpec {
@@ -1035,6 +1039,12 @@ impl FleetSpec {
             return Err(SpecError::new(
                 format!("{path}.partition_capacity_hz"),
                 "partition capacity must be finite and positive",
+            ));
+        }
+        if self.threads == Some(0) {
+            return Err(SpecError::new(
+                format!("{path}.threads"),
+                "threads must be at least 1 (omit the field for the default)",
             ));
         }
         if !self.base_loss.is_finite() || !(0.0..=1.0).contains(&self.base_loss) {
