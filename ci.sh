@@ -71,15 +71,49 @@ assert d["obs_overhead"]["reps"] >= 3, "obs overhead needs min-of-N reps"
 ratio = d["obs_overhead"]["noop_over_untraced"]
 assert 0.75 <= ratio <= 2.5, f"obs overhead ratio {ratio} outside sane band"
 # The sharded fleet-engine block: one row per measured thread count, plus
-# the digest that pins all thread counts to one bit-identical outcome.
-for key in ("producers", "duration_s", "reps", "host_cores", "produced",
-            "rows", "results_digest", "speedup_4_over_1"):
+# the digest that pins all thread counts to one bit-identical outcome. The
+# fleet engine is flow-level, so its rows carry flow_msgs_per_sec (NOT
+# comparable to the per-message sweep/single_run rates) alongside the
+# honest events_per_sec work rate.
+for key in ("producers", "duration_s", "reps", "host_cores",
+            "produced_flow_msgs", "events_fired", "rows", "results_digest",
+            "speedup_4_over_1"):
     assert key in d["sharded"], f"missing sharded key: {key}"
 int(d["sharded"]["results_digest"], 16)
 rows = d["sharded"]["rows"]
 assert [r["threads"] for r in rows] == [1, 2, 4, 8], "sharded thread grid"
 for r in rows:
-    assert r["wall_s"] > 0 and r["msgs_per_sec"] > 0, "degenerate sharded row"
+    assert r["wall_s"] > 0, "degenerate sharded row"
+    assert r["flow_msgs_per_sec"] > 0 and r["events_per_sec"] > 0, \
+        "degenerate sharded rates"
+    assert "msgs_per_sec" not in r, "ambiguous sharded rate field resurfaced"
+# The carried-forward baselines block, and a throughput floor on the
+# single-run path: the refactored hot path must stay comfortably above the
+# PR 8 baseline. The floor is 0.5x rather than the 2x stretch target
+# because smoke mode times a 2k-message run on a shared 1-core CI host
+# (single-shot, cold caches) — interleaved full-mode A/B numbers live in
+# EXPERIMENTS.md; this assert exists to catch order-of-magnitude
+# regressions, not to re-measure the speedup.
+for key in ("pr8_single_run_msgs_per_sec", "pr8_sweep_msgs_per_sec"):
+    assert key in d["baselines"], f"missing baselines key: {key}"
+floor = 0.5 * d["baselines"]["pr8_single_run_msgs_per_sec"]
+rate = d["single_run"]["msgs_per_sec"]
+assert rate >= floor, (
+    f"single-run throughput {rate:.0f} msgs/s fell below the regression "
+    f"floor {floor:.0f} (0.5x the PR 8 baseline)")
+EOF
+# Memory regression band: warn (not fail — RSS depends on allocator and
+# host) when the smoke run's peak RSS exceeds 1.5x the tracked full-mode
+# baseline. Smoke workloads are strictly smaller than full ones, so a smoke
+# RSS above the tracked full-mode peak means the arena/pool reuse regressed.
+python3 - target/bench-smoke/BENCH_sim.json BENCH_sim.json <<'EOF'
+import json, sys
+smoke = json.load(open(sys.argv[1]))["peak_rss_kb"]
+tracked = json.load(open(sys.argv[2]))["peak_rss_kb"]
+if tracked and smoke > 1.5 * tracked:
+    print(f"WARNING: smoke peak RSS {smoke} kB exceeds 1.5x the tracked "
+          f"baseline {tracked} kB — check for per-message allocations",
+          file=sys.stderr)
 EOF
 # The training baseline must carry the weights digest that pins training
 # speedups to bit-identical results.

@@ -47,6 +47,13 @@ use testbed::scenarios::KpiWeights;
 use testbed::sweep::run_sweep;
 use testbed::Calibration;
 
+/// PR 8's tracked full-mode single-run throughput (msgs/sec), carried
+/// forward in the `baselines` block of `BENCH_sim.json` so CI can compare a
+/// fresh build against the last pre-refactor baseline.
+const PR8_SINGLE_RUN_MSGS_PER_SEC: f64 = 2_301_490.9;
+/// PR 8's tracked full-mode sweep throughput (msgs/sec).
+const PR8_SWEEP_MSGS_PER_SEC: f64 = 956_563.2;
+
 /// FNV-1a 64-bit digest of a byte string.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -170,10 +177,18 @@ fn sharded_fleet_cfg(smoke: bool) -> FleetConfig {
 }
 
 /// One measured thread count of the sharded fleet engine.
+///
+/// The fleet engine models producers at *flow* level: `produced` counts
+/// messages that exist only as per-flow aggregates, not individually
+/// simulated sends. `flow_msgs_per_sec` is therefore NOT comparable to the
+/// per-message `single_run` / `sweep` rates (which push every message
+/// through batching, TCP, and broker appends); `events_per_sec` — actual
+/// simulation-loop events retired per second — is the honest work rate.
 struct ShardedRow {
     threads: usize,
     wall_s: f64,
-    msgs_per_sec: f64,
+    flow_msgs_per_sec: f64,
+    events_per_sec: f64,
 }
 
 struct ShardedNumbers {
@@ -182,6 +197,7 @@ struct ShardedNumbers {
     reps: usize,
     host_cores: usize,
     produced: u64,
+    events_fired: u64,
     rows: Vec<ShardedRow>,
     results_digest: u64,
     speedup_4_over_1: f64,
@@ -203,6 +219,7 @@ fn bench_sharded(smoke: bool) -> ShardedNumbers {
     let mut wall = [f64::INFINITY; 4];
     let mut digest: Option<u64> = None;
     let mut produced = 0u64;
+    let mut events_fired = 0u64;
     for _ in 0..reps {
         for (i, &threads) in counts.iter().enumerate() {
             let run = FleetRun::new(cfg.clone(), 61);
@@ -219,6 +236,7 @@ fn bench_sharded(smoke: bool) -> ShardedNumbers {
             }
             digest = Some(d);
             produced = outcome.totals.produced;
+            events_fired = outcome.events_fired;
         }
     }
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -236,13 +254,15 @@ fn bench_sharded(smoke: bool) -> ShardedNumbers {
         reps,
         host_cores,
         produced,
+        events_fired,
         rows: counts
             .iter()
             .zip(wall)
             .map(|(&threads, wall_s)| ShardedRow {
                 threads,
                 wall_s,
-                msgs_per_sec: produced as f64 / wall_s,
+                flow_msgs_per_sec: produced as f64 / wall_s,
+                events_per_sec: events_fired as f64 / wall_s,
             })
             .collect(),
         results_digest: digest.expect("at least one sharded run"),
@@ -595,14 +615,22 @@ fn main() {
             "duration_s": sim.sharded.duration_s,
             "reps": sim.sharded.reps,
             "host_cores": sim.sharded.host_cores,
-            "produced": sim.sharded.produced,
+            "produced_flow_msgs": sim.sharded.produced,
+            "events_fired": sim.sharded.events_fired,
             "rows": sim.sharded.rows.iter().map(|r| serde_json::json!({
                 "threads": r.threads,
                 "wall_s": r.wall_s,
-                "msgs_per_sec": r.msgs_per_sec,
+                "flow_msgs_per_sec": r.flow_msgs_per_sec,
+                "events_per_sec": r.events_per_sec,
             })).collect::<Vec<_>>(),
             "results_digest": format!("{:016x}", sim.sharded.results_digest),
             "speedup_4_over_1": sim.sharded.speedup_4_over_1,
+        }),
+        "baselines": serde_json::json!({
+            // Carried forward from the previous tracked BENCH_sim.json so CI
+            // can band-check a fresh build even after this file is refreshed.
+            "pr8_single_run_msgs_per_sec": PR8_SINGLE_RUN_MSGS_PER_SEC,
+            "pr8_sweep_msgs_per_sec": PR8_SWEEP_MSGS_PER_SEC,
         }),
         "peak_rss_kb": peak_rss_kb(),
     });
@@ -682,10 +710,10 @@ fn main() {
             .sharded
             .rows
             .iter()
-            .map(|r| format!("{}t {:.0}/s", r.threads, r.msgs_per_sec))
+            .map(|r| format!("{}t {:.0} ev/s", r.threads, r.events_per_sec))
             .collect();
         println!(
-            "shard: fleet {} msgs [{}], 4t/1t {:.2}x on {} core(s), digest {:016x}",
+            "shard: fleet {} flow msgs [{}], 4t/1t {:.2}x on {} core(s), digest {:016x}",
             sim.sharded.produced,
             rows.join(", "),
             sim.sharded.speedup_4_over_1,

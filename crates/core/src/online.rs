@@ -12,8 +12,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use desim::fasthash::FastMap;
 use kafkasim::config::ProducerConfig;
-use kafkasim::fasthash::FastMap;
 use kafkasim::runtime::{OnlineController, WindowStats};
 use obs::{MetricsRegistry, Profiler};
 use serde::{Deserialize, Serialize};

@@ -125,6 +125,18 @@ impl<E> EventContext<E> {
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    /// The timestamp of the earliest pending event, if any.
+    ///
+    /// Handlers that generate their own future work (e.g. a source polled
+    /// on a self-scheduled cadence) can use this to *coalesce*: as long as
+    /// the next self-generated instant is strictly earlier than every
+    /// pending event, processing it inline is order-identical to scheduling
+    /// it — the engine would have popped it next anyway.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.queue.peek().map(|(at, _)| at)
+    }
 }
 
 /// A discrete-event simulation over a typed-event world.

@@ -40,6 +40,38 @@ pub enum LossReason {
     LeaderFailover,
 }
 
+impl LossReason {
+    /// Every reason, in declaration (= `Ord`) order.
+    pub const ALL: [LossReason; 6] = [
+        LossReason::ExpiredInBuffer,
+        LossReason::BufferOverflow,
+        LossReason::RetriesExhausted,
+        LossReason::ConnectionReset,
+        LossReason::UnsentAtEnd,
+        LossReason::LeaderFailover,
+    ];
+
+    /// Dense index 0..6 (declaration order), for counter columns.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Non-zero tag for packed `Option`-free columns (0 means "not lost").
+    #[must_use]
+    pub const fn tag(self) -> u8 {
+        self as u8 + 1
+    }
+
+    /// Inverse of [`LossReason::tag`]; `None` for 0 or out of range.
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<LossReason> {
+        (tag as usize)
+            .checked_sub(1)
+            .and_then(|i| LossReason::ALL.get(i).copied())
+    }
+}
+
 impl core::fmt::Display for LossReason {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let s = match self {
@@ -156,10 +188,33 @@ impl DeliveryReport {
     }
 }
 
+/// Folds tag-indexed loss counters into the report's per-reason map.
+///
+/// Slot 0 holds lost messages the producer never marked; the paper's
+/// methodology attributes those to `UnsentAtEnd`. Only non-zero reasons are
+/// inserted, matching the entry-on-first-occurrence behaviour of the old
+/// per-message map updates exactly.
+fn loss_map(mut loss_by_tag: [u64; 7]) -> BTreeMap<LossReason, u64> {
+    loss_by_tag[LossReason::UnsentAtEnd.tag() as usize] += loss_by_tag[0];
+    let mut map = BTreeMap::new();
+    for reason in LossReason::ALL {
+        let n = loss_by_tag[reason.tag() as usize];
+        if n > 0 {
+            map.insert(reason, n);
+        }
+    }
+    map
+}
+
 /// Builds the report by comparing the source ledger with the consumed topic.
 ///
 /// `timeliness` is the stream's `S`; when present, delivered messages whose
 /// first copy arrived later than `S` after creation are counted stale.
+///
+/// The counting pass is branch-free over the ledger's columns: outcome
+/// cases go through [`DeliveryCase::classify_index`]'s lookup table and
+/// loss reasons through tag-indexed counters, so the loop is a straight
+/// stream over two dense columns plus the topic's copy counts.
 #[must_use]
 pub fn audit(
     ledger: &Ledger,
@@ -169,48 +224,47 @@ pub fn audit(
 ) -> DeliveryReport {
     let n_source = ledger.len() as u64;
     let mut latency = RunningMoments::new();
-    let mut report = DeliveryReport {
-        n_source,
-        delivered_once: 0,
-        lost: 0,
-        duplicated: 0,
-        extra_copies: 0,
-        case_counts: [0; 5],
-        loss_reasons: BTreeMap::new(),
-        latency: LatencyStats::default(),
-        stale: 0,
-        duration: ended_at.saturating_since(SimTime::ZERO),
-    };
-    for (idx, entry) in ledger.entries().iter().enumerate() {
+    let attempts = ledger.attempts_col();
+    let lost_tags = ledger.lost_col();
+    let mut delivered_once = 0u64;
+    let mut lost = 0u64;
+    let mut duplicated = 0u64;
+    let mut extra_copies = 0u64;
+    let mut case_counts = [0u64; 5];
+    let mut loss_by_tag = [0u64; 7];
+    let mut stale = 0u64;
+    for idx in 0..attempts.len() {
         let key = MessageKey(idx as u64);
         let copies = topic.copies(key);
-        let case = DeliveryCase::classify(entry.attempts, copies);
-        report.case_counts[case.index()] += 1;
-        match copies {
-            0 => {
-                report.lost += 1;
-                let reason = entry.lost.unwrap_or(LossReason::UnsentAtEnd);
-                *report.loss_reasons.entry(reason).or_insert(0) += 1;
-            }
-            1 => {
-                report.delivered_once += 1;
-            }
-            n => {
-                report.duplicated += 1;
-                report.extra_copies += n - 1;
-            }
-        }
+        case_counts[DeliveryCase::classify_index(attempts[idx], copies)] += 1;
+        let is_lost = u64::from(copies == 0);
+        lost += is_lost;
+        delivered_once += u64::from(copies == 1);
+        duplicated += u64::from(copies > 1);
+        extra_copies += copies.saturating_sub(1);
+        // Adds 0 to an arbitrary slot for delivered messages, so no branch.
+        loss_by_tag[lost_tags[idx] as usize] += is_lost;
         if copies > 0 {
             if let Some(first) = topic.first_latency(key) {
                 latency.record(first.as_secs_f64());
                 if timeliness.is_some_and(|s| first > s) {
-                    report.stale += 1;
+                    stale += 1;
                 }
             }
         }
     }
-    report.latency = LatencyStats::from(&latency);
-    report
+    DeliveryReport {
+        n_source,
+        delivered_once,
+        lost,
+        duplicated,
+        extra_copies,
+        case_counts,
+        loss_reasons: loss_map(loss_by_tag),
+        latency: LatencyStats::from(&latency),
+        stale,
+        duration: ended_at.saturating_since(SimTime::ZERO),
+    }
 }
 
 /// Integer part of the audit over one contiguous key range — everything
@@ -223,7 +277,7 @@ struct AuditPartial {
     duplicated: u64,
     extra_copies: u64,
     case_counts: [u64; 5],
-    loss_reasons: BTreeMap<LossReason, u64>,
+    loss_by_tag: [u64; 7],
     stale: u64,
 }
 
@@ -242,37 +296,33 @@ pub fn audit_threaded(
     ended_at: SimTime,
     threads: usize,
 ) -> DeliveryReport {
-    let entries = ledger.entries();
-    let threads = threads.clamp(1, entries.len().max(1));
+    let n = ledger.len();
+    let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
         return audit(ledger, topic, timeliness, ended_at);
     }
-    let chunk = entries.len().div_ceil(threads);
+    let all_attempts = ledger.attempts_col();
+    let all_tags = ledger.lost_col();
+    let chunk = n.div_ceil(threads);
     let partials: Vec<AuditPartial> = std::thread::scope(|s| {
-        let handles: Vec<_> = entries
+        let handles: Vec<_> = all_attempts
             .chunks(chunk)
+            .zip(all_tags.chunks(chunk))
             .enumerate()
-            .map(|(ci, range)| {
+            .map(|(ci, (attempts, tags))| {
                 let base = ci * chunk;
                 s.spawn(move || {
                     let mut p = AuditPartial::default();
-                    for (off, entry) in range.iter().enumerate() {
+                    for (off, (&att, &tag)) in attempts.iter().zip(tags).enumerate() {
                         let key = MessageKey((base + off) as u64);
                         let copies = topic.copies(key);
-                        let case = DeliveryCase::classify(entry.attempts, copies);
-                        p.case_counts[case.index()] += 1;
-                        match copies {
-                            0 => {
-                                p.lost += 1;
-                                let reason = entry.lost.unwrap_or(LossReason::UnsentAtEnd);
-                                *p.loss_reasons.entry(reason).or_insert(0) += 1;
-                            }
-                            1 => p.delivered_once += 1,
-                            n => {
-                                p.duplicated += 1;
-                                p.extra_copies += n - 1;
-                            }
-                        }
+                        p.case_counts[DeliveryCase::classify_index(att, copies)] += 1;
+                        let is_lost = u64::from(copies == 0);
+                        p.lost += is_lost;
+                        p.delivered_once += u64::from(copies == 1);
+                        p.duplicated += u64::from(copies > 1);
+                        p.extra_copies += copies.saturating_sub(1);
+                        p.loss_by_tag[tag as usize] += is_lost;
                         if copies > 0 {
                             if let Some(first) = topic.first_latency(key) {
                                 if timeliness.is_some_and(|s| first > s) {
@@ -291,7 +341,7 @@ pub fn audit_threaded(
             .collect()
     });
     let mut report = DeliveryReport {
-        n_source: entries.len() as u64,
+        n_source: n as u64,
         delivered_once: 0,
         lost: 0,
         duplicated: 0,
@@ -302,6 +352,7 @@ pub fn audit_threaded(
         stale: 0,
         duration: ended_at.saturating_since(SimTime::ZERO),
     };
+    let mut loss_by_tag = [0u64; 7];
     for p in partials {
         report.delivered_once += p.delivered_once;
         report.lost += p.lost;
@@ -310,14 +361,15 @@ pub fn audit_threaded(
         for (i, c) in p.case_counts.iter().enumerate() {
             report.case_counts[i] += c;
         }
-        for (reason, count) in p.loss_reasons {
-            *report.loss_reasons.entry(reason).or_insert(0) += count;
+        for (i, c) in p.loss_by_tag.iter().enumerate() {
+            loss_by_tag[i] += c;
         }
         report.stale += p.stale;
     }
+    report.loss_reasons = loss_map(loss_by_tag);
     // Sequential latency pass, identical accumulation order to `audit`.
     let mut latency = RunningMoments::new();
-    for idx in 0..entries.len() {
+    for idx in 0..n {
         let key = MessageKey(idx as u64);
         if topic.copies(key) > 0 {
             if let Some(first) = topic.first_latency(key) {

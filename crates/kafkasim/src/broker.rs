@@ -166,10 +166,7 @@ impl Broker {
                 broker: self.id,
                 partition,
             })?;
-        let base = log.len() as u64;
-        for r in records {
-            log.append(r.key, r.payload_bytes, r.created_at, now);
-        }
+        let base = log.append_batch(records, now);
         self.requests_handled += 1;
         self.records_appended += records.len() as u64;
         Ok(base)

@@ -105,14 +105,20 @@ impl ConsumedTopic {
         topic.records.reserve_exact(total);
         for broker in brokers {
             for log in broker.logs() {
-                for record in log.iter() {
+                // Stream the log's columns directly (key + the two
+                // timestamps); the offset is the column index.
+                let partition = log.partition();
+                let keys = log.keys();
+                let created = log.created_col();
+                let appended = log.appended_col();
+                for (i, &key) in keys.iter().enumerate() {
                     let consumed = ConsumedRecord {
-                        key: record.key,
-                        partition: log.partition(),
-                        offset: record.offset,
-                        latency: record.latency(),
+                        key,
+                        partition,
+                        offset: i as u64,
+                        latency: appended[i].saturating_since(created[i]),
                     };
-                    let k = record.key.0 as usize;
+                    let k = key.0 as usize;
                     if k >= topic.copies_per_key.len() {
                         topic.copies_per_key.resize(k + 1, 0);
                         topic.first_latency.resize(k + 1, SimDuration::ZERO);

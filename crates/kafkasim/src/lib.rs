@@ -104,7 +104,6 @@ pub mod cluster;
 pub mod config;
 pub mod consumer;
 pub mod explain;
-pub mod fasthash;
 pub mod fleet;
 pub mod log;
 pub mod message;

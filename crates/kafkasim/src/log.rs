@@ -5,13 +5,21 @@
 //! idempotent producers (the paper studies plain at-most-once and
 //! at-least-once), a retried batch whose original was already persisted is
 //! appended *again* — that is exactly how duplicates (Case 5) materialise.
+//!
+//! The log is stored struct-of-arrays: one dense column per record field,
+//! with the offset implicit in the index. The audit's read-back pass streams
+//! each column sequentially (keys, then timestamps) instead of striding over
+//! padded per-record structs, and a produce request's records append as one
+//! bulk column extension ([`PartitionLog::append_batch`]) rather than `n`
+//! scalar pushes.
 
 use desim::SimTime;
 use serde::{Deserialize, Serialize};
 
+use crate::broker::ProduceRecord;
 use crate::message::MessageKey;
 
-/// One record as stored in a partition.
+/// One record as stored in a partition (a row view over the log columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoredRecord {
     /// Offset within the partition.
@@ -51,7 +59,10 @@ impl StoredRecord {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartitionLog {
     partition: u32,
-    records: Vec<StoredRecord>,
+    keys: Vec<MessageKey>,
+    payload_bytes: Vec<u64>,
+    created_at: Vec<SimTime>,
+    appended_at: Vec<SimTime>,
 }
 
 impl PartitionLog {
@@ -60,7 +71,10 @@ impl PartitionLog {
     pub fn new(partition: u32) -> Self {
         PartitionLog {
             partition,
-            records: Vec::new(),
+            keys: Vec::new(),
+            payload_bytes: Vec::new(),
+            created_at: Vec::new(),
+            appended_at: Vec::new(),
         }
     }
 
@@ -78,53 +92,106 @@ impl PartitionLog {
         created_at: SimTime,
         appended_at: SimTime,
     ) -> u64 {
-        let offset = self.records.len() as u64;
-        self.records.push(StoredRecord {
-            offset,
-            key,
-            payload_bytes,
-            created_at,
-            appended_at,
-        });
+        let offset = self.keys.len() as u64;
+        self.keys.push(key);
+        self.payload_bytes.push(payload_bytes);
+        self.created_at.push(created_at);
+        self.appended_at.push(appended_at);
         offset
+    }
+
+    /// Appends every record of a produce request in one bulk column
+    /// extension, returning the batch's base offset.
+    ///
+    /// Equivalent to `n` calls to [`PartitionLog::append`] in request order
+    /// (`accept(n) ≡ n × accept(1)`, pinned by tests): same stored rows,
+    /// same offsets — one branch and four `extend`s instead of `4n` pushes.
+    pub fn append_batch(&mut self, records: &[ProduceRecord], appended_at: SimTime) -> u64 {
+        let base = self.keys.len() as u64;
+        self.keys.extend(records.iter().map(|r| r.key));
+        self.payload_bytes
+            .extend(records.iter().map(|r| r.payload_bytes));
+        self.created_at.extend(records.iter().map(|r| r.created_at));
+        self.appended_at
+            .extend(std::iter::repeat_n(appended_at, records.len()));
+        base
     }
 
     /// Number of records (the log-end offset).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.keys.len()
     }
 
     /// `true` when no records are stored.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.keys.is_empty()
+    }
+
+    /// Materialises the row at `offset`.
+    fn row(&self, offset: usize) -> StoredRecord {
+        StoredRecord {
+            offset: offset as u64,
+            key: self.keys[offset],
+            payload_bytes: self.payload_bytes[offset],
+            created_at: self.created_at[offset],
+            appended_at: self.appended_at[offset],
+        }
     }
 
     /// The record at `offset`, if present.
     #[must_use]
-    pub fn get(&self, offset: u64) -> Option<&StoredRecord> {
-        self.records.get(offset as usize)
+    pub fn get(&self, offset: u64) -> Option<StoredRecord> {
+        if (offset as usize) < self.keys.len() {
+            Some(self.row(offset as usize))
+        } else {
+            None
+        }
     }
 
     /// Iterates over records from a starting offset (a consumer fetch).
-    pub fn fetch_from(&self, offset: u64) -> impl Iterator<Item = &StoredRecord> {
-        self.records.iter().skip(offset as usize)
+    pub fn fetch_from(&self, offset: u64) -> impl Iterator<Item = StoredRecord> + '_ {
+        (offset as usize..self.keys.len()).map(|i| self.row(i))
     }
 
     /// Iterates over all records in offset order.
-    pub fn iter(&self) -> impl Iterator<Item = &StoredRecord> {
-        self.records.iter()
+    pub fn iter(&self) -> impl Iterator<Item = StoredRecord> + '_ {
+        self.fetch_from(0)
+    }
+
+    /// Record keys in offset order.
+    #[must_use]
+    pub fn keys(&self) -> &[MessageKey] {
+        &self.keys
+    }
+
+    /// Producer creation timestamps in offset order.
+    #[must_use]
+    pub fn created_col(&self) -> &[SimTime] {
+        &self.created_at
+    }
+
+    /// Broker append timestamps in offset order.
+    #[must_use]
+    pub fn appended_col(&self) -> &[SimTime] {
+        &self.appended_at
     }
 
     /// Truncates the log to `offset` records (an unclean leader election
     /// rewinding to the new leader's log-end offset), returning the removed
     /// suffix in offset order.
     pub fn truncate_to(&mut self, offset: u64) -> Vec<StoredRecord> {
-        if offset as usize >= self.records.len() {
+        let offset = offset as usize;
+        if offset >= self.keys.len() {
             return Vec::new();
         }
-        self.records.split_off(offset as usize)
+        let removed = (offset..self.keys.len()).map(|i| self.row(i)).collect();
+        self.keys.truncate(offset);
+        self.payload_bytes.truncate(offset);
+        self.created_at.truncate(offset);
+        self.appended_at.truncate(offset);
+        removed
     }
 }
 
@@ -162,6 +229,33 @@ mod tests {
         }
         let tail: Vec<u64> = log.fetch_from(3).map(|r| r.key.0).collect();
         assert_eq!(tail, vec![3, 4]);
+    }
+
+    #[test]
+    fn append_batch_equals_scalar_appends() {
+        let records: Vec<ProduceRecord> = (0..7)
+            .map(|i| ProduceRecord {
+                key: MessageKey(i),
+                payload_bytes: 10 * i,
+                created_at: SimTime::from_millis(i),
+            })
+            .collect();
+        let now = SimTime::from_millis(40);
+        let mut bulk = PartitionLog::new(2);
+        let mut scalar = PartitionLog::new(2);
+        // Pre-populate so base offsets are non-trivial.
+        bulk.append(MessageKey(99), 1, SimTime::ZERO, SimTime::ZERO);
+        scalar.append(MessageKey(99), 1, SimTime::ZERO, SimTime::ZERO);
+        let base = bulk.append_batch(&records, now);
+        let mut scalar_base = None;
+        for r in &records {
+            let off = scalar.append(r.key, r.payload_bytes, r.created_at, now);
+            scalar_base.get_or_insert(off);
+        }
+        assert_eq!(Some(base), scalar_base);
+        assert_eq!(bulk, scalar, "accept(n) must equal n × accept(1)");
+        assert_eq!(bulk.append_batch(&[], now), 8, "empty batch is a no-op");
+        assert_eq!(bulk.len(), 8);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::audit::LossReason;
 use crate::broker::ProduceRecord;
-use crate::fasthash::FastMap;
 use crate::message::{Message, MessageKey};
+use desim::fasthash::FastMap;
 
 /// A batch of messages bound for one partition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,6 +126,13 @@ pub struct Accumulator {
     /// Retired message buffers, reused for new open batches so the steady
     /// state allocates nothing per batch.
     pool: Vec<Vec<Message>>,
+    /// Conservative lower bound on every buffered message's deadline: no
+    /// buffered message expires strictly before it (`SimTime::MAX` when
+    /// nothing is buffered). Pops may leave it stale — too early — which
+    /// costs at most a wasted sweep, never a missed expiry. Lets
+    /// [`Accumulator::expire_all`] skip its full scan in the common case
+    /// where nothing can have timed out yet.
+    earliest_deadline: SimTime,
 }
 
 /// Most message buffers the accumulator keeps around for reuse.
@@ -152,6 +159,7 @@ impl Accumulator {
             next_batch_id: 0,
             overflowed: 0,
             pool: Vec::new(),
+            earliest_deadline: SimTime::MAX,
         }
     }
 
@@ -239,6 +247,7 @@ impl Accumulator {
             });
         }
         let open = slot.as_mut().expect("slot was just filled");
+        self.earliest_deadline = self.earliest_deadline.min(message.deadline);
         open.messages.push(message);
         self.buffered += 1;
         if open.messages.len() >= self.batch_size {
@@ -317,6 +326,7 @@ impl Accumulator {
 
     /// Requeues a batch at the front (retry path).
     pub fn requeue_front(&mut self, batch: PendingBatch) {
+        self.earliest_deadline = self.earliest_deadline.min(batch.deadline());
         self.buffered += batch.messages.len();
         self.ready.push_front(batch);
     }
@@ -326,8 +336,15 @@ impl Accumulator {
     /// Returns the expired messages; used by housekeeping so that `T_o`
     /// fires even when the sender is blocked.
     pub fn expire_all(&mut self, now: SimTime) -> Vec<Message> {
+        if now < self.earliest_deadline {
+            // Every buffered message's deadline is at or past the
+            // watermark, so nothing can have expired yet.
+            return Vec::new();
+        }
         let mut expired = Vec::new();
         let mut emptied: Vec<Vec<Message>> = Vec::new();
+        // Recompute the watermark exactly from the survivors as we sweep.
+        let mut min_left = SimTime::MAX;
         for slot in &mut self.open {
             if let Some(open) = slot {
                 let before = expired.len();
@@ -336,6 +353,7 @@ impl Accumulator {
                         expired.push(*m);
                         false
                     } else {
+                        min_left = min_left.min(m.deadline);
                         true
                     }
                 });
@@ -350,7 +368,15 @@ impl Accumulator {
         let buffered = &mut self.buffered;
         self.ready.retain_mut(|batch| {
             let before = expired.len();
-            batch.drop_expired_into(now, &mut expired);
+            batch.messages.retain(|m| {
+                if m.is_expired(now) {
+                    expired.push(*m);
+                    false
+                } else {
+                    min_left = min_left.min(m.deadline);
+                    true
+                }
+            });
             *buffered -= expired.len() - before;
             if batch.messages.is_empty() {
                 emptied.push(std::mem::take(&mut batch.messages));
@@ -359,6 +385,7 @@ impl Accumulator {
                 true
             }
         });
+        self.earliest_deadline = min_left;
         for buf in emptied {
             self.pool_buf(buf);
         }
@@ -477,12 +504,20 @@ impl InFlightTable {
 ///
 /// The ledger records the producer's *view* (attempts, loss reasons); the
 /// final report combines it with the ground truth found in the broker logs.
+///
+/// Stored struct-of-arrays: three dense columns indexed by message key, so
+/// the audit's counting pass streams sequentially over exactly the bytes it
+/// needs (one `u32` + one `u8` per message) instead of striding over padded
+/// per-message structs, and the loss column packs `Option<LossReason>` into
+/// a single byte (0 = not lost, else [`LossReason::tag`]).
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
-    entries: Vec<LedgerEntry>,
+    created: Vec<SimTime>,
+    attempts: Vec<u32>,
+    lost: Vec<u8>,
 }
 
-/// One message's producer-side record.
+/// One message's producer-side record (a row view over the ledger columns).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LedgerEntry {
     /// When the message entered the producer.
@@ -500,55 +535,105 @@ impl Ledger {
         Ledger::default()
     }
 
+    /// An empty ledger reusing previously allocated columns (arena path).
+    #[must_use]
+    pub(crate) fn with_columns(cols: LedgerColumns) -> Self {
+        let LedgerColumns {
+            mut created,
+            mut attempts,
+            mut lost,
+        } = cols;
+        created.clear();
+        attempts.clear();
+        lost.clear();
+        Ledger {
+            created,
+            attempts,
+            lost,
+        }
+    }
+
+    /// Takes the columns out for reuse by a later run.
+    pub(crate) fn take_columns(&mut self) -> LedgerColumns {
+        LedgerColumns {
+            created: std::mem::take(&mut self.created),
+            attempts: std::mem::take(&mut self.attempts),
+            lost: std::mem::take(&mut self.lost),
+        }
+    }
+
     /// Registers a freshly created message; keys must arrive in order.
     pub fn register(&mut self, key: MessageKey, created_at: SimTime) {
-        debug_assert_eq!(key.0 as usize, self.entries.len(), "keys must be dense");
-        self.entries.push(LedgerEntry {
-            created_at,
-            attempts: 0,
-            lost: None,
-        });
+        debug_assert_eq!(key.0 as usize, self.created.len(), "keys must be dense");
+        self.created.push(created_at);
+        self.attempts.push(0);
+        self.lost.push(0);
     }
 
     /// Notes one more send attempt for `key`.
     pub fn note_attempt(&mut self, key: MessageKey) {
-        if let Some(e) = self.entries.get_mut(key.0 as usize) {
-            e.attempts += 1;
+        if let Some(a) = self.attempts.get_mut(key.0 as usize) {
+            *a += 1;
         }
     }
 
     /// Marks `key` lost for `reason` (first reason wins).
     pub fn mark_lost(&mut self, key: MessageKey, reason: LossReason) {
-        if let Some(e) = self.entries.get_mut(key.0 as usize) {
-            if e.lost.is_none() {
-                e.lost = Some(reason);
+        if let Some(t) = self.lost.get_mut(key.0 as usize) {
+            if *t == 0 {
+                *t = reason.tag();
             }
         }
     }
 
-    /// The entry for `key`.
+    /// The entry for `key`, materialised from the columns.
     #[must_use]
-    pub fn get(&self, key: MessageKey) -> Option<&LedgerEntry> {
-        self.entries.get(key.0 as usize)
+    pub fn get(&self, key: MessageKey) -> Option<LedgerEntry> {
+        let i = key.0 as usize;
+        Some(LedgerEntry {
+            created_at: *self.created.get(i)?,
+            attempts: self.attempts[i],
+            lost: LossReason::from_tag(self.lost[i]),
+        })
     }
 
-    /// All entries in key order.
+    /// Creation timestamps in key order.
     #[must_use]
-    pub fn entries(&self) -> &[LedgerEntry] {
-        &self.entries
+    pub fn created_col(&self) -> &[SimTime] {
+        &self.created
+    }
+
+    /// Send-attempt counts in key order.
+    #[must_use]
+    pub fn attempts_col(&self) -> &[u32] {
+        &self.attempts
+    }
+
+    /// Loss tags in key order (0 = not lost, else [`LossReason::tag`]).
+    #[must_use]
+    pub fn lost_col(&self) -> &[u8] {
+        &self.lost
     }
 
     /// Number of registered messages.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.created.len()
     }
 
     /// `true` when no messages were registered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.created.is_empty()
     }
+}
+
+/// The ledger's raw columns, pooled across runs by `runtime::RunArena`.
+#[derive(Debug, Default)]
+pub(crate) struct LedgerColumns {
+    created: Vec<SimTime>,
+    attempts: Vec<u32>,
+    lost: Vec<u8>,
 }
 
 #[cfg(test)]

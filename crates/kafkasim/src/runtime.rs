@@ -27,7 +27,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use desim::{EventContext, EventSim, EventWorld, SimDuration, SimRng, SimTime};
-use netsim::channel::SendRecordError;
+use netsim::channel::{ResetReport, SendRecordError};
 use netsim::{
     ChannelConfig, ChannelEvent, ConditionTimeline, DuplexChannel, Endpoint, NetCondition,
 };
@@ -39,11 +39,13 @@ use crate::broker::{BrokerId, ProduceRecord};
 use crate::cluster::{Cluster, ClusterSpec, ReplicationDelta};
 use crate::config::{DeliverySemantics, ProducerConfig};
 use crate::consumer::ConsumedTopic;
-use crate::fasthash::{FastMap, FastSet};
 use crate::message::{Message, MessageKey};
-use crate::producer::{Accumulator, InFlightRequest, InFlightTable, Ledger, PendingBatch};
+use crate::producer::{
+    Accumulator, InFlightRequest, InFlightTable, Ledger, LedgerColumns, PendingBatch,
+};
 use crate::source::SourceSpec;
 use crate::wire::WireFormat;
+use desim::fasthash::{FastMap, FastSet};
 
 /// Producer-side statistics over one observation window, handed to an
 /// [`OnlineController`].
@@ -420,13 +422,12 @@ enum Event {
     DrainBlocked { ci: usize },
     /// Connection `ci`'s transport has queued work due now.
     ConnWake { ci: usize },
-    /// Broker-side append of a processed request. `via_teardown` marks
-    /// requests that arrived while their connection was being torn down
-    /// (no response possible).
+    /// Broker-side append of a processed request (payload parked in
+    /// `World::append_info`). `via_teardown` marks requests that arrived
+    /// while their connection was being torn down (no response possible).
     Append {
         ci: usize,
         id: u64,
-        info: RequestInfo,
         via_teardown: bool,
     },
 }
@@ -488,15 +489,18 @@ impl World {
             Event::OnlineTick => online_tick(self, ctx),
             Event::SenderKick => {
                 self.sender_kick_scheduled = false;
-                kick_sender(self, ctx);
+                let now = ctx.now();
+                kick_sender(self, ctx, now);
             }
             Event::LingerWake => {
                 self.linger_wake_at = None;
-                kick_sender(self, ctx);
+                let now = ctx.now();
+                kick_sender(self, ctx, now);
             }
             Event::Dispatch(batch) => {
                 dispatch_batch(self, ctx, batch);
-                kick_sender(self, ctx);
+                let now = ctx.now();
+                kick_sender(self, ctx, now);
             }
             Event::RequestTimeout { req_id } => on_request_timeout(self, ctx, req_id),
             Event::DrainBlocked { ci } => drain_blocked(self, ctx, ci),
@@ -509,9 +513,8 @@ impl World {
             Event::Append {
                 ci,
                 id,
-                info,
                 via_teardown,
-            } => do_append(self, ctx, ci, id, info, via_teardown),
+            } => do_append(self, ctx, ci, id, via_teardown),
         }
     }
 }
@@ -532,6 +535,10 @@ struct World {
     in_flight: InFlightTable,
     amo_outstanding: FastMap<u64, (usize, PendingBatch)>,
     requests: FastMap<u64, RequestInfo>,
+    /// Requests whose broker-side processing delay is elapsing: the payload
+    /// of a scheduled [`Event::Append`], parked here so the event itself
+    /// stays a few words (the queue memcpys every entry it sifts).
+    append_info: FastMap<u64, RequestInfo>,
     ledger: Ledger,
     rng: SimRng,
     next_key: u64,
@@ -551,6 +558,10 @@ struct World {
     finished: bool,
     last_activity: SimTime,
     housekeep_interval: SimDuration,
+    /// Run horizon (`SimTime::ZERO + max_duration`); the poll-coalescing
+    /// loop in [`poll_source`] must not process messages past it inline,
+    /// because the driver loop only ever fires *one* event past it.
+    hard_deadline: SimTime,
     trace: Box<dyn TraceSink>,
     /// Cached `trace.enabled()` — one virtual call at construction instead
     /// of one per trace site per event.
@@ -565,6 +576,8 @@ struct World {
     rec_pool: Vec<Vec<ProduceRecord>>,
     /// Scratch deque for rebuilding blocked queues in housekeeping.
     deque_scratch: VecDeque<PendingBatch>,
+    /// Pooled reset report reused across connection teardowns.
+    reset_report: ResetReport,
 }
 
 impl World {
@@ -632,6 +645,9 @@ type Ctx = EventContext<Event>;
 pub struct RunArena {
     msg_bufs: Vec<Vec<Message>>,
     rec_bufs: Vec<Vec<ProduceRecord>>,
+    /// Typed ledger columns (created / attempts / loss tags), reused so
+    /// repeated runs never regrow the per-message accounting arrays.
+    ledger_cols: LedgerColumns,
 }
 
 impl RunArena {
@@ -839,7 +855,8 @@ impl KafkaRun {
             in_flight: InFlightTable::new(),
             amo_outstanding: FastMap::default(),
             requests: FastMap::default(),
-            ledger: Ledger::new(),
+            append_info: FastMap::default(),
+            ledger: Ledger::with_columns(std::mem::take(&mut arena.ledger_cols)),
             rng,
             next_key: 0,
             n_messages,
@@ -858,6 +875,7 @@ impl KafkaRun {
             finished: false,
             last_activity: SimTime::ZERO,
             housekeep_interval: SimDuration::from_millis(100),
+            hard_deadline: SimTime::ZERO + max_duration,
             trace: sink,
             trace_on,
             conn_epochs: vec![0; n_conns],
@@ -866,6 +884,7 @@ impl KafkaRun {
             chan_events: Vec::new(),
             rec_pool: std::mem::take(&mut arena.rec_bufs),
             deque_scratch: VecDeque::new(),
+            reset_report: ResetReport::default(),
         };
 
         let mut sim = EventSim::new(world);
@@ -935,9 +954,9 @@ impl KafkaRun {
                 let end = world.last_activity;
                 // Messages still unresolved at the horizon: the audit
                 // counts them as UnsentAtEnd, so the trace must too.
-                for (i, entry) in world.ledger.entries().iter().enumerate() {
+                for (i, &tag) in world.ledger.lost_col().iter().enumerate() {
                     let key = MessageKey(i as u64);
-                    if entry.lost.is_none() && topic.copies(key) == 0 {
+                    if tag == 0 && topic.copies(key) == 0 {
                         world.trace.record(TraceEvent::Expired {
                             at: end,
                             key: key.0,
@@ -1000,6 +1019,7 @@ impl KafkaRun {
         // Salvage the run's buffer pools for the next run on this arena.
         arena.msg_bufs = world.accumulator.take_pool();
         arena.rec_bufs = std::mem::take(&mut world.rec_pool);
+        arena.ledger_cols = world.ledger.take_columns();
         drop(audit_guard);
         (outcome, trace)
     }
@@ -1010,56 +1030,78 @@ impl KafkaRun {
 // ---------------------------------------------------------------------------
 
 fn poll_source(w: &mut World, ctx: &mut Ctx) {
-    let now = ctx.now();
     if w.next_key >= w.n_messages {
         w.done_polling = true;
         return;
     }
-    let payload = w.source.size.sample(&mut w.rng);
-    let key = MessageKey(w.next_key);
-    w.next_key += 1;
-    let message = Message::new(key, payload, now, w.cfg.message_timeout);
-    w.ledger.register(key, now);
-    w.last_activity = now;
-    // Sticky partitioning (the modern Kafka default for keyless records):
-    // fill one partition's batch before moving to the next, so the
-    // configured batch size B is actually reached at any arrival rate.
-    let partition = w.next_partition;
-    w.sticky_count += 1;
-    if w.sticky_count >= w.cfg.batch_size {
-        w.sticky_count = 0;
-        w.next_partition = (w.next_partition + 1) % w.cluster.partitions();
-    }
-    if w.trace_on {
-        w.trace.record(TraceEvent::Enqueued {
-            at: now,
-            key: key.0,
-            partition,
-            deadline: message.deadline,
-        });
-    }
-    if let Err(rejected) = w.accumulator.push(message, partition, now) {
-        w.ledger.mark_lost(rejected.key, LossReason::BufferOverflow);
+    // Coalescing loop: after handling the poll this event was scheduled
+    // for, keep polling *inline* as long as the next poll instant `t` is
+    // strictly earlier than every pending event and within the run
+    // horizon. The engine would have popped that poll next anyway, so the
+    // inline execution is order-identical — same RNG draw sequence, same
+    // trace order, same state evolution, same tie-breaks (ties with a
+    // pending event at exactly `t` fall out of the loop, and the
+    // re-scheduled poll gets a later seq than the pending event, exactly
+    // as in the uncoalesced engine). Only `events_fired` differs.
+    let mut now = ctx.now();
+    loop {
+        let payload = w.source.size.sample(&mut w.rng);
+        let key = MessageKey(w.next_key);
+        w.next_key += 1;
+        let message = Message::new(key, payload, now, w.cfg.message_timeout);
+        w.ledger.register(key, now);
+        w.last_activity = now;
+        // Sticky partitioning (the modern Kafka default for keyless
+        // records): fill one partition's batch before moving to the next,
+        // so the configured batch size B is actually reached at any
+        // arrival rate.
+        let partition = w.next_partition;
+        w.sticky_count += 1;
+        if w.sticky_count >= w.cfg.batch_size {
+            w.sticky_count = 0;
+            w.next_partition = (w.next_partition + 1) % w.cluster.partitions();
+        }
         if w.trace_on {
-            w.trace.record(TraceEvent::Expired {
+            w.trace.record(TraceEvent::Enqueued {
                 at: now,
-                key: rejected.key.0,
-                cause: LossCause::BufferOverflow,
-                batch: None,
+                key: key.0,
+                partition,
+                deadline: message.deadline,
             });
         }
+        if let Err(rejected) = w.accumulator.push(message, partition, now) {
+            w.ledger.mark_lost(rejected.key, LossReason::BufferOverflow);
+            if w.trace_on {
+                w.trace.record(TraceEvent::Expired {
+                    at: now,
+                    key: rejected.key.0,
+                    cause: LossCause::BufferOverflow,
+                    batch: None,
+                });
+            }
+        }
+        kick_sender(w, ctx, now);
+        let gap = w.source.poll_gap(now, payload, &w.cfg.host);
+        let t = now + gap;
+        // The final poll (which flips `done_polling`) must stay a real
+        // event: flipping it inline would let an earlier housekeeping
+        // pass observe it too soon.
+        if w.next_key >= w.n_messages
+            || t > w.hard_deadline
+            || ctx.next_deadline().is_some_and(|d| t >= d)
+        {
+            ctx.schedule_at(t, Event::PollSource);
+            return;
+        }
+        now = t;
     }
-    kick_sender(w, ctx);
-    let gap = w.source.poll_gap(now, payload, &w.cfg.host);
-    ctx.schedule_in(gap, Event::PollSource);
 }
 
 // ---------------------------------------------------------------------------
 // Sender (serialisation CPU)
 // ---------------------------------------------------------------------------
 
-fn kick_sender(w: &mut World, ctx: &mut Ctx) {
-    let now = ctx.now();
+fn kick_sender(w: &mut World, ctx: &mut Ctx, now: SimTime) {
     if now < w.sender_busy_until {
         if !w.sender_kick_scheduled {
             w.sender_kick_scheduled = true;
@@ -1075,7 +1117,7 @@ fn kick_sender(w: &mut World, ctx: &mut Ctx) {
         w.mark_expired(now, &expired);
         let Some(mut batch) = picked else {
             w.msg_scratch = expired;
-            schedule_linger_wake(w, ctx);
+            schedule_linger_wake(w, ctx, now);
             return;
         };
         let mean = w
@@ -1117,9 +1159,9 @@ fn kick_sender(w: &mut World, ctx: &mut Ctx) {
     }
 }
 
-fn schedule_linger_wake(w: &mut World, ctx: &mut Ctx) {
+fn schedule_linger_wake(w: &mut World, ctx: &mut Ctx, now: SimTime) {
     if let Some(deadline) = w.accumulator.next_linger_deadline() {
-        let due = deadline.max(ctx.now());
+        let due = deadline.max(now);
         if w.linger_wake_at.is_none_or(|t| due < t) {
             w.linger_wake_at = Some(due);
             ctx.schedule_at(due, Event::LingerWake);
@@ -1342,12 +1384,12 @@ fn on_request_arrived(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
         .broker(w.conns[ci].broker)
         .expect("broker exists")
         .processing_time(info.records.len());
+    w.append_info.insert(id, info);
     ctx.schedule_in(
         proc,
         Event::Append {
             ci,
             id,
-            info,
             via_teardown: false,
         },
     );
@@ -1357,14 +1399,8 @@ fn on_request_arrived(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
 /// regular arrival (`via_teardown == false`) the broker then answers (or
 /// holds the answer under `acks=all`); a teardown append persists the
 /// records but can never respond — its connection is gone.
-fn do_append(
-    w: &mut World,
-    ctx: &mut Ctx,
-    ci: usize,
-    id: u64,
-    info: RequestInfo,
-    via_teardown: bool,
-) {
+fn do_append(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64, via_teardown: bool) {
+    let info = w.append_info.remove(&id).expect("append payload parked");
     let broker_id = w.conns[ci].broker;
     let now = ctx.now();
     let base = w
@@ -1468,7 +1504,8 @@ fn on_request_timeout(w: &mut World, ctx: &mut Ctx, req_id: u64) {
 
 fn fail_connection_alo(w: &mut World, ctx: &mut Ctx, ci: usize) {
     let now = ctx.now();
-    let report = w.conns[ci].channel.reset(now);
+    let mut report = std::mem::take(&mut w.reset_report);
+    w.conns[ci].channel.reset_into(now, &mut report);
     w.stats.connection_resets += 1;
     if w.trace_on {
         // Under acks=1 nothing is lost in the socket itself: the in-flight
@@ -1492,7 +1529,7 @@ fn fail_connection_alo(w: &mut World, ctx: &mut Ctx, ci: usize) {
     // Requests whose bytes reached the broker during teardown are appended
     // there — but the producer never hears back, so it will retry them:
     // this is exactly how Case 5 duplicates arise.
-    for id in report.teardown_delivered_to_b.clone() {
+    for &id in &report.teardown_delivered_to_b {
         teardown_append(w, ctx, ci, id);
     }
     let taken = w.in_flight.take_conn(ci);
@@ -1501,6 +1538,7 @@ fn fail_connection_alo(w: &mut World, ctx: &mut Ctx, ci: usize) {
             w.recycle_records(info.records);
         }
     }
+    w.reset_report = report;
     w.conns[ci].resp_queue.clear();
     // Requeue newest-first with push_front so the oldest batch (closest to
     // its deadline) ends up at the head of the retry queue.
@@ -1559,10 +1597,11 @@ fn amo_stall_check(w: &mut World, ctx: &mut Ctx, ci: usize) {
 
 fn reset_amo(w: &mut World, ctx: &mut Ctx, ci: usize) {
     let now = ctx.now();
-    let report = w.conns[ci].channel.reset(now);
+    let mut report = std::mem::take(&mut w.reset_report);
+    w.conns[ci].channel.reset_into(now, &mut report);
     w.stats.connection_resets += 1;
     // Requests that crossed the wire during teardown still get persisted.
-    for id in report.teardown_delivered_to_b.clone() {
+    for &id in &report.teardown_delivered_to_b {
         if let Some((_, batch)) = w.amo_outstanding.remove(&id) {
             w.accumulator.recycle(batch);
         }
@@ -1584,6 +1623,7 @@ fn reset_amo(w: &mut World, ctx: &mut Ctx, ci: usize) {
             w.recycle_records(info.records);
         }
     }
+    w.reset_report = report;
     if w.trace_on {
         // The keys that died silently in the torn-down socket: acks=0's
         // loss mode, attributable only through this event.
@@ -1611,12 +1651,12 @@ fn teardown_append(w: &mut World, ctx: &mut Ctx, ci: usize, id: u64) {
         .broker(w.conns[ci].broker)
         .expect("broker exists")
         .processing_time(info.records.len());
+    w.append_info.insert(id, info);
     ctx.schedule_in(
         proc,
         Event::Append {
             ci,
             id,
-            info,
             via_teardown: true,
         },
     );
@@ -1878,7 +1918,7 @@ fn housekeeping(w: &mut World, ctx: &mut Ctx) {
     w.msg_scratch = expired;
     w.accumulator.flush_due(now);
     if !w.accumulator.is_empty() {
-        kick_sender(w, ctx);
+        kick_sender(w, ctx, now);
     }
     let idle = w.done_polling
         && w.accumulator.is_empty()
@@ -1964,7 +2004,7 @@ fn apply_config(w: &mut World, ctx: &mut Ctx, cfg: ProducerConfig) {
     let now = ctx.now();
     w.accumulator.reconfigure(cfg.batch_size, cfg.linger, now);
     w.cfg = cfg;
-    kick_sender(w, ctx);
+    kick_sender(w, ctx, now);
 }
 
 #[cfg(test)]

@@ -109,6 +109,23 @@ impl DeliveryCase {
         }
     }
 
+    /// Branch-free form of [`DeliveryCase::classify`], returning
+    /// [`DeliveryCase::index`] directly.
+    ///
+    /// Used by the audit hot loop so per-message outcome accounting is a
+    /// table lookup instead of a nested match; pinned equal to `classify`
+    /// by a unit test.
+    #[must_use]
+    pub fn classify_index(attempts: u32, copies: u64) -> usize {
+        // Rows: copies 0 / 1 / 2+; columns: attempts ≤ 1 / > 1.
+        const CASE: [[usize; 2]; 3] = [
+            [1, 2], // copies 0 → Case2 / Case3
+            [0, 3], // copies 1 → Case1 / Case4
+            [4, 4], // copies 2+ → Case5
+        ];
+        CASE[copies.min(2) as usize][usize::from(attempts > 1)]
+    }
+
     /// All five cases in order.
     #[must_use]
     pub fn all() -> [DeliveryCase; 5] {
@@ -351,6 +368,19 @@ mod tests {
         assert_eq!(DeliveryCase::classify(3, 1), DeliveryCase::Case4);
         assert_eq!(DeliveryCase::classify(2, 2), DeliveryCase::Case5);
         assert_eq!(DeliveryCase::classify(1, 3), DeliveryCase::Case5);
+    }
+
+    #[test]
+    fn classify_index_matches_classify() {
+        for attempts in 0..6u32 {
+            for copies in 0..6u64 {
+                assert_eq!(
+                    DeliveryCase::classify_index(attempts, copies),
+                    DeliveryCase::classify(attempts, copies).index(),
+                    "attempts={attempts} copies={copies}"
+                );
+            }
+        }
     }
 
     #[test]

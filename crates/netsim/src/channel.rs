@@ -161,6 +161,18 @@ pub struct ResetReport {
     pub teardown_delivered_to_a: Vec<u64>,
 }
 
+impl ResetReport {
+    /// Empties all four id lists, keeping their capacity — callers that
+    /// reuse one report across [`DuplexChannel::reset_into`] calls pay no
+    /// allocation per reset.
+    pub fn clear(&mut self) {
+        self.undelivered_from_a.clear();
+        self.undelivered_from_b.clear();
+        self.teardown_delivered_to_b.clear();
+        self.teardown_delivered_to_a.clear();
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     Seg { dir: usize, seq: u64, len: u64 },
@@ -187,6 +199,15 @@ impl Stream {
             last_rto_epoch_pushed: 0,
         }
     }
+
+    /// Resets to the state of a freshly-built stream, keeping every buffer's
+    /// capacity (state-identical to `Stream::new` with the same config).
+    fn reset(&mut self, now: SimTime) {
+        self.snd.reset(now);
+        self.rcv.reset();
+        self.pending.clear();
+        self.last_rto_epoch_pushed = 0;
+    }
 }
 
 /// A bidirectional TCP connection carrying records between endpoints A and B.
@@ -206,6 +227,9 @@ pub struct DuplexChannel {
     /// Scratch buffer reused by [`DuplexChannel::pump`] so each call avoids
     /// allocating a fresh segment vector.
     seg_buf: Vec<Segment>,
+    /// Scratch buffer reused by [`DuplexChannel::reset_into`] for the
+    /// drained event-queue entries.
+    drain_buf: Vec<(u64, Ev)>,
 }
 
 impl core::fmt::Debug for DuplexChannel {
@@ -238,6 +262,7 @@ impl DuplexChannel {
             resets: 0,
             last_advance: now,
             seg_buf: Vec::new(),
+            drain_buf: Vec::new(),
         }
     }
 
@@ -375,11 +400,24 @@ impl DuplexChannel {
     /// `now + reconnect_delay`.
     pub fn reset(&mut self, now: SimTime) -> ResetReport {
         let mut report = ResetReport::default();
+        self.reset_into(now, &mut report);
+        report
+    }
+
+    /// Tears the connection down like [`DuplexChannel::reset`], writing the
+    /// outcome into a caller-owned `report` (cleared first).
+    ///
+    /// The report's vectors and the channel's internal buffers are reused,
+    /// so a steady stream of resets allocates nothing.
+    pub fn reset_into(&mut self, now: SimTime, report: &mut ResetReport) {
+        report.clear();
         // Segments already in flight still arrive at the peer before the
         // teardown does: feed them to the receivers, then see which records
         // became contiguous.
-        let events: Vec<(u64, Ev)> = self.heap.drain_unordered().collect();
-        for (generation, ev) in events {
+        let mut events = core::mem::take(&mut self.drain_buf);
+        events.clear();
+        events.extend(self.heap.drain_unordered());
+        for &(generation, ev) in &events {
             if generation != self.generation {
                 continue;
             }
@@ -387,6 +425,7 @@ impl DuplexChannel {
                 let _ = self.streams[dir].rcv.on_segment(seq, len);
             }
         }
+        self.drain_buf = events;
         for (dir, delivered, undelivered) in [
             (
                 0usize,
@@ -410,13 +449,10 @@ impl DuplexChannel {
         }
         self.generation += 1;
         self.resets += 1;
-        self.streams = [
-            Stream::new(self.cfg.tcp.clone(), now),
-            Stream::new(self.cfg.tcp.clone(), now),
-        ];
+        self.streams[0].reset(now);
+        self.streams[1].reset(now);
         self.open_at = now + self.cfg.reconnect_delay;
         self.push(self.open_at, Ev::Pump);
-        report
     }
 
     /// Processes every internal event up to and including `now`.

@@ -268,6 +268,32 @@ impl TcpSender {
         self.stats
     }
 
+    /// Resets the sender to its freshly-created state in place, keeping the
+    /// allocated capacity of the outstanding and retransmission queues.
+    ///
+    /// State-identical to `TcpSender::new(cfg, now)` — connection resets
+    /// reuse the existing buffers instead of allocating a new sender.
+    pub fn reset(&mut self, now: SimTime) {
+        self.snd_una = 0;
+        self.snd_nxt = 0;
+        self.app_end = 0;
+        self.outstanding.clear();
+        self.retx_queue.clear();
+        self.cwnd = self.cfg.initial_cwnd;
+        self.ssthresh = self.cfg.initial_ssthresh;
+        self.srtt = None;
+        self.rttvar = 0.0;
+        self.rto = self.cfg.rto_initial;
+        self.rto_deadline = None;
+        self.rto_epoch = 0;
+        self.dupacks = 0;
+        self.in_recovery = false;
+        self.recover = 0;
+        self.backoffs = 0;
+        self.last_progress = now;
+        self.stats = TcpSenderStats::default();
+    }
+
     fn set_rto_deadline(&mut self, deadline: Option<SimTime>) {
         self.rto_deadline = deadline;
         self.rto_epoch += 1;
@@ -496,6 +522,13 @@ impl TcpReceiver {
     #[must_use]
     pub fn duplicate_segments(&self) -> u64 {
         self.duplicate_segments
+    }
+
+    /// Resets the receiver to expect byte 0 again (connection reset).
+    pub fn reset(&mut self) {
+        self.rcv_nxt = 0;
+        self.out_of_order.clear();
+        self.duplicate_segments = 0;
     }
 
     /// Processes an arriving segment `[seq, seq+len)`.
