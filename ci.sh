@@ -28,7 +28,7 @@ echo "== perf baseline (smoke) =="
 cargo build --release -q -p bench --bin perfbase
 target/release/perfbase --smoke --out-dir target/bench-smoke
 for f in target/bench-smoke/BENCH_sim.json target/bench-smoke/BENCH_train.json \
-         target/bench-smoke/BENCH_infer.json; do
+         target/bench-smoke/BENCH_infer.json target/bench-smoke/BENCH_planner.json; do
     [ -s "$f" ] || { echo "missing bench output: $f" >&2; exit 1; }
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f" \
         || { echo "malformed bench output: $f" >&2; exit 1; }
@@ -127,6 +127,28 @@ for key in ("mode", "samples", "epochs", "wall_s", "epochs_per_sec",
 int(d["weights_digest"], 16)
 assert d["epochs_per_sec"] > 0, "non-positive training rate"
 EOF
+# The control-plane baseline must carry all three policy blocks. The
+# online block has to prove the refit path was actually timed (refits >= 1
+# and a matching model generation); the bandit block has to report its arm
+# count; every block pins its chosen-config digest so policy decisions
+# stay bit-identical run to run.
+python3 - target/bench-smoke/BENCH_planner.json <<'EOF' \
+    || { echo "BENCH_planner.json schema check failed" >&2; exit 1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("mode", "windows", "reps", "frozen", "online", "bandit",
+            "peak_rss_kb"):
+    assert key in d, f"missing key: {key}"
+for section in ("frozen", "online", "bandit"):
+    for key in ("decides", "wall_s", "decides_per_sec", "configs_digest"):
+        assert key in d[section], f"missing {section} key: {key}"
+    int(d[section]["configs_digest"], 16)
+    assert d[section]["decides_per_sec"] > 0, f"non-positive {section} rate"
+assert d["online"]["refits"] >= 1, "online policy never exercised a refit"
+assert d["online"]["generation"] == d["online"]["refits"], \
+    "model generation must track refit count"
+assert d["bandit"]["arms"] > 0, "bandit reported an empty arm set"
+EOF
 
 echo "== sharded determinism gate (smoke, 1 vs 4 threads) =="
 # Two full smoke baselines at different worker-thread counts must agree on
@@ -146,6 +168,18 @@ assert a["sweep"]["results_digest"] == b["sweep"]["results_digest"], (
 assert a["sharded"]["results_digest"] == b["sharded"]["results_digest"], (
     f"sharded digest differs across thread counts: "
     f"{a['sharded']['results_digest']} vs {b['sharded']['results_digest']}")
+EOF
+# The control-plane policies decide on a single thread, so their chosen
+# configurations must not move with the worker pool either.
+python3 - target/bench-smoke-t1/BENCH_planner.json target/bench-smoke-t4/BENCH_planner.json <<'EOF' \
+    || { echo "policy digest determinism gate failed" >&2; exit 1; }
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+for section in ("frozen", "online", "bandit"):
+    assert a[section]["configs_digest"] == b[section]["configs_digest"], (
+        f"{section} policy digest differs across thread counts: "
+        f"{a[section]['configs_digest']} vs {b[section]['configs_digest']}")
 EOF
 
 echo "== span profiler (smoke) =="

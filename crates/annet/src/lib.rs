@@ -57,12 +57,16 @@ pub mod prelude {
     pub use crate::dataset::Dataset;
     pub use crate::matrix::Matrix;
     pub use crate::metrics::{mae, r_squared, rmse};
-    pub use crate::network::{InferScratch, Network, NetworkBuilder, TrainConfig, TrainReport};
+    pub use crate::network::{
+        IncrementalTrainer, InferScratch, Network, NetworkBuilder, TrainConfig, TrainReport,
+    };
     pub use crate::scaler::MinMaxScaler;
 }
 
 pub use activation::Activation;
 pub use dataset::Dataset;
 pub use matrix::Matrix;
-pub use network::{InferScratch, Network, NetworkBuilder, TrainConfig, TrainReport};
+pub use network::{
+    IncrementalTrainer, InferScratch, Network, NetworkBuilder, TrainConfig, TrainReport,
+};
 pub use scaler::MinMaxScaler;

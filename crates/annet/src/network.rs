@@ -639,6 +639,83 @@ impl Network {
     }
 }
 
+/// Persistent state for *online* (incremental) SGD.
+///
+/// [`Network::train`] owns its velocity buffers and scratch for the
+/// duration of one call; a long-lived controller that refits a model
+/// mini-batch by mini-batch as live observations arrive needs those
+/// buffers to survive between steps instead. An `IncrementalTrainer`
+/// holds them, so momentum state carries across steps and a warm trainer
+/// performs no per-step heap allocation.
+///
+/// Each [`IncrementalTrainer::step`] applies exactly the update
+/// [`Network::train`] applies per mini-batch (the same blocked forward /
+/// backward kernels through the same internal scratch path), so a fresh
+/// trainer stepped over the chunks of one unshuffled epoch produces
+/// weights **bit-identical** to `train` with `shuffle = false,
+/// epochs = 1` — the pin test holds this equivalence.
+pub struct IncrementalTrainer {
+    velocities: Vec<Velocity>,
+    scratch: TrainScratch,
+}
+
+impl core::fmt::Debug for IncrementalTrainer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("IncrementalTrainer")
+            .field("layers", &self.velocities.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl IncrementalTrainer {
+    /// A trainer sized for `net`: zero momentum velocities, cold scratch.
+    #[must_use]
+    pub fn new(net: &Network) -> Self {
+        IncrementalTrainer {
+            velocities: net.layers.iter().map(Dense::zero_velocity).collect(),
+            scratch: TrainScratch::new(net),
+        }
+    }
+
+    /// Applies one mini-batch SGD update to `net` using the dataset rows
+    /// at `chunk`.
+    ///
+    /// `config.epochs` is ignored (a step *is* the unit of progress);
+    /// `learning_rate`, `batch_size`-independent normalisation (the
+    /// gradient is normalised by `chunk.len()`), and `momentum` behave
+    /// exactly as in [`Network::train`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset's dimensions do not match the network,
+    /// when the hyper-parameters are invalid (as [`Network::train`]), when
+    /// `chunk` is empty, or when the trainer was built for a network of a
+    /// different shape.
+    pub fn step(
+        &mut self,
+        net: &mut Network,
+        data: &Dataset,
+        chunk: &[usize],
+        config: &TrainConfig,
+    ) {
+        net.check_train_args(data, config);
+        assert!(!chunk.is_empty(), "a training step needs at least one row");
+        assert_eq!(
+            self.velocities.len(),
+            net.layers.len(),
+            "trainer was built for a different network"
+        );
+        net.train_batch(
+            data,
+            chunk,
+            config,
+            &mut self.velocities,
+            &mut self.scratch,
+            &Profiler::disabled(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,6 +836,70 @@ mod tests {
         let pred = net.predict_batch(data.x());
         let err = mae(&pred, data.y());
         assert!(err < 0.02, "MAE {err} should beat the paper's 0.02 bar");
+    }
+
+    #[test]
+    fn incremental_steps_match_one_epoch_of_train() {
+        // A fresh IncrementalTrainer stepped over the chunks of one
+        // unshuffled epoch must produce weights bit-identical to
+        // Network::train with shuffle = false, epochs = 1 (the per-epoch
+        // MSE probe in train reads but never mutates weights).
+        for momentum in [0.0, 0.9] {
+            let data = xor_dataset();
+            let mut rng = SimRng::seed_from_u64(11);
+            let reference = NetworkBuilder::new(2)
+                .dense(8, Activation::Tanh)
+                .dense(1, Activation::Sigmoid)
+                .build(&mut rng);
+            let config = TrainConfig {
+                epochs: 1,
+                learning_rate: 0.5,
+                batch_size: 3,
+                shuffle: false,
+                momentum,
+            };
+            let mut trained = reference.clone();
+            trained.train(&data, &config, &mut rng);
+
+            let mut stepped = reference.clone();
+            let mut trainer = IncrementalTrainer::new(&stepped);
+            let order: Vec<usize> = (0..data.len()).collect();
+            for chunk in order.chunks(config.batch_size) {
+                trainer.step(&mut stepped, &data, chunk, &config);
+            }
+            assert_eq!(trained, stepped, "momentum {momentum}");
+        }
+    }
+
+    #[test]
+    fn incremental_momentum_state_persists_across_steps() {
+        // Two unshuffled epochs through one trainer == two-epoch train:
+        // only true when the velocity buffers survive between steps.
+        let data = xor_dataset();
+        let mut rng = SimRng::seed_from_u64(12);
+        let reference = NetworkBuilder::new(2)
+            .dense(6, Activation::Tanh)
+            .dense(1, Activation::Sigmoid)
+            .build(&mut rng);
+        let config = TrainConfig {
+            epochs: 2,
+            learning_rate: 0.4,
+            batch_size: 2,
+            shuffle: false,
+            momentum: 0.9,
+        };
+        let mut trained = reference.clone();
+        trained.train(&data, &config, &mut rng);
+
+        let mut stepped = reference.clone();
+        let mut trainer = IncrementalTrainer::new(&stepped);
+        let order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..config.epochs {
+            for chunk in order.chunks(config.batch_size) {
+                trainer.step(&mut stepped, &data, chunk, &config);
+            }
+        }
+        assert_eq!(trained, stepped);
     }
 
     #[test]

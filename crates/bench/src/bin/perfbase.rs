@@ -32,15 +32,19 @@ use desim::SimTime;
 use desim::{SimDuration, SimRng};
 use kafka_predict::kpi::KpiModel;
 use kafka_predict::model::{ReliabilityModel, Topology};
-use kafka_predict::online::{CachedPredictor, PredictionCache};
+use kafka_predict::online::{CachedPredictor, OnlineModelController, PredictionCache};
 use kafka_predict::recommend::{Recommender, SearchSpace};
-use kafka_predict::{Features, Predictor};
-use kafkasim::config::DeliverySemantics;
+use kafka_predict::{
+    AdaptiveConfig, BanditConfig, BanditPolicy, Features, FrozenPolicy, OnlineAdaptivePolicy,
+    Policy, Predictor,
+};
+use kafkasim::config::{DeliverySemantics, ProducerConfig};
 use kafkasim::fleet::{
     Assignor, ChurnAction, ChurnEvent, FleetConfig, FleetRun, PartitionStrategy, Population,
     PopulationEntry, StreamClass,
 };
 use kafkasim::runtime::KafkaRun;
+use kafkasim::runtime::WindowStats;
 use kafkasim::source::SizeSpec;
 use testbed::experiment::ExperimentPoint;
 use testbed::scenarios::KpiWeights;
@@ -569,6 +573,179 @@ fn bench_infer(smoke: bool, threads: usize) -> InferNumbers {
     }
 }
 
+/// One policy's measured numbers in `BENCH_planner.json`.
+struct PolicyNumbers {
+    decides: usize,
+    wall_s: f64,
+    refits: u64,
+    generation: u64,
+    configs_digest: u64,
+}
+
+/// All three control-plane policies over one synthetic window stream.
+struct PlannerNumbers {
+    mode: &'static str,
+    windows: usize,
+    reps: usize,
+    frozen: PolicyNumbers,
+    online: PolicyNumbers,
+    bandit: PolicyNumbers,
+    bandit_arms: usize,
+}
+
+///// The synthetic per-window producer counters the policies plan against:
+/// a lossy first half, then a calm regime for the rest. The order matters:
+/// the untrained benchmark model predicts heavy loss everywhere, so the
+/// lossy phase is the low-error baseline and the calm phase is the error
+/// *increase* the drift detector fires on — which puts the refit path
+/// inside what this baseline times.
+fn planner_windows(windows: usize) -> Vec<WindowStats> {
+    (0..windows)
+        .map(|i| {
+            let (retries, expired) = if i < windows / 2 { (30, 5) } else { (0, 0) };
+            WindowStats {
+                at: SimTime::from_secs(30 * (i as u64 + 1)),
+                window: SimDuration::from_secs(30),
+                requests_sent: 100,
+                acks_received: 100 - retries,
+                retries,
+                connection_resets: 0,
+                expired,
+                backlog: 0,
+                srtt_ms: Some(20.0 + i as f64),
+                rtt_p99_ms: None,
+                e2e_p99_ms: None,
+                batch_fill_mean: Some(1.0),
+            }
+        })
+        .collect()
+}
+
+/// Drives one freshly-built policy through the window stream, returning
+/// wall time and the FNV-1a digest of every chosen configuration.
+fn drive_policy<P: Policy>(policy: &P, windows: &[WindowStats]) -> (f64, u64) {
+    let mut cfg = ProducerConfig {
+        semantics: DeliverySemantics::AtLeastOnce,
+        ..ProducerConfig::default()
+    };
+    let mut bytes = Vec::new();
+    let start = Instant::now();
+    for stats in windows {
+        if let Some(next) = policy.decide(stats, &cfg) {
+            cfg = next;
+        }
+        bytes.extend_from_slice(&(cfg.batch_size as u64).to_le_bytes());
+        bytes.extend_from_slice(&cfg.poll_interval.as_micros().to_le_bytes());
+        bytes.extend_from_slice(&cfg.message_timeout.as_micros().to_le_bytes());
+        bytes.extend_from_slice(&u64::from(cfg.max_retries).to_le_bytes());
+        bytes.push(cfg.semantics as u8);
+    }
+    (start.elapsed().as_secs_f64(), fnv1a(&bytes))
+}
+
+fn bench_planner(smoke: bool) -> PlannerNumbers {
+    let windows = if smoke { 16 } else { 48 };
+    let reps = if smoke { 2 } else { 5 };
+    let stream = planner_windows(windows);
+    let cal = Calibration::paper();
+    let weights = KpiWeights::paper_default();
+    let mut rng = SimRng::seed_from_u64(11);
+    let model = ReliabilityModel::new(Topology::Paper, &mut rng);
+    let adaptive = AdaptiveConfig {
+        drift_window: 3,
+        drift_threshold: 0.02,
+        refit_steps: 40,
+        ..AdaptiveConfig::default()
+    };
+
+    // Policies are stateful, so every repetition drives a fresh instance;
+    // repetitions must agree on the chosen-config digest bit-for-bit.
+    let run = |build_digest: &mut dyn FnMut() -> (f64, u64, u64, u64)| -> PolicyNumbers {
+        let mut wall_s = 0.0;
+        let mut digest: Option<u64> = None;
+        let (mut refits, mut generation) = (0, 0);
+        for _ in 0..reps {
+            let (w, d, r, g) = build_digest();
+            wall_s += w;
+            if let Some(prev) = digest {
+                assert_eq!(prev, d, "policy repetitions must be deterministic");
+            }
+            digest = Some(d);
+            refits = r;
+            generation = g;
+        }
+        PolicyNumbers {
+            decides: windows * reps,
+            wall_s,
+            refits,
+            generation,
+            configs_digest: digest.expect("at least one repetition"),
+        }
+    };
+
+    let frozen = run(&mut || {
+        let controller = OnlineModelController::new(
+            model.clone(),
+            &cal,
+            SearchSpace::default(),
+            weights,
+            0.9,
+            200,
+            0.0,
+        );
+        let policy = FrozenPolicy::new(controller, &cal, weights);
+        let (w, d) = drive_policy(&policy, &stream);
+        (w, d, 0, policy.generation())
+    });
+    assert_eq!(frozen.generation, 0, "the frozen policy must never refit");
+
+    let online = run(&mut || {
+        let policy = OnlineAdaptivePolicy::new(
+            model.clone(),
+            &cal,
+            SearchSpace::default(),
+            weights,
+            0.9,
+            200,
+            0.0,
+            adaptive,
+        );
+        let (w, d) = drive_policy(&policy, &stream);
+        (w, d, policy.refits(), policy.generation())
+    });
+    assert!(
+        online.refits >= 1,
+        "the synthetic stream must drive at least one refit so the refit \
+         path is part of the timed baseline"
+    );
+    assert_eq!(online.refits, online.generation, "one generation per refit");
+
+    let mut bandit_arms = 0;
+    let bandit = run(&mut || {
+        let policy = BanditPolicy::new(
+            &cal,
+            &SearchSpace::default(),
+            weights,
+            200,
+            0.0,
+            BanditConfig::default(),
+        );
+        bandit_arms = policy.arm_count();
+        let (w, d) = drive_policy(&policy, &stream);
+        (w, d, 0, policy.generation())
+    });
+
+    PlannerNumbers {
+        mode: if smoke { "smoke" } else { "full" },
+        windows,
+        reps,
+        frozen,
+        online,
+        bandit,
+        bandit_arms,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -696,6 +873,41 @@ fn main() {
     )
     .expect("write BENCH_infer.json");
 
+    let planner = bench_planner(smoke);
+    let planner_json = serde_json::json!({
+        "mode": planner.mode,
+        "windows": planner.windows,
+        "reps": planner.reps,
+        "frozen": serde_json::json!({
+            "decides": planner.frozen.decides,
+            "wall_s": planner.frozen.wall_s,
+            "decides_per_sec": planner.frozen.decides as f64 / planner.frozen.wall_s,
+            "configs_digest": format!("{:016x}", planner.frozen.configs_digest),
+        }),
+        "online": serde_json::json!({
+            "decides": planner.online.decides,
+            "wall_s": planner.online.wall_s,
+            "decides_per_sec": planner.online.decides as f64 / planner.online.wall_s,
+            "configs_digest": format!("{:016x}", planner.online.configs_digest),
+            "refits": planner.online.refits,
+            "generation": planner.online.generation,
+        }),
+        "bandit": serde_json::json!({
+            "decides": planner.bandit.decides,
+            "wall_s": planner.bandit.wall_s,
+            "decides_per_sec": planner.bandit.decides as f64 / planner.bandit.wall_s,
+            "configs_digest": format!("{:016x}", planner.bandit.configs_digest),
+            "arms": planner.bandit_arms,
+        }),
+        "peak_rss_kb": peak_rss_kb(),
+    });
+    let planner_path = format!("{out_dir}/BENCH_planner.json");
+    std::fs::write(
+        &planner_path,
+        serde_json::to_string_pretty(&planner_json).unwrap(),
+    )
+    .expect("write BENCH_planner.json");
+
     println!(
         "sim:   sweep {:.2}s ({:.0} msgs/s, digest {:016x}), single run {:.0} msgs/s, \
          obs noop/untraced {:.3}",
@@ -743,5 +955,17 @@ fn main() {
         infer.grid_threads,
         infer.planner_digest
     );
-    println!("wrote {sim_path}, {train_path} and {infer_path}");
+    println!(
+        "policy: frozen {:.1}/s ({:016x}), online {:.1}/s ({} refits, {:016x}), \
+         bandit {:.1}/s ({} arms, {:016x})",
+        planner.frozen.decides as f64 / planner.frozen.wall_s,
+        planner.frozen.configs_digest,
+        planner.online.decides as f64 / planner.online.wall_s,
+        planner.online.refits,
+        planner.online.configs_digest,
+        planner.bandit.decides as f64 / planner.bandit.wall_s,
+        planner.bandit_arms,
+        planner.bandit.configs_digest
+    );
+    println!("wrote {sim_path}, {train_path}, {infer_path} and {planner_path}");
 }

@@ -92,7 +92,7 @@ fn parse_args() -> Result<(String, Option<String>, Args), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|broker-faults|ablation-transport|ablation-jitter|trace|fleet|all> \
+    "usage: repro <fig4|fig5|fig6|fig7|fig8|fig9|collection|ann|kpi|table1|table2|overlay|sensitivity|ext-outage|ext-online|ext-retries|broker-faults|ablation-transport|ablation-jitter|trace|fleet|regime-shift|all> \
      [--messages N] [--quick] [--grid] [--paper-ann] [--seed S] [--threads T] [--json] [--data FILE] [--save-data FILE] [--trace-out FILE.jsonl]\n\
      \x20      repro run-spec FILE.{toml|json} [flags as above]\n\
      \x20      repro list-scenarios [DIR]\n\
@@ -278,6 +278,22 @@ fn load_dir(dir: &str) -> Vec<Spec> {
         .collect()
 }
 
+/// The control-plane policy kinds a scenario runs: the policy list for
+/// regime-shift comparisons, the implicit frozen planner for the online
+/// experiment, `-` for experiments with no online control plane.
+fn policy_kinds(doc: &Spec) -> String {
+    match &doc.experiment {
+        ExperimentSpec::RegimeShift(spec) => spec
+            .policies
+            .iter()
+            .map(|p| p.kind.slug())
+            .collect::<Vec<_>>()
+            .join(","),
+        ExperimentSpec::Online(_) => "frozen".to_string(),
+        _ => "-".to_string(),
+    }
+}
+
 fn list_scenarios(dir: Option<&str>) {
     let dir = dir.unwrap_or("scenarios");
     let (source, docs) = if Path::new(dir).is_dir() {
@@ -286,8 +302,14 @@ fn list_scenarios(dir: Option<&str>) {
         ("built-in".to_string(), spec::builtin::all())
     };
     println!("{} scenarios ({source}):", docs.len());
+    println!("  {:<20} {:<30} description", "name", "policy");
     for doc in &docs {
-        println!("  {:<20} {}", doc.name, doc.description);
+        println!(
+            "  {:<20} {:<30} {}",
+            doc.name,
+            policy_kinds(doc),
+            doc.description
+        );
     }
 }
 
@@ -368,6 +390,7 @@ fn run_document(doc: &Spec, args: &Args) {
         ExperimentSpec::Online(online) => ext_online(doc, online, args),
         ExperimentSpec::TraceDemo(demo) => trace_demo(doc, demo, args),
         ExperimentSpec::Fleet(fleet) => fleet_report(doc, fleet, args),
+        ExperimentSpec::RegimeShift(shift) => regime_shift(doc, shift, args),
     }
 }
 
@@ -725,6 +748,50 @@ fn ext_online(doc: &Spec, spec: &spec::OnlineCompareSpec, args: &Args) {
         }
     }
     println!();
+}
+
+fn regime_shift(doc: &Spec, spec: &spec::RegimeShiftSpec, args: &Args) {
+    eprintln!("{}: training the prediction model first...", doc.name);
+    let results = figures::collect_training_results(args.effort);
+    let trained = figures::train_on(&results, false, args.effort.seed);
+    eprintln!(
+        "{}: model trained (worst-head MAE {:.4}); running {} policies over the regime shift...",
+        doc.name,
+        trained.worst_mae(),
+        spec.policies.len()
+    );
+    let rows = exec::regime_shift(spec, trained.model.clone(), args.effort);
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialisable")
+        );
+        return;
+    }
+    println!("== {} ==", doc.title);
+    println!("network regime shifts at t = {}s", spec.shift_at_s);
+    println!(
+        "{:<18} {:>8} {:>8} {:>9} {:>12} {:>13} {:>7}",
+        "policy", "R_l", "R_d", "switches", "pre-drift", "post-drift", "refits"
+    );
+    for row in &rows {
+        let fmt = |e: Option<f64>| e.map_or("-".to_string(), |v| format!("{v:.4}"));
+        println!(
+            "{:<18} {:>7.2}% {:>7.2}% {:>9} {:>12} {:>13} {:>7}",
+            row.policy,
+            row.report.r_loss * 100.0,
+            row.report.r_dup * 100.0,
+            row.report.config_switches,
+            fmt(row.pre_shift_err),
+            fmt(row.post_shift_err),
+            row.generation
+        );
+    }
+    println!("\npre/post-drift columns: mean |γ_pred − γ_obs| per observation window");
+    println!(
+        "{}",
+        render::render_regime_shift(&doc.title, spec.shift_at_s, &rows)
+    );
 }
 
 /// The trace-demo targets: runs the spec's reliability-failure scenarios

@@ -16,13 +16,13 @@ use kafkasim::fleet::{
 use kafkasim::runtime::{BrokerFault, BrokerOutage, KafkaRun, RunSpec};
 use kafkasim::source::SourceSpec;
 use kafkasim::LossReason;
-use netsim::trace::{generate_trace, NetworkTrace};
+use netsim::trace::{generate_regime_shift, generate_trace, NetworkTrace};
 use netsim::{ConditionTimeline, NetCondition};
 use obs::{RingBufferSink, TraceEvent};
 use spec::{
     BrokerFaultMatrixSpec, CollectionDesign, FleetSpec, KpiGridSpec, NetworkTraceSpec,
-    OnlineCompareSpec, OverlaySpec, SensitivitySpec, SweepAxis, SweepMode, SweepSpec, Table1Spec,
-    Table2Spec, TraceDemoSpec, TraceScenarioSpec,
+    OnlineCompareSpec, OverlaySpec, PolicyKind, RegimeShiftSpec, SensitivitySpec, SweepAxis,
+    SweepMode, SweepSpec, Table1Spec, Table2Spec, TraceDemoSpec, TraceScenarioSpec,
 };
 use testbed::dynamic::{default_static_config, run_scenario, StaticPlanner};
 use testbed::scenarios::ApplicationScenario;
@@ -31,8 +31,8 @@ use testbed::sweep::run_sweep;
 use testbed::ExperimentResult;
 
 use crate::figures::{
-    train_on, BrokerFaultRow, Effort, ExtOnlineRow, FleetClassRow, FleetStrategyRow, Series,
-    SeriesPoint, Table2Row,
+    train_on, BrokerFaultRow, Effort, ExtOnlineRow, FleetClassRow, FleetStrategyRow,
+    RegimeShiftRow, Series, SeriesPoint, Table2Row,
 };
 
 /// Table I — replays every scripted transition path through the
@@ -476,6 +476,183 @@ pub fn online_compare(
         planner_metrics: Some(metrics),
     });
     rows
+}
+
+/// Runs one control policy over the spliced regime-shift network and
+/// splits its γ-error trace at the shift point.
+#[allow(clippy::too_many_arguments)]
+fn run_regime_policy<P: kafka_predict::Policy + 'static>(
+    policy: P,
+    scenario: &ApplicationScenario,
+    trace: &ConditionTimeline,
+    default_cfg: ProducerConfig,
+    interval: SimDuration,
+    cal: &Calibration,
+    n: u64,
+    seed: u64,
+    shift_s: f64,
+) -> RegimeShiftRow {
+    use kafka_predict::{GammaSample, PolicyController};
+    use kafkasim::runtime::{OnlineController, OnlineSpec};
+    use std::sync::Arc;
+    use testbed::dynamic::run_scenario_online_traced;
+
+    let controller = Arc::new(PolicyController::new(policy));
+    let (report, metrics) = run_scenario_online_traced(
+        scenario,
+        trace,
+        default_cfg,
+        OnlineSpec {
+            interval,
+            controller: Arc::clone(&controller) as Arc<dyn OnlineController>,
+        },
+        cal,
+        n,
+        seed,
+    );
+    let policy = controller.policy();
+    let gamma = policy.gamma_trace();
+    let mean_err = |post: bool| {
+        let errs: Vec<f64> = gamma
+            .iter()
+            .filter(|s| (s.at_s >= shift_s) == post)
+            .map(GammaSample::gamma_err)
+            .collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    };
+    RegimeShiftRow {
+        policy: policy.kind().to_string(),
+        report,
+        planner_metrics: metrics,
+        generation: policy.generation(),
+        pre_shift_err: mean_err(false),
+        post_shift_err: mean_err(true),
+        gamma,
+    }
+}
+
+/// CPL-1 — runs every policy of the spec head-to-head over the same
+/// spliced regime-shift network: base generator parameters up to
+/// `shift_at_s`, shifted parameters after, one continuous random stream.
+///
+/// # Panics
+///
+/// Panics when the spec's generator configurations cannot be spliced
+/// (validated specs always can).
+#[must_use]
+pub fn regime_shift(
+    spec: &RegimeShiftSpec,
+    model: ReliabilityModel,
+    effort: Effort,
+) -> Vec<RegimeShiftRow> {
+    let cal = Calibration::paper();
+    let trace = generate_regime_shift(
+        &spec.trace,
+        &spec.shifted,
+        SimDuration::from_secs(spec.shift_at_s),
+        &mut SimRng::seed_from_u64(effort.seed),
+    )
+    .expect("validated specs splice")
+    .timeline;
+    let scenario = &spec.scenario;
+    let n = messages_for(scenario, &trace);
+    let interval = SimDuration::from_secs(spec.online_interval_s);
+    let default_cfg = default_static_config(&cal);
+    let shift_s = spec.shift_at_s as f64;
+    let timeliness_ms = scenario.timeliness.as_secs_f64() * 1e3;
+
+    spec.policies
+        .iter()
+        .map(|entry| match entry.kind {
+            PolicyKind::Frozen => {
+                let controller = OnlineModelController::new(
+                    model.clone(),
+                    &cal,
+                    search_space(&spec.grid),
+                    scenario.weights,
+                    scenario.gamma_requirement,
+                    scenario.mean_size(),
+                    timeliness_ms,
+                );
+                run_regime_policy(
+                    kafka_predict::FrozenPolicy::new(controller, &cal, scenario.weights),
+                    scenario,
+                    &trace,
+                    default_cfg.clone(),
+                    interval,
+                    &cal,
+                    n,
+                    effort.seed,
+                    shift_s,
+                )
+            }
+            PolicyKind::OnlineAdaptive => {
+                let config =
+                    entry
+                        .adaptive
+                        .map_or_else(kafka_predict::AdaptiveConfig::default, |a| {
+                            kafka_predict::AdaptiveConfig {
+                                drift_window: a.drift_window,
+                                drift_threshold: a.drift_threshold,
+                                refit_steps: a.refit_steps,
+                                learning_rate: a.learning_rate,
+                                replay_capacity: a.replay_capacity,
+                            }
+                        });
+                run_regime_policy(
+                    kafka_predict::OnlineAdaptivePolicy::new(
+                        model.clone(),
+                        &cal,
+                        search_space(&spec.grid),
+                        scenario.weights,
+                        scenario.gamma_requirement,
+                        scenario.mean_size(),
+                        timeliness_ms,
+                        config,
+                    ),
+                    scenario,
+                    &trace,
+                    default_cfg.clone(),
+                    interval,
+                    &cal,
+                    n,
+                    effort.seed,
+                    shift_s,
+                )
+            }
+            PolicyKind::Bandit => {
+                let config = entry
+                    .bandit
+                    .map_or_else(kafka_predict::BanditConfig::default, |b| {
+                        kafka_predict::BanditConfig {
+                            exploration: b.exploration,
+                        }
+                    });
+                run_regime_policy(
+                    kafka_predict::BanditPolicy::new(
+                        &cal,
+                        &search_space(&spec.grid),
+                        scenario.weights,
+                        scenario.mean_size(),
+                        timeliness_ms,
+                        config,
+                    ),
+                    scenario,
+                    &trace,
+                    default_cfg.clone(),
+                    interval,
+                    &cal,
+                    n,
+                    effort.seed,
+                    shift_s,
+                )
+            }
+        })
+        .collect()
 }
 
 /// Builds the [`RunSpec`] of one traced demo scenario.

@@ -489,6 +489,38 @@ pub fn ext_online(model: ReliabilityModel, effort: Effort) -> Vec<ExtOnlineRow> 
     }
 }
 
+/// One regime-shift policy run: the run outcome, the policy's exported
+/// metrics, its per-window γ trace and the pre/post-shift mean γ error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeShiftRow {
+    /// Policy kind slug (`frozen`, `online-adaptive`, `bandit`).
+    pub policy: String,
+    /// The run outcome.
+    pub report: DynamicRunReport,
+    /// The policy's exported planner metrics.
+    pub planner_metrics: obs::MetricsSummary,
+    /// Per-window predicted-vs-observed γ bookkeeping.
+    pub gamma: Vec<kafka_predict::GammaSample>,
+    /// Final model generation (refit count; 0 for frozen and bandit).
+    pub generation: u64,
+    /// Mean `|γ_pred − γ_obs|` over windows before the regime shift.
+    pub pre_shift_err: Option<f64>,
+    /// Mean `|γ_pred − γ_obs|` over windows after the regime shift.
+    pub post_shift_err: Option<f64>,
+}
+
+/// CPL-1 — the control-plane comparison over a mid-run network regime
+/// shift: the frozen planner, the drift-detecting online-adaptive planner
+/// and the UCB1 bandit baseline steer the same scenario over the same
+/// spliced network, head-to-head.
+#[must_use]
+pub fn regime_shift(model: ReliabilityModel, effort: Effort) -> Vec<RegimeShiftRow> {
+    match builtin("regime-shift").experiment {
+        ExperimentSpec::RegimeShift(spec) => exec::regime_shift(&spec, model, effort),
+        _ => unreachable!("regime-shift is a regime-shift scenario"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

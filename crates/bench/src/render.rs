@@ -1,7 +1,7 @@
 //! Plain-text rendering of figure series and tables for the `repro`
 //! binary.
 
-use crate::figures::{Series, Table2Row};
+use crate::figures::{RegimeShiftRow, Series, Table2Row};
 
 /// Renders one or more series as an aligned text table with an ASCII
 /// sparkline per curve.
@@ -91,6 +91,42 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
             row.weights.no_loss,
             row.weights.no_duplicate,
         ));
+    }
+    out
+}
+
+/// Renders the regime-shift comparison: one γ-error sparkline per policy
+/// over the run's observation windows, the shift point marked with `|`.
+/// All policies share one scale, so a flatter line is a better planner.
+#[must_use]
+pub fn render_regime_shift(title: &str, shift_at_s: u64, rows: &[RegimeShiftRow]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {title}: |γ_pred − γ_obs| per window (regime shift marked '|') ==\n"
+    ));
+    let max = rows
+        .iter()
+        .flat_map(|r| r.gamma.iter())
+        .map(|s| s.gamma_err())
+        .fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        out.push_str("(no γ samples)\n");
+        return out;
+    }
+    let shift = shift_at_s as f64;
+    for row in rows {
+        let mut spark = String::new();
+        let mut marked = false;
+        for s in &row.gamma {
+            if !marked && s.at_s >= shift {
+                spark.push('|');
+                marked = true;
+            }
+            let idx = ((s.gamma_err() / max) * 7.0).round() as usize;
+            spark.push(BARS[idx.min(7)]);
+        }
+        out.push_str(&format!("{:<18} {spark}\n", row.policy));
     }
     out
 }

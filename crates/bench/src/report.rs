@@ -332,6 +332,7 @@ fn variant_name(e: &ExperimentSpec) -> &'static str {
         ExperimentSpec::Online(_) => "Online",
         ExperimentSpec::TraceDemo(_) => "TraceDemo",
         ExperimentSpec::Fleet(_) => "Fleet",
+        ExperimentSpec::RegimeShift(_) => "RegimeShift",
     }
 }
 

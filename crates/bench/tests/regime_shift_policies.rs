@@ -1,0 +1,68 @@
+//! Acceptance pin for the committed `regime-shift` scenario (CPL-1).
+//!
+//! The control-plane comparison only earns its keep if, on the scenario
+//! the repo ships, the online-adaptive policy actually *beats* the frozen
+//! planner after the network regime shifts — strictly lower mean
+//! post-drift γ prediction error — while behaving identically before the
+//! drift. This test runs the full pipeline (train the model at quick
+//! effort, splice the regime-shift trace, run all three policies) and
+//! pins those relationships, not the exact numbers, so it survives
+//! calibration tweaks but fails the moment adaptation stops paying off.
+
+use bench::figures::{collect_training_results, train_on, Effort};
+use bench::{exec, figures};
+use spec::ExperimentSpec;
+
+#[test]
+fn online_adaptive_beats_frozen_after_the_shift() {
+    let doc = spec::Spec::builtin("regime-shift").expect("committed builtin");
+    let ExperimentSpec::RegimeShift(shift) = &doc.experiment else {
+        panic!("regime-shift must carry a RegimeShift experiment");
+    };
+    let effort = Effort::quick();
+    let results = collect_training_results(effort);
+    let trained = train_on(&results, false, effort.seed);
+    let rows = exec::regime_shift(shift, trained.model.clone(), effort);
+    assert_eq!(rows.len(), 3, "frozen, online-adaptive, bandit");
+
+    let row = |kind: &str| -> &figures::RegimeShiftRow {
+        rows.iter()
+            .find(|r| r.policy == kind)
+            .unwrap_or_else(|| panic!("missing {kind} row"))
+    };
+    let frozen = row("frozen");
+    let online = row("online-adaptive");
+    let bandit = row("bandit");
+
+    // The frozen planner never refits; the online policy must have
+    // detected the shift and refit at least once.
+    assert_eq!(frozen.generation, 0, "frozen must not refit");
+    assert!(online.generation >= 1, "online policy must refit on drift");
+
+    // Before the drift the online policy plans with the same frozen
+    // model over the same cache, so its γ trace is bit-identical.
+    let pre_frozen = frozen.pre_shift_err.expect("frozen pre-drift windows");
+    let pre_online = online.pre_shift_err.expect("online pre-drift windows");
+    assert_eq!(
+        pre_frozen.to_bits(),
+        pre_online.to_bits(),
+        "pre-drift the adaptive policy must match the frozen planner bit-for-bit"
+    );
+
+    // The acceptance criterion: adaptation strictly lowers the mean
+    // post-drift γ prediction error.
+    let post_frozen = frozen.post_shift_err.expect("frozen post-drift windows");
+    let post_online = online.post_shift_err.expect("online post-drift windows");
+    assert!(
+        post_online < post_frozen,
+        "online-adaptive post-drift γ error {post_online:.4} must be strictly \
+         below frozen {post_frozen:.4}"
+    );
+
+    // The bandit baseline reports a γ trajectory in the same figure.
+    assert!(
+        !bandit.gamma.is_empty(),
+        "bandit must report a γ trajectory alongside the model policies"
+    );
+    assert_eq!(bandit.generation, 0, "the bandit has no model to refit");
+}

@@ -37,7 +37,10 @@
 //!   dynamic-configuration experiment from the trained model;
 //! * [`online`] — the *online* controller the paper deferred to future
 //!   work: it estimates the network from the producer's own counters and
-//!   reconfigures via the same KPI search.
+//!   reconfigures via the same KPI search;
+//! * [`policy`] — control plane v2: the pluggable [`policy::Policy`]
+//!   abstraction with the frozen planner, an online-adaptive policy
+//!   (drift detection + incremental refits) and a UCB1 bandit baseline.
 //!
 //! # Example
 //!
@@ -67,6 +70,7 @@ pub mod kpi;
 pub mod model;
 pub mod online;
 pub mod planner;
+pub mod policy;
 pub mod recommend;
 pub mod train;
 
@@ -79,6 +83,10 @@ pub mod prelude {
         CacheStats, CachedPredictor, NetworkEstimator, OnlineModelController, PredictionCache,
     };
     pub use crate::planner::{ModelPlanner, PlannerMode};
+    pub use crate::policy::{
+        AdaptiveConfig, BanditConfig, BanditPolicy, DriftDetector, DriftSignal, FrozenPolicy,
+        GammaSample, OnlineAdaptivePolicy, Policy, PolicyController,
+    };
     pub use crate::recommend::{Recommendation, Recommender, SearchSpace};
     pub use crate::train::{quick_grid, train_model, TrainOptions, TrainedModel};
     pub use testbed::calibration::Calibration;
@@ -87,4 +95,8 @@ pub mod prelude {
 pub use features::Features;
 pub use kpi::{fleet_gammas, TenantGamma};
 pub use model::{Prediction, Predictor, ReliabilityModel};
+pub use policy::{
+    AdaptiveConfig, BanditConfig, BanditPolicy, DriftDetector, FrozenPolicy, GammaSample,
+    OnlineAdaptivePolicy, Policy, PolicyController,
+};
 pub use train::{train_model, TrainOptions, TrainedModel};

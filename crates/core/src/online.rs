@@ -23,7 +23,7 @@ use testbed::Calibration;
 use crate::features::Features;
 use crate::kpi::KpiModel;
 use crate::model::{Prediction, Predictor};
-use crate::recommend::{Recommender, SearchSpace};
+use crate::recommend::{Recommendation, Recommender, SearchSpace};
 
 /// Exponentially-weighted estimator of the network condition from
 /// producer-observable signals.
@@ -162,6 +162,7 @@ pub struct PredictionCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    generation: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -188,7 +189,45 @@ impl PredictionCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// The model generation the cached predictions belong to. Starts at 0
+    /// and increments once per [`PredictionCache::bump_generation`].
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Invalidates the whole cache after a model refit: every resident
+    /// entry is dropped (its predictions came from the previous weights),
+    /// the traffic counters reset — hit/miss/evict tallies always describe
+    /// the *current* generation, never a mixture — and the generation
+    /// counter increments. Closes the silent-staleness window where a
+    /// cached γ could outlive the model that produced it.
+    pub fn bump_generation(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.map.clear();
+        inner.order.clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Looks `features` up **without** counting a hit or miss — for
+    /// observational reads (γ bookkeeping of an already-planned
+    /// configuration) that must not perturb the traffic counters.
+    #[must_use]
+    pub fn peek(&self, features: &Features) -> Option<Prediction> {
+        let key = CacheKey::quantize(features);
+        self.inner
+            .lock()
+            .expect("cache lock")
+            .map
+            .get(&key)
+            .copied()
     }
 
     /// Looks `features` up, counting the hit or miss.
@@ -235,12 +274,16 @@ impl PredictionCache {
     }
 
     /// Publishes the traffic counters into a metrics registry under
-    /// `planner-cache-hit` / `planner-cache-miss` / `planner-cache-evict`.
+    /// `planner-cache-hit` / `planner-cache-miss` / `planner-cache-evict`,
+    /// plus the `planner-model-generation` label those counters belong to
+    /// (they reset on every generation bump, so the triple always
+    /// describes one generation).
     pub fn export_metrics(&self, registry: &mut MetricsRegistry) {
         let stats = self.stats();
         registry.add_to_counter("planner-cache-hit", stats.hits);
         registry.add_to_counter("planner-cache-miss", stats.misses);
         registry.add_to_counter("planner-cache-evict", stats.evictions);
+        registry.add_to_counter("planner-model-generation", self.generation());
     }
 }
 
@@ -349,6 +392,7 @@ pub struct OnlineModelController<P> {
     estimator: Mutex<NetworkEstimator>,
     cache: PredictionCache,
     replans: AtomicU64,
+    last: Mutex<Option<Recommendation>>,
     prof: Profiler,
 }
 
@@ -387,6 +431,7 @@ impl<P: Predictor + Send + Sync> OnlineModelController<P> {
             estimator: Mutex::new(NetworkEstimator::new(0.5)),
             cache: PredictionCache::new(CONTROLLER_CACHE_CAPACITY),
             replans: AtomicU64::new(0),
+            last: Mutex::new(None),
             prof: Profiler::disabled(),
         }
     }
@@ -412,6 +457,27 @@ impl<P: Predictor + Send + Sync> OnlineModelController<P> {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The generation of the model the memo cache currently serves
+    /// (always 0 for this frozen controller — it never refits).
+    #[must_use]
+    pub fn model_generation(&self) -> u64 {
+        self.cache.generation()
+    }
+
+    /// The most recent replan's outcome, with the reliability prediction
+    /// the planner saw for the chosen configuration. Observational only:
+    /// reads go through [`PredictionCache::peek`], so the cache traffic
+    /// counters are untouched. `None` before the first replan.
+    #[must_use]
+    pub fn planned_prediction(&self) -> Option<(Recommendation, Prediction)> {
+        let rec = self.last.lock().expect("last-plan lock").clone()?;
+        let prediction = self
+            .cache
+            .peek(&rec.features)
+            .unwrap_or_else(|| self.predictor.predict(&rec.features));
+        Some((rec, prediction))
     }
 }
 
@@ -439,6 +505,7 @@ impl<P: Predictor + Send + Sync> OnlineController for OnlineModelController<P> {
             CachedPredictor::with_profiler(&self.predictor, &self.cache, self.prof.clone());
         let recommender = Recommender::new(&self.kpi, &cached, self.space.clone());
         let rec = recommender.recommend(&start, &self.weights, self.gamma_requirement);
+        *self.last.lock().expect("last-plan lock") = Some(rec.clone());
         let mut cfg = rec
             .features
             .to_experiment_point()
@@ -598,6 +665,50 @@ mod tests {
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 2);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_bump_clears_entries_and_resets_counters() {
+        let cache = PredictionCache::new(8);
+        let p = Prediction {
+            p_loss: 0.25,
+            p_dup: 0.0,
+        };
+        assert_eq!(cache.generation(), 0);
+        cache.insert(&feat(0.1, 1), p);
+        cache.insert(&feat(0.2, 1), p);
+        assert_eq!(cache.get(&feat(0.1, 1)), Some(p));
+        assert!(cache.get(&feat(0.3, 1)).is_none());
+        cache.bump_generation();
+        // Entries are invalid under the new model generation, and the
+        // hit/miss/evict counters restart so exported rates describe the
+        // new generation only.
+        assert_eq!(cache.generation(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.evictions, 0);
+        assert!(cache.get(&feat(0.1, 1)).is_none());
+        let mut registry = MetricsRegistry::default();
+        cache.export_metrics(&mut registry);
+        assert_eq!(registry.counter("planner-model-generation"), 1);
+        assert_eq!(registry.counter("planner-cache-miss"), 1);
+    }
+
+    #[test]
+    fn peek_reads_without_touching_counters() {
+        let cache = PredictionCache::new(8);
+        let p = Prediction {
+            p_loss: 0.4,
+            p_dup: 0.1,
+        };
+        cache.insert(&feat(0.1, 2), p);
+        assert_eq!(cache.peek(&feat(0.1, 2)), Some(p));
+        assert!(cache.peek(&feat(0.9, 2)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0, "peek must not count as a hit");
+        assert_eq!(stats.misses, 0, "peek must not count as a miss");
     }
 
     #[test]

@@ -102,6 +102,15 @@ pub trait OnlineController: Send + Sync {
     fn export_metrics(&self, registry: &mut obs::MetricsRegistry) {
         let _ = registry;
     }
+
+    /// Moves any trace events the controller buffered since the last tick
+    /// (drift detections, model refits) into `out`. The runtime drains at
+    /// every online tick regardless of tracing — so controller buffers stay
+    /// bounded — and records the drained events only on traced runs. The
+    /// default drains nothing.
+    fn drain_events(&self, out: &mut Vec<obs::TraceEvent>) {
+        let _ = out;
+    }
 }
 
 /// Online-control settings for a run.
@@ -1977,6 +1986,16 @@ fn online_tick(w: &mut World, ctx: &mut Ctx) {
         if new_cfg != w.cfg && new_cfg.validate().is_ok() {
             w.stats.online_reconfigurations += 1;
             apply_config(w, ctx, new_cfg);
+        }
+    }
+    // Drain controller-buffered events (drift detections, refits) on every
+    // tick so adaptive controllers never accumulate unbounded buffers; the
+    // events reach the trace only on traced runs.
+    let mut policy_events = Vec::new();
+    online.controller.drain_events(&mut policy_events);
+    if w.trace_on {
+        for ev in policy_events {
+            w.trace.record(ev);
         }
     }
     if w.trace_on {

@@ -175,6 +175,80 @@ pub fn generate_trace(config: &TraceConfig, rng: &mut SimRng) -> Result<NetworkT
     Ok(NetworkTrace { timeline, states })
 }
 
+/// Generates a trace whose network **regime shifts** mid-run: conditions in
+/// `[0, shift_at)` come from `base`, conditions in `[shift_at,
+/// base.duration)` from `shifted`. The result is one spliced
+/// [`ConditionTimeline`], so every consumer (the channel replayer, the
+/// planner's estimator) sees the shift as ordinary breakpoints — a
+/// first-class fault that induces model drift without touching the
+/// simulator.
+///
+/// `base.duration` is the *total* trace length; `shifted.duration` is
+/// ignored and both halves are resampled on their own `interval`. The two
+/// halves are drawn from a single `rng` stream (base first), so the whole
+/// spliced trace is deterministic in the seed.
+///
+/// # Errors
+///
+/// Returns the validation error when either config is inconsistent, or when
+/// `shift_at` does not fall strictly inside the trace (at least one interval
+/// on each side).
+///
+/// # Example
+///
+/// ```
+/// use netsim::trace::{generate_regime_shift, TraceConfig};
+/// use desim::{SimDuration, SimRng};
+///
+/// let calm = TraceConfig { p_good_to_bad: 0.0, ..TraceConfig::default() };
+/// let stormy = TraceConfig { p_bad_to_good: 0.0, ..TraceConfig::default() };
+/// let trace = generate_regime_shift(
+///     &calm,
+///     &stormy,
+///     SimDuration::from_secs(300),
+///     &mut SimRng::seed_from_u64(9),
+/// )
+/// .unwrap();
+/// assert_eq!(trace.timeline.breakpoints().len(), 60);
+/// ```
+pub fn generate_regime_shift(
+    base: &TraceConfig,
+    shifted: &TraceConfig,
+    shift_at: SimDuration,
+    rng: &mut SimRng,
+) -> Result<NetworkTrace, String> {
+    base.validate()?;
+    shifted.validate()?;
+    if shift_at < base.interval {
+        return Err("shift_at must leave at least one base interval".into());
+    }
+    if shift_at + shifted.interval > base.duration {
+        return Err("shift_at must leave at least one shifted interval".into());
+    }
+    let head_cfg = TraceConfig {
+        duration: shift_at,
+        ..base.clone()
+    };
+    let tail_cfg = TraceConfig {
+        duration: base.duration.saturating_sub(shift_at),
+        ..shifted.clone()
+    };
+    let head = generate_trace(&head_cfg, rng)?;
+    let tail = generate_trace(&tail_cfg, rng)?;
+
+    let mut breakpoints: Vec<(SimTime, NetCondition)> = head.timeline.breakpoints().to_vec();
+    breakpoints.extend(
+        tail.timeline
+            .breakpoints()
+            .iter()
+            .map(|(start, cond)| (*start + shift_at, *cond)),
+    );
+    let mut states = head.states;
+    states.extend(tail.states);
+    let timeline = ConditionTimeline::new(breakpoints).map_err(|e| e.to_string())?;
+    Ok(NetworkTrace { timeline, states })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +327,58 @@ mod tests {
             ..TraceConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn regime_shift_splices_the_two_halves() {
+        let calm = TraceConfig {
+            p_good_to_bad: 0.0,
+            loss_good: (0.0, 0.01),
+            ..TraceConfig::default()
+        };
+        let stormy = TraceConfig {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 0.0,
+            loss_bad: (0.3, 0.4),
+            ..TraceConfig::default()
+        };
+        let shift = SimDuration::from_secs(300);
+        let trace =
+            generate_regime_shift(&calm, &stormy, shift, &mut SimRng::seed_from_u64(8)).unwrap();
+        // 30 calm intervals + 30 stormy intervals in one timeline.
+        assert_eq!(trace.timeline.breakpoints().len(), 60);
+        assert_eq!(trace.states.len(), 60);
+        let shift_time = SimTime::ZERO + shift;
+        for (start, cond) in trace.timeline.breakpoints() {
+            if *start < shift_time {
+                assert!(cond.loss_rate <= 0.01, "calm half leaked loss");
+            } else {
+                assert!(cond.loss_rate >= 0.3, "stormy half too mild");
+            }
+        }
+    }
+
+    #[test]
+    fn regime_shift_is_deterministic_for_fixed_seed() {
+        let base = TraceConfig::default();
+        let shifted = TraceConfig {
+            loss_bad: (0.2, 0.3),
+            ..TraceConfig::default()
+        };
+        let shift = SimDuration::from_secs(200);
+        let a =
+            generate_regime_shift(&base, &shifted, shift, &mut SimRng::seed_from_u64(9)).unwrap();
+        let b =
+            generate_regime_shift(&base, &shifted, shift, &mut SimRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regime_shift_rejects_degenerate_split_points() {
+        let cfg = TraceConfig::default();
+        let mut rng = SimRng::seed_from_u64(10);
+        assert!(generate_regime_shift(&cfg, &cfg, SimDuration::ZERO, &mut rng).is_err());
+        assert!(generate_regime_shift(&cfg, &cfg, cfg.duration, &mut rng).is_err());
     }
 
     #[test]

@@ -337,6 +337,30 @@ pub enum TraceEvent {
         /// Cumulative counter value at `at`.
         value: u64,
     },
+    /// The control plane's drift detector flagged that recent prediction
+    /// error has moved away from its baseline; a refit follows.
+    PolicyDrift {
+        /// Detection instant (the online-controller tick that saw it).
+        at: SimTime,
+        /// Mean |predicted − observed| loss-probability error over the
+        /// recent window that tripped the detector.
+        error: f64,
+        /// The baseline mean error the detector compares against.
+        baseline: f64,
+        /// The detector's window length in samples.
+        window: u64,
+    },
+    /// The control plane refit its model online and bumped the model
+    /// generation, invalidating every cached prediction from earlier
+    /// generations.
+    PolicyRefit {
+        /// Refit instant.
+        at: SimTime,
+        /// The model generation *after* the refit.
+        generation: u64,
+        /// How many replay-buffer samples the refit trained on.
+        samples: u64,
+    },
 }
 
 impl TraceEvent {
@@ -362,7 +386,9 @@ impl TraceEvent {
             | TraceEvent::ConsumerJoined { at, .. }
             | TraceEvent::ConsumerLeft { at, .. }
             | TraceEvent::PartitionsAssigned { at, .. }
-            | TraceEvent::CounterSample { at, .. } => *at,
+            | TraceEvent::CounterSample { at, .. }
+            | TraceEvent::PolicyDrift { at, .. }
+            | TraceEvent::PolicyRefit { at, .. } => *at,
         }
     }
 
@@ -389,6 +415,8 @@ impl TraceEvent {
             TraceEvent::ConsumerLeft { .. } => "consumer-left",
             TraceEvent::PartitionsAssigned { .. } => "partitions-assigned",
             TraceEvent::CounterSample { .. } => "counter-sample",
+            TraceEvent::PolicyDrift { .. } => "policy-drift",
+            TraceEvent::PolicyRefit { .. } => "policy-refit",
         }
     }
 
@@ -606,6 +634,24 @@ impl core::fmt::Display for TraceEvent {
             TraceEvent::CounterSample { name, value, .. } => {
                 write!(f, "{t} counter {name} = {value}")
             }
+            TraceEvent::PolicyDrift {
+                error,
+                baseline,
+                window,
+                ..
+            } => write!(
+                f,
+                "{t} policy drift: mean error {error:.4} vs baseline {baseline:.4} \
+                 over {window} windows"
+            ),
+            TraceEvent::PolicyRefit {
+                generation,
+                samples,
+                ..
+            } => write!(
+                f,
+                "{t} policy refit: model generation {generation} ({samples} samples)"
+            ),
         }
     }
 }
@@ -911,6 +957,17 @@ mod tests {
                 name: "planner-cache-hit".to_string(),
                 value: 37,
             },
+            TraceEvent::PolicyDrift {
+                at: SimTime::from_millis(20),
+                error: 0.042,
+                baseline: 0.011,
+                window: 8,
+            },
+            TraceEvent::PolicyRefit {
+                at: SimTime::from_millis(21),
+                generation: 1,
+                samples: 64,
+            },
         ]
     }
 
@@ -922,7 +979,7 @@ mod tests {
         let kinds: std::collections::BTreeSet<&str> = events.iter().map(TraceEvent::kind).collect();
         assert_eq!(
             kinds.len(),
-            19,
+            21,
             "update one_of_each_variant() for new TraceEvent variants"
         );
 

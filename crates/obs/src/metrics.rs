@@ -139,7 +139,9 @@ impl MetricsRegistry {
             | TraceEvent::BrokerUp { .. }
             | TraceEvent::ConsumerJoined { .. }
             | TraceEvent::ConsumerLeft { .. }
-            | TraceEvent::PartitionsAssigned { .. } => {}
+            | TraceEvent::PartitionsAssigned { .. }
+            | TraceEvent::PolicyDrift { .. }
+            | TraceEvent::PolicyRefit { .. } => {}
         }
     }
 

@@ -152,7 +152,9 @@ impl TimelineReport {
                 | TraceEvent::ConsumerJoined { .. }
                 | TraceEvent::ConsumerLeft { .. }
                 | TraceEvent::PartitionsAssigned { .. }
-                | TraceEvent::CounterSample { .. } => {}
+                | TraceEvent::CounterSample { .. }
+                | TraceEvent::PolicyDrift { .. }
+                | TraceEvent::PolicyRefit { .. } => {}
             }
         }
 

@@ -15,11 +15,11 @@ use crate::collection::CollectionDesign;
 use kafkasim::fleet::{Assignor, ChurnAction, PartitionStrategy};
 
 use crate::document::{
-    AcksLevelSpec, BrokerFaultMatrixSpec, DeliveryCaseSpec, ExperimentSpec, FaultScenarioSpec,
-    FaultSpec, FleetPopulationEntry, FleetSpec, GroupChurnSpec, KpiGridSpec, NetworkTraceSpec,
-    OnlineCompareSpec, OutageSite, OverlaySpec, ReportSpec, SensitivitySpec, SeriesSpec, Spec,
-    SweepAxis, SweepMode, SweepSpec, Table1Spec, Table2Spec, TraceDemoSpec, TraceScenarioSpec,
-    TrainSpec,
+    AcksLevelSpec, AdaptivePolicySpec, BanditPolicySpec, BrokerFaultMatrixSpec, DeliveryCaseSpec,
+    ExperimentSpec, FaultScenarioSpec, FaultSpec, FleetPopulationEntry, FleetSpec, GroupChurnSpec,
+    KpiGridSpec, NetworkTraceSpec, OnlineCompareSpec, OutageSite, OverlaySpec, PolicyKind,
+    PolicySpec, RegimeShiftSpec, ReportSpec, SensitivitySpec, SeriesSpec, Spec, SweepAxis,
+    SweepMode, SweepSpec, Table1Spec, Table2Spec, TraceDemoSpec, TraceScenarioSpec, TrainSpec,
 };
 use crate::grid::ConfigGrid;
 use crate::point::PointSpec;
@@ -57,6 +57,7 @@ pub fn all() -> Vec<Spec> {
         ablation_jitter(),
         trace(),
         fleet(),
+        regime_shift(),
     ]
 }
 
@@ -750,6 +751,61 @@ fn fleet() -> Spec {
     }
 }
 
+fn regime_shift() -> Spec {
+    Spec {
+        name: "regime-shift".into(),
+        title: "CPL-1: frozen vs online-adaptive vs bandit across a network regime shift".into(),
+        description: "One scenario over a calm network that turns stormy mid-run; the frozen \
+                      planner, the drift-detecting online-adaptive planner and the UCB1 bandit \
+                      baseline plan the same run head-to-head. Delivery semantics are held \
+                      fixed (at-most-once sends no acks, so no policy could be scored on it)."
+            .into(),
+        experiment: ExperimentSpec::RegimeShift(RegimeShiftSpec {
+            scenario: ApplicationScenario::web_access_records(),
+            trace: TraceConfig {
+                p_good_to_bad: 0.02,
+                p_bad_to_good: 0.80,
+                loss_good: (0.0, 0.01),
+                loss_bad: (0.04, 0.10),
+                ..TraceConfig::default()
+            },
+            shifted: TraceConfig {
+                p_good_to_bad: 0.90,
+                p_bad_to_good: 0.05,
+                loss_good: (0.02, 0.05),
+                loss_bad: (0.25, 0.45),
+                ..TraceConfig::default()
+            },
+            shift_at_s: 300,
+            online_interval_s: 30,
+            grid: ConfigGrid {
+                allow_semantics_switch: false,
+                ..ConfigGrid::planner_default()
+            },
+            policies: vec![
+                PolicySpec::of_kind(PolicyKind::Frozen),
+                PolicySpec {
+                    kind: PolicyKind::OnlineAdaptive,
+                    adaptive: Some(AdaptivePolicySpec {
+                        drift_window: 4,
+                        drift_threshold: 0.01,
+                        refit_steps: 160,
+                        learning_rate: 0.3,
+                        replay_capacity: 256,
+                    }),
+                    bandit: None,
+                },
+                PolicySpec {
+                    kind: PolicyKind::Bandit,
+                    adaptive: None,
+                    bandit: Some(BanditPolicySpec { exploration: 0.5 }),
+                },
+            ],
+        }),
+        report: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -757,7 +813,7 @@ mod tests {
     #[test]
     fn every_builtin_validates() {
         let specs = all();
-        assert_eq!(specs.len(), 21);
+        assert_eq!(specs.len(), 22);
         for spec in &specs {
             spec.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.name));

@@ -130,6 +130,9 @@ pub enum ExperimentSpec {
     /// Fleet-scale run — producer population × partitioner sweep with
     /// consumer-group churn.
     Fleet(FleetSpec),
+    /// Control plane v2 — frozen vs online-adaptive vs bandit policies
+    /// over a mid-run network regime shift.
+    RegimeShift(RegimeShiftSpec),
 }
 
 impl ExperimentSpec {
@@ -153,6 +156,7 @@ impl ExperimentSpec {
             ExperimentSpec::Online(s) => s.validate("experiment.Online"),
             ExperimentSpec::TraceDemo(s) => s.validate("experiment.TraceDemo"),
             ExperimentSpec::Fleet(s) => s.validate("experiment.Fleet"),
+            ExperimentSpec::RegimeShift(s) => s.validate("experiment.RegimeShift"),
         }
     }
 }
@@ -616,6 +620,190 @@ impl OnlineCompareSpec {
                 format!("{path}.plan_interval_s"),
                 "planning intervals must be positive",
             ));
+        }
+        self.grid.validate(&format!("{path}.grid"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control plane v2: policies and regime shifts
+// ---------------------------------------------------------------------------
+
+/// Which control-plane brain plans a run (control plane v2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// The offline-trained ANN planner, weights fixed for the whole run.
+    Frozen,
+    /// The frozen planner plus drift detection and incremental refits.
+    OnlineAdaptive,
+    /// The model-free UCB1 baseline over a coarse configuration grid.
+    Bandit,
+}
+
+impl PolicyKind {
+    /// The kind's stable slug, as printed by `repro list-scenarios` and
+    /// reported by the policy itself.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            PolicyKind::Frozen => "frozen",
+            PolicyKind::OnlineAdaptive => "online-adaptive",
+            PolicyKind::Bandit => "bandit",
+        }
+    }
+}
+
+/// Hyper-parameters of the online-adaptive policy. Absent fields take the
+/// executor's defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePolicySpec {
+    /// Drift-detector window, in observation windows.
+    pub drift_window: usize,
+    /// Mean-error increase over baseline that counts as drift.
+    pub drift_threshold: f64,
+    /// Incremental-SGD mini-batch steps per refit.
+    pub refit_steps: usize,
+    /// Refit learning rate.
+    pub learning_rate: f64,
+    /// Replay-buffer capacity in observation windows.
+    pub replay_capacity: usize,
+}
+
+/// Hyper-parameters of the bandit baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BanditPolicySpec {
+    /// UCB1 exploration constant.
+    pub exploration: f64,
+}
+
+/// One policy entry in a regime-shift comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// The policy family.
+    pub kind: PolicyKind,
+    /// Adaptive hyper-parameters; only valid with `kind = OnlineAdaptive`.
+    pub adaptive: Option<AdaptivePolicySpec>,
+    /// Bandit hyper-parameters; only valid with `kind = Bandit`.
+    pub bandit: Option<BanditPolicySpec>,
+}
+
+impl PolicySpec {
+    /// A bare policy of the given kind with executor-default parameters.
+    #[must_use]
+    pub fn of_kind(kind: PolicyKind) -> Self {
+        PolicySpec {
+            kind,
+            adaptive: None,
+            bandit: None,
+        }
+    }
+
+    fn validate(&self, path: &str) -> Result<(), SpecError> {
+        if self.adaptive.is_some() && self.kind != PolicyKind::OnlineAdaptive {
+            return Err(SpecError::new(
+                format!("{path}.adaptive"),
+                "adaptive parameters require kind = OnlineAdaptive",
+            ));
+        }
+        if self.bandit.is_some() && self.kind != PolicyKind::Bandit {
+            return Err(SpecError::new(
+                format!("{path}.bandit"),
+                "bandit parameters require kind = Bandit",
+            ));
+        }
+        if let Some(a) = &self.adaptive {
+            let p = format!("{path}.adaptive");
+            if a.drift_window == 0 || a.refit_steps == 0 || a.replay_capacity < 4 {
+                return Err(SpecError::new(
+                    p,
+                    "drift_window and refit_steps must be positive, \
+                     replay_capacity at least 4",
+                ));
+            }
+            if !a.drift_threshold.is_finite() || a.drift_threshold <= 0.0 {
+                return Err(SpecError::new(
+                    format!("{p}.drift_threshold"),
+                    "drift threshold must be finite and positive",
+                ));
+            }
+            if !a.learning_rate.is_finite() || a.learning_rate <= 0.0 {
+                return Err(SpecError::new(
+                    format!("{p}.learning_rate"),
+                    "learning rate must be finite and positive",
+                ));
+            }
+        }
+        if let Some(b) = &self.bandit {
+            if !b.exploration.is_finite() || b.exploration <= 0.0 {
+                return Err(SpecError::new(
+                    format!("{path}.bandit.exploration"),
+                    "exploration constant must be finite and positive",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The regime-shift experiment: one scenario driven over a network whose
+/// generator parameters are swapped mid-run, planned head-to-head by a
+/// list of control policies (frozen vs online-adaptive vs bandit).
+///
+/// # Example
+///
+/// ```
+/// use spec::Spec;
+///
+/// let doc = Spec::builtin("regime-shift").unwrap();
+/// doc.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeShiftSpec {
+    /// The application scenario under test.
+    pub scenario: ApplicationScenario,
+    /// The network generator before the shift.
+    pub trace: TraceConfig,
+    /// The network generator after the shift (its `duration` is ignored;
+    /// the spliced trace keeps the base duration).
+    pub shifted: TraceConfig,
+    /// When the regime flips, seconds into the run.
+    pub shift_at_s: u64,
+    /// Online replanning interval (seconds).
+    pub online_interval_s: u64,
+    /// The planner's configuration search grid.
+    pub grid: ConfigGrid,
+    /// The policies to compare, run in order over the same trace.
+    pub policies: Vec<PolicySpec>,
+}
+
+impl RegimeShiftSpec {
+    fn validate(&self, path: &str) -> Result<(), SpecError> {
+        validate_scenario(&self.scenario, &format!("{path}.scenario"))?;
+        SpecError::wrap(&format!("{path}.trace"), self.trace.validate())?;
+        SpecError::wrap(&format!("{path}.shifted"), self.shifted.validate())?;
+        let shift_ms = self.shift_at_s.saturating_mul(1_000);
+        if shift_ms < self.trace.interval.as_millis()
+            || shift_ms + self.shifted.interval.as_millis() > self.trace.duration.as_millis()
+        {
+            return Err(SpecError::new(
+                format!("{path}.shift_at_s"),
+                "shift must leave at least one generator interval on each side",
+            ));
+        }
+        if self.online_interval_s == 0 {
+            return Err(SpecError::new(
+                format!("{path}.online_interval_s"),
+                "planning interval must be positive",
+            ));
+        }
+        if self.policies.is_empty() {
+            return Err(SpecError::new(
+                format!("{path}.policies"),
+                "comparison needs at least one policy",
+            ));
+        }
+        for (i, p) in self.policies.iter().enumerate() {
+            p.validate(&format!("{path}.policies[{i}]"))?;
         }
         self.grid.validate(&format!("{path}.grid"))
     }

@@ -54,11 +54,11 @@ pub mod toml;
 
 pub use collection::{AbnormalCaseGrid, BrokerFaultGrid, CollectionDesign, NormalCaseGrid};
 pub use document::{
-    AcksLevelSpec, BrokerFaultMatrixSpec, DeliveryCaseSpec, ExperimentSpec, FaultScenarioSpec,
-    FaultSpec, FleetPopulationEntry, FleetSpec, GroupChurnSpec, KpiGridSpec, NetworkTraceSpec,
-    OnlineCompareSpec, OutageSite, OverlaySpec, ReportSpec, SensitivitySpec, SeriesSpec, Spec,
-    SweepAxis, SweepMode, SweepSpec, Table1Spec, Table2Spec, TraceDemoSpec, TraceScenarioSpec,
-    TrainSpec,
+    AcksLevelSpec, AdaptivePolicySpec, BanditPolicySpec, BrokerFaultMatrixSpec, DeliveryCaseSpec,
+    ExperimentSpec, FaultScenarioSpec, FaultSpec, FleetPopulationEntry, FleetSpec, GroupChurnSpec,
+    KpiGridSpec, NetworkTraceSpec, OnlineCompareSpec, OutageSite, OverlaySpec, PolicyKind,
+    PolicySpec, RegimeShiftSpec, ReportSpec, SensitivitySpec, SeriesSpec, Spec, SweepAxis,
+    SweepMode, SweepSpec, Table1Spec, Table2Spec, TraceDemoSpec, TraceScenarioSpec, TrainSpec,
 };
 pub use error::{LoadError, SpecError};
 pub use grid::{ConfigGrid, GridAxis};

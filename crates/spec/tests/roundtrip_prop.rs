@@ -7,10 +7,14 @@
 
 use proptest::prelude::*;
 use spec::{
-    ExperimentSpec, PointSpec, SensitivitySpec, SeriesSpec, Spec, SweepAxis, SweepMode, SweepSpec,
+    AdaptivePolicySpec, BanditPolicySpec, ConfigGrid, ExperimentSpec, PointSpec, PolicyKind,
+    PolicySpec, RegimeShiftSpec, SensitivitySpec, SeriesSpec, Spec, SweepAxis, SweepMode,
+    SweepSpec,
 };
 
 use kafkasim::config::DeliverySemantics;
+use netsim::trace::TraceConfig;
+use testbed::scenarios::ApplicationScenario;
 
 fn semantics() -> impl Strategy<Value = DeliverySemantics> {
     prop_oneof![
@@ -168,8 +172,81 @@ fn sensitivity_doc() -> impl Strategy<Value = Spec> {
     })
 }
 
+fn adaptive_policy() -> impl Strategy<Value = PolicySpec> {
+    opt((
+        1usize..20,
+        0.001f64..1.0,
+        1usize..200,
+        0.001f64..1.0,
+        4usize..512,
+    ))
+    .prop_map(|params| PolicySpec {
+        kind: PolicyKind::OnlineAdaptive,
+        adaptive: params.map(
+            |(drift_window, drift_threshold, refit_steps, learning_rate, replay_capacity)| {
+                AdaptivePolicySpec {
+                    drift_window,
+                    drift_threshold,
+                    refit_steps,
+                    learning_rate,
+                    replay_capacity,
+                }
+            },
+        ),
+        bandit: None,
+    })
+}
+
+fn policy() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::of_kind(PolicyKind::Frozen)),
+        adaptive_policy(),
+        opt(0.01f64..10.0).prop_map(|exploration| PolicySpec {
+            kind: PolicyKind::Bandit,
+            adaptive: None,
+            bandit: exploration.map(|e| BanditPolicySpec { exploration: e }),
+        }),
+    ]
+}
+
+fn regime_shift_doc() -> impl Strategy<Value = Spec> {
+    (
+        prop_oneof![
+            Just(ApplicationScenario::social_media()),
+            Just(ApplicationScenario::web_access_records()),
+            Just(ApplicationScenario::game_traffic()),
+        ],
+        // Base generator runs 600s at 10s intervals; keep the shift at
+        // least one interval away from either end.
+        10u64..591,
+        1u64..120,
+        proptest::collection::vec(policy(), 1..4),
+        0.0f64..1.0,
+    )
+        .prop_map(
+            |(scenario, shift_at_s, online_interval_s, policies, p_good_to_bad)| Spec {
+                name: "prop-regime-shift".to_string(),
+                title: "Property-generated regime shift".to_string(),
+                description: String::new(),
+                experiment: ExperimentSpec::RegimeShift(RegimeShiftSpec {
+                    scenario,
+                    trace: TraceConfig::default(),
+                    shifted: TraceConfig {
+                        p_good_to_bad,
+                        ..TraceConfig::default()
+                    },
+                    shift_at_s,
+                    online_interval_s,
+                    grid: ConfigGrid::planner_default(),
+                    policies,
+                }),
+                report: None,
+            },
+        )
+}
+
 fn doc() -> impl Strategy<Value = Spec> {
-    prop_oneof![sweep_doc(), sensitivity_doc()]
+    prop_oneof![sweep_doc(), sensitivity_doc(), regime_shift_doc()]
 }
 
 proptest! {

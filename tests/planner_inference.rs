@@ -3,9 +3,11 @@
 //! to the scalar implementations they replaced, for arbitrary
 //! configurations, networks, and model seeds.
 
+use annet::{Dataset, IncrementalTrainer, TrainConfig};
 use desim::{SimDuration, SimRng};
 use kafka_predict::kpi::KpiModel;
 use kafka_predict::model::Topology;
+use kafka_predict::online::{CachedPredictor, PredictionCache};
 use kafka_predict::recommend::{Recommender, SearchSpace};
 use kafka_predict::{Features, Predictor, ReliabilityModel};
 use kafkasim::config::DeliverySemantics;
@@ -110,6 +112,82 @@ proptest! {
         prop_assert_eq!(fast.features, reference.features);
         prop_assert_eq!(fast.meets_requirement, reference.meets_requirement);
         prop_assert_eq!(fast.steps, reference.steps);
+    }
+
+    /// The memo cache's generation-bump contract, exercised through the
+    /// planner: a search over a warm [`PredictionCache`] is bit-identical
+    /// to the uncached search both before AND after a refit mutates the
+    /// model and bumps the generation. Were the bump not to evict, the
+    /// post-refit cached plan would keep serving the pre-refit model's
+    /// predictions and diverge from the uncached reference.
+    #[test]
+    fn cached_planner_is_bit_identical_across_a_generation_bump(
+        start in arb_features(),
+        seed in 0u64..500,
+        requirement in 0.0f64..1.2,
+        p_loss_obs in 0.0f64..0.5,
+        p_dup_obs in 0.0f64..0.5,
+        refit_steps in 1usize..12,
+    ) {
+        let mut model = model(seed);
+        let kpi = KpiModel::from_calibration(&Calibration::paper());
+        let weights = KpiWeights::paper_default();
+        let space = coarse_space();
+        let cache = PredictionCache::new(4096);
+
+        let assert_cached_matches_uncached = |model: &ReliabilityModel, label: &str| {
+            let reference =
+                Recommender::new(&kpi, model, space.clone()).recommend(&start, &weights, requirement);
+            // Twice: a cold pass that fills the cache, then a warm pass
+            // served from it.
+            for pass in ["cold", "warm"] {
+                let cached = CachedPredictor::new(model, &cache);
+                let got = Recommender::new(&kpi, &cached, space.clone())
+                    .recommend(&start, &weights, requirement);
+                prop_assert_eq!(
+                    got.gamma.to_bits(),
+                    reference.gamma.to_bits(),
+                    "{} {} pass γ",
+                    label,
+                    pass
+                );
+                prop_assert_eq!(&got.features, &reference.features, "{} {} pass", label, pass);
+            }
+            Ok(())
+        };
+
+        assert_cached_matches_uncached(&model, "pre-refit")?;
+
+        // Refit exactly as `OnlineAdaptivePolicy::refit` drives it:
+        // deterministic incremental-SGD steps on the head the start
+        // configuration uses, then a generation bump.
+        let outputs = match start.semantics {
+            DeliverySemantics::AtMostOnce => vec![p_loss_obs],
+            DeliverySemantics::AtLeastOnce | DeliverySemantics::All => {
+                vec![p_loss_obs, p_dup_obs]
+            }
+        };
+        let data = Dataset::from_rows(
+            vec![start.scaled_head_vector(); 8],
+            vec![outputs; 8],
+        )
+        .expect("aligned refit rows");
+        let train = TrainConfig {
+            epochs: 1,
+            learning_rate: 0.3,
+            batch_size: 8,
+            shuffle: false,
+            momentum: 0.0,
+        };
+        let chunk: Vec<usize> = (0..data.len()).collect();
+        let head = model.head_mut(start.semantics);
+        let mut trainer = IncrementalTrainer::new(head);
+        for _ in 0..refit_steps {
+            trainer.step(head, &data, &chunk, &train);
+        }
+        cache.bump_generation();
+
+        assert_cached_matches_uncached(&model, "post-refit")?;
     }
 
     /// The sharded exhaustive grid scan returns the same answer for any
